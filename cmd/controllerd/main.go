@@ -1,0 +1,66 @@
+// Command controllerd runs the reactive learning-switch SDN controller.
+// It is deliberately DFI-unaware: point it at switches directly, or let
+// dfid interpose in front of it — its behaviour is identical either way
+// (controller obliviousness).
+//
+// Usage:
+//
+//	controllerd -listen :6654
+package main
+
+import (
+	"crypto/tls"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"github.com/dfi-sdn/dfi/internal/controller"
+	"github.com/dfi-sdn/dfi/internal/tlsutil"
+)
+
+func main() {
+	var (
+		listenAddr = flag.String("listen", ":6654", "address to accept OpenFlow connections on")
+		idle       = flag.Int("idle-timeout", 60, "idle timeout (seconds) on installed forwarding rules")
+		tlsCert    = flag.String("tls-cert", "", "PEM certificate for accepting connections over TLS")
+		tlsKey     = flag.String("tls-key", "", "PEM key for -tls-cert")
+		tlsCA      = flag.String("tls-ca", "", "CA bundle; when set, clients must present certificates")
+	)
+	flag.Parse()
+	if err := run(*listenAddr, *idle, *tlsCert, *tlsKey, *tlsCA); err != nil {
+		fmt.Fprintln(os.Stderr, "controllerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listenAddr string, idleSec int, tlsCert, tlsKey, tlsCA string) error {
+	ctl := controller.New(controller.Config{IdleTimeoutSec: uint16(idleSec)})
+	var lis net.Listener
+	var err error
+	if tlsCert != "" {
+		tlsCfg, cfgErr := tlsutil.LoadServerConfig(tlsCert, tlsKey, tlsCA)
+		if cfgErr != nil {
+			return cfgErr
+		}
+		lis, err = tls.Listen("tcp", listenAddr, tlsCfg)
+	} else {
+		lis, err = net.Listen("tcp", listenAddr)
+	}
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	log.Printf("learning-switch controller on %s", lis.Addr())
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return fmt.Errorf("accept: %w", err)
+		}
+		go func() {
+			if err := ctl.Serve(conn); err != nil {
+				log.Printf("connection %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}

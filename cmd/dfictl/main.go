@@ -1,0 +1,262 @@
+// Command dfictl manages a running dfid through its admin API.
+//
+// Usage:
+//
+//	dfictl [-admin http://127.0.0.1:8181] rules
+//	dfictl pdp register ops 50
+//	dfictl allow -pdp ops -src-user alice -dst-host mail
+//	dfictl deny  -pdp ops -src-host kiosk
+//	dfictl revoke 7
+//	dfictl bind user-host alice alice-laptop
+//	dfictl stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/dfi-sdn/dfi/internal/admin"
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/policytext"
+)
+
+func main() {
+	adminBase := flag.String("admin", "http://127.0.0.1:8181", "dfid admin API base URL")
+	flag.Parse()
+	if err := run(admin.NewClient(*adminBase), flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "dfictl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(client *admin.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: dfictl rules|allow|deny|revoke|pdp|bind|apply|switches|flows|stats")
+	}
+	switch args[0] {
+	case "rules":
+		rules, err := client.Rules()
+		if err != nil {
+			return err
+		}
+		if len(rules) == 0 {
+			fmt.Println("no rules (default deny)")
+			return nil
+		}
+		for _, r := range rules {
+			fmt.Printf("#%-5d p%-5d %-6s %-12s src=%s dst=%s\n",
+				r.ID, r.Priority, r.Action, r.PDP, endpointString(r.Src), endpointString(r.Dst))
+		}
+		return nil
+
+	case "allow", "deny":
+		return insertRule(client, args[0], args[1:])
+
+	case "revoke":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: dfictl revoke <id>")
+		}
+		id, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad id %q: %w", args[1], err)
+		}
+		return client.RevokeRule(id)
+
+	case "pdp":
+		if len(args) != 4 || args[1] != "register" {
+			return fmt.Errorf("usage: dfictl pdp register <name> <priority>")
+		}
+		prio, err := strconv.Atoi(args[3])
+		if err != nil {
+			return fmt.Errorf("bad priority %q: %w", args[3], err)
+		}
+		return client.RegisterPDP(args[2], prio)
+
+	case "bind", "unbind":
+		return bindCmd(client, args)
+
+	case "apply":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: dfictl apply <policy-file>")
+		}
+		return applyPolicyFile(client, args[1])
+
+	case "switches":
+		dpids, err := client.Switches()
+		if err != nil {
+			return err
+		}
+		if len(dpids) == 0 {
+			fmt.Println("no switches attached")
+			return nil
+		}
+		for _, d := range dpids {
+			fmt.Printf("%#x\n", d)
+		}
+		return nil
+
+	case "flows":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: dfictl flows <dpid>")
+		}
+		dpid, err := strconv.ParseUint(args[1], 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad dpid %q: %w", args[1], err)
+		}
+		flows, err := client.Flows(dpid)
+		if err != nil {
+			return err
+		}
+		if len(flows) == 0 {
+			fmt.Println("no flows")
+			return nil
+		}
+		for _, f := range flows {
+			fmt.Printf("table=%d prio=%-5d cookie=%-6d %-6s pkts=%-8d %s\n",
+				f.TableID, f.Priority, f.Cookie, f.Action, f.Packets, f.Match)
+		}
+		return nil
+
+	case "stats":
+		stats, err := client.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rules:            %d\n", stats.Rules)
+		fmt.Printf("proxy packet-ins: %d (denied %d, dropped %d, forwarded %d)\n",
+			stats.ProxyPacketIns, stats.ProxyDenied, stats.ProxyDropped, stats.ProxyForwarded)
+		fmt.Printf("pcp processed:    %d (allowed %d, denied %d, queue drops %d)\n",
+			stats.PCPProcessed, stats.PCPAllowed, stats.PCPDenied, stats.PCPDropped)
+		fmt.Printf("latency:          %.2fms total (binding %.2fms, policy %.2fms)\n",
+			stats.MeanLatencyMs, stats.BindingQueryMs, stats.PolicyQueryMs)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// applyPolicyFile parses a policy file (see internal/policytext) and pushes
+// its PDPs and rules through the admin API.
+func applyPolicyFile(client *admin.Client, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	doc, err := policytext.Parse(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	for _, decl := range doc.PDPs {
+		if err := client.RegisterPDP(decl.Name, decl.Priority); err != nil {
+			return fmt.Errorf("pdp %s: %w", decl.Name, err)
+		}
+	}
+	inserted := 0
+	for _, r := range doc.Rules {
+		j := admin.RuleJSON{PDP: r.PDP, Action: "deny"}
+		if r.Action == policy.ActionAllow {
+			j.Action = "allow"
+		}
+		j.Props = admin.PropsJSON{EtherType: r.Props.EtherType, IPProto: r.Props.IPProto}
+		j.Src = endpointToJSON(r.Src)
+		j.Dst = endpointToJSON(r.Dst)
+		if _, err := client.InsertRule(j); err != nil {
+			return fmt.Errorf("rule %s: %w", policytext.FormatRule(r), err)
+		}
+		inserted++
+	}
+	fmt.Printf("applied %d PDPs and %d rules from %s\n", len(doc.PDPs), inserted, path)
+	return nil
+}
+
+func endpointToJSON(e policy.EndpointSpec) admin.EndpointJSON {
+	j := admin.EndpointJSON{
+		User:       e.User,
+		Host:       e.Host,
+		Port:       e.Port,
+		SwitchPort: e.SwitchPort,
+		DPID:       e.DPID,
+	}
+	if e.IP != nil {
+		j.IP = e.IP.String()
+	}
+	if e.MAC != nil {
+		j.MAC = e.MAC.String()
+	}
+	return j
+}
+
+func insertRule(client *admin.Client, action string, args []string) error {
+	fs := flag.NewFlagSet(action, flag.ContinueOnError)
+	var (
+		pdpName = fs.String("pdp", "", "emitting PDP name (must be registered)")
+		srcUser = fs.String("src-user", "", "source username")
+		srcHost = fs.String("src-host", "", "source hostname")
+		srcIP   = fs.String("src-ip", "", "source IP")
+		dstUser = fs.String("dst-user", "", "destination username")
+		dstHost = fs.String("dst-host", "", "destination hostname")
+		dstIP   = fs.String("dst-ip", "", "destination IP")
+		dstPort = fs.Uint("dst-port", 0, "destination TCP/UDP port (0 = any)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pdpName == "" {
+		return fmt.Errorf("-pdp is required (register one with: dfictl pdp register <name> <priority>)")
+	}
+	rule := admin.RuleJSON{
+		PDP:    *pdpName,
+		Action: action,
+		Src:    admin.EndpointJSON{User: *srcUser, Host: *srcHost, IP: *srcIP},
+		Dst:    admin.EndpointJSON{User: *dstUser, Host: *dstHost, IP: *dstIP},
+	}
+	if *dstPort != 0 {
+		p := uint16(*dstPort)
+		rule.Dst.Port = &p
+	}
+	id, err := client.InsertRule(rule)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rule #%d inserted\n", id)
+	return nil
+}
+
+func bindCmd(client *admin.Client, args []string) error {
+	remove := args[0] == "unbind"
+	if len(args) != 4 {
+		return fmt.Errorf("usage: dfictl %s user-host|host-ip|ip-mac <a> <b>", args[0])
+	}
+	b := admin.BindingJSON{Kind: args[1], Remove: remove}
+	switch args[1] {
+	case "user-host":
+		b.User, b.Host = args[2], args[3]
+	case "host-ip":
+		b.Host, b.IP = args[2], args[3]
+	case "ip-mac":
+		b.IP, b.MAC = args[2], args[3]
+	default:
+		return fmt.Errorf("unknown binding kind %q", args[1])
+	}
+	return client.AddBinding(b)
+}
+
+func endpointString(e admin.EndpointJSON) string {
+	s := "("
+	for _, f := range []string{e.User, e.Host, e.IP, e.MAC} {
+		if f == "" {
+			f = "*"
+		}
+		s += f + ","
+	}
+	if e.Port != nil {
+		s += fmt.Sprintf("%d)", *e.Port)
+	} else {
+		s += "*)"
+	}
+	return s
+}

@@ -1,0 +1,223 @@
+// Command dfid runs the DFI control plane: it accepts OpenFlow switch
+// connections, interposes DFI's access control in front of an SDN
+// controller, and serves the administrative API.
+//
+// Usage:
+//
+//	dfid -listen :6653 -controller 127.0.0.1:6654 -admin 127.0.0.1:8181
+//
+// Point switches at dfid instead of the controller; dfid dials the real
+// controller per switch. The initial policy is default-deny; use
+// -bootstrap allow-all for a permissive start, and dfictl (or the admin
+// API) to manage policy at runtime.
+package main
+
+import (
+	"crypto/tls"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	dfi "github.com/dfi-sdn/dfi"
+	"github.com/dfi-sdn/dfi/internal/admin"
+	"github.com/dfi-sdn/dfi/internal/bus"
+	"github.com/dfi-sdn/dfi/internal/core/pdp"
+	"github.com/dfi-sdn/dfi/internal/policytext"
+	"github.com/dfi-sdn/dfi/internal/sensors"
+	"github.com/dfi-sdn/dfi/internal/tlsutil"
+)
+
+func main() {
+	var (
+		listenAddr = flag.String("listen", ":6653", "address to accept OpenFlow switch connections on")
+		ctlAddr    = flag.String("controller", "127.0.0.1:6654", "SDN controller address to dial per switch")
+		adminAddr  = flag.String("admin", "127.0.0.1:8181", "admin API address (empty to disable)")
+		sensorAddr = flag.String("sensor-listen", "", "address to accept remote sensor event streams (length-prefixed JSON; empty to disable)")
+		bootstrap  = flag.String("bootstrap", "default-deny", "initial policy: default-deny|allow-all")
+		policyFile = flag.String("policy-file", "", "policy file to load at startup (see internal/policytext)")
+		queueDepth = flag.Int("queue", 512, "PCP admission queue depth")
+		workers    = flag.Int("workers", 8, "PCP worker count")
+
+		tlsCert = flag.String("tls-cert", "", "PEM certificate for accepting switches over TLS")
+		tlsKey  = flag.String("tls-key", "", "PEM key for -tls-cert")
+		tlsCA   = flag.String("tls-ca", "", "CA bundle; when set, switches must present client certificates")
+
+		ctlCA      = flag.String("controller-ca", "", "CA bundle for dialing the controller over TLS")
+		ctlCert    = flag.String("controller-cert", "", "client certificate for the controller connection")
+		ctlKey     = flag.String("controller-key", "", "client key for -controller-cert")
+		ctlTLSName = flag.String("controller-tls-name", "", "expected controller TLS server name (defaults to its host)")
+	)
+	flag.Parse()
+	cfg := daemonConfig{
+		listenAddr: *listenAddr, ctlAddr: *ctlAddr, adminAddr: *adminAddr,
+		sensorAddr: *sensorAddr,
+		bootstrap:  *bootstrap, policyFile: *policyFile,
+		queueDepth: *queueDepth, workers: *workers,
+		tlsCert: *tlsCert, tlsKey: *tlsKey, tlsCA: *tlsCA,
+		ctlCA: *ctlCA, ctlCert: *ctlCert, ctlKey: *ctlKey, ctlTLSName: *ctlTLSName,
+	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "dfid:", err)
+		os.Exit(1)
+	}
+}
+
+type daemonConfig struct {
+	listenAddr, ctlAddr, adminAddr string
+	sensorAddr                     string
+	bootstrap, policyFile          string
+	queueDepth, workers            int
+	tlsCert, tlsKey, tlsCA         string
+	ctlCA, ctlCert, ctlKey         string
+	ctlTLSName                     string
+}
+
+func run(cfg daemonConfig) error {
+	listenAddr, ctlAddr, adminAddr := cfg.listenAddr, cfg.ctlAddr, cfg.adminAddr
+	bootstrap, policyFile := cfg.bootstrap, cfg.policyFile
+
+	dialController := func() (io.ReadWriteCloser, error) {
+		return net.Dial("tcp", ctlAddr)
+	}
+	if cfg.ctlCA != "" {
+		serverName := cfg.ctlTLSName
+		if serverName == "" {
+			host, _, err := net.SplitHostPort(ctlAddr)
+			if err != nil {
+				return fmt.Errorf("controller address: %w", err)
+			}
+			serverName = host
+		}
+		tlsCfg, err := tlsutil.LoadClientConfig(cfg.ctlCA, cfg.ctlCert, cfg.ctlKey, serverName)
+		if err != nil {
+			return err
+		}
+		dialController = func() (io.ReadWriteCloser, error) {
+			return tls.Dial("tcp", ctlAddr, tlsCfg)
+		}
+	}
+
+	sys, err := dfi.New(
+		dfi.WithControllerDialer(dialController),
+		dfi.WithAdmissionQueue(cfg.queueDepth, cfg.workers),
+	)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	switch bootstrap {
+	case "default-deny":
+		// Nothing to do: no matching rule means deny.
+	case "allow-all":
+		allowAll, err := pdp.NewAllowAll(sys.Policy())
+		if err != nil {
+			return err
+		}
+		if err := allowAll.Enable(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown bootstrap policy %q", bootstrap)
+	}
+
+	if policyFile != "" {
+		f, err := os.Open(policyFile)
+		if err != nil {
+			return fmt.Errorf("policy file: %w", err)
+		}
+		doc, err := policytext.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		ids, err := policytext.Apply(sys.Policy(), doc)
+		if err != nil {
+			return err
+		}
+		log.Printf("loaded %d rules from %d PDPs in %s", len(ids), len(doc.PDPs), policyFile)
+	}
+
+	if cfg.sensorAddr != "" {
+		codec := bus.NewCodec()
+		sensors.RegisterWireTypes(codec)
+		sensorLis, err := net.Listen("tcp", cfg.sensorAddr)
+		if err != nil {
+			return fmt.Errorf("sensor listen: %w", err)
+		}
+		log.Printf("accepting remote sensor streams on %s", sensorLis.Addr())
+		go func() {
+			if err := bus.ServeSink(sensorLis, codec, sys.EventBus()); err != nil {
+				log.Printf("sensor sink stopped: %v", err)
+			}
+		}()
+	}
+
+	if adminAddr != "" {
+		adminLis, err := net.Listen("tcp", adminAddr)
+		if err != nil {
+			return fmt.Errorf("admin listen: %w", err)
+		}
+		log.Printf("admin API on http://%s", adminLis.Addr())
+		go func() {
+			if err := http.Serve(adminLis, admin.Handler(sys)); err != nil {
+				log.Printf("admin server stopped: %v", err)
+			}
+		}()
+	}
+
+	var lis net.Listener
+	if cfg.tlsCert != "" {
+		tlsCfg, err := tlsutil.LoadServerConfig(cfg.tlsCert, cfg.tlsKey, cfg.tlsCA)
+		if err != nil {
+			return err
+		}
+		lis, err = tls.Listen("tcp", listenAddr, tlsCfg)
+		if err != nil {
+			return fmt.Errorf("listen (tls): %w", err)
+		}
+		log.Printf("TLS enabled for switch connections (mutual auth: %v)", cfg.tlsCA != "")
+	} else {
+		lis, err = net.Listen("tcp", listenAddr)
+		if err != nil {
+			return fmt.Errorf("listen: %w", err)
+		}
+	}
+	log.Printf("accepting switches on %s, fronting controller %s (policy bootstrap: %s)",
+		lis.Addr(), ctlAddr, bootstrap)
+
+	// Graceful shutdown: stop accepting on SIGINT/SIGTERM; per-switch
+	// sessions terminate when their connections close.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		log.Printf("received %v; shutting down", sig)
+		lis.Close()
+	}()
+
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("accept: %w", err)
+		}
+		go func() {
+			log.Printf("switch connected from %s", conn.RemoteAddr())
+			if err := sys.ServeSwitch(conn); err != nil {
+				log.Printf("switch %s: %v", conn.RemoteAddr(), err)
+			} else {
+				log.Printf("switch %s disconnected", conn.RemoteAddr())
+			}
+		}()
+	}
+}

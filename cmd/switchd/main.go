@@ -1,0 +1,139 @@
+// Command switchd runs the software OpenFlow switch with a UDP-tunneled
+// data plane: each switch port binds a local UDP socket and forwards
+// Ethernet frames to a configured peer (another switchd's port, or any
+// process that speaks raw frames over UDP). This makes multi-process
+// topologies possible without raw sockets or privileges.
+//
+// Usage:
+//
+//	switchd -dpid 1 -controller 127.0.0.1:6653 \
+//	    -link 1,127.0.0.1:9001,127.0.0.1:9101 \
+//	    -link 2,127.0.0.1:9002,127.0.0.1:9102
+//
+// Each -link is "port,localUDP,peerUDP": frames arriving on localUDP are
+// injected into the pipeline on that port; frames the pipeline outputs on
+// the port are sent to peerUDP.
+package main
+
+import (
+	"crypto/tls"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/dfi-sdn/dfi/internal/switchsim"
+	"github.com/dfi-sdn/dfi/internal/tlsutil"
+)
+
+type linkFlag struct {
+	port  uint32
+	local string
+	peer  string
+}
+
+type linkFlags []linkFlag
+
+func (l *linkFlags) String() string { return fmt.Sprintf("%v", []linkFlag(*l)) }
+
+func (l *linkFlags) Set(v string) error {
+	parts := strings.Split(v, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("link %q: want port,localUDP,peerUDP", v)
+	}
+	port, err := strconv.ParseUint(parts[0], 10, 32)
+	if err != nil {
+		return fmt.Errorf("link %q: port: %w", v, err)
+	}
+	*l = append(*l, linkFlag{port: uint32(port), local: parts[1], peer: parts[2]})
+	return nil
+}
+
+func main() {
+	var (
+		dpid    = flag.Uint64("dpid", 1, "datapath id")
+		ctlAddr = flag.String("controller", "127.0.0.1:6653", "controller (or dfid) address")
+		tables  = flag.Int("tables", 4, "flow table count")
+		tlsCA   = flag.String("tls-ca", "", "CA bundle; when set, the control channel uses TLS")
+		tlsCert = flag.String("tls-cert", "", "client certificate for mutual TLS")
+		tlsKey  = flag.String("tls-key", "", "client key for -tls-cert")
+		tlsName = flag.String("tls-name", "", "expected TLS server name (defaults to the controller host)")
+		links   linkFlags
+	)
+	flag.Var(&links, "link", "port,localUDP,peerUDP (repeatable)")
+	flag.Parse()
+	if err := run(*dpid, *ctlAddr, *tables, *tlsCA, *tlsCert, *tlsKey, *tlsName, links); err != nil {
+		fmt.Fprintln(os.Stderr, "switchd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dpid uint64, ctlAddr string, tables int, tlsCA, tlsCert, tlsKey, tlsName string, links linkFlags) error {
+	sw := switchsim.NewSwitch(switchsim.Config{DPID: dpid, NumTables: tables})
+
+	const maxFrame = 2048
+	for _, link := range links {
+		peerAddr, err := net.ResolveUDPAddr("udp", link.peer)
+		if err != nil {
+			return fmt.Errorf("link port %d: resolve peer: %w", link.port, err)
+		}
+		localAddr, err := net.ResolveUDPAddr("udp", link.local)
+		if err != nil {
+			return fmt.Errorf("link port %d: resolve local: %w", link.port, err)
+		}
+		sock, err := net.ListenUDP("udp", localAddr)
+		if err != nil {
+			return fmt.Errorf("link port %d: bind: %w", link.port, err)
+		}
+		if err := sw.AttachPort(link.port, func(frame []byte) {
+			if _, err := sock.WriteToUDP(frame, peerAddr); err != nil {
+				log.Printf("port %d: send: %v", link.port, err)
+			}
+		}); err != nil {
+			return fmt.Errorf("attach port %d: %w", link.port, err)
+		}
+		port := link.port
+		go func() {
+			buf := make([]byte, maxFrame)
+			for {
+				n, _, err := sock.ReadFromUDP(buf)
+				if err != nil {
+					log.Printf("port %d: recv: %v", port, err)
+					return
+				}
+				frame := make([]byte, n)
+				copy(frame, buf[:n])
+				sw.Inject(port, frame)
+			}
+		}()
+		log.Printf("port %d: %s <-> %s", link.port, link.local, link.peer)
+	}
+
+	var conn net.Conn
+	var err error
+	if tlsCA != "" {
+		serverName := tlsName
+		if serverName == "" {
+			host, _, splitErr := net.SplitHostPort(ctlAddr)
+			if splitErr != nil {
+				return fmt.Errorf("controller address: %w", splitErr)
+			}
+			serverName = host
+		}
+		tlsCfg, cfgErr := tlsutil.LoadClientConfig(tlsCA, tlsCert, tlsKey, serverName)
+		if cfgErr != nil {
+			return cfgErr
+		}
+		conn, err = tls.Dial("tcp", ctlAddr, tlsCfg)
+	} else {
+		conn, err = net.Dial("tcp", ctlAddr)
+	}
+	if err != nil {
+		return fmt.Errorf("dial controller: %w", err)
+	}
+	log.Printf("switch dpid=%#x connected to %s", dpid, ctlAddr)
+	return sw.ServeControl(conn)
+}

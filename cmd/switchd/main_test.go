@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestLinkFlagParsing(t *testing.T) {
+	var links linkFlags
+	if err := links.Set("1,127.0.0.1:9001,127.0.0.1:9101"); err != nil {
+		t.Fatal(err)
+	}
+	if err := links.Set("2,127.0.0.1:9002,127.0.0.1:9102"); err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 2 {
+		t.Fatalf("links = %d", len(links))
+	}
+	if links[0].port != 1 || links[0].local != "127.0.0.1:9001" || links[0].peer != "127.0.0.1:9101" {
+		t.Fatalf("link[0] = %+v", links[0])
+	}
+	if links.String() == "" {
+		t.Fatal("String() empty")
+	}
+
+	for _, bad := range []string{
+		"",                         // empty
+		"1,only-two",               // missing field
+		"a,b,c",                    // non-numeric port
+		"1,a,b,c",                  // too many fields
+		"99999999999999999999,a,b", // overflow
+	} {
+		var l linkFlags
+		if err := l.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunRejectsBadAddresses(t *testing.T) {
+	if err := run(1, "not-an-address", 4, "", "", "", "", nil); err == nil {
+		t.Fatal("bad controller address accepted")
+	}
+	links := linkFlags{{port: 1, local: "not-an-address", peer: "also-bad"}}
+	if err := run(1, "127.0.0.1:1", 4, "", "", "", "", links); err == nil {
+		t.Fatal("bad link address accepted")
+	}
+}

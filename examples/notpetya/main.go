@@ -1,0 +1,69 @@
+// The paper's security evaluation (§V-B) as a runnable scenario: a
+// NotPetya surrogate takes a foothold in a simulated 92-host enterprise at
+// 09:00 and tries to spread for the rest of the day, under each of the
+// three access-control conditions. The whole day runs in virtual time in a
+// few seconds.
+//
+//	go run ./examples/notpetya [-seed N] [-hour H]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/testbed"
+)
+
+func main() {
+	var (
+		seed = flag.Int64("seed", 3, "population/script/worm seed")
+		hour = flag.Int("hour", 9, "foothold hour (0-23)")
+	)
+	flag.Parse()
+	if err := run(*seed, *hour); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(seed int64, hour int) error {
+	footholdAt := time.Duration(hour) * time.Hour
+	fmt.Printf("NotPetya surrogate, foothold at %02d:00, 86 end hosts + 6 servers\n\n", hour)
+
+	for _, cond := range []testbed.Condition{
+		testbed.ConditionBaseline, testbed.ConditionSRBAC, testbed.ConditionATRBAC,
+	} {
+		tb, err := testbed.New(testbed.Config{Condition: cond, Seed: seed})
+		if err != nil {
+			return err
+		}
+		foothold := tb.FootholdHost(footholdAt)
+		res, err := tb.RunInfection(foothold, footholdAt, footholdAt+8*time.Hour)
+		if err != nil {
+			return err
+		}
+
+		fmt.Printf("== %s (foothold %s) ==\n", cond, foothold)
+		first, spread := res.FirstSpread()
+		if !spread {
+			fmt.Printf("   the worm never spread beyond the foothold\n")
+		} else {
+			fmt.Printf("   first infection beyond the foothold: +%s\n", round(first))
+			for _, mark := range []time.Duration{
+				time.Minute, 5 * time.Minute, 15 * time.Minute,
+				30 * time.Minute, time.Hour, 2 * time.Hour,
+			} {
+				fmt.Printf("   infected after %-6s %3d / %d\n", round(mark), res.InfectedBy(mark), res.TotalHosts)
+			}
+		}
+		fmt.Printf("   final: %d / %d hosts infected\n\n", len(res.Infections), res.TotalHosts)
+	}
+
+	fmt.Println("The AT-RBAC policy — only expressible with DFI's event-driven rules —")
+	fmt.Println("slows the worm and leaves part of the network uninfected; off-hours")
+	fmt.Println("footholds are isolated entirely (try -hour 3).")
+	return nil
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Second) }

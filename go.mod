@@ -1,0 +1,3 @@
+module github.com/dfi-sdn/dfi
+
+go 1.22

@@ -1,0 +1,380 @@
+// Package admin provides the HTTP/JSON administrative API for a running
+// DFI control plane: inspecting and editing policy rules, registering
+// PDPs, adding identifier bindings and reading statistics. cmd/dfid serves
+// it; cmd/dfictl is its client.
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	dfi "github.com/dfi-sdn/dfi"
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/openflow"
+)
+
+// RuleJSON is the wire form of a policy rule. Empty/absent fields are
+// wildcards.
+type RuleJSON struct {
+	ID       uint64       `json:"id,omitempty"`
+	PDP      string       `json:"pdp"`
+	Priority int          `json:"priority,omitempty"`
+	Action   string       `json:"action"` // "allow" | "deny"
+	Props    PropsJSON    `json:"props,omitempty"`
+	Src      EndpointJSON `json:"src,omitempty"`
+	Dst      EndpointJSON `json:"dst,omitempty"`
+}
+
+// PropsJSON is the wire form of flow properties.
+type PropsJSON struct {
+	EtherType *uint16 `json:"etherType,omitempty"`
+	IPProto   *uint8  `json:"ipProto,omitempty"`
+}
+
+// EndpointJSON is the wire form of an endpoint spec.
+type EndpointJSON struct {
+	User       string  `json:"user,omitempty"`
+	Host       string  `json:"host,omitempty"`
+	IP         string  `json:"ip,omitempty"`
+	Port       *uint16 `json:"port,omitempty"`
+	MAC        string  `json:"mac,omitempty"`
+	SwitchPort *uint32 `json:"switchPort,omitempty"`
+	DPID       *uint64 `json:"dpid,omitempty"`
+}
+
+// FlowJSON is the wire form of one installed flow rule read back from a
+// switch's tables.
+type FlowJSON struct {
+	TableID     uint8  `json:"tableId"`
+	Priority    uint16 `json:"priority"`
+	Cookie      uint64 `json:"cookie"`
+	Match       string `json:"match"`
+	Packets     uint64 `json:"packets"`
+	Bytes       uint64 `json:"bytes"`
+	DurationSec uint32 `json:"durationSec"`
+	IdleTimeout uint16 `json:"idleTimeoutSec"`
+	Action      string `json:"action"` // "allow" (goto) | "deny" (drop) | "other"
+}
+
+// StatsJSON is the wire form of control-plane statistics.
+type StatsJSON struct {
+	Rules          int     `json:"rules"`
+	ProxyPacketIns uint64  `json:"proxyPacketIns"`
+	ProxyDenied    uint64  `json:"proxyDenied"`
+	ProxyDropped   uint64  `json:"proxyDropped"`
+	ProxyForwarded uint64  `json:"proxyForwarded"`
+	PCPProcessed   uint64  `json:"pcpProcessed"`
+	PCPDropped     uint64  `json:"pcpDropped"`
+	PCPAllowed     uint64  `json:"pcpAllowed"`
+	PCPDenied      uint64  `json:"pcpDenied"`
+	MeanLatencyMs  float64 `json:"meanLatencyMs"`
+	BindingQueryMs float64 `json:"bindingQueryMs"`
+	PolicyQueryMs  float64 `json:"policyQueryMs"`
+}
+
+// BindingJSON adds one identifier binding.
+type BindingJSON struct {
+	Kind string `json:"kind"` // "user-host" | "host-ip" | "ip-mac"
+	User string `json:"user,omitempty"`
+	Host string `json:"host,omitempty"`
+	IP   string `json:"ip,omitempty"`
+	MAC  string `json:"mac,omitempty"`
+	// Remove unbinds instead of binding.
+	Remove bool `json:"remove,omitempty"`
+}
+
+func toRule(j RuleJSON) (policy.Rule, error) {
+	r := policy.Rule{PDP: j.PDP}
+	switch j.Action {
+	case "allow":
+		r.Action = policy.ActionAllow
+	case "deny":
+		r.Action = policy.ActionDeny
+	default:
+		return r, fmt.Errorf("admin: bad action %q", j.Action)
+	}
+	r.Props = policy.FlowProperties{EtherType: j.Props.EtherType, IPProto: j.Props.IPProto}
+	var err error
+	if r.Src, err = toEndpoint(j.Src); err != nil {
+		return r, err
+	}
+	if r.Dst, err = toEndpoint(j.Dst); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+func toEndpoint(j EndpointJSON) (policy.EndpointSpec, error) {
+	e := policy.EndpointSpec{
+		User:       j.User,
+		Host:       j.Host,
+		Port:       j.Port,
+		SwitchPort: j.SwitchPort,
+		DPID:       j.DPID,
+	}
+	if j.IP != "" {
+		ip, err := netpkt.ParseIPv4(j.IP)
+		if err != nil {
+			return e, fmt.Errorf("admin: %w", err)
+		}
+		e.IP = &ip
+	}
+	if j.MAC != "" {
+		mac, err := netpkt.ParseMAC(j.MAC)
+		if err != nil {
+			return e, fmt.Errorf("admin: %w", err)
+		}
+		e.MAC = &mac
+	}
+	return e, nil
+}
+
+func fromRule(r policy.Rule) RuleJSON {
+	j := RuleJSON{
+		ID:       uint64(r.ID),
+		PDP:      r.PDP,
+		Priority: r.Priority,
+		Props:    PropsJSON{EtherType: r.Props.EtherType, IPProto: r.Props.IPProto},
+		Src:      fromEndpoint(r.Src),
+		Dst:      fromEndpoint(r.Dst),
+	}
+	if r.Action == policy.ActionAllow {
+		j.Action = "allow"
+	} else {
+		j.Action = "deny"
+	}
+	return j
+}
+
+func fromEndpoint(e policy.EndpointSpec) EndpointJSON {
+	j := EndpointJSON{
+		User:       e.User,
+		Host:       e.Host,
+		Port:       e.Port,
+		SwitchPort: e.SwitchPort,
+		DPID:       e.DPID,
+	}
+	if e.IP != nil {
+		j.IP = e.IP.String()
+	}
+	if e.MAC != nil {
+		j.MAC = e.MAC.String()
+	}
+	return j
+}
+
+// Handler serves the admin API for sys.
+func Handler(sys *dfi.System) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /v1/rules", func(w http.ResponseWriter, _ *http.Request) {
+		rules := sys.Policy().Rules()
+		out := make([]RuleJSON, 0, len(rules))
+		for _, r := range rules {
+			out = append(out, fromRule(r))
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("POST /v1/rules", func(w http.ResponseWriter, r *http.Request) {
+		var j RuleJSON
+		if err := json.NewDecoder(r.Body).Decode(&j); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		rule, err := toRule(j)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		id, err := sys.Policy().Insert(rule)
+		if err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]uint64{"id": uint64(id)})
+	})
+
+	mux.HandleFunc("DELETE /v1/rules/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := sys.Policy().Revoke(policy.RuleID(id)); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /v1/pdps", func(w http.ResponseWriter, r *http.Request) {
+		var j struct {
+			Name     string `json:"name"`
+			Priority int    `json:"priority"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&j); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := sys.Policy().RegisterPDP(j.Name, j.Priority); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
+
+	mux.HandleFunc("POST /v1/bindings", func(w http.ResponseWriter, r *http.Request) {
+		var j BindingJSON
+		if err := json.NewDecoder(r.Body).Decode(&j); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := applyBinding(sys, j); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /v1/switches", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, sys.PCP().Switches())
+	})
+
+	mux.HandleFunc("GET /v1/flows/{dpid}", func(w http.ResponseWriter, r *http.Request) {
+		dpid, err := strconv.ParseUint(r.PathValue("dpid"), 0, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		tableID := openflow.AllTables
+		if tq := r.URL.Query().Get("table"); tq != "" {
+			tv, err := strconv.ParseUint(tq, 10, 8)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			tableID = uint8(tv)
+		}
+		flows, err := sys.PCP().ReadFlows(dpid, &openflow.FlowStatsRequest{
+			TableID:  tableID,
+			OutPort:  openflow.PortAny,
+			OutGroup: 0xffffffff,
+			Match:    &openflow.Match{},
+		})
+		if err != nil {
+			httpError(w, http.StatusBadGateway, err)
+			return
+		}
+		out := make([]FlowJSON, 0, len(flows))
+		for _, f := range flows {
+			out = append(out, fromFlowStats(f))
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
+		ps := sys.DFIProxy().Stats()
+		m := sys.PCP().Metrics()
+		writeJSON(w, http.StatusOK, StatsJSON{
+			Rules:          sys.Policy().Len(),
+			ProxyPacketIns: ps.PacketIns,
+			ProxyDenied:    ps.Denied,
+			ProxyDropped:   ps.DroppedOverload,
+			ProxyForwarded: ps.Forwarded,
+			PCPProcessed:   m.Processed(),
+			PCPDropped:     m.Dropped(),
+			PCPAllowed:     m.Allowed(),
+			PCPDenied:      m.Denied(),
+			MeanLatencyMs:  float64(m.Total.Mean()) / 1e6,
+			BindingQueryMs: float64(m.BindingQuery.Mean()) / 1e6,
+			PolicyQueryMs:  float64(m.PolicyQuery.Mean()) / 1e6,
+		})
+	})
+
+	return mux
+}
+
+func fromFlowStats(f *openflow.FlowStatsEntry) FlowJSON {
+	j := FlowJSON{
+		TableID:     f.TableID,
+		Priority:    f.Priority,
+		Cookie:      f.Cookie,
+		Match:       f.Match.String(),
+		Packets:     f.PacketCount,
+		Bytes:       f.ByteCount,
+		DurationSec: f.DurationSec,
+		IdleTimeout: f.IdleTimeout,
+		Action:      "deny",
+	}
+	if len(f.Instructions) > 0 {
+		j.Action = "other"
+		for _, in := range f.Instructions {
+			if _, ok := in.(*openflow.InstructionGotoTable); ok {
+				j.Action = "allow"
+			}
+		}
+	}
+	return j
+}
+
+func applyBinding(sys *dfi.System, j BindingJSON) error {
+	erm := sys.Entity()
+	switch j.Kind {
+	case "user-host":
+		if j.User == "" || j.Host == "" {
+			return fmt.Errorf("admin: user-host binding needs user and host")
+		}
+		if j.Remove {
+			erm.UnbindUserHost(j.User, j.Host)
+		} else {
+			erm.BindUserHost(j.User, j.Host)
+		}
+	case "host-ip":
+		if j.Host == "" || j.IP == "" {
+			return fmt.Errorf("admin: host-ip binding needs host and ip")
+		}
+		ip, err := netpkt.ParseIPv4(j.IP)
+		if err != nil {
+			return err
+		}
+		if j.Remove {
+			erm.UnbindHostIP(j.Host, ip)
+		} else {
+			erm.BindHostIP(j.Host, ip)
+		}
+	case "ip-mac":
+		if j.IP == "" || j.MAC == "" {
+			return fmt.Errorf("admin: ip-mac binding needs ip and mac")
+		}
+		ip, err := netpkt.ParseIPv4(j.IP)
+		if err != nil {
+			return err
+		}
+		mac, err := netpkt.ParseMAC(j.MAC)
+		if err != nil {
+			return err
+		}
+		if j.Remove {
+			erm.UnbindIPMAC(ip, mac)
+		} else {
+			erm.BindIPMAC(ip, mac)
+		}
+	default:
+		return fmt.Errorf("admin: unknown binding kind %q", j.Kind)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,209 @@
+package admin
+
+import (
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	dfi "github.com/dfi-sdn/dfi"
+	"github.com/dfi-sdn/dfi/internal/bufpipe"
+	"github.com/dfi-sdn/dfi/internal/controller"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/switchsim"
+)
+
+func newTestServer(t *testing.T) (*dfi.System, *Client) {
+	t.Helper()
+	sys, err := dfi.New(dfi.WithControllerDialer(func() (io.ReadWriteCloser, error) {
+		a, b := bufpipe.New()
+		ctl := controller.New(controller.Config{})
+		go func() { _ = ctl.Serve(b) }()
+		return a, nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	srv := httptest.NewServer(Handler(sys))
+	t.Cleanup(srv.Close)
+	return sys, NewClient(srv.URL)
+}
+
+func TestRuleLifecycle(t *testing.T) {
+	_, client := newTestServer(t)
+
+	if err := client.RegisterPDP("ops", 50); err != nil {
+		t.Fatal(err)
+	}
+	// Re-registering must conflict.
+	if err := client.RegisterPDP("ops", 60); err == nil {
+		t.Fatal("duplicate PDP registration accepted")
+	}
+
+	id, err := client.InsertRule(RuleJSON{
+		PDP:    "ops",
+		Action: "allow",
+		Src:    EndpointJSON{User: "alice"},
+		Dst:    EndpointJSON{Host: "mail", IP: "10.0.0.9"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("zero rule id")
+	}
+
+	rules, err := client.Rules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 {
+		t.Fatalf("rules = %d", len(rules))
+	}
+	r := rules[0]
+	if r.ID != id || r.Action != "allow" || r.Src.User != "alice" ||
+		r.Dst.Host != "mail" || r.Dst.IP != "10.0.0.9" || r.Priority != 50 {
+		t.Fatalf("rule = %+v", r)
+	}
+
+	if err := client.RevokeRule(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.RevokeRule(id); err == nil {
+		t.Fatal("double revoke accepted")
+	}
+	rules, err = client.Rules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 0 {
+		t.Fatalf("rules after revoke = %d", len(rules))
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	_, client := newTestServer(t)
+	if _, err := client.InsertRule(RuleJSON{PDP: "ghost", Action: "allow"}); err == nil {
+		t.Fatal("rule from unregistered PDP accepted")
+	}
+	if err := client.RegisterPDP("ops", 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.InsertRule(RuleJSON{PDP: "ops", Action: "shrug"}); err == nil {
+		t.Fatal("bad action accepted")
+	}
+	if _, err := client.InsertRule(RuleJSON{PDP: "ops", Action: "allow",
+		Src: EndpointJSON{IP: "not-an-ip"}}); err == nil {
+		t.Fatal("bad IP accepted")
+	}
+	if _, err := client.InsertRule(RuleJSON{PDP: "ops", Action: "allow",
+		Src: EndpointJSON{MAC: "zz:zz"}}); err == nil {
+		t.Fatal("bad MAC accepted")
+	}
+}
+
+func TestBindings(t *testing.T) {
+	sys, client := newTestServer(t)
+	steps := []BindingJSON{
+		{Kind: "ip-mac", IP: "10.0.0.1", MAC: "02:00:00:00:00:01"},
+		{Kind: "host-ip", Host: "h1", IP: "10.0.0.1"},
+		{Kind: "user-host", User: "alice", Host: "h1"},
+	}
+	for _, b := range steps {
+		if err := client.AddBinding(b); err != nil {
+			t.Fatalf("%+v: %v", b, err)
+		}
+	}
+	if users := sys.Entity().UsersOn("h1"); len(users) != 1 || users[0] != "alice" {
+		t.Fatalf("users = %v", users)
+	}
+	if err := client.AddBinding(BindingJSON{Kind: "user-host", User: "alice", Host: "h1", Remove: true}); err != nil {
+		t.Fatal(err)
+	}
+	if users := sys.Entity().UsersOn("h1"); len(users) != 0 {
+		t.Fatalf("users after unbind = %v", users)
+	}
+	if err := client.AddBinding(BindingJSON{Kind: "nonsense"}); err == nil {
+		t.Fatal("unknown binding kind accepted")
+	}
+	if err := client.AddBinding(BindingJSON{Kind: "ip-mac", IP: "bad", MAC: "02:00:00:00:00:01"}); err == nil {
+		t.Fatal("bad IP accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, client := newTestServer(t)
+	if err := client.RegisterPDP("ops", 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.InsertRule(RuleJSON{PDP: "ops", Action: "deny"}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rules != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestFlowInspectionThroughProxy(t *testing.T) {
+	sys, client := newTestServer(t)
+
+	// Wire a real switch through the proxy so flows can be read back.
+	sw := switchsim.NewSwitch(switchsim.Config{DPID: 0x7})
+	swEnd, dfiEnd := bufpipe.New()
+	go func() { _ = sw.ServeControl(swEnd) }()
+	go func() { _ = sys.ServeSwitch(dfiEnd) }()
+	t.Cleanup(func() {
+		swEnd.Close()
+		dfiEnd.Close()
+	})
+	if !sw.WaitConfigured(5 * time.Second) {
+		t.Fatal("switch never configured")
+	}
+
+	dpids, err := client.Switches()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dpids) != 1 || dpids[0] != 0x7 {
+		t.Fatalf("switches = %v", dpids)
+	}
+
+	// Drive one denied flow so a DFI rule lands in table 0.
+	if err := sw.AttachPort(1, func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	frame := netpkt.BuildTCP(
+		netpkt.MustParseMAC("02:00:00:00:00:01"), netpkt.MustParseMAC("02:00:00:00:00:02"),
+		netpkt.MustParseIPv4("10.0.0.1"), netpkt.MustParseIPv4("10.0.0.2"),
+		&netpkt.TCPSegment{SrcPort: 1000, DstPort: 80, Flags: netpkt.TCPSyn})
+	sw.Inject(1, frame)
+	deadline := time.Now().Add(5 * time.Second)
+	for sw.FlowCount(0) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	flows, err := client.Flows(0x7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 1 {
+		t.Fatalf("flows = %d, want 1", len(flows))
+	}
+	f := flows[0]
+	if f.TableID != 0 || f.Action != "deny" || f.Cookie != 0 {
+		t.Fatalf("flow = %+v", f)
+	}
+	if f.Match == "" {
+		t.Fatal("empty match rendering")
+	}
+
+	// Unknown switch errors cleanly.
+	if _, err := client.Flows(0x99); err == nil {
+		t.Fatal("unknown dpid accepted")
+	}
+}

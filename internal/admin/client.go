@@ -1,0 +1,105 @@
+package admin
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client talks to a dfid admin endpoint.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the admin API at base (e.g.
+// "http://127.0.0.1:8181").
+func NewClient(base string) *Client {
+	return &Client{base: base, http: &http.Client{}}
+}
+
+// Rules lists the stored policy.
+func (c *Client) Rules() ([]RuleJSON, error) {
+	var out []RuleJSON
+	return out, c.do(http.MethodGet, "/v1/rules", nil, &out)
+}
+
+// InsertRule inserts a rule, returning its id.
+func (c *Client) InsertRule(rule RuleJSON) (uint64, error) {
+	var out map[string]uint64
+	if err := c.do(http.MethodPost, "/v1/rules", rule, &out); err != nil {
+		return 0, err
+	}
+	return out["id"], nil
+}
+
+// RevokeRule revokes a rule by id.
+func (c *Client) RevokeRule(id uint64) error {
+	return c.do(http.MethodDelete, fmt.Sprintf("/v1/rules/%d", id), nil, nil)
+}
+
+// RegisterPDP registers a PDP name with its priority.
+func (c *Client) RegisterPDP(name string, priority int) error {
+	return c.do(http.MethodPost, "/v1/pdps", map[string]any{"name": name, "priority": priority}, nil)
+}
+
+// AddBinding adds or removes an identifier binding.
+func (c *Client) AddBinding(b BindingJSON) error {
+	return c.do(http.MethodPost, "/v1/bindings", b, nil)
+}
+
+// Switches lists the datapath ids attached through the proxy.
+func (c *Client) Switches() ([]uint64, error) {
+	var out []uint64
+	return out, c.do(http.MethodGet, "/v1/switches", nil, &out)
+}
+
+// Flows reads the installed flow rules of one switch (all tables).
+func (c *Client) Flows(dpid uint64) ([]FlowJSON, error) {
+	var out []FlowJSON
+	return out, c.do(http.MethodGet, fmt.Sprintf("/v1/flows/%d", dpid), nil, &out)
+}
+
+// Stats reads control-plane statistics.
+func (c *Client) Stats() (StatsJSON, error) {
+	var out StatsJSON
+	return out, c.do(http.MethodGet, "/v1/stats", nil, &out)
+}
+
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("admin client: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("admin client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("admin client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var apiErr map[string]string
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr["error"] != "" {
+			return fmt.Errorf("admin client: %s: %s", resp.Status, apiErr["error"])
+		}
+		return fmt.Errorf("admin client: %s", resp.Status)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("admin client: decode: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Package bufpipe provides an in-process, buffered, bidirectional byte
+// stream. Unlike net.Pipe, writes do not rendezvous with reads, matching
+// TCP socket semantics closely enough that OpenFlow endpoints which both
+// send greetings immediately (switch and controller HELLOs) cannot
+// deadlock. It backs in-process wiring in tests, examples and benchmarks.
+package bufpipe
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// buffer is one direction of the stream.
+type buffer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	data   bytes.Buffer
+	closed bool
+}
+
+func newBuffer() *buffer {
+	b := &buffer{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *buffer) write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, io.ErrClosedPipe
+	}
+	n, _ := b.data.Write(p)
+	b.cond.Broadcast()
+	return n, nil
+}
+
+func (b *buffer) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.data.Len() == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if b.data.Len() == 0 {
+		return 0, io.EOF
+	}
+	return b.data.Read(p)
+}
+
+func (b *buffer) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.cond.Broadcast()
+}
+
+// Conn is one end of a buffered pipe.
+type Conn struct {
+	rd *buffer
+	wr *buffer
+}
+
+var _ io.ReadWriteCloser = (*Conn)(nil)
+
+// Read implements io.Reader, blocking until data or close.
+func (c *Conn) Read(p []byte) (int, error) { return c.rd.read(p) }
+
+// Write implements io.Writer; it buffers without blocking.
+func (c *Conn) Write(p []byte) (int, error) { return c.wr.write(p) }
+
+// Close closes both directions; pending reads return EOF once drained.
+func (c *Conn) Close() error {
+	c.rd.close()
+	c.wr.close()
+	return nil
+}
+
+// New returns the two ends of a connected buffered pipe.
+func New() (*Conn, *Conn) {
+	ab, ba := newBuffer(), newBuffer()
+	return &Conn{rd: ba, wr: ab}, &Conn{rd: ab, wr: ba}
+}

@@ -1,0 +1,134 @@
+package bufpipe
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestWriteThenRead(t *testing.T) {
+	a, b := New()
+	msg := []byte("hello")
+	if _, err := a.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := b.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:n], msg) {
+		t.Fatalf("read %q", buf[:n])
+	}
+}
+
+func TestBothDirections(t *testing.T) {
+	a, b := New()
+	if _, err := a.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(b, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("b read %q, %v", buf, err)
+	}
+	if _, err := io.ReadFull(a, buf); err != nil || string(buf) != "pong" {
+		t.Fatalf("a read %q, %v", buf, err)
+	}
+}
+
+func TestWritesDoNotBlock(t *testing.T) {
+	a, _ := New()
+	// Unlike net.Pipe, many writes with no reader must not block: this is
+	// the property that lets both OpenFlow endpoints greet concurrently.
+	for i := 0; i < 1000; i++ {
+		if _, err := a.Write(make([]byte, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReadBlocksUntilWrite(t *testing.T) {
+	a, b := New()
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(b, buf); err == nil {
+			got <- buf
+		}
+	}()
+	if _, err := a.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if string(<-got) != "data" {
+		t.Fatal("wrong data")
+	}
+}
+
+func TestCloseUnblocksReader(t *testing.T) {
+	a, b := New()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Read(make([]byte, 1))
+		done <- err
+	}()
+	a.Close()
+	if err := <-done; err != io.EOF {
+		t.Fatalf("read after close = %v, want EOF", err)
+	}
+}
+
+func TestCloseDrainsPendingData(t *testing.T) {
+	a, b := New()
+	if _, err := a.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(b, buf); err != nil || string(buf) != "tail" {
+		t.Fatalf("drain read %q, %v", buf, err)
+	}
+	if _, err := b.Read(buf); err != io.EOF {
+		t.Fatalf("after drain = %v, want EOF", err)
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	a, _ := New()
+	a.Close()
+	if _, err := a.Write([]byte("x")); err != io.ErrClosedPipe {
+		t.Fatalf("err = %v, want ErrClosedPipe", err)
+	}
+}
+
+func TestConcurrentStreaming(t *testing.T) {
+	a, b := New()
+	const total = 1 << 20
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		chunk := make([]byte, 4096)
+		for i := range chunk {
+			chunk[i] = byte(i)
+		}
+		for sent := 0; sent < total; sent += len(chunk) {
+			if _, err := a.Write(chunk); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		a.Close()
+	}()
+	got, err := io.ReadAll(b)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != total {
+		t.Fatalf("read %d bytes, want %d", len(got), total)
+	}
+}

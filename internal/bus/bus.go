@@ -1,0 +1,198 @@
+// Package bus provides the publish/subscribe message bus DFI components use
+// to exchange sensor events and policy notifications. It is the from-scratch
+// substrate standing in for RabbitMQ in the paper's implementation:
+// topic-based routing, per-subscriber bounded queues, asynchronous delivery
+// with per-subscriber FIFO ordering, and an optional length-prefixed JSON
+// TCP transport for multi-process deployments.
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Event is a routed message. Payload types are defined by publishers; DFI's
+// event payloads live in the sensors and policy packages.
+type Event struct {
+	// Topic routes the event, e.g. "sensor.dns" or "policy.flush".
+	Topic string
+	// Payload is the event body.
+	Payload any
+}
+
+// Handler consumes events delivered to a subscription.
+type Handler func(Event)
+
+// ErrClosed is returned by operations on a closed bus.
+var ErrClosed = errors.New("bus: closed")
+
+// DefaultQueueDepth is the per-subscriber queue bound when none is given.
+const DefaultQueueDepth = 1024
+
+// Bus is an in-process topic pub/sub bus. The zero value is not usable;
+// construct with New.
+type Bus struct {
+	mu     sync.Mutex
+	subs   map[int]*subscription
+	nextID int
+	closed bool
+
+	dropped uint64
+}
+
+// New returns an empty bus.
+func New() *Bus {
+	return &Bus{subs: make(map[int]*subscription)}
+}
+
+type subscription struct {
+	id      int
+	pattern string
+	queue   chan Event
+	done    chan struct{}
+}
+
+// Subscription identifies an active subscription and owns its delivery
+// goroutine.
+type Subscription struct {
+	bus *Bus
+	sub *subscription
+}
+
+// Subscribe registers handler for every event whose topic matches pattern
+// and starts its delivery goroutine. Patterns match exact topics, or a
+// trailing ".*" matches any suffix ("sensor.*" matches "sensor.dns").
+// The pattern "*" matches everything. Events overflowing the subscriber's
+// queue are dropped (counted in Dropped), mirroring a bounded AMQP queue.
+func (b *Bus) Subscribe(pattern string, handler Handler) (*Subscription, error) {
+	return b.SubscribeDepth(pattern, DefaultQueueDepth, handler)
+}
+
+// SubscribeDepth is Subscribe with an explicit queue bound.
+func (b *Bus) SubscribeDepth(pattern string, depth int, handler Handler) (*Subscription, error) {
+	if handler == nil {
+		return nil, errors.New("bus: nil handler")
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s := &subscription{
+		id:      b.nextID,
+		pattern: pattern,
+		queue:   make(chan Event, depth),
+		done:    make(chan struct{}),
+	}
+	b.nextID++
+	b.subs[s.id] = s
+	b.mu.Unlock()
+
+	go func() {
+		defer close(s.done)
+		for ev := range s.queue {
+			handler(ev)
+		}
+	}()
+	return &Subscription{bus: b, sub: s}, nil
+}
+
+// Publish routes ev to every matching subscriber. It never blocks: full
+// subscriber queues drop the event for that subscriber.
+func (b *Bus) Publish(ev Event) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	matched := make([]*subscription, 0, 4)
+	for _, s := range b.subs {
+		if topicMatches(s.pattern, ev.Topic) {
+			matched = append(matched, s)
+		}
+	}
+	for _, s := range matched {
+		select {
+		case s.queue <- ev:
+		default:
+			b.dropped++
+		}
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// Dropped reports how many events were discarded due to full subscriber
+// queues since the bus was created.
+func (b *Bus) Dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Close shuts down the bus and waits for all delivery goroutines to drain.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	subs := make([]*subscription, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.subs = map[int]*subscription{}
+	b.mu.Unlock()
+
+	for _, s := range subs {
+		close(s.queue)
+		<-s.done
+	}
+}
+
+// Cancel removes the subscription and waits for its delivery goroutine to
+// drain. It is safe to call after the bus is closed.
+func (s *Subscription) Cancel() {
+	s.bus.mu.Lock()
+	sub, ok := s.bus.subs[s.sub.id]
+	if ok {
+		delete(s.bus.subs, s.sub.id)
+	}
+	s.bus.mu.Unlock()
+	if ok {
+		close(sub.queue)
+		<-sub.done
+	}
+}
+
+// topicMatches reports whether topic matches pattern ("*" wildcard, or a
+// "prefix.*" suffix wildcard).
+func topicMatches(pattern, topic string) bool {
+	if pattern == "*" || pattern == topic {
+		return true
+	}
+	if prefix, ok := strings.CutSuffix(pattern, ".*"); ok {
+		return strings.HasPrefix(topic, prefix+".")
+	}
+	return false
+}
+
+// Validate reports whether a topic is well-formed (non-empty dot-separated
+// labels).
+func Validate(topic string) error {
+	if topic == "" {
+		return errors.New("bus: empty topic")
+	}
+	for _, label := range strings.Split(topic, ".") {
+		if label == "" {
+			return fmt.Errorf("bus: topic %q has empty label", topic)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package bus
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", msg)
+}
+
+func TestPublishDelivers(t *testing.T) {
+	b := New()
+	defer b.Close()
+	var mu sync.Mutex
+	var got []Event
+	if _, err := b.Subscribe("a.b", func(ev Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, ev)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(Event{Topic: "a.b", Payload: 42}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 1
+	}, "delivery")
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].Payload != 42 {
+		t.Fatalf("payload = %v", got[0].Payload)
+	}
+}
+
+func TestTopicFiltering(t *testing.T) {
+	b := New()
+	defer b.Close()
+	var mu sync.Mutex
+	counts := map[string]int{}
+	sub := func(pattern string) {
+		if _, err := b.Subscribe(pattern, func(Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			counts[pattern]++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub("sensor.dns")
+	sub("sensor.*")
+	sub("*")
+	sub("policy.flush")
+
+	for _, topic := range []string{"sensor.dns", "sensor.dhcp", "policy.flush"} {
+		if err := b.Publish(Event{Topic: topic}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return counts["*"] == 3 && counts["sensor.*"] == 2 && counts["sensor.dns"] == 1 && counts["policy.flush"] == 1
+	}, "filtered delivery")
+}
+
+func TestPerSubscriberFIFO(t *testing.T) {
+	b := New()
+	defer b.Close()
+	var mu sync.Mutex
+	var got []int
+	if _, err := b.Subscribe("t", func(ev Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, ev.Payload.(int))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := b.Publish(Event{Topic: "t", Payload: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == n
+	}, "all deliveries")
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at %d: %v", i, v)
+		}
+	}
+}
+
+func TestOverflowDrops(t *testing.T) {
+	b := New()
+	defer b.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	if _, err := b.SubscribeDepth("t", 1, func(Event) {
+		once.Do(func() { close(started) })
+		<-block
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// First event occupies the handler; second fills the depth-1 queue;
+	// the rest must drop.
+	if err := b.Publish(Event{Topic: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	for i := 0; i < 10; i++ {
+		if err := b.Publish(Event{Topic: "t"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Dropped() == 0 {
+		t.Fatal("expected drops with a full depth-1 queue")
+	}
+	close(block)
+}
+
+func TestCancelStopsDelivery(t *testing.T) {
+	b := New()
+	defer b.Close()
+	var mu sync.Mutex
+	n := 0
+	sub, err := b.Subscribe("t", func(Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(Event{Topic: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return n == 1
+	}, "first delivery")
+	sub.Cancel()
+	if err := b.Publish(Event{Topic: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if n != 1 {
+		t.Fatalf("delivered after cancel: %d", n)
+	}
+}
+
+func TestCloseRejectsOperations(t *testing.T) {
+	b := New()
+	b.Close()
+	if err := b.Publish(Event{Topic: "t"}); err != ErrClosed {
+		t.Fatalf("Publish after close = %v, want ErrClosed", err)
+	}
+	if _, err := b.Subscribe("t", func(Event) {}); err != ErrClosed {
+		t.Fatalf("Subscribe after close = %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+func TestCloseDrainsHandlers(t *testing.T) {
+	b := New()
+	var mu sync.Mutex
+	n := 0
+	if _, err := b.Subscribe("t", func(Event) {
+		time.Sleep(time.Millisecond)
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := b.Publish(Event{Topic: "t"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if n != 5 {
+		t.Fatalf("Close returned before handlers drained: %d/5", n)
+	}
+}
+
+func TestNilHandlerRejected(t *testing.T) {
+	b := New()
+	defer b.Close()
+	if _, err := b.Subscribe("t", nil); err == nil {
+		t.Fatal("want error for nil handler")
+	}
+}
+
+func TestTopicMatches(t *testing.T) {
+	tests := []struct {
+		pattern string
+		topic   string
+		want    bool
+	}{
+		{pattern: "a.b", topic: "a.b", want: true},
+		{pattern: "a.b", topic: "a.c", want: false},
+		{pattern: "a.*", topic: "a.b", want: true},
+		{pattern: "a.*", topic: "a.b.c", want: true},
+		{pattern: "a.*", topic: "ab", want: false},
+		{pattern: "a.*", topic: "a", want: false},
+		{pattern: "*", topic: "anything.at.all", want: true},
+	}
+	for _, tt := range tests {
+		if got := topicMatches(tt.pattern, tt.topic); got != tt.want {
+			t.Errorf("topicMatches(%q, %q) = %v, want %v", tt.pattern, tt.topic, got, tt.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate("a.b.c"); err != nil {
+		t.Errorf("Validate(a.b.c) = %v", err)
+	}
+	for _, bad := range []string{"", ".", "a..b", "a."} {
+		if err := Validate(bad); err == nil {
+			t.Errorf("Validate(%q) = nil, want error", bad)
+		}
+	}
+}
+
+func TestConcurrentPublishers(t *testing.T) {
+	b := New()
+	defer b.Close()
+	var mu sync.Mutex
+	n := 0
+	if _, err := b.SubscribeDepth("t", 10000, func(Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = b.Publish(Event{Topic: "t"})
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return n == 800
+	}, "all concurrent deliveries")
+}

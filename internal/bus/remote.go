@@ -1,0 +1,185 @@
+package bus
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"sync"
+)
+
+// The remote transport: sensors on other machines publish events to the
+// control plane over TCP as length-prefixed JSON frames (the multi-process
+// stand-in for the paper's RabbitMQ + protocol buffers deployment). A
+// Codec maps payload type names to Go types so events arrive with their
+// concrete types, not maps.
+
+// Codec translates event payloads to and from the wire.
+type Codec struct {
+	mu    sync.RWMutex
+	types map[string]reflect.Type
+	names map[reflect.Type]string
+}
+
+// NewCodec returns an empty codec.
+func NewCodec() *Codec {
+	return &Codec{
+		types: make(map[string]reflect.Type),
+		names: make(map[reflect.Type]string),
+	}
+}
+
+// Register maps a payload type (given by example value) to a wire name.
+// Both sides of a connection must register the same mappings.
+func (c *Codec) Register(name string, sample any) {
+	t := reflect.TypeOf(sample)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.types[name] = t
+	c.names[t] = name
+}
+
+// wireEvent is the frame body.
+type wireEvent struct {
+	Topic   string          `json:"topic"`
+	Type    string          `json:"type"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+func (c *Codec) encode(ev Event) ([]byte, error) {
+	w := wireEvent{Topic: ev.Topic}
+	if ev.Payload != nil {
+		t := reflect.TypeOf(ev.Payload)
+		c.mu.RLock()
+		name, ok := c.names[t]
+		c.mu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("bus: unregistered payload type %v", t)
+		}
+		raw, err := json.Marshal(ev.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("bus: marshal payload: %w", err)
+		}
+		w.Type = name
+		w.Payload = raw
+	}
+	return json.Marshal(w)
+}
+
+func (c *Codec) decode(b []byte) (Event, error) {
+	var w wireEvent
+	if err := json.Unmarshal(b, &w); err != nil {
+		return Event{}, fmt.Errorf("bus: decode frame: %w", err)
+	}
+	ev := Event{Topic: w.Topic}
+	if w.Type == "" {
+		return ev, nil
+	}
+	c.mu.RLock()
+	t, ok := c.types[w.Type]
+	c.mu.RUnlock()
+	if !ok {
+		return Event{}, fmt.Errorf("bus: unknown payload type %q", w.Type)
+	}
+	ptr := reflect.New(t)
+	if err := json.Unmarshal(w.Payload, ptr.Interface()); err != nil {
+		return Event{}, fmt.Errorf("bus: decode %q payload: %w", w.Type, err)
+	}
+	ev.Payload = ptr.Elem().Interface()
+	return ev, nil
+}
+
+// maxFrameLen bounds accepted frames.
+const maxFrameLen = 1 << 20
+
+func writeFrame(w io.Writer, body []byte) error {
+	if len(body) > maxFrameLen {
+		return fmt.Errorf("bus: frame of %d bytes exceeds max", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameLen {
+		return nil, fmt.Errorf("bus: frame of %d bytes exceeds max", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// RemotePublisher publishes events to a remote bus over a byte stream.
+// Writes are safe for concurrent use.
+type RemotePublisher struct {
+	codec *Codec
+	mu    sync.Mutex
+	w     io.Writer
+}
+
+// NewRemotePublisher wraps a connection to a ServeSink endpoint.
+func NewRemotePublisher(w io.Writer, codec *Codec) *RemotePublisher {
+	return &RemotePublisher{codec: codec, w: w}
+}
+
+// Publish sends one event to the remote bus.
+func (p *RemotePublisher) Publish(ev Event) error {
+	body, err := p.codec.encode(ev)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return writeFrame(p.w, body)
+}
+
+// ServeSink accepts connections from RemotePublishers and republishes every
+// received event on the local bus. It blocks until the listener closes.
+// Malformed frames terminate only the offending connection.
+func ServeSink(lis net.Listener, codec *Codec, local *Bus) error {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = PumpInto(conn, codec, local)
+		}()
+	}
+}
+
+// PumpInto reads frames from r and republishes them on local until EOF or
+// a decode error. Exposed for transports other than TCP listeners.
+func PumpInto(r io.Reader, codec *Codec, local *Bus) error {
+	for {
+		body, err := readFrame(r)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		ev, err := codec.decode(body)
+		if err != nil {
+			return err
+		}
+		if err := local.Publish(ev); err != nil {
+			return err
+		}
+	}
+}

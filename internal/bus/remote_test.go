@@ -1,0 +1,162 @@
+package bus
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+type testPayload struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+type otherPayload struct {
+	X float64 `json:"x"`
+}
+
+func newTestCodec() *Codec {
+	c := NewCodec()
+	c.Register("test", testPayload{})
+	c.Register("other", otherPayload{})
+	return c
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := newTestCodec()
+	ev := Event{Topic: "a.b", Payload: testPayload{Name: "x", Count: 3}}
+	b, err := c.encode(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Topic != "a.b" {
+		t.Fatalf("topic = %q", got.Topic)
+	}
+	p, ok := got.Payload.(testPayload)
+	if !ok {
+		t.Fatalf("payload type %T", got.Payload)
+	}
+	if p != (testPayload{Name: "x", Count: 3}) {
+		t.Fatalf("payload = %+v", p)
+	}
+}
+
+func TestCodecNilPayload(t *testing.T) {
+	c := newTestCodec()
+	b, err := c.encode(Event{Topic: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload != nil {
+		t.Fatalf("payload = %v, want nil", got.Payload)
+	}
+}
+
+func TestCodecRejectsUnregistered(t *testing.T) {
+	c := newTestCodec()
+	if _, err := c.encode(Event{Topic: "t", Payload: struct{ Z int }{1}}); err == nil {
+		t.Fatal("unregistered type encoded")
+	}
+	// Decoding an unknown wire name fails too.
+	stranger := NewCodec()
+	stranger.Register("mystery", testPayload{})
+	b, err := stranger.encode(Event{Topic: "t", Payload: testPayload{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.decode(b); err == nil {
+		t.Fatal("unknown wire name decoded")
+	}
+}
+
+func TestRemotePublishOverTCP(t *testing.T) {
+	codec := newTestCodec()
+	local := New()
+	defer local.Close()
+
+	var mu sync.Mutex
+	var got []Event
+	if _, err := local.Subscribe("sensor.*", func(ev Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, ev)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() { _ = ServeSink(lis, codec, local) }()
+
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pub := NewRemotePublisher(conn, codec)
+	for i := 0; i < 5; i++ {
+		if err := pub.Publish(Event{Topic: "sensor.test", Payload: testPayload{Name: "n", Count: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 5 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 5 {
+		t.Fatalf("received %d events, want 5", len(got))
+	}
+	for i, ev := range got {
+		p, ok := ev.Payload.(testPayload)
+		if !ok {
+			t.Fatalf("event %d payload type %T", i, ev.Payload)
+		}
+		if p.Count != i {
+			t.Fatalf("event %d out of order: %+v", i, p)
+		}
+	}
+}
+
+func TestPumpIntoStopsOnGarbage(t *testing.T) {
+	codec := newTestCodec()
+	local := New()
+	defer local.Close()
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() { done <- PumpInto(b, codec, local) }()
+	// A frame header claiming an absurd size must terminate the pump.
+	if _, err := a.Write([]byte{0xff, 0xff, 0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("pump accepted absurd frame")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pump never returned")
+	}
+}

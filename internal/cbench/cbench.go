@@ -1,0 +1,243 @@
+// Package cbench reimplements the cbench OpenFlow controller benchmark
+// (modified for OpenFlow 1.3, as the paper did): it emulates a switch,
+// floods the control plane with packet-ins carrying randomized headers,
+// and measures flow-setup latency (serial request/response) or maximum
+// throughput (open-loop offered load vs. completed responses). It
+// regenerates the paper's Table I microbenchmarks against the DFI control
+// plane.
+package cbench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/harness"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/openflow"
+)
+
+// Config parameterizes a Bench.
+type Config struct {
+	// DPID is the emulated switch's datapath id (default 0xbe).
+	DPID uint64
+	// Ports is the emulated port count for randomized in-ports (default 48).
+	Ports int
+	// Seed drives header fuzzing.
+	Seed int64
+	// ResponseTimeout bounds the wait for a response in latency mode
+	// (default 5s).
+	ResponseTimeout time.Duration
+}
+
+// Bench is one emulated switch connected to the control plane under test.
+type Bench struct {
+	cfg  Config
+	conn *openflow.Conn
+	rng  *rand.Rand
+
+	responses atomic.Uint64
+	respCh    chan struct{}
+	readErr   atomic.Value // error
+	done      chan struct{}
+	ready     chan struct{}
+	readyOnce sync.Once
+}
+
+// New wires a bench to the control-plane side of rw and completes the
+// switch-side OpenFlow handshake (HELLO, FEATURES, config). It starts a
+// reader goroutine that counts every flow-mod response; Close the stream to
+// stop it.
+func New(rw io.ReadWriter, cfg Config) (*Bench, error) {
+	if cfg.DPID == 0 {
+		cfg.DPID = 0xbe
+	}
+	if cfg.Ports <= 0 {
+		cfg.Ports = 48
+	}
+	if cfg.ResponseTimeout <= 0 {
+		cfg.ResponseTimeout = 5 * time.Second
+	}
+	b := &Bench{
+		cfg:    cfg,
+		conn:   openflow.NewConn(rw),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		respCh: make(chan struct{}, 1<<16),
+		done:   make(chan struct{}),
+		ready:  make(chan struct{}),
+	}
+	if _, err := b.conn.Send(&openflow.Hello{}); err != nil {
+		return nil, fmt.Errorf("cbench: hello: %w", err)
+	}
+	go b.reader()
+	return b, nil
+}
+
+// reader answers handshake traffic and counts flow-mod responses.
+func (b *Bench) reader() {
+	defer close(b.done)
+	for {
+		xid, msg, err := b.conn.Recv()
+		if err != nil {
+			b.readErr.Store(err)
+			return
+		}
+		switch m := msg.(type) {
+		case *openflow.FeaturesRequest:
+			err = b.conn.SendXID(xid, &openflow.FeaturesReply{
+				DatapathID: b.cfg.DPID,
+				NumTables:  8,
+			})
+		case *openflow.EchoRequest:
+			err = b.conn.SendXID(xid, &openflow.EchoReply{Data: m.Data})
+		case *openflow.GetConfigRequest:
+			err = b.conn.SendXID(xid, &openflow.GetConfigReply{MissSendLen: 0xffff})
+		case *openflow.FlowMod:
+			b.responses.Add(1)
+			select {
+			case b.respCh <- struct{}{}:
+			default:
+			}
+		case *openflow.SetConfig:
+			// Reactive controllers send SET_CONFIG once their handshake
+			// completes; the control plane is ready for packet-ins.
+			b.readyOnce.Do(func() { close(b.ready) })
+		default:
+			// Packet-outs and barriers need no action.
+		}
+		if err != nil {
+			b.readErr.Store(err)
+			return
+		}
+	}
+}
+
+// WaitReady blocks until the control plane completed its handshake (sent
+// SET_CONFIG) or the timeout elapses. Packet-ins sent before readiness may
+// be dropped by the control plane.
+func (b *Bench) WaitReady(timeout time.Duration) error {
+	select {
+	case <-b.ready:
+		return nil
+	case <-b.done:
+		if err, ok := b.readErr.Load().(error); ok {
+			return fmt.Errorf("cbench: reader: %w", err)
+		}
+		return errors.New("cbench: connection closed before ready")
+	case <-time.After(timeout):
+		return errors.New("cbench: control plane never became ready")
+	}
+}
+
+// Responses returns the number of flow-mod responses seen so far.
+func (b *Bench) Responses() uint64 { return b.responses.Load() }
+
+// fuzzPacketIn builds a packet-in whose header fields are randomized, as
+// cbench does, so every request is a new flow.
+func (b *Bench) fuzzPacketIn() *openflow.PacketIn {
+	var srcMAC, dstMAC netpkt.MAC
+	srcMAC[0], dstMAC[0] = 0x02, 0x02
+	for i := 1; i < 6; i++ {
+		srcMAC[i] = byte(b.rng.Intn(256))
+		dstMAC[i] = byte(b.rng.Intn(256))
+	}
+	srcIP := netpkt.IPv4FromUint32(0x0a000000 | uint32(b.rng.Intn(1<<24)))
+	dstIP := netpkt.IPv4FromUint32(0x0a000000 | uint32(b.rng.Intn(1<<24)))
+	frame := netpkt.BuildTCP(srcMAC, dstMAC, srcIP, dstIP, &netpkt.TCPSegment{
+		SrcPort: uint16(1024 + b.rng.Intn(60000)),
+		DstPort: uint16(1 + b.rng.Intn(1024)),
+		Flags:   netpkt.TCPSyn,
+	})
+	inPort := uint32(1 + b.rng.Intn(b.cfg.Ports))
+	return &openflow.PacketIn{
+		BufferID: openflow.NoBuffer,
+		Reason:   openflow.PacketInReasonNoMatch,
+		TableID:  0,
+		Match:    &openflow.Match{InPort: openflow.U32(inPort)},
+		Data:     frame,
+	}
+}
+
+// drainResponses empties the response channel.
+func (b *Bench) drainResponses() {
+	for {
+		select {
+		case <-b.respCh:
+		default:
+			return
+		}
+	}
+}
+
+// ErrTimeout reports a missing response in latency mode.
+var ErrTimeout = errors.New("cbench: response timeout")
+
+// Latency measures serial flow-setup latency over n new flows: each
+// packet-in is sent only after the previous flow's rule came back (cbench
+// latency mode). It returns per-flow statistics.
+func (b *Bench) Latency(n int) (*harness.DurationStats, error) {
+	stats := &harness.DurationStats{}
+	timer := time.NewTimer(b.cfg.ResponseTimeout)
+	defer timer.Stop()
+	for i := 0; i < n; i++ {
+		b.drainResponses()
+		start := time.Now()
+		if _, err := b.conn.Send(b.fuzzPacketIn()); err != nil {
+			return stats, fmt.Errorf("cbench: send: %w", err)
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(b.cfg.ResponseTimeout)
+		select {
+		case <-b.respCh:
+			stats.Add(time.Since(start))
+		case <-b.done:
+			if err, ok := b.readErr.Load().(error); ok {
+				return stats, fmt.Errorf("cbench: reader: %w", err)
+			}
+			return stats, ErrTimeout
+		case <-timer.C:
+			return stats, fmt.Errorf("%w: flow %d", ErrTimeout, i)
+		}
+	}
+	return stats, nil
+}
+
+// Throughput offers load at the given rate (flows/sec) for the duration and
+// returns the completed-response rate — the control plane's saturation
+// throughput when the offered rate exceeds capacity (cbench throughput
+// mode). Offered rate ≤ 0 means "as fast as possible" (paced at 1 MHz).
+func (b *Bench) Throughput(duration time.Duration, offeredRate int) (float64, error) {
+	if offeredRate <= 0 {
+		offeredRate = 1_000_000
+	}
+	interval := time.Second / time.Duration(offeredRate)
+	startResponses := b.Responses()
+	start := time.Now()
+	next := start
+	for time.Since(start) < duration {
+		if err, ok := b.readErr.Load().(error); ok {
+			return 0, fmt.Errorf("cbench: reader: %w", err)
+		}
+		if _, err := b.conn.Send(b.fuzzPacketIn()); err != nil {
+			return 0, fmt.Errorf("cbench: send: %w", err)
+		}
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	// Allow queued work to complete before counting.
+	time.Sleep(100 * time.Millisecond)
+	elapsed := time.Since(start).Seconds()
+	completed := b.Responses() - startResponses
+	return float64(completed) / elapsed, nil
+}

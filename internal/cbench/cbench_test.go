@@ -1,0 +1,167 @@
+package cbench
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/bufpipe"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/openflow"
+)
+
+// fakeControlPlane answers the OpenFlow handshake and replies to every
+// packet-in with a flow-mod after an optional delay.
+type fakeControlPlane struct {
+	conn     *openflow.Conn
+	delay    time.Duration
+	seenDPID atomic.Uint64
+	flows    atomic.Uint64
+	unique   map[string]struct{}
+}
+
+func startFake(t *testing.T, rw *bufpipe.Conn, delay time.Duration) *fakeControlPlane {
+	t.Helper()
+	f := &fakeControlPlane{
+		conn:   openflow.NewConn(rw),
+		delay:  delay,
+		unique: make(map[string]struct{}),
+	}
+	go f.serve()
+	return f
+}
+
+func (f *fakeControlPlane) serve() {
+	if _, err := f.conn.Send(&openflow.Hello{}); err != nil {
+		return
+	}
+	if _, err := f.conn.Send(&openflow.FeaturesRequest{}); err != nil {
+		return
+	}
+	for {
+		_, msg, err := f.conn.Recv()
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *openflow.FeaturesReply:
+			f.seenDPID.Store(m.DatapathID)
+			if _, err := f.conn.Send(&openflow.SetConfig{MissSendLen: 0xffff}); err != nil {
+				return
+			}
+		case *openflow.PacketIn:
+			go func(pi *openflow.PacketIn) {
+				if f.delay > 0 {
+					time.Sleep(f.delay)
+				}
+				key, err := netpkt.ExtractFlowKey(pi.Data)
+				if err != nil {
+					return
+				}
+				f.flows.Add(1)
+				fm := &openflow.FlowMod{
+					TableID: 0, Command: openflow.FlowModAdd,
+					BufferID: openflow.NoBuffer,
+					Match:    openflow.ExactMatchFor(key, pi.InPort()),
+				}
+				_, _ = f.conn.Send(fm)
+			}(m)
+		}
+	}
+}
+
+func TestHandshakeAndReady(t *testing.T) {
+	swEnd, cpEnd := bufpipe.New()
+	fake := startFake(t, cpEnd, 0)
+	bench, err := New(swEnd, Config{DPID: 0x77, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := fake.seenDPID.Load(); got != 0x77 {
+		t.Fatalf("control plane saw dpid %#x", got)
+	}
+}
+
+func TestLatencyMode(t *testing.T) {
+	swEnd, cpEnd := bufpipe.New()
+	startFake(t, cpEnd, 2*time.Millisecond)
+	bench, err := New(swEnd, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := bench.Latency(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.N() != 20 {
+		t.Fatalf("samples = %d", stats.N())
+	}
+	if stats.Mean() < 2*time.Millisecond {
+		t.Fatalf("mean %v below the control plane's 2ms cost", stats.Mean())
+	}
+	if stats.Mean() > 50*time.Millisecond {
+		t.Fatalf("mean %v implausibly high", stats.Mean())
+	}
+}
+
+func TestLatencyTimeoutOnSilentControlPlane(t *testing.T) {
+	swEnd, _ := bufpipe.New() // nobody answers
+	bench, err := New(swEnd, Config{Seed: 1, ResponseTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bench.Latency(1); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+}
+
+func TestThroughputMode(t *testing.T) {
+	swEnd, cpEnd := bufpipe.New()
+	fake := startFake(t, cpEnd, 0)
+	bench, err := New(swEnd, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rate, err := bench.Throughput(500*time.Millisecond, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 500 {
+		t.Fatalf("completed rate = %.0f flows/sec, want ≥500 with a free control plane", rate)
+	}
+	if fake.flows.Load() == 0 {
+		t.Fatal("control plane processed nothing")
+	}
+}
+
+func TestFuzzedHeadersAreUniqueFlows(t *testing.T) {
+	b := &Bench{cfg: Config{Ports: 48}, rng: newTestRNG()}
+	seen := make(map[string]struct{})
+	for i := 0; i < 200; i++ {
+		pi := b.fuzzPacketIn()
+		key, err := netpkt.ExtractFlowKey(pi.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[key.String()] = struct{}{}
+		if pi.InPort() == openflow.PortAny || pi.InPort() == 0 || pi.InPort() > 48 {
+			t.Fatalf("bad in-port %d", pi.InPort())
+		}
+	}
+	if len(seen) < 195 {
+		t.Fatalf("only %d/200 unique fuzzed flows", len(seen))
+	}
+}
+
+func newTestRNG() *rand.Rand { return rand.New(rand.NewSource(7)) }

@@ -1,0 +1,230 @@
+// Package controller implements a reactive learning-switch SDN controller:
+// it learns MAC-to-port attachments from packet-ins, installs forwarding
+// flow rules, and floods unknown destinations. It is the from-scratch
+// substrate standing in for ONOS's reactive forwarding in the paper's
+// testbed, and is deliberately DFI-unaware: DFI's proxy interposes on its
+// connections without the controller's knowledge (controller obliviousness,
+// paper §III-B).
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/openflow"
+	"github.com/dfi-sdn/dfi/internal/simclock"
+	"github.com/dfi-sdn/dfi/internal/store"
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	// FlowPriority is the priority of installed forwarding rules.
+	FlowPriority uint16
+	// IdleTimeoutSec is the idle timeout on installed forwarding rules.
+	IdleTimeoutSec uint16
+	// Clock and ProcessingLatency simulate the controller's per-packet-in
+	// compute cost (ONOS's reactive forwarding path); zero by default.
+	Clock             simclock.Clock
+	ProcessingLatency store.LatencyModel
+	// MaxConcurrent bounds in-flight packet-in handlers per connection
+	// (default 64).
+	MaxConcurrent int
+}
+
+// Stats exposes aggregate controller statistics.
+type Stats struct {
+	PacketIns uint64
+	FlowMods  uint64
+	Floods    uint64
+	Errors    uint64
+}
+
+// Controller is a reactive learning-switch controller serving any number of
+// switch connections.
+type Controller struct {
+	cfg Config
+
+	mu        sync.Mutex
+	macTables map[uint64]map[netpkt.MAC]uint32
+
+	packetIns atomic.Uint64
+	flowMods  atomic.Uint64
+	floods    atomic.Uint64
+	errs      atomic.Uint64
+}
+
+// New returns a controller with the given configuration.
+func New(cfg Config) *Controller {
+	if cfg.FlowPriority == 0 {
+		cfg.FlowPriority = 10
+	}
+	if cfg.IdleTimeoutSec == 0 {
+		cfg.IdleTimeoutSec = 60
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 64
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	return &Controller{
+		cfg:       cfg,
+		macTables: make(map[uint64]map[netpkt.MAC]uint32),
+	}
+}
+
+// Stats returns a snapshot of aggregate statistics.
+func (c *Controller) Stats() Stats {
+	return Stats{
+		PacketIns: c.packetIns.Load(),
+		FlowMods:  c.flowMods.Load(),
+		Floods:    c.floods.Load(),
+		Errors:    c.errs.Load(),
+	}
+}
+
+// Serve handles one switch connection until it closes, performing the
+// OpenFlow handshake and then reacting to packet-ins. It blocks; run one
+// goroutine per switch.
+func (c *Controller) Serve(rw io.ReadWriter) error {
+	conn := openflow.NewConn(rw)
+	fr, err := conn.Handshake()
+	if err != nil {
+		return fmt.Errorf("controller: %w", err)
+	}
+	dpid := fr.DatapathID
+
+	// Ask for full packets on miss, as reactive controllers do.
+	if _, err := conn.Send(&openflow.SetConfig{MissSendLen: 0xffff}); err != nil {
+		return fmt.Errorf("controller: set config: %w", err)
+	}
+
+	sem := make(chan struct{}, c.cfg.MaxConcurrent)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		xid, msg, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("controller: recv: %w", err)
+		}
+		switch m := msg.(type) {
+		case *openflow.EchoRequest:
+			if err := conn.SendXID(xid, &openflow.EchoReply{Data: m.Data}); err != nil {
+				return fmt.Errorf("controller: echo: %w", err)
+			}
+		case *openflow.PacketIn:
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(pi *openflow.PacketIn) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				c.handlePacketIn(conn, dpid, pi)
+			}(m)
+		case *openflow.PortStatus:
+			if m.Reason == openflow.PortReasonDelete || m.Desc.State&openflow.PortStateLinkDown != 0 {
+				c.purgePort(dpid, m.Desc.PortNo)
+			}
+		case *openflow.Error:
+			c.errs.Add(1)
+		default:
+			// Flow-removed etc. carry no work for a learning switch.
+		}
+	}
+}
+
+func (c *Controller) handlePacketIn(conn *openflow.Conn, dpid uint64, pi *openflow.PacketIn) {
+	c.packetIns.Add(1)
+	store.Charge(c.cfg.Clock, c.cfg.ProcessingLatency)
+
+	inPort := pi.InPort()
+	eth, err := netpkt.UnmarshalEthernet(pi.Data)
+	if err != nil {
+		return
+	}
+
+	c.mu.Lock()
+	table := c.macTables[dpid]
+	if table == nil {
+		table = make(map[netpkt.MAC]uint32)
+		c.macTables[dpid] = table
+	}
+	if !eth.Src.IsBroadcast() && !eth.Src.IsZero() && inPort != openflow.PortAny {
+		table[eth.Src] = inPort
+	}
+	outPort, known := table[eth.Dst]
+	c.mu.Unlock()
+
+	if eth.Dst.IsBroadcast() || !known {
+		c.floods.Add(1)
+		c.packetOut(conn, inPort, pi.Data, openflow.PortFlood)
+		return
+	}
+
+	// Install a per-flow forwarding rule (as ONOS reactive forwarding
+	// does — every new flow visits the controller once), then release the
+	// packet along the same path.
+	key, err := netpkt.ExtractFlowKey(pi.Data)
+	if err != nil {
+		return
+	}
+	fm := &openflow.FlowMod{
+		TableID:     0, // the controller's view; the DFI Proxy shifts it
+		Command:     openflow.FlowModAdd,
+		IdleTimeout: c.cfg.IdleTimeoutSec,
+		Priority:    c.cfg.FlowPriority,
+		BufferID:    openflow.NoBuffer,
+		OutPort:     openflow.PortAny,
+		OutGroup:    0xffffffff,
+		Match:       openflow.ExactMatchFor(key, inPort),
+		Instructions: []openflow.Instruction{
+			&openflow.InstructionApplyActions{
+				Actions: []openflow.Action{&openflow.ActionOutput{Port: outPort}},
+			},
+		},
+	}
+	if _, err := conn.Send(fm); err != nil {
+		c.errs.Add(1)
+		return
+	}
+	c.flowMods.Add(1)
+	c.packetOut(conn, inPort, pi.Data, outPort)
+}
+
+func (c *Controller) packetOut(conn *openflow.Conn, inPort uint32, data []byte, outPort uint32) {
+	po := &openflow.PacketOut{
+		BufferID: openflow.NoBuffer,
+		InPort:   inPort,
+		Actions:  []openflow.Action{&openflow.ActionOutput{Port: outPort}},
+		Data:     data,
+	}
+	if _, err := conn.Send(po); err != nil {
+		c.errs.Add(1)
+	}
+}
+
+// purgePort forgets every MAC learned on a now-down port, so stale
+// locations cannot black-hole traffic after a host moves.
+func (c *Controller) purgePort(dpid uint64, port uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for mac, p := range c.macTables[dpid] {
+		if p == port {
+			delete(c.macTables[dpid], mac)
+		}
+	}
+}
+
+// MACLocation reports the learned port for mac on switch dpid.
+func (c *Controller) MACLocation(dpid uint64, mac netpkt.MAC) (uint32, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	port, ok := c.macTables[dpid][mac]
+	return port, ok
+}

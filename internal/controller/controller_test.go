@@ -1,0 +1,205 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/bufpipe"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/switchsim"
+)
+
+var (
+	macA = netpkt.MustParseMAC("02:00:00:00:00:0a")
+	macB = netpkt.MustParseMAC("02:00:00:00:00:0b")
+	ipA  = netpkt.MustParseIPv4("10.0.0.10")
+	ipB  = netpkt.MustParseIPv4("10.0.0.11")
+)
+
+// host is a minimal endpoint: it records received frames and can send into
+// a switch port.
+type host struct {
+	sw   *switchsim.Switch
+	port uint32
+	rx   chan []byte
+}
+
+func attachHost(t *testing.T, sw *switchsim.Switch, port uint32) *host {
+	t.Helper()
+	h := &host{sw: sw, port: port, rx: make(chan []byte, 64)}
+	if err := sw.AttachPort(port, func(f []byte) {
+		select {
+		case h.rx <- f:
+		default:
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func (h *host) send(frame []byte) { h.sw.Inject(h.port, frame) }
+
+func (h *host) recv(t *testing.T, within time.Duration) []byte {
+	t.Helper()
+	select {
+	case f := <-h.rx:
+		return f
+	case <-time.After(within):
+		t.Fatal("timeout waiting for frame")
+		return nil
+	}
+}
+
+func startLearningSwitch(t *testing.T) (*switchsim.Switch, *Controller) {
+	t.Helper()
+	sw := switchsim.NewSwitch(switchsim.Config{DPID: 1})
+	ctl := New(Config{})
+	swEnd, ctlEnd := bufpipe.New()
+	go func() { _ = sw.ServeControl(swEnd) }()
+	go func() { _ = ctl.Serve(ctlEnd) }()
+	t.Cleanup(func() {
+		swEnd.Close()
+		ctlEnd.Close()
+	})
+	if !sw.WaitConfigured(5 * time.Second) {
+		t.Fatal("switch never configured by controller")
+	}
+	return sw, ctl
+}
+
+func TestLearningSwitchFloodsThenForwards(t *testing.T) {
+	sw, ctl := startLearningSwitch(t)
+	hA := attachHost(t, sw, 1)
+	hB := attachHost(t, sw, 2)
+	hC := attachHost(t, sw, 3)
+
+	// First frame A→B: destination unknown, controller floods.
+	frame := netpkt.BuildTCP(macA, macB, ipA, ipB, &netpkt.TCPSegment{SrcPort: 100, DstPort: 200, Flags: netpkt.TCPSyn})
+	hA.send(frame)
+	hB.recv(t, 2*time.Second)
+	hC.recv(t, 2*time.Second) // flood reaches C too
+
+	// B replies: controller has learned A's port, so it installs a flow
+	// and forwards; C must NOT see it.
+	reply := netpkt.BuildTCP(macB, macA, ipB, ipA, &netpkt.TCPSegment{SrcPort: 200, DstPort: 100, Flags: netpkt.TCPSyn | netpkt.TCPAck})
+	hB.send(reply)
+	hA.recv(t, 2*time.Second)
+	select {
+	case <-hC.rx:
+		t.Fatal("learned unicast still flooded to C")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	if port, ok := ctl.MACLocation(1, macA); !ok || port != 1 {
+		t.Fatalf("learned location of A = %d, %v", port, ok)
+	}
+	if port, ok := ctl.MACLocation(1, macB); !ok || port != 2 {
+		t.Fatalf("learned location of B = %d, %v", port, ok)
+	}
+
+	// Once the flow rule is installed, subsequent B→A traffic is
+	// hardware-forwarded without new packet-ins.
+	waitUntil(t, func() bool { return sw.FlowCount(0) >= 1 })
+	before := ctl.Stats().PacketIns
+	hB.send(reply)
+	hA.recv(t, 2*time.Second)
+	if after := ctl.Stats().PacketIns; after != before {
+		t.Fatalf("packet-ins grew %d→%d for an installed flow", before, after)
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}
+
+func TestBroadcastAlwaysFloods(t *testing.T) {
+	sw, _ := startLearningSwitch(t)
+	hA := attachHost(t, sw, 1)
+	hB := attachHost(t, sw, 2)
+	_ = hA
+	arp := netpkt.BuildARP(&netpkt.ARP{
+		Op: netpkt.ARPRequest, SenderMAC: macA, SenderIP: ipA, TargetIP: ipB,
+	})
+	hA.send(arp)
+	hB.recv(t, 2*time.Second)
+	if sw.FlowCount(0) != 0 {
+		t.Fatalf("broadcast installed %d flows, want 0", sw.FlowCount(0))
+	}
+}
+
+func TestMultipleSwitchesIndependentMACTables(t *testing.T) {
+	ctl := New(Config{})
+	sw1 := switchsim.NewSwitch(switchsim.Config{DPID: 1})
+	sw2 := switchsim.NewSwitch(switchsim.Config{DPID: 2})
+	for _, sw := range []*switchsim.Switch{sw1, sw2} {
+		swEnd, ctlEnd := bufpipe.New()
+		sw := sw
+		go func() { _ = sw.ServeControl(swEnd) }()
+		go func() { _ = ctl.Serve(ctlEnd) }()
+		t.Cleanup(func() {
+			swEnd.Close()
+			ctlEnd.Close()
+		})
+	}
+	if !sw1.WaitConfigured(5*time.Second) || !sw2.WaitConfigured(5*time.Second) {
+		t.Fatal("switches never configured")
+	}
+	hA := attachHost(t, sw1, 1)
+	attachHost(t, sw1, 2)
+	hC := attachHost(t, sw2, 1)
+	attachHost(t, sw2, 2)
+
+	frame := netpkt.BuildTCP(macA, macB, ipA, ipB, &netpkt.TCPSegment{SrcPort: 1, DstPort: 2})
+	hA.send(frame)
+	waitUntil(t, func() bool {
+		_, ok := ctl.MACLocation(1, macA)
+		return ok
+	})
+	hC.send(netpkt.BuildTCP(macB, macA, ipB, ipA, &netpkt.TCPSegment{SrcPort: 2, DstPort: 1}))
+	waitUntil(t, func() bool {
+		_, ok := ctl.MACLocation(2, macB)
+		return ok
+	})
+	if _, ok := ctl.MACLocation(2, macA); ok {
+		t.Fatal("MAC table leaked across switches")
+	}
+}
+
+func TestPortDownPurgesLearnedMACs(t *testing.T) {
+	sw, ctl := startLearningSwitch(t)
+	hA := attachHost(t, sw, 1)
+	hB := attachHost(t, sw, 2)
+	hC := attachHost(t, sw, 3)
+
+	// Teach the controller where A and B are.
+	hA.send(netpkt.BuildTCP(macA, macB, ipA, ipB, &netpkt.TCPSegment{SrcPort: 1, DstPort: 2}))
+	hB.recv(t, 2*time.Second)
+	hB.send(netpkt.BuildTCP(macB, macA, ipB, ipA, &netpkt.TCPSegment{SrcPort: 2, DstPort: 1}))
+	hA.recv(t, 2*time.Second)
+	waitUntil(t, func() bool {
+		_, okA := ctl.MACLocation(1, macA)
+		_, okB := ctl.MACLocation(1, macB)
+		return okA && okB
+	})
+
+	// B's port goes down: the switch announces it, the controller forgets B.
+	sw.DetachPort(2)
+	waitUntil(t, func() bool {
+		_, ok := ctl.MACLocation(1, macB)
+		return !ok
+	})
+	// A's entry is untouched.
+	if _, ok := ctl.MACLocation(1, macA); !ok {
+		t.Fatal("port-down purge removed an unrelated MAC")
+	}
+	_ = hC
+}

@@ -1,0 +1,100 @@
+package entity
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+)
+
+// TestPropertyBindingGraphInvariants drives the manager with random
+// bind/unbind sequences and checks the forward/reverse maps stay mutually
+// consistent after every operation.
+func TestPropertyBindingGraphInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewManager()
+
+	users := []string{"u1", "u2", "u3", "u4"}
+	hosts := []string{"h1", "h2", "h3", "h4"}
+	ips := make([]netpkt.IPv4, 6)
+	macs := make([]netpkt.MAC, 6)
+	for i := range ips {
+		ips[i] = netpkt.IPv4FromUint32(0x0a000000 | uint32(i))
+		macs[i] = netpkt.MAC{2, 0, 0, 0, 0, byte(i + 1)}
+	}
+
+	for step := 0; step < 5000; step++ {
+		switch rng.Intn(8) {
+		case 0:
+			m.BindUserHost(users[rng.Intn(len(users))], hosts[rng.Intn(len(hosts))])
+		case 1:
+			m.UnbindUserHost(users[rng.Intn(len(users))], hosts[rng.Intn(len(hosts))])
+		case 2:
+			m.BindHostIP(hosts[rng.Intn(len(hosts))], ips[rng.Intn(len(ips))])
+		case 3:
+			m.UnbindHostIP(hosts[rng.Intn(len(hosts))], ips[rng.Intn(len(ips))])
+		case 4:
+			m.BindIPMAC(ips[rng.Intn(len(ips))], macs[rng.Intn(len(macs))])
+		case 5:
+			m.UnbindIPMAC(ips[rng.Intn(len(ips))], macs[rng.Intn(len(macs))])
+		case 6:
+			m.BindMACLocation(macs[rng.Intn(len(macs))], Location{
+				DPID: uint64(rng.Intn(3) + 1), Port: uint32(rng.Intn(4) + 1),
+			})
+		case 7:
+			m.UnbindMACLocation(macs[rng.Intn(len(macs))], uint64(rng.Intn(3)+1))
+		}
+		if err := checkInvariants(m, users, hosts, ips); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+// checkInvariants verifies the forward/reverse views agree through the
+// public API.
+func checkInvariants(m *Manager, users, hosts []string, ips []netpkt.IPv4) error {
+	// user↔host symmetry.
+	for _, u := range users {
+		for _, h := range m.HostsOf(u) {
+			if !contains(m.UsersOn(h), u) {
+				return fmt.Errorf("user %s on host %s but reverse lookup disagrees", u, h)
+			}
+		}
+	}
+	for _, h := range hosts {
+		for _, u := range m.UsersOn(h) {
+			if !contains(m.HostsOf(u), h) {
+				return fmt.Errorf("host %s has user %s but forward lookup disagrees", h, u)
+			}
+		}
+	}
+	// host↔IP: every IP of a host must PTR back to that host.
+	for _, h := range hosts {
+		for _, ip := range m.IPsOf(h) {
+			got, ok := m.HostOf(ip)
+			if !ok || got != h {
+				return fmt.Errorf("host %s holds %s but HostOf says %q (%v)", h, ip, got, ok)
+			}
+		}
+	}
+	// Each IP has at most one host and one MAC; resolving the bound pair
+	// never reports inconsistency.
+	for _, ip := range ips {
+		if mac, ok := m.MACOf(ip); ok {
+			if _, err := m.Resolve(Observed{MAC: mac, HasIP: true, IP: ip}); err != nil {
+				return fmt.Errorf("bound pair (%s, %s) resolves inconsistent: %v", ip, mac, err)
+			}
+		}
+	}
+	return nil
+}
+
+func contains(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

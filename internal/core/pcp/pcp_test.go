@@ -1,0 +1,295 @@
+package pcp
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/core/entity"
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/openflow"
+	"github.com/dfi-sdn/dfi/internal/simclock"
+	"github.com/dfi-sdn/dfi/internal/store"
+)
+
+var (
+	macA = netpkt.MustParseMAC("02:00:00:00:00:0a")
+	macB = netpkt.MustParseMAC("02:00:00:00:00:0b")
+	ipA  = netpkt.MustParseIPv4("10.0.0.10")
+	ipB  = netpkt.MustParseIPv4("10.0.0.11")
+)
+
+// fakeSwitch records flow-mods.
+type fakeSwitch struct {
+	mu   sync.Mutex
+	mods []*openflow.FlowMod
+}
+
+func (f *fakeSwitch) WriteFlowMod(fm *openflow.FlowMod) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mods = append(f.mods, fm)
+	return nil
+}
+
+func (f *fakeSwitch) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.mods)
+}
+
+func (f *fakeSwitch) last() *openflow.FlowMod {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.mods) == 0 {
+		return nil
+	}
+	return f.mods[len(f.mods)-1]
+}
+
+func newEnv(t *testing.T) (*PCP, *entity.Manager, *policy.Manager, *fakeSwitch) {
+	t.Helper()
+	erm := entity.NewManager()
+	pm := policy.NewManager()
+	p := New(Config{Entity: erm, Policy: pm})
+	sw := &fakeSwitch{}
+	p.AttachSwitch(7, sw)
+	if err := pm.RegisterPDP("t", 50); err != nil {
+		t.Fatal(err)
+	}
+	return p, erm, pm, sw
+}
+
+func packetInFor(frame []byte, inPort uint32) *openflow.PacketIn {
+	return &openflow.PacketIn{
+		BufferID: openflow.NoBuffer,
+		Reason:   openflow.PacketInReasonNoMatch,
+		Match:    &openflow.Match{InPort: openflow.U32(inPort)},
+		Data:     frame,
+	}
+}
+
+func synFrame() []byte {
+	return netpkt.BuildTCP(macA, macB, ipA, ipB,
+		&netpkt.TCPSegment{SrcPort: 40000, DstPort: 445, Flags: netpkt.TCPSyn})
+}
+
+func process(t *testing.T, p *PCP, pi *openflow.PacketIn) Decision {
+	t.Helper()
+	var dec Decision
+	p.Process(&Request{DPID: 7, PacketIn: pi, Done: func(d Decision) { dec = d }})
+	return dec
+}
+
+func TestDefaultDenyInstallsDropRule(t *testing.T) {
+	p, _, _, sw := newEnv(t)
+	dec := process(t, p, packetInFor(synFrame(), 3))
+	if dec.Allow {
+		t.Fatal("unmatched flow allowed")
+	}
+	if dec.RuleID != policy.DefaultDenyID {
+		t.Fatalf("rule id = %d, want DefaultDenyID", dec.RuleID)
+	}
+	fm := sw.last()
+	if fm == nil {
+		t.Fatal("no rule installed")
+	}
+	if fm.TableID != 0 || fm.Command != openflow.FlowModAdd {
+		t.Fatalf("flow-mod = %+v", fm)
+	}
+	if len(fm.Instructions) != 0 {
+		t.Fatal("deny rule must have no instructions (drop)")
+	}
+	if fm.Cookie != uint64(policy.DefaultDenyID) {
+		t.Fatalf("cookie = %d", fm.Cookie)
+	}
+}
+
+func TestAllowInstallsGotoTableOne(t *testing.T) {
+	p, erm, pm, sw := newEnv(t)
+	erm.BindIPMAC(ipA, macA)
+	erm.BindHostIP("a", ipA)
+	id, err := pm.Insert(policy.Rule{PDP: "t", Action: policy.ActionAllow, Src: policy.EndpointSpec{Host: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := process(t, p, packetInFor(synFrame(), 3))
+	if !dec.Allow || dec.RuleID != id {
+		t.Fatalf("decision = %+v", dec)
+	}
+	fm := sw.last()
+	if fm.Cookie != uint64(id) {
+		t.Fatalf("cookie = %d, want %d", fm.Cookie, id)
+	}
+	if len(fm.Instructions) != 1 {
+		t.Fatalf("instructions = %d, want goto-table", len(fm.Instructions))
+	}
+	gt, ok := fm.Instructions[0].(*openflow.InstructionGotoTable)
+	if !ok || gt.TableID != 1 {
+		t.Fatalf("instr = %#v", fm.Instructions[0])
+	}
+	// The compiled match pins every packet identifier.
+	if fm.Match.NumFields() != 9 {
+		t.Fatalf("match pins %d fields, want 9: %v", fm.Match.NumFields(), fm.Match)
+	}
+}
+
+func TestSpoofedPacketDeniedWithoutRule(t *testing.T) {
+	p, erm, _, sw := newEnv(t)
+	erm.BindIPMAC(ipA, macB) // ipA belongs to macB; the packet uses macA
+	dec := process(t, p, packetInFor(synFrame(), 3))
+	if dec.Allow || dec.Err == nil {
+		t.Fatalf("decision = %+v, want error deny", dec)
+	}
+	if sw.count() != 0 {
+		t.Fatal("a rule was cached for an unevaluable (spoofed) packet")
+	}
+}
+
+func TestGarbagePacketDenied(t *testing.T) {
+	p, _, _, sw := newEnv(t)
+	dec := process(t, p, packetInFor([]byte{1, 2, 3}, 3))
+	if dec.Allow || dec.Err == nil {
+		t.Fatalf("decision = %+v", dec)
+	}
+	if sw.count() != 0 {
+		t.Fatal("rule installed for unparseable packet")
+	}
+}
+
+func TestMACLocationSensorFeedsERM(t *testing.T) {
+	p, erm, _, _ := newEnv(t)
+	process(t, p, packetInFor(synFrame(), 3))
+	port, ok := erm.LocationOf(macA, 7)
+	if !ok || port != 3 {
+		t.Fatalf("MAC location = %d, %v, want port 3", port, ok)
+	}
+}
+
+func TestFlushPoliciesSendsCookieScopedDeletes(t *testing.T) {
+	p, _, _, sw := newEnv(t)
+	sw2 := &fakeSwitch{}
+	p.AttachSwitch(8, sw2)
+	p.FlushPolicies([]policy.RuleID{5, 9})
+	if sw.count() != 2 || sw2.count() != 2 {
+		t.Fatalf("flush mods = %d/%d, want 2 per switch", sw.count(), sw2.count())
+	}
+	fm := sw.last()
+	if fm.Command != openflow.FlowModDelete || fm.TableID != 0 {
+		t.Fatalf("flush flow-mod = %+v", fm)
+	}
+	if fm.CookieMask != ^uint64(0) || fm.Cookie != 9 {
+		t.Fatalf("cookie scope = %x/%x", fm.Cookie, fm.CookieMask)
+	}
+}
+
+func TestRevocationTriggersFlushThroughManager(t *testing.T) {
+	p, _, pm, sw := newEnv(t)
+	id, err := pm.Insert(policy.Rule{PDP: "t", Action: policy.ActionDeny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sw.count()
+	if err := pm.Revoke(id); err != nil {
+		t.Fatal(err)
+	}
+	if sw.count() != before+1 {
+		t.Fatalf("revoke issued %d mods, want 1", sw.count()-before)
+	}
+	_ = p
+}
+
+func TestSubmitQueueOverflowDrops(t *testing.T) {
+	erm := entity.NewManager()
+	pm := policy.NewManager()
+	p := New(Config{Entity: erm, Policy: pm, QueueDepth: 2, Workers: 1})
+	// Not started: Submit must refuse and count the drop.
+	if p.Submit(&Request{DPID: 7, PacketIn: packetInFor(synFrame(), 1)}) {
+		t.Fatal("Submit accepted before Start")
+	}
+	if p.Metrics().Dropped() != 1 {
+		t.Fatalf("dropped = %d", p.Metrics().Dropped())
+	}
+
+	// Started but with a slow clock-free worker: fill the queue.
+	p.Start()
+	defer p.Stop()
+	block := make(chan struct{})
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		req := &Request{DPID: 7, PacketIn: packetInFor(synFrame(), 1), Done: func(Decision) {
+			<-block
+		}}
+		if p.Submit(req) {
+			accepted++
+		}
+	}
+	close(block)
+	if accepted >= 10 {
+		t.Fatal("queue never overflowed")
+	}
+	if p.Metrics().Dropped() < 1 {
+		t.Fatal("drops not counted")
+	}
+}
+
+func TestWorkersProcessConcurrently(t *testing.T) {
+	erm := entity.NewManager()
+	pm := policy.NewManager()
+	clk := simclock.Real{}
+	p := New(Config{
+		Entity: erm, Policy: pm, Workers: 4, QueueDepth: 64,
+		Clock: clk, ProcessingLatency: store.Fixed(20 * time.Millisecond),
+	})
+	p.Start()
+	defer p.Stop()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		ok := p.Submit(&Request{DPID: 7, PacketIn: packetInFor(synFrame(), uint32(i+1)),
+			Done: func(Decision) { wg.Done() }})
+		if !ok {
+			t.Fatal("submit refused")
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// 8 × 20ms serial would be ≥160ms; 4 workers should land near 2×20ms.
+	if elapsed > 120*time.Millisecond {
+		t.Fatalf("8 requests took %v with 4 workers; not concurrent", elapsed)
+	}
+}
+
+func TestMetricsBreakdownRecorded(t *testing.T) {
+	p, _, _, _ := newEnv(t)
+	for i := 0; i < 5; i++ {
+		process(t, p, packetInFor(synFrame(), uint32(i+1)))
+	}
+	m := p.Metrics()
+	if m.Processed() != 5 || m.Denied() != 5 || m.Allowed() != 0 {
+		t.Fatalf("processed/denied/allowed = %d/%d/%d", m.Processed(), m.Denied(), m.Allowed())
+	}
+	if m.BindingQuery.N() != 5 || m.PolicyQuery.N() != 5 || m.Total.N() != 5 {
+		t.Fatal("stage stats not recorded per flow")
+	}
+}
+
+func TestARPCompilation(t *testing.T) {
+	p, _, pm, sw := newEnv(t)
+	if _, err := pm.Insert(policy.Rule{PDP: "t", Action: policy.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	arp := netpkt.BuildARP(&netpkt.ARP{
+		Op: netpkt.ARPRequest, SenderMAC: macA, SenderIP: ipA, TargetIP: ipB,
+	})
+	dec := process(t, p, packetInFor(arp, 2))
+	if !dec.Allow {
+		t.Fatalf("ARP denied: %+v", dec)
+	}
+	fm := sw.last()
+	if fm.Match.ARPSPA == nil || fm.Match.ARPTPA == nil {
+		t.Fatalf("ARP match not pinned: %v", fm.Match)
+	}
+}

@@ -1,0 +1,259 @@
+package pcp
+
+import (
+	"testing"
+
+	"github.com/dfi-sdn/dfi/internal/core/entity"
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/openflow"
+)
+
+func newWildcardEnv(t *testing.T) (*PCP, *entity.Manager, *policy.Manager, *fakeSwitch) {
+	t.Helper()
+	erm := entity.NewManager()
+	pm := policy.NewManager()
+	p := New(Config{Entity: erm, Policy: pm, WildcardCaching: true})
+	sw := &fakeSwitch{}
+	p.AttachSwitch(7, sw)
+	if err := pm.RegisterPDP("lo", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.RegisterPDP("hi", 100); err != nil {
+		t.Fatal(err)
+	}
+	return p, erm, pm, sw
+}
+
+func TestWidenToL2PairWhenPolicyIsMACBased(t *testing.T) {
+	p, _, pm, sw := newWildcardEnv(t)
+	// A MAC-pair rule constrains neither ports nor IPs: widening to an L2
+	// pair rule is safe when nothing else overlaps.
+	if _, err := pm.Insert(policy.Rule{
+		PDP: "lo", Action: policy.ActionAllow,
+		Src: policy.EndpointSpec{MAC: &macA},
+		Dst: policy.EndpointSpec{MAC: &macB},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	process(t, p, packetInFor(synFrame(), 3))
+	fm := sw.last()
+	if fm.Match.TCPSrc != nil || fm.Match.TCPDst != nil {
+		t.Fatalf("ports not widened: %v", fm.Match)
+	}
+	if fm.Match.IPv4Src != nil || fm.Match.IPv4Dst != nil {
+		t.Fatalf("IPs not widened: %v", fm.Match)
+	}
+	if fm.Match.EthSrc == nil || fm.Match.EthDst == nil || fm.Match.InPort == nil {
+		t.Fatalf("anchors dropped: %v", fm.Match)
+	}
+	// The widened rule must cover a second, different flow of the pair.
+	key2, err := netpkt.ExtractFlowKey(netpkt.BuildTCP(macA, macB, ipA, ipB,
+		&netpkt.TCPSegment{SrcPort: 50123, DstPort: 80}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fm.Match.MatchesKey(key2, 3) {
+		t.Fatal("widened rule does not cover sibling flows")
+	}
+}
+
+func TestWinnerIPConstraintKeepsIPs(t *testing.T) {
+	p, _, pm, sw := newWildcardEnv(t)
+	if _, err := pm.Insert(policy.Rule{
+		PDP: "lo", Action: policy.ActionAllow,
+		Src: policy.EndpointSpec{IP: &ipA},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	process(t, p, packetInFor(synFrame(), 3))
+	fm := sw.last()
+	if fm.Match.IPv4Src == nil || fm.Match.IPv4Dst == nil {
+		t.Fatalf("IPs dropped although the winner constrains an IP: %v", fm.Match)
+	}
+	if fm.Match.TCPSrc != nil {
+		t.Fatalf("ports should still widen: %v", fm.Match)
+	}
+}
+
+func TestWinnerPortConstraintStaysExact(t *testing.T) {
+	p, _, pm, sw := newWildcardEnv(t)
+	port := uint16(445)
+	if _, err := pm.Insert(policy.Rule{
+		PDP: "lo", Action: policy.ActionAllow,
+		Dst: policy.EndpointSpec{Port: &port},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	process(t, p, packetInFor(synFrame(), 3))
+	fm := sw.last()
+	if fm.Match.TCPDst == nil {
+		t.Fatalf("ports dropped although the winner constrains a port: %v", fm.Match)
+	}
+}
+
+func TestOverlappingOppositeRuleBlocksWidening(t *testing.T) {
+	p, _, pm, sw := newWildcardEnv(t)
+	if _, err := pm.Insert(policy.Rule{
+		PDP: "lo", Action: policy.ActionAllow,
+		Src: policy.EndpointSpec{MAC: &macA},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A higher-priority deny on one port of the same space: widening the
+	// allow would swallow packets this deny must catch.
+	port := uint16(22)
+	if _, err := pm.Insert(policy.Rule{
+		PDP: "hi", Action: policy.ActionDeny,
+		Src: policy.EndpointSpec{MAC: &macA},
+		Dst: policy.EndpointSpec{Port: &port},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	process(t, p, packetInFor(synFrame(), 3)) // dst port 445: allowed
+	fm := sw.last()
+	if fm.Match.TCPDst == nil {
+		t.Fatalf("widened despite an overlapping opposite-action port rule: %v", fm.Match)
+	}
+}
+
+func TestIdentifierRuleBlocksWidening(t *testing.T) {
+	p, _, pm, sw := newWildcardEnv(t)
+	if _, err := pm.Insert(policy.Rule{
+		PDP: "lo", Action: policy.ActionAllow,
+		Src: policy.EndpointSpec{MAC: &macA},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A deny written over a username: its bindings can change without a
+	// policy event, so nothing in its potential space may be widened —
+	// even though bob is logged on nowhere right now.
+	if _, err := pm.Insert(policy.Rule{
+		PDP: "hi", Action: policy.ActionDeny,
+		Src: policy.EndpointSpec{User: "bob"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	process(t, p, packetInFor(synFrame(), 3))
+	fm := sw.last()
+	if fm.Match.NumFields() != 9 {
+		t.Fatalf("widened despite a user-based opposite rule: %v", fm.Match)
+	}
+}
+
+func TestSameActionOverlapStillWidens(t *testing.T) {
+	p, _, pm, sw := newWildcardEnv(t)
+	if _, err := pm.Insert(policy.Rule{
+		PDP: "lo", Action: policy.ActionAllow,
+		Src: policy.EndpointSpec{MAC: &macA},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Another allow overlapping the space changes nothing about the
+	// decision: widening stays safe.
+	if _, err := pm.Insert(policy.Rule{
+		PDP: "hi", Action: policy.ActionAllow,
+		Dst: policy.EndpointSpec{MAC: &macB},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	process(t, p, packetInFor(synFrame(), 3))
+	fm := sw.last()
+	if fm.Match.TCPSrc != nil || fm.Match.IPv4Src != nil {
+		t.Fatalf("same-action overlap blocked widening: %v", fm.Match)
+	}
+}
+
+func TestDefaultDenyWidensOnlyInEmptySpace(t *testing.T) {
+	p, _, pm, sw := newWildcardEnv(t)
+	// Empty database: a default deny covers the whole pair space safely.
+	process(t, p, packetInFor(synFrame(), 3))
+	fm := sw.last()
+	if fm.Cookie != uint64(policy.DefaultDenyID) {
+		t.Fatalf("cookie = %d", fm.Cookie)
+	}
+	if fm.Match.TCPSrc != nil || fm.Match.IPv4Src != nil {
+		t.Fatalf("default deny did not widen in an empty database: %v", fm.Match)
+	}
+
+	// With any allow rule around that may overlap, default denies must
+	// stay exact.
+	if _, err := pm.Insert(policy.Rule{
+		PDP: "lo", Action: policy.ActionAllow,
+		Src: policy.EndpointSpec{User: "alice"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	frame2 := netpkt.BuildTCP(macB, macA, ipB, ipA, &netpkt.TCPSegment{SrcPort: 9, DstPort: 10})
+	process(t, p, packetInFor(frame2, 4))
+	fm = sw.last()
+	if fm.Command != openflow.FlowModAdd {
+		t.Fatalf("unexpected mod %+v", fm)
+	}
+	if fm.Match.NumFields() != 9 {
+		t.Fatalf("default deny widened despite a user allow rule: %v", fm.Match)
+	}
+}
+
+func TestWideningDisabledByDefault(t *testing.T) {
+	p, _, pm, sw := newEnv(t) // WildcardCaching off
+	if _, err := pm.Insert(policy.Rule{
+		PDP: "t", Action: policy.ActionAllow,
+		Src: policy.EndpointSpec{MAC: &macA},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	process(t, p, packetInFor(synFrame(), 3))
+	if fm := sw.last(); fm.Match.NumFields() != 9 {
+		t.Fatalf("rules widened without opt-in: %v", fm.Match)
+	}
+}
+
+func TestARPNeverWidens(t *testing.T) {
+	p, _, pm, sw := newWildcardEnv(t)
+	if _, err := pm.Insert(policy.Rule{PDP: "lo", Action: policy.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	arp := netpkt.BuildARP(&netpkt.ARP{Op: netpkt.ARPRequest, SenderMAC: macA, SenderIP: ipA, TargetIP: ipB})
+	process(t, p, packetInFor(arp, 2))
+	fm := sw.last()
+	if fm.Match.ARPSPA == nil || fm.Match.ARPTPA == nil {
+		t.Fatalf("ARP match widened: %v", fm.Match)
+	}
+}
+
+func TestWidenedRuleFlushedOnConflict(t *testing.T) {
+	p, _, pm, sw := newWildcardEnv(t)
+	id, err := pm.Insert(policy.Rule{
+		PDP: "lo", Action: policy.ActionAllow,
+		Src: policy.EndpointSpec{MAC: &macA},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	process(t, p, packetInFor(synFrame(), 3))
+	widened := sw.last()
+	if widened.Cookie != uint64(id) {
+		t.Fatalf("cookie = %d, want %d", widened.Cookie, id)
+	}
+	// A higher-priority conflicting insert must flush that cookie — the
+	// property that keeps widened rules consistent (condition 3).
+	before := sw.count()
+	if _, err := pm.Insert(policy.Rule{
+		PDP: "hi", Action: policy.ActionDeny,
+		Src: policy.EndpointSpec{MAC: &macA},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var sawFlush bool
+	sw.mu.Lock()
+	for _, fm := range sw.mods[before:] {
+		if fm.Command == openflow.FlowModDelete && fm.Cookie == uint64(id) {
+			sawFlush = true
+		}
+	}
+	sw.mu.Unlock()
+	if !sawFlush {
+		t.Fatal("conflicting insert did not flush the widened rule's cookie")
+	}
+}

@@ -1,0 +1,56 @@
+package pdp
+
+import (
+	"fmt"
+
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+)
+
+// AllowAll is the fully-open baseline PDP: one wildcard Allow rule, making
+// the SDN behave like a traditional flat network (the paper's "no access
+// control" condition).
+type AllowAll struct {
+	pm   *policy.Manager
+	name string
+	id   policy.RuleID
+	on   bool
+}
+
+// NewAllowAll registers the PDP with the Policy Manager at
+// PriorityAllowAll.
+func NewAllowAll(pm *policy.Manager) (*AllowAll, error) {
+	a := &AllowAll{pm: pm, name: "allow-all"}
+	if err := pm.RegisterPDP(a.name, PriorityAllowAll); err != nil {
+		return nil, fmt.Errorf("allow-all: %w", err)
+	}
+	return a, nil
+}
+
+// Name returns the PDP's registered name.
+func (a *AllowAll) Name() string { return a.name }
+
+// Enable inserts the wildcard allow rule.
+func (a *AllowAll) Enable() error {
+	if a.on {
+		return nil
+	}
+	id, err := a.pm.Insert(policy.Rule{PDP: a.name, Action: policy.ActionAllow})
+	if err != nil {
+		return fmt.Errorf("allow-all: %w", err)
+	}
+	a.id = id
+	a.on = true
+	return nil
+}
+
+// Disable revokes the wildcard allow rule.
+func (a *AllowAll) Disable() error {
+	if !a.on {
+		return nil
+	}
+	a.on = false
+	if err := a.pm.Revoke(a.id); err != nil {
+		return fmt.Errorf("allow-all: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/dfi-sdn/dfi/internal/simclock"
+	"github.com/dfi-sdn/dfi/internal/store"
+)
+
+// Decision is the Policy Manager's answer for one queried flow.
+type Decision struct {
+	Action Action
+	// Rule is the winning rule, nil when no rule matched (default deny).
+	Rule *Rule
+	// Matched reports whether any rule matched.
+	Matched bool
+}
+
+// FlushFunc is notified with the ids of policy rules whose derived flow
+// rules must be removed from the switches (paper §III-B: on conflicting
+// insert and on revocation). The PCP registers one of these.
+type FlushFunc func(ids []RuleID)
+
+// Errors callers can match.
+var (
+	// ErrUnknownPDP reports a rule from an unregistered PDP.
+	ErrUnknownPDP = errors.New("policy: unknown PDP")
+	// ErrUnknownRule reports a revocation for an id that does not exist.
+	ErrUnknownRule = errors.New("policy: unknown rule")
+	// ErrDuplicatePriority reports a PDP registration reusing a priority.
+	ErrDuplicatePriority = errors.New("policy: priority already in use")
+	// ErrDuplicatePDP reports a PDP registered twice.
+	ErrDuplicatePDP = errors.New("policy: PDP already registered")
+)
+
+// Manager is DFI's Policy Manager: it receives policy rules and revocations
+// from PDPs, performs consistency checks, stores the current global policy,
+// and answers per-flow queries from the PCP.
+type Manager struct {
+	clock   simclock.Clock
+	latency store.LatencyModel
+
+	mu         sync.RWMutex
+	rules      map[RuleID]*Rule
+	pdps       map[string]int // name -> priority
+	priorities map[int]string // priority -> name
+	nextID     RuleID
+	onFlush    FlushFunc
+}
+
+// ManagerOption configures a Manager.
+type ManagerOption func(*Manager)
+
+// WithQueryLatency injects a simulated per-query cost (the paper's measured
+// RPC+MySQL policy-query latency) charged on the given clock.
+func WithQueryLatency(clock simclock.Clock, m store.LatencyModel) ManagerOption {
+	return func(pm *Manager) {
+		pm.clock = clock
+		pm.latency = m
+	}
+}
+
+// NewManager returns an empty Policy Manager.
+func NewManager(opts ...ManagerOption) *Manager {
+	m := &Manager{
+		rules:      make(map[RuleID]*Rule),
+		pdps:       make(map[string]int),
+		priorities: make(map[int]string),
+		nextID:     1,
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
+}
+
+// SetFlushFunc registers the callback invoked when derived flow rules must
+// be flushed from switches. It must be set before PDPs start emitting rules.
+func (m *Manager) SetFlushFunc(fn FlushFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onFlush = fn
+}
+
+// RegisterPDP registers a Policy Decision Point with its network-
+// administrator-assigned priority. Higher priorities take precedence and
+// must be unique across PDPs (paper §III-B).
+func (m *Manager) RegisterPDP(name string, priority int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.pdps[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicatePDP, name)
+	}
+	if holder, ok := m.priorities[priority]; ok {
+		return fmt.Errorf("%w: %d (held by %q)", ErrDuplicatePriority, priority, holder)
+	}
+	m.pdps[name] = priority
+	m.priorities[priority] = name
+	return nil
+}
+
+// Insert stores a new policy rule from a PDP, assigning its id and
+// priority. Existing lower-priority rules that overlap the new rule with a
+// different action may have produced now-stale flow rules; their derived
+// rules are flushed (the conflicting policies themselves remain stored).
+func (m *Manager) Insert(r Rule) (RuleID, error) {
+	m.mu.Lock()
+	prio, ok := m.pdps[r.PDP]
+	if !ok {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q", ErrUnknownPDP, r.PDP)
+	}
+	r.Priority = prio
+	r.ID = m.nextID
+	m.nextID++
+
+	var flush []RuleID
+	for _, existing := range m.rules {
+		if existing.Priority < r.Priority && existing.Action != r.Action && existing.Overlaps(&r) {
+			flush = append(flush, existing.ID)
+		}
+	}
+	// The implicit default-deny catch-all behaves as the lowest-priority
+	// Deny rule (id 0): a new Allow rule conflicts with it, so flow rules
+	// derived from default denies must be flushed too.
+	if r.Action == ActionAllow {
+		flush = append(flush, DefaultDenyID)
+	}
+	stored := r
+	m.rules[stored.ID] = &stored
+	fn := m.onFlush
+	m.mu.Unlock()
+
+	if fn != nil && len(flush) > 0 {
+		sort.Slice(flush, func(i, j int) bool { return flush[i] < flush[j] })
+		fn(flush)
+	}
+	return stored.ID, nil
+}
+
+// Revoke removes a policy rule and flushes its derived flow rules from the
+// switches. Revocation is distinct from inserting an opposite rule: after
+// revocation, flows match whatever other policy remains (paper §III-B).
+func (m *Manager) Revoke(id RuleID) error {
+	m.mu.Lock()
+	if _, ok := m.rules[id]; !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrUnknownRule, id)
+	}
+	delete(m.rules, id)
+	fn := m.onFlush
+	m.mu.Unlock()
+
+	if fn != nil {
+		fn([]RuleID{id})
+	}
+	return nil
+}
+
+// RevokeAll revokes every rule owned by the named PDP, returning how many
+// were removed.
+func (m *Manager) RevokeAll(pdp string) int {
+	m.mu.Lock()
+	var ids []RuleID
+	for id, r := range m.rules {
+		if r.PDP == pdp {
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		delete(m.rules, id)
+	}
+	fn := m.onFlush
+	m.mu.Unlock()
+
+	if fn != nil && len(ids) > 0 {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		fn(ids)
+	}
+	return len(ids)
+}
+
+// Query returns the decision for a flow: the highest-priority matching rule
+// wins; among equal-priority matches with conflicting actions, Deny wins
+// (erring on the side of stopping unauthorized flows); with no match the
+// decision is the default Deny.
+func (m *Manager) Query(f *FlowView) Decision {
+	store.Charge(m.clock, m.latency)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+
+	var best *Rule
+	for _, r := range m.rules {
+		if !r.Matches(f) {
+			continue
+		}
+		switch {
+		case best == nil,
+			r.Priority > best.Priority,
+			r.Priority == best.Priority && r.Action == ActionDeny && best.Action == ActionAllow:
+			best = r
+		}
+	}
+	if best == nil {
+		return Decision{Action: ActionDeny}
+	}
+	cp := *best
+	return Decision{Action: best.Action, Rule: &cp, Matched: true}
+}
+
+// Rules returns a snapshot of the stored policy, ordered by id.
+func (m *Manager) Rules() []Rule {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Rule, 0, len(m.rules))
+	for _, r := range m.rules {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of stored rules.
+func (m *Manager) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.rules)
+}
+
+// Get returns the rule with the given id.
+func (m *Manager) Get(id RuleID) (Rule, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	r, ok := m.rules[id]
+	if !ok {
+		return Rule{}, false
+	}
+	return *r, true
+}

@@ -1,0 +1,179 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+)
+
+// randomSpec builds an endpoint spec with a random subset of fields.
+func randomSpec(rng *rand.Rand) EndpointSpec {
+	var e EndpointSpec
+	users := []string{"alice", "bob", "carol"}
+	hosts := []string{"h1", "h2", "h3"}
+	if rng.Intn(3) == 0 {
+		e.User = users[rng.Intn(len(users))]
+	}
+	if rng.Intn(3) == 0 {
+		e.Host = hosts[rng.Intn(len(hosts))]
+	}
+	if rng.Intn(3) == 0 {
+		ip := netpkt.IPv4FromUint32(0x0a000000 | uint32(rng.Intn(4)))
+		e.IP = &ip
+	}
+	if rng.Intn(3) == 0 {
+		port := uint16(rng.Intn(3) + 1)
+		e.Port = &port
+	}
+	if rng.Intn(3) == 0 {
+		mac := netpkt.MAC{2, 0, 0, 0, 0, byte(rng.Intn(3) + 1)}
+		e.MAC = &mac
+	}
+	if rng.Intn(4) == 0 {
+		sp := uint32(rng.Intn(3) + 1)
+		e.SwitchPort = &sp
+	}
+	if rng.Intn(4) == 0 {
+		d := uint64(rng.Intn(3) + 1)
+		e.DPID = &d
+	}
+	return e
+}
+
+func randomRule(rng *rand.Rand) Rule {
+	r := Rule{Action: ActionAllow}
+	if rng.Intn(2) == 0 {
+		r.Action = ActionDeny
+	}
+	if rng.Intn(3) == 0 {
+		et := netpkt.EtherTypeIPv4
+		r.Props.EtherType = &et
+		if rng.Intn(2) == 0 {
+			p := []uint8{netpkt.ProtoTCP, netpkt.ProtoUDP}[rng.Intn(2)]
+			r.Props.IPProto = &p
+		}
+	}
+	r.Src = randomSpec(rng)
+	r.Dst = randomSpec(rng)
+	return r
+}
+
+// randomFlow builds a flow drawn from the same small value universe, so
+// matches are reasonably likely.
+func randomFlow(rng *rand.Rand) *FlowView {
+	users := [][]string{nil, {"alice"}, {"bob"}, {"alice", "carol"}}
+	hosts := []string{"", "h1", "h2", "h3"}
+	f := &FlowView{
+		EtherType:  netpkt.EtherTypeIPv4,
+		HasIPProto: true,
+		IPProto:    []uint8{netpkt.ProtoTCP, netpkt.ProtoUDP}[rng.Intn(2)],
+	}
+	mk := func() EndpointAttrs {
+		return EndpointAttrs{
+			Users:         users[rng.Intn(len(users))],
+			Host:          hosts[rng.Intn(len(hosts))],
+			HasIP:         true,
+			IP:            netpkt.IPv4FromUint32(0x0a000000 | uint32(rng.Intn(4))),
+			HasPort:       true,
+			Port:          uint16(rng.Intn(3) + 1),
+			MAC:           netpkt.MAC{2, 0, 0, 0, 0, byte(rng.Intn(3) + 1)},
+			HasSwitchPort: true,
+			SwitchPort:    uint32(rng.Intn(3) + 1),
+			HasDPID:       true,
+			DPID:          uint64(rng.Intn(3) + 1),
+		}
+	}
+	f.Src = mk()
+	f.Dst = mk()
+	return f
+}
+
+func TestPropertyOverlapsSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		a, b := randomRule(rng), randomRule(rng)
+		if a.Overlaps(&b) != b.Overlaps(&a) {
+			t.Fatalf("Overlaps not symmetric:\n%s\n%s", a.String(), b.String())
+		}
+		if !a.Overlaps(&a) {
+			t.Fatalf("Overlaps not reflexive: %s", a.String())
+		}
+	}
+}
+
+// TestPropertyCommonMatchImpliesOverlap: if both rules match the same flow,
+// they must overlap — the soundness property the Policy Manager's conflict
+// detection depends on.
+func TestPropertyCommonMatchImpliesOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	found := 0
+	for i := 0; i < 50000 && found < 1000; i++ {
+		a, b := randomRule(rng), randomRule(rng)
+		f := randomFlow(rng)
+		if !a.Matches(f) || !b.Matches(f) {
+			continue
+		}
+		found++
+		if !a.Overlaps(&b) {
+			t.Fatalf("rules both match a flow but do not overlap:\na=%s\nb=%s", a.String(), b.String())
+		}
+	}
+	if found == 0 {
+		t.Fatal("no common-match pairs generated")
+	}
+}
+
+// TestPropertyWildcardRuleMatchesEverything: the empty rule matches any
+// flow (the baseline PDP relies on it).
+func TestPropertyWildcardRuleMatchesEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	wildcard := Rule{Action: ActionAllow}
+	for i := 0; i < 2000; i++ {
+		f := randomFlow(rng)
+		if !wildcard.Matches(f) {
+			t.Fatalf("wildcard rule missed flow %+v", f)
+		}
+	}
+}
+
+// TestPropertyQueryDeterministic: repeated queries of an unchanged database
+// return identical decisions even though map iteration order varies.
+func TestPropertyQueryDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewManager()
+	if err := m.RegisterPDP("p1", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterPDP("p2", 20); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		r := randomRule(rng)
+		r.PDP = []string{"p1", "p2"}[rng.Intn(2)]
+		if _, err := m.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		f := randomFlow(rng)
+		first := m.Query(f)
+		for j := 0; j < 5; j++ {
+			again := m.Query(f)
+			if again.Action != first.Action || again.Matched != first.Matched {
+				t.Fatalf("non-deterministic decision for %+v: %+v vs %+v", f, first, again)
+			}
+			if first.Matched && again.Rule.Priority != first.Rule.Priority {
+				t.Fatalf("non-deterministic priority: %+v vs %+v", first.Rule, again.Rule)
+			}
+		}
+		// The winner must actually match and be maximal.
+		if first.Matched {
+			for _, r := range m.Rules() {
+				if r.Matches(f) && r.Priority > first.Rule.Priority {
+					t.Fatalf("query returned non-maximal rule %s over %s", first.Rule.String(), r.String())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,437 @@
+// Package proxy implements the DFI Proxy (paper §III-B, §IV-B): a
+// transparent interposition layer between each OpenFlow switch and the SDN
+// controller. It reserves flow table 0 of every switch for DFI's access
+// control rules by shifting all table references by one as messages cross
+// it, and it routes packet-ins to the Policy Compilation Point before the
+// controller — denied packets never reach the controller at all, so a
+// malicious or faulty controller (or its applications) cannot bypass or
+// poison DFI's access control.
+//
+// The proxy keeps only per-connection state, is restartable, and any number
+// of proxies may run in parallel.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/core/pcp"
+	"github.com/dfi-sdn/dfi/internal/harness"
+	"github.com/dfi-sdn/dfi/internal/openflow"
+	"github.com/dfi-sdn/dfi/internal/simclock"
+	"github.com/dfi-sdn/dfi/internal/store"
+)
+
+// Config parameterizes a Proxy.
+type Config struct {
+	// PCP receives new-flow requests before the controller sees them.
+	PCP *pcp.PCP
+	// DialController opens a fresh connection to the controller for each
+	// switch connection (the proxy is one-connection-per-switch on both
+	// sides, like the paper's implementation).
+	DialController func() (io.ReadWriteCloser, error)
+	// Clock and Latency simulate the proxy's forwarding overhead (paper
+	// Table II "Proxy": 0.16 ms); zero by default.
+	Clock   simclock.Clock
+	Latency store.LatencyModel
+}
+
+// Stats exposes aggregate proxy statistics.
+type Stats struct {
+	PacketIns       uint64
+	Denied          uint64
+	DroppedOverload uint64
+	Forwarded       uint64
+}
+
+// Proxy interposes between switches and the controller.
+type Proxy struct {
+	cfg      Config
+	overhead harness.DurationStats
+
+	packetIns atomic.Uint64
+	denied    atomic.Uint64
+	dropped   atomic.Uint64
+	forwarded atomic.Uint64
+}
+
+// New returns a Proxy.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.PCP == nil {
+		return nil, errors.New("proxy: nil PCP")
+	}
+	if cfg.DialController == nil {
+		return nil, errors.New("proxy: nil DialController")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	return &Proxy{cfg: cfg}, nil
+}
+
+// Stats returns a snapshot of aggregate statistics.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		PacketIns:       p.packetIns.Load(),
+		Denied:          p.denied.Load(),
+		DroppedOverload: p.dropped.Load(),
+		Forwarded:       p.forwarded.Load(),
+	}
+}
+
+// Overhead returns the proxy's measured per-packet-in forwarding cost.
+func (p *Proxy) Overhead() *harness.DurationStats { return &p.overhead }
+
+// switchWriter adapts the switch-side connection as the PCP's write and
+// read paths.
+type switchWriter struct {
+	sess *session
+}
+
+var (
+	_ pcp.SwitchClient = (*switchWriter)(nil)
+	_ pcp.FlowReader   = (*switchWriter)(nil)
+)
+
+func (w *switchWriter) WriteFlowMod(fm *openflow.FlowMod) error {
+	_, err := w.sess.sw.Send(fm)
+	return err
+}
+
+// ReadFlows issues a DFI-originated flow-stats request to the switch and
+// waits for the reply, which the relay routes back here instead of to the
+// controller.
+func (w *switchWriter) ReadFlows(req *openflow.FlowStatsRequest) ([]*openflow.FlowStatsEntry, error) {
+	xid, ch := w.sess.registerPending()
+	defer w.sess.unregisterPending(xid)
+	err := w.sess.sw.SendXID(xid, &openflow.MultipartRequest{
+		PartType: openflow.MultipartFlow,
+		Flow:     req,
+	})
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case rep, ok := <-ch:
+		if !ok {
+			return nil, errSessionClosed
+		}
+		return rep.Flows, nil
+	case <-time.After(10 * time.Second):
+		return nil, errStatsTimeout
+	}
+}
+
+var (
+	errSessionClosed = errors.New("proxy: session closed")
+	errStatsTimeout  = errors.New("proxy: flow-stats timeout")
+)
+
+// ServeSwitch handles one switch connection: it dials the controller,
+// relays messages in both directions applying DFI's rewrites, and blocks
+// until either side closes. The caller runs one goroutine per switch.
+func (p *Proxy) ServeSwitch(swStream io.ReadWriteCloser) error {
+	ctlStream, err := p.cfg.DialController()
+	if err != nil {
+		swStream.Close()
+		return fmt.Errorf("proxy: dial controller: %w", err)
+	}
+	sw := openflow.NewConn(swStream)
+	ctl := openflow.NewConn(ctlStream)
+
+	sess := &session{
+		proxy: p,
+		sw:    sw,
+		ctl:   ctl,
+	}
+	defer func() {
+		swStream.Close()
+		ctlStream.Close()
+		if dpid, ok := sess.dpid.Load().(uint64); ok {
+			p.cfg.PCP.DetachSwitch(dpid)
+		}
+		sess.wg.Wait()
+	}()
+
+	errc := make(chan error, 2)
+	var relayWG sync.WaitGroup
+	relayWG.Add(2)
+	go func() {
+		defer relayWG.Done()
+		errc <- sess.relaySwitchToController()
+	}()
+	go func() {
+		defer relayWG.Done()
+		errc <- sess.relayControllerToSwitch()
+	}()
+	err = <-errc
+	// Unblock the other relay.
+	swStream.Close()
+	ctlStream.Close()
+	relayWG.Wait()
+	<-errc
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
+		return nil
+	}
+	return err
+}
+
+// session is the per-switch-connection relay state.
+type session struct {
+	proxy *Proxy
+	sw    *openflow.Conn
+	ctl   *openflow.Conn
+	dpid  atomic.Value // uint64, set from the features reply
+	wg    sync.WaitGroup
+
+	// pending maps DFI-originated multipart xids to reply channels. DFI
+	// xids carry the top bit to stay clear of controller transaction ids.
+	pendingMu sync.Mutex
+	pending   map[uint32]chan *openflow.MultipartReply
+	nextXID   uint32
+}
+
+func (s *session) registerPending() (uint32, chan *openflow.MultipartReply) {
+	s.pendingMu.Lock()
+	defer s.pendingMu.Unlock()
+	if s.pending == nil {
+		s.pending = make(map[uint32]chan *openflow.MultipartReply)
+	}
+	s.nextXID++
+	xid := 0x80000000 | s.nextXID
+	ch := make(chan *openflow.MultipartReply, 1)
+	s.pending[xid] = ch
+	return xid, ch
+}
+
+func (s *session) unregisterPending(xid uint32) {
+	s.pendingMu.Lock()
+	defer s.pendingMu.Unlock()
+	delete(s.pending, xid)
+}
+
+// takePending routes a reply to a waiting DFI read, reporting whether it
+// was consumed.
+func (s *session) takePending(xid uint32, rep *openflow.MultipartReply) bool {
+	s.pendingMu.Lock()
+	ch, ok := s.pending[xid]
+	if ok {
+		delete(s.pending, xid)
+	}
+	s.pendingMu.Unlock()
+	if !ok {
+		return false
+	}
+	ch <- rep
+	return true
+}
+
+func (s *session) relaySwitchToController() error {
+	for {
+		xid, msg, err := s.sw.Recv()
+		if err != nil {
+			return err
+		}
+		if err := s.handleFromSwitch(xid, msg); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *session) handleFromSwitch(xid uint32, msg openflow.Message) error {
+	p := s.proxy
+	switch m := msg.(type) {
+	case *openflow.FeaturesReply:
+		// Learn the datapath id and register the DFI write path for it.
+		s.dpid.Store(m.DatapathID)
+		p.cfg.PCP.AttachSwitch(m.DatapathID, &switchWriter{sess: s})
+		// Hide table 0 from the controller.
+		out := *m
+		if out.NumTables > 1 {
+			out.NumTables--
+		}
+		return s.ctl.SendXID(xid, &out)
+
+	case *openflow.PacketIn:
+		return s.handlePacketIn(xid, m)
+
+	case *openflow.FlowRemoved:
+		if m.TableID == 0 {
+			// DFI's own rules: consumed, never shown to the controller.
+			return nil
+		}
+		out := *m
+		out.TableID--
+		return s.ctl.SendXID(xid, &out)
+
+	case *openflow.MultipartReply:
+		if s.takePending(xid, m) {
+			return nil // a DFI-originated read, not the controller's
+		}
+		if m.PartType == openflow.MultipartTable {
+			// Hide table 0's row and renumber the rest for the
+			// controller's table space.
+			out := &openflow.MultipartReply{PartType: m.PartType, Flags: m.Flags}
+			for _, ts := range m.Tables {
+				if ts.TableID == 0 {
+					continue
+				}
+				cp := *ts
+				cp.TableID--
+				out.Tables = append(out.Tables, &cp)
+			}
+			return s.ctl.SendXID(xid, out)
+		}
+		if m.PartType != openflow.MultipartFlow {
+			return s.ctl.SendXID(xid, m)
+		}
+		out := &openflow.MultipartReply{PartType: m.PartType, Flags: m.Flags}
+		for _, fs := range m.Flows {
+			if fs.TableID == 0 {
+				continue // DFI's rules are invisible to the controller
+			}
+			cp := *fs
+			cp.TableID--
+			cp.Instructions = shiftInstructions(cp.Instructions, -1)
+			out.Flows = append(out.Flows, &cp)
+		}
+		return s.ctl.SendXID(xid, out)
+
+	default:
+		return s.ctl.SendXID(xid, msg)
+	}
+}
+
+func (s *session) handlePacketIn(xid uint32, pi *openflow.PacketIn) error {
+	p := s.proxy
+	p.packetIns.Add(1)
+
+	// A miss in table 1 or higher can only be reached through DFI's
+	// table-0 rules (goto-table): the flow was already admitted. Those
+	// packet-ins belong to the controller's forwarding logic; relay them
+	// with the table id shifted, without re-evaluating policy.
+	if pi.TableID > 0 {
+		out := *pi
+		out.TableID--
+		if err := s.ctl.SendXID(xid, &out); err != nil {
+			return err
+		}
+		p.forwarded.Add(1)
+		return nil
+	}
+
+	t0 := p.cfg.Clock.Now()
+	store.Charge(p.cfg.Clock, p.cfg.Latency)
+
+	dpid, ok := s.dpid.Load().(uint64)
+	if !ok {
+		// Packet-in before the features exchange: indistinguishable
+		// switches cannot be policy-checked; drop.
+		p.dropped.Add(1)
+		return nil
+	}
+
+	req := &pcp.Request{
+		DPID:     dpid,
+		PacketIn: pi,
+		Done: func(dec pcp.Decision) {
+			defer s.wg.Done()
+			if !dec.Allow {
+				// Denied (or unevaluable) packets never reach the
+				// controller, so it cannot be poisoned by them.
+				p.denied.Add(1)
+				return
+			}
+			out := *pi
+			if out.TableID > 0 {
+				out.TableID--
+			}
+			if err := s.ctl.SendXID(xid, &out); err == nil {
+				p.forwarded.Add(1)
+			}
+		},
+	}
+	s.wg.Add(1)
+	if !p.cfg.PCP.Submit(req) {
+		s.wg.Done()
+		p.dropped.Add(1)
+	}
+	p.overhead.Add(p.cfg.Clock.Now().Sub(t0))
+	return nil
+}
+
+func (s *session) relayControllerToSwitch() error {
+	for {
+		xid, msg, err := s.ctl.Recv()
+		if err != nil {
+			return err
+		}
+		if err := s.handleFromController(xid, msg); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *session) handleFromController(xid uint32, msg openflow.Message) error {
+	switch m := msg.(type) {
+	case *openflow.FlowMod:
+		out := *m
+		if out.TableID != openflow.AllTables {
+			out.TableID++
+		}
+		out.Instructions = shiftInstructions(out.Instructions, +1)
+		return s.sw.SendXID(xid, &out)
+
+	case *openflow.MultipartRequest:
+		if (m.PartType != openflow.MultipartFlow && m.PartType != openflow.MultipartAggregate) || m.Flow == nil {
+			return s.sw.SendXID(xid, m)
+		}
+		out := *m
+		flow := *m.Flow
+		if flow.TableID != openflow.AllTables {
+			flow.TableID++
+		} else {
+			// ALL from the controller means "all controller tables":
+			// tables 1 and up. The switch cannot express that in one
+			// request, so ask for ALL and rely on the reply filter to
+			// hide table 0.
+		}
+		out.Flow = &flow
+		return s.sw.SendXID(xid, &out)
+
+	case *openflow.TableMod:
+		out := *m
+		if out.TableID != openflow.AllTables {
+			out.TableID++
+		}
+		return s.sw.SendXID(xid, &out)
+
+	default:
+		return s.sw.SendXID(xid, msg)
+	}
+}
+
+// shiftInstructions returns a copy of instrs with goto-table targets
+// shifted by delta; other instructions are shared as-is.
+func shiftInstructions(instrs []openflow.Instruction, delta int) []openflow.Instruction {
+	if len(instrs) == 0 {
+		return instrs
+	}
+	out := make([]openflow.Instruction, len(instrs))
+	for i, in := range instrs {
+		if gt, ok := in.(*openflow.InstructionGotoTable); ok {
+			shifted := int(gt.TableID) + delta
+			if shifted < 0 {
+				shifted = 0
+			}
+			out[i] = &openflow.InstructionGotoTable{TableID: uint8(shifted)}
+		} else {
+			out[i] = in
+		}
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/bufpipe"
+	"github.com/dfi-sdn/dfi/internal/controller"
+	"github.com/dfi-sdn/dfi/internal/harness"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/simclock"
+	"github.com/dfi-sdn/dfi/internal/switchsim"
+)
+
+// Fig4Config parameterizes the TTFB-vs-load experiment (§V-A Figure 4).
+type Fig4Config struct {
+	// Rates are the background new-flow arrival rates (flows/sec) to
+	// sweep (default 0–1000 step 100).
+	Rates []int
+	// Samples is the TTFB measurement count per rate (default 25).
+	Samples int
+	// Calibrated applies the paper's latency profile to DFI and an
+	// ONOS-like reactive-forwarding cost to the controller.
+	Calibrated bool
+	// Seed drives background fuzzing.
+	Seed int64
+	// RTO is the client's SYN retransmission timeout (default 200 ms) —
+	// dropped flows re-enter the control plane on retransmission, which
+	// is what makes the paper's mean TTFB plateau around 200 ms past
+	// saturation.
+	RTO time.Duration
+	// FlowTimeout gives up on a connection (default 2 s); timed-out
+	// samples contribute FlowTimeout to the mean, as a user would
+	// experience.
+	FlowTimeout time.Duration
+}
+
+func (c *Fig4Config) setDefaults() {
+	if len(c.Rates) == 0 {
+		for r := 0; r <= 1000; r += 100 {
+			c.Rates = append(c.Rates, r)
+		}
+	}
+	if c.Samples <= 0 {
+		c.Samples = 25
+	}
+	if c.RTO <= 0 {
+		c.RTO = 200 * time.Millisecond
+	}
+	if c.FlowTimeout <= 0 {
+		c.FlowTimeout = 2 * time.Second
+	}
+}
+
+// Fig4Point is one point of one curve.
+type Fig4Point struct {
+	Rate     int
+	TTFB     StatRow
+	Timeouts int
+}
+
+// Fig4Result holds both curves of Figure 4.
+type Fig4Result struct {
+	WithDFI    []Fig4Point
+	WithoutDFI []Fig4Point
+}
+
+// Render prints the two series as aligned columns.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 4: Time to First Byte (TTFB) vs. flow arrival rate\n")
+	fmt.Fprintf(&b, "%-12s %-26s %-26s\n", "flows/sec", "TTFB with DFI", "TTFB without DFI")
+	for i := range r.WithDFI {
+		with := r.WithDFI[i]
+		var without Fig4Point
+		if i < len(r.WithoutDFI) {
+			without = r.WithoutDFI[i]
+		}
+		fmt.Fprintf(&b, "%-12d %-26s %-26s\n", with.Rate, with.TTFB, without.TTFB)
+	}
+	return b.String()
+}
+
+// RunFig4 sweeps background load for both conditions.
+func RunFig4(cfg Fig4Config) (*Fig4Result, error) {
+	cfg.setDefaults()
+	res := &Fig4Result{}
+	for _, rate := range cfg.Rates {
+		p, err := runFig4Point(cfg, rate, true)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 with DFI @%d: %w", rate, err)
+		}
+		res.WithDFI = append(res.WithDFI, p)
+	}
+	for _, rate := range cfg.Rates {
+		p, err := runFig4Point(cfg, rate, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 without DFI @%d: %w", rate, err)
+		}
+		res.WithoutDFI = append(res.WithoutDFI, p)
+	}
+	return res, nil
+}
+
+// fig4Host is the measurement client/responder pair's addressing.
+var (
+	fig4MACA = netpkt.MustParseMAC("02:f4:00:00:00:0a")
+	fig4MACB = netpkt.MustParseMAC("02:f4:00:00:00:0b")
+	fig4IPA  = netpkt.MustParseIPv4("10.99.0.10")
+	fig4IPB  = netpkt.MustParseIPv4("10.99.0.11")
+)
+
+func runFig4Point(cfg Fig4Config, rate int, withDFI bool) (Fig4Point, error) {
+	sw := switchsim.NewSwitch(switchsim.Config{DPID: 1, TableCapacity: 1 << 16})
+
+	// Control plane: either DFI fronting the controller, or the
+	// controller alone.
+	var closeCP func()
+	swEnd, cpEnd := bufpipe.New()
+	go func() { _ = sw.ServeControl(swEnd) }()
+	if withDFI {
+		// Capacity tuned to the paper's Figure 4: saturation begins near
+		// 700–800 flows/sec, and the bounded queue caps queueing delay so
+		// the post-saturation mean plateaus around 200 ms (drops + SYN
+		// retransmission re-entry).
+		r, err := newRig(cfg.Calibrated, cfg.Seed, 128, 4)
+		if err != nil {
+			return Fig4Point{}, err
+		}
+		if err := r.installAllowAll(); err != nil {
+			r.close()
+			return Fig4Point{}, err
+		}
+		go func() { _ = r.sys.ServeSwitch(cpEnd) }()
+		closeCP = r.close
+	} else {
+		var ctlLatency = controllerLatency(cfg.Seed + 100)
+		if !cfg.Calibrated {
+			ctlLatency = nil
+		}
+		ctl := controller.New(controller.Config{
+			Clock:             simclock.Real{},
+			ProcessingLatency: ctlLatency,
+			MaxConcurrent:     256,
+		})
+		go func() { _ = ctl.Serve(cpEnd) }()
+		closeCP = func() {}
+	}
+	defer func() {
+		swEnd.Close()
+		cpEnd.Close()
+		closeCP()
+	}()
+	if !sw.WaitConfigured(5 * time.Second) {
+		return Fig4Point{}, fmt.Errorf("switch never configured")
+	}
+
+	// Client A (port 1) with per-destination-port waiters.
+	var waiters sync.Map // uint16 (A's src port) -> chan struct{}
+	if err := sw.AttachPort(1, func(frame []byte) {
+		k, err := netpkt.ExtractFlowKey(frame)
+		if err != nil || !k.HasL4 || k.IPProto != netpkt.ProtoTCP {
+			return
+		}
+		if ch, ok := waiters.Load(k.L4Dst); ok {
+			select {
+			case ch.(chan struct{}) <- struct{}{}:
+			default:
+			}
+		}
+	}); err != nil {
+		return Fig4Point{}, err
+	}
+
+	// Responder B (port 2): SYN-ACKs every SYN addressed to it.
+	if err := sw.AttachPort(2, func(frame []byte) {
+		k, err := netpkt.ExtractFlowKey(frame)
+		if err != nil || !k.HasL4 || k.IPProto != netpkt.ProtoTCP || k.EthDst != fig4MACB {
+			return
+		}
+		synAck := netpkt.BuildTCP(fig4MACB, k.EthSrc, fig4IPB, k.IPSrc, &netpkt.TCPSegment{
+			SrcPort: k.L4Dst, DstPort: k.L4Src,
+			Flags: netpkt.TCPSyn | netpkt.TCPAck,
+		})
+		go sw.Inject(2, synAck)
+	}); err != nil {
+		return Fig4Point{}, err
+	}
+
+	// Background sinks.
+	for port := uint32(3); port <= 6; port++ {
+		if err := sw.AttachPort(port, func([]byte) {}); err != nil {
+			return Fig4Point{}, err
+		}
+	}
+
+	// Background traffic: randomized Ethernet flows at the target rate.
+	stopBG := make(chan struct{})
+	var bgWG sync.WaitGroup
+	if rate > 0 {
+		bgWG.Add(1)
+		go func() {
+			defer bgWG.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(rate)))
+			const tick = 5 * time.Millisecond
+			perTick := float64(rate) * tick.Seconds()
+			carry := 0.0
+			ticker := time.NewTicker(tick)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopBG:
+					return
+				case <-ticker.C:
+					carry += perTick
+					for ; carry >= 1; carry-- {
+						var src, dst netpkt.MAC
+						src[0], dst[0] = 0x02, 0x02
+						for i := 1; i < 6; i++ {
+							src[i] = byte(rng.Intn(256))
+							dst[i] = byte(rng.Intn(256))
+						}
+						frame := netpkt.BuildTCP(src, dst,
+							netpkt.IPv4FromUint32(0x0a600000|uint32(rng.Intn(1<<16))),
+							netpkt.IPv4FromUint32(0x0a610000|uint32(rng.Intn(1<<16))),
+							&netpkt.TCPSegment{
+								SrcPort: uint16(1024 + rng.Intn(60000)),
+								DstPort: uint16(1 + rng.Intn(1024)),
+								Flags:   netpkt.TCPSyn,
+							})
+						sw.Inject(3, frame)
+					}
+				}
+			}
+		}()
+	}
+	defer func() {
+		close(stopBG)
+		bgWG.Wait()
+	}()
+
+	time.Sleep(300 * time.Millisecond) // warm-up under load
+
+	stats := &harness.DurationStats{}
+	timeouts := 0
+	for i := 0; i < cfg.Samples; i++ {
+		srcPort := uint16(20000 + i)
+		ch := make(chan struct{}, 1)
+		waiters.Store(srcPort, ch)
+		ttfb, ok := connectOnce(sw, srcPort, ch, cfg.RTO, cfg.FlowTimeout)
+		waiters.Delete(srcPort)
+		stats.Add(ttfb)
+		if !ok {
+			timeouts++
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return Fig4Point{
+		Rate:     rate,
+		TTFB:     StatRow{Mean: stats.Mean(), StdDev: stats.StdDev()},
+		Timeouts: timeouts,
+	}, nil
+}
+
+// connectOnce sends a SYN (retransmitting on RTO) and waits for the
+// SYN-ACK, returning the time to first byte.
+func connectOnce(sw *switchsim.Switch, srcPort uint16, ch chan struct{}, rto, timeout time.Duration) (time.Duration, bool) {
+	syn := netpkt.BuildTCP(fig4MACA, fig4MACB, fig4IPA, fig4IPB, &netpkt.TCPSegment{
+		SrcPort: srcPort, DstPort: 80, Flags: netpkt.TCPSyn,
+	})
+	start := time.Now()
+	deadline := start.Add(timeout)
+	for {
+		sw.Inject(1, syn)
+		wait := rto
+		if remain := time.Until(deadline); remain < wait {
+			wait = remain
+		}
+		if wait <= 0 {
+			return timeout, false
+		}
+		select {
+		case <-ch:
+			return time.Since(start), true
+		case <-time.After(wait):
+			if !time.Now().Before(deadline) {
+				return timeout, false
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/bufpipe"
+	"github.com/dfi-sdn/dfi/internal/cbench"
+)
+
+// MicrobenchConfig parameterizes the Table I / Table II runs.
+type MicrobenchConfig struct {
+	// Flows is the latency-mode sample count (default 200).
+	Flows int
+	// Trials is the number of throughput-mode trials (default 3; the
+	// paper reports ±39 flows/sec across trials).
+	Trials int
+	// TrialDuration is each throughput trial's length (default 2s).
+	TrialDuration time.Duration
+	// OfferedRate floods the control plane in throughput mode (default
+	// 5000 flows/sec, well past saturation).
+	OfferedRate int
+	// Calibrated applies the paper's measured latency profile; without it
+	// the benchmark reports this implementation's native speed.
+	Calibrated bool
+	// Seed drives fuzzing and latency sampling.
+	Seed int64
+	// QueueDepth/Workers configure the PCP (defaults 512/8; 8 workers ×
+	// 5.73 ms/flow ≈ the paper's 1350 flows/sec saturation).
+	QueueDepth int
+	Workers    int
+}
+
+func (c *MicrobenchConfig) setDefaults() {
+	if c.Flows <= 0 {
+		c.Flows = 200
+	}
+	if c.Trials <= 0 {
+		c.Trials = 3
+	}
+	if c.TrialDuration <= 0 {
+		c.TrialDuration = 2 * time.Second
+	}
+	if c.OfferedRate <= 0 {
+		c.OfferedRate = 5000
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 512
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+}
+
+// Table1Result reproduces "Table I: DFI Performance Microbenchmarks".
+type Table1Result struct {
+	Latency           StatRow
+	ThroughputMean    float64 // flows/sec at saturation
+	ThroughputStdDev  float64
+	LatencySamples    uint64
+	ThroughputSamples int
+}
+
+// Render prints the table in the paper's row format.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE I: DFI Performance Microbenchmarks\n")
+	fmt.Fprintf(&b, "%-32s %s\n", "Metric", "Mean ± Std. Dev.")
+	fmt.Fprintf(&b, "%-32s %s\n", "Latency (under no load)", r.Latency)
+	fmt.Fprintf(&b, "%-32s %.0f flows/sec ± %.0f flows/sec\n",
+		"Throughput (at saturation)", r.ThroughputMean, r.ThroughputStdDev)
+	return b.String()
+}
+
+// RunTable1 measures DFI's flow-start latency under no load and its
+// saturation throughput using the cbench emulator, exactly as §V-A does.
+func RunTable1(cfg MicrobenchConfig) (*Table1Result, error) {
+	cfg.setDefaults()
+
+	// Latency under no load: a dedicated rig with a serial bench.
+	r, err := newRig(cfg.Calibrated, cfg.Seed, cfg.QueueDepth, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	defer r.close()
+	swEnd, cpEnd := bufpipe.New()
+	go func() { _ = r.sys.ServeSwitch(cpEnd) }()
+	bench, err := cbench.New(swEnd, cbench.Config{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := bench.WaitReady(5 * time.Second); err != nil {
+		return nil, err
+	}
+	lat, err := bench.Latency(cfg.Flows)
+	if err != nil {
+		return nil, fmt.Errorf("latency mode: %w", err)
+	}
+
+	// Throughput at saturation: fresh rigs per trial so drops from one
+	// trial do not linger in the next.
+	var rates []float64
+	for trial := 0; trial < cfg.Trials; trial++ {
+		rt, err := newRig(cfg.Calibrated, cfg.Seed+int64(trial)+1, cfg.QueueDepth, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		tSwEnd, tCpEnd := bufpipe.New()
+		go func() { _ = rt.sys.ServeSwitch(tCpEnd) }()
+		tb, err := cbench.New(tSwEnd, cbench.Config{Seed: cfg.Seed + int64(trial) + 1})
+		if err != nil {
+			rt.close()
+			return nil, err
+		}
+		if err := tb.WaitReady(5 * time.Second); err != nil {
+			rt.close()
+			return nil, err
+		}
+		rate, err := tb.Throughput(cfg.TrialDuration, cfg.OfferedRate)
+		rt.close()
+		if err != nil {
+			return nil, fmt.Errorf("throughput trial %d: %w", trial, err)
+		}
+		rates = append(rates, rate)
+	}
+	mean, std := meanStd(rates)
+
+	return &Table1Result{
+		Latency:           StatRow{Mean: lat.Mean(), StdDev: lat.StdDev()},
+		ThroughputMean:    mean,
+		ThroughputStdDev:  std,
+		LatencySamples:    lat.N(),
+		ThroughputSamples: cfg.Trials,
+	}, nil
+}
+
+// Table2Result reproduces "Table II: Latency Breakdown".
+type Table2Result struct {
+	BindingQuery StatRow
+	PolicyQuery  StatRow
+	OtherPCP     StatRow
+	Proxy        StatRow
+	Overall      StatRow
+}
+
+// Render prints the table in the paper's row format.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE II: Latency Breakdown\n")
+	fmt.Fprintf(&b, "%-28s %s\n", "Component", "Mean Latency ± Std. Dev.")
+	fmt.Fprintf(&b, "%-28s %s\n", "Binding Query", r.BindingQuery)
+	fmt.Fprintf(&b, "%-28s %s\n", "Policy Query", r.PolicyQuery)
+	fmt.Fprintf(&b, "%-28s %s\n", "Other PCP Processing", r.OtherPCP)
+	fmt.Fprintf(&b, "%-28s %s\n", "Proxy", r.Proxy)
+	fmt.Fprintf(&b, "%-28s %s\n", "Overall", r.Overall)
+	return b.String()
+}
+
+// RunTable2 measures the per-flow time spent in each DFI subtask using the
+// PCP's stage instrumentation during a latency-mode run.
+func RunTable2(cfg MicrobenchConfig) (*Table2Result, error) {
+	cfg.setDefaults()
+	r, err := newRig(cfg.Calibrated, cfg.Seed, cfg.QueueDepth, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	defer r.close()
+	swEnd, cpEnd := bufpipe.New()
+	go func() { _ = r.sys.ServeSwitch(cpEnd) }()
+	bench, err := cbench.New(swEnd, cbench.Config{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := bench.WaitReady(5 * time.Second); err != nil {
+		return nil, err
+	}
+	lat, err := bench.Latency(cfg.Flows)
+	if err != nil {
+		return nil, fmt.Errorf("latency mode: %w", err)
+	}
+	m := r.sys.PCP().Metrics()
+	overhead := r.sys.DFIProxy().Overhead()
+	return &Table2Result{
+		BindingQuery: StatRow{Mean: m.BindingQuery.Mean(), StdDev: m.BindingQuery.StdDev()},
+		PolicyQuery:  StatRow{Mean: m.PolicyQuery.Mean(), StdDev: m.PolicyQuery.StdDev()},
+		OtherPCP:     StatRow{Mean: m.OtherPCP.Mean(), StdDev: m.OtherPCP.StdDev()},
+		Proxy:        StatRow{Mean: overhead.Mean(), StdDev: overhead.StdDev()},
+		Overall:      StatRow{Mean: lat.Mean(), StdDev: lat.StdDev()},
+	}, nil
+}
+
+func meanStd(xs []float64) (float64, float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}

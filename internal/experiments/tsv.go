@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// TSV renderers: one tab-separated table per experiment, for plotting the
+// figures with external tools (dfi-bench -o <dir> writes these).
+
+// TSV renders Table I.
+func (r *Table1Result) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "metric\tmean\tstddev\tunit\n")
+	fmt.Fprintf(&b, "latency\t%.4f\t%.4f\tms\n",
+		ms(r.Latency.Mean), ms(r.Latency.StdDev))
+	fmt.Fprintf(&b, "throughput\t%.1f\t%.1f\tflows/sec\n",
+		r.ThroughputMean, r.ThroughputStdDev)
+	return b.String()
+}
+
+// TSV renders Table II.
+func (r *Table2Result) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "component\tmean_ms\tstddev_ms\n")
+	rows := []struct {
+		name string
+		row  StatRow
+	}{
+		{name: "binding_query", row: r.BindingQuery},
+		{name: "policy_query", row: r.PolicyQuery},
+		{name: "other_pcp", row: r.OtherPCP},
+		{name: "proxy", row: r.Proxy},
+		{name: "overall", row: r.Overall},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%s\t%.4f\t%.4f\n", row.name, ms(row.row.Mean), ms(row.row.StdDev))
+	}
+	return b.String()
+}
+
+// TSV renders Figure 4's two series.
+func (r *Fig4Result) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rate_fps\twith_dfi_ms\twith_dfi_std_ms\twith_dfi_timeouts\twithout_dfi_ms\twithout_dfi_std_ms\twithout_dfi_timeouts\n")
+	for i := range r.WithDFI {
+		with := r.WithDFI[i]
+		var without Fig4Point
+		if i < len(r.WithoutDFI) {
+			without = r.WithoutDFI[i]
+		}
+		fmt.Fprintf(&b, "%d\t%.4f\t%.4f\t%d\t%.4f\t%.4f\t%d\n",
+			with.Rate,
+			ms(with.TTFB.Mean), ms(with.TTFB.StdDev), with.Timeouts,
+			ms(without.TTFB.Mean), ms(without.TTFB.StdDev), without.Timeouts)
+	}
+	return b.String()
+}
+
+// TSV renders Figure 5a's three cumulative series (first hour by minute).
+func (r *Fig5aResult) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "minute\tbaseline\tsrbac\tatrbac\ttotal_hosts\n")
+	span := time.Hour
+	base := r.Baseline.Timeline(r.Interval, span)
+	srb := r.SRBAC.Timeline(r.Interval, span)
+	atr := r.ATRBAC.Timeline(r.Interval, span)
+	for i := range base {
+		fmt.Fprintf(&b, "%d\t%d\t%d\t%d\t%d\n",
+			i*int(r.Interval/time.Minute), base[i], srb[i], atr[i], r.Baseline.TotalHosts)
+	}
+	return b.String()
+}
+
+// TSV renders Figure 5b.
+func (r *Fig5bResult) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hour\tinfected\ttotal\tfoothold\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%d\t%d\t%d\t%s\n", p.Hour, p.Infected, p.Total, p.Foothold)
+	}
+	return b.String()
+}
+
+// TSV renders the incident-response extension sweep.
+func (r *IncidentResult) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "condition\tresponse_delay_s\tinfected\ttotal\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%s\t%.0f\t%d\t%d\n", p.Condition, p.Delay.Seconds(), p.Infected, p.Total)
+	}
+	return b.String()
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,142 @@
+// Package harness provides the experiment machinery that regenerates the
+// paper's tables and figures: online statistics, workload generators,
+// parameter sweeps and plain-text table/series renderers.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Welford accumulates streaming mean and variance (Welford's algorithm).
+// It is safe for concurrent use.
+type Welford struct {
+	mu   sync.Mutex
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		w.min = math.Min(w.min, x)
+		w.max = math.Max(w.max, x)
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the observation count.
+func (w *Welford) N() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Mean returns the sample mean (zero when empty).
+func (w *Welford) Mean() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.mean
+}
+
+// StdDev returns the sample standard deviation (zero for n < 2).
+func (w *Welford) StdDev() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// Min returns the smallest observation (zero when empty).
+func (w *Welford) Min() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.min
+}
+
+// Max returns the largest observation (zero when empty).
+func (w *Welford) Max() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.max
+}
+
+// Reset discards all observations.
+func (w *Welford) Reset() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.n, w.mean, w.m2, w.min, w.max = 0, 0, 0, 0, 0
+}
+
+// DurationStats accumulates time.Duration observations.
+type DurationStats struct {
+	w Welford
+}
+
+// Add incorporates one duration.
+func (d *DurationStats) Add(v time.Duration) { d.w.Add(float64(v)) }
+
+// N returns the observation count.
+func (d *DurationStats) N() uint64 { return d.w.N() }
+
+// Mean returns the mean duration.
+func (d *DurationStats) Mean() time.Duration { return time.Duration(d.w.Mean()) }
+
+// StdDev returns the sample standard deviation.
+func (d *DurationStats) StdDev() time.Duration { return time.Duration(d.w.StdDev()) }
+
+// Min returns the smallest observation.
+func (d *DurationStats) Min() time.Duration { return time.Duration(d.w.Min()) }
+
+// Max returns the largest observation.
+func (d *DurationStats) Max() time.Duration { return time.Duration(d.w.Max()) }
+
+// Reset discards all observations.
+func (d *DurationStats) Reset() { d.w.Reset() }
+
+// String renders mean ± σ in milliseconds, the paper's format.
+func (d *DurationStats) String() string {
+	return fmt.Sprintf("%.2fms ± %.2fms",
+		float64(d.Mean())/float64(time.Millisecond),
+		float64(d.StdDev())/float64(time.Millisecond))
+}
+
+// Percentile computes the p-th percentile (0–100) of samples using linear
+// interpolation. The input is not modified.
+func Percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}

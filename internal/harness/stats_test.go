@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if got := w.Mean(); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if got := w.StdDev(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", got, want)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", w.Min(), w.Max())
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.StdDev() != 0 || w.N() != 0 {
+		t.Fatal("empty Welford not zero")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.StdDev() != 0 {
+		t.Fatalf("single-sample Mean/StdDev = %v/%v", w.Mean(), w.StdDev())
+	}
+}
+
+func TestWelfordReset(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	w.Add(2)
+	w.Reset()
+	if w.N() != 0 || w.Mean() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, v := range raw {
+			w.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		var ss float64
+		for _, v := range raw {
+			ss += (float64(v) - mean) * (float64(v) - mean)
+		}
+		naiveStd := math.Sqrt(ss / float64(len(raw)-1))
+		return math.Abs(w.Mean()-mean) < 1e-6 && math.Abs(w.StdDev()-naiveStd) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordConcurrent(t *testing.T) {
+	var w Welford
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				w.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if w.N() != 8000 || w.Mean() != 1 {
+		t.Fatalf("N=%d Mean=%v", w.N(), w.Mean())
+	}
+}
+
+func TestDurationStatsString(t *testing.T) {
+	var d DurationStats
+	d.Add(5 * time.Millisecond)
+	d.Add(7 * time.Millisecond)
+	if got := d.String(); got != "6.00ms ± 1.41ms" {
+		t.Fatalf("String() = %q", got)
+	}
+	if d.Min() != 5*time.Millisecond || d.Max() != 7*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", d.Min(), d.Max())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	samples := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
+		4 * time.Millisecond, 5 * time.Millisecond,
+	}
+	tests := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{p: 0, want: 1 * time.Millisecond},
+		{p: 50, want: 3 * time.Millisecond},
+		{p: 100, want: 5 * time.Millisecond},
+		{p: 25, want: 2 * time.Millisecond},
+		{p: 125, want: 5 * time.Millisecond},
+		{p: -3, want: 1 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		if got := Percentile(samples, tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v", got)
+	}
+	// The input must not be reordered.
+	unsorted := []time.Duration{3, 1, 2}
+	_ = Percentile(unsorted, 50)
+	if unsorted[0] != 3 || unsorted[1] != 1 || unsorted[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}

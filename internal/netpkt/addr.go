@@ -1,0 +1,105 @@
+// Package netpkt implements serialization and parsing for the packet
+// formats DFI's data plane carries: Ethernet II, ARP, IPv4, TCP, UDP and
+// ICMP. It is the from-scratch substrate standing in for real NICs and OS
+// network stacks on the paper's testbed.
+package netpkt
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MAC is a 48-bit Ethernet hardware address.
+type MAC [6]byte
+
+// Broadcast is the all-ones Ethernet broadcast address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String renders the address in colon-separated lowercase hex.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether m is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == Broadcast }
+
+// IsZero reports whether m is the all-zero address.
+func (m MAC) IsZero() bool { return m == MAC{} }
+
+// ParseMAC parses a colon-separated hex MAC address.
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	parts := strings.Split(s, ":")
+	if len(parts) != 6 {
+		return m, fmt.Errorf("parse MAC %q: want 6 octets, got %d", s, len(parts))
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 16, 8)
+		if err != nil {
+			return m, fmt.Errorf("parse MAC %q: octet %d: %w", s, i, err)
+		}
+		m[i] = byte(v)
+	}
+	return m, nil
+}
+
+// MustParseMAC is ParseMAC that panics on error; for tests and fixtures.
+func MustParseMAC(s string) MAC {
+	m, err := ParseMAC(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// IPv4 is a 32-bit IPv4 address.
+type IPv4 [4]byte
+
+// String renders the address in dotted-quad form.
+func (ip IPv4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// IsZero reports whether ip is 0.0.0.0.
+func (ip IPv4) IsZero() bool { return ip == IPv4{} }
+
+// Uint32 returns the address as a big-endian uint32.
+func (ip IPv4) Uint32() uint32 {
+	return uint32(ip[0])<<24 | uint32(ip[1])<<16 | uint32(ip[2])<<8 | uint32(ip[3])
+}
+
+// IPv4FromUint32 converts a big-endian uint32 to an IPv4 address.
+func IPv4FromUint32(v uint32) IPv4 {
+	return IPv4{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+}
+
+// ParseIPv4 parses a dotted-quad IPv4 address.
+func ParseIPv4(s string) (IPv4, error) {
+	var ip IPv4
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return ip, fmt.Errorf("parse IPv4 %q: want 4 octets, got %d", s, len(parts))
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return ip, fmt.Errorf("parse IPv4 %q: octet %d: %w", s, i, err)
+		}
+		ip[i] = byte(v)
+	}
+	return ip, nil
+}
+
+// MustParseIPv4 is ParseIPv4 that panics on error; for tests and fixtures.
+func MustParseIPv4(s string) IPv4 {
+	ip, err := ParseIPv4(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// ErrTruncated reports a buffer too short for the format being parsed.
+var ErrTruncated = errors.New("netpkt: truncated packet")

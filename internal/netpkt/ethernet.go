@@ -1,0 +1,99 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EtherType values used by the data plane.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+)
+
+// IP protocol numbers used by the data plane.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// Ethernet is an Ethernet II frame.
+type Ethernet struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+	Payload   []byte
+}
+
+const ethernetHeaderLen = 14
+
+// Marshal serializes the frame.
+func (e *Ethernet) Marshal() []byte {
+	b := make([]byte, ethernetHeaderLen+len(e.Payload))
+	copy(b[0:6], e.Dst[:])
+	copy(b[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], e.EtherType)
+	copy(b[ethernetHeaderLen:], e.Payload)
+	return b
+}
+
+// UnmarshalEthernet parses an Ethernet II frame. The returned payload
+// aliases b.
+func UnmarshalEthernet(b []byte) (*Ethernet, error) {
+	if len(b) < ethernetHeaderLen {
+		return nil, fmt.Errorf("ethernet: %w", ErrTruncated)
+	}
+	e := &Ethernet{
+		EtherType: binary.BigEndian.Uint16(b[12:14]),
+		Payload:   b[ethernetHeaderLen:],
+	}
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	return e, nil
+}
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARP is an Ethernet/IPv4 ARP packet.
+type ARP struct {
+	Op        uint16
+	SenderMAC MAC
+	SenderIP  IPv4
+	TargetMAC MAC
+	TargetIP  IPv4
+}
+
+const arpLen = 28
+
+// Marshal serializes the ARP packet.
+func (a *ARP) Marshal() []byte {
+	b := make([]byte, arpLen)
+	binary.BigEndian.PutUint16(b[0:2], 1)      // hardware type: Ethernet
+	binary.BigEndian.PutUint16(b[2:4], 0x0800) // protocol type: IPv4
+	b[4] = 6                                   // hardware addr len
+	b[5] = 4                                   // protocol addr len
+	binary.BigEndian.PutUint16(b[6:8], a.Op)
+	copy(b[8:14], a.SenderMAC[:])
+	copy(b[14:18], a.SenderIP[:])
+	copy(b[18:24], a.TargetMAC[:])
+	copy(b[24:28], a.TargetIP[:])
+	return b
+}
+
+// UnmarshalARP parses an ARP packet.
+func UnmarshalARP(b []byte) (*ARP, error) {
+	if len(b) < arpLen {
+		return nil, fmt.Errorf("arp: %w", ErrTruncated)
+	}
+	a := &ARP{Op: binary.BigEndian.Uint16(b[6:8])}
+	copy(a.SenderMAC[:], b[8:14])
+	copy(a.SenderIP[:], b[14:18])
+	copy(a.TargetMAC[:], b[18:24])
+	copy(a.TargetIP[:], b[24:28])
+	return a, nil
+}

@@ -1,0 +1,125 @@
+package netpkt
+
+import "fmt"
+
+// FlowKey is the set of header fields DFI and the switch pipeline match on,
+// extracted from a raw Ethernet frame. Fields beyond EtherType are only
+// meaningful when the corresponding Has* flag is set.
+type FlowKey struct {
+	EthSrc    MAC
+	EthDst    MAC
+	EtherType uint16
+
+	HasIP   bool
+	IPSrc   IPv4
+	IPDst   IPv4
+	IPProto uint8
+
+	HasL4 bool
+	L4Src uint16
+	L4Dst uint16
+}
+
+// String renders the key for logs and error messages.
+func (k FlowKey) String() string {
+	s := fmt.Sprintf("%s->%s type=0x%04x", k.EthSrc, k.EthDst, k.EtherType)
+	if k.HasIP {
+		s += fmt.Sprintf(" %s->%s proto=%d", k.IPSrc, k.IPDst, k.IPProto)
+	}
+	if k.HasL4 {
+		s += fmt.Sprintf(" %d->%d", k.L4Src, k.L4Dst)
+	}
+	return s
+}
+
+// Reverse returns the key for the reverse direction of the same flow.
+func (k FlowKey) Reverse() FlowKey {
+	r := k
+	r.EthSrc, r.EthDst = k.EthDst, k.EthSrc
+	r.IPSrc, r.IPDst = k.IPDst, k.IPSrc
+	r.L4Src, r.L4Dst = k.L4Dst, k.L4Src
+	return r
+}
+
+// ExtractFlowKey parses the headers of a raw Ethernet frame into a FlowKey.
+// For ARP frames the sender/target protocol addresses populate IPSrc/IPDst
+// (mirroring OpenFlow's ARP_SPA/ARP_TPA usage in access-control matches).
+func ExtractFlowKey(frame []byte) (FlowKey, error) {
+	var k FlowKey
+	eth, err := UnmarshalEthernet(frame)
+	if err != nil {
+		return k, err
+	}
+	k.EthSrc = eth.Src
+	k.EthDst = eth.Dst
+	k.EtherType = eth.EtherType
+	switch eth.EtherType {
+	case EtherTypeIPv4:
+		ip, err := UnmarshalIPv4(eth.Payload)
+		if err != nil {
+			return k, err
+		}
+		k.HasIP = true
+		k.IPSrc = ip.Src
+		k.IPDst = ip.Dst
+		k.IPProto = ip.Protocol
+		switch ip.Protocol {
+		case ProtoTCP:
+			t, err := UnmarshalTCP(ip.Payload)
+			if err != nil {
+				return k, err
+			}
+			k.HasL4 = true
+			k.L4Src = t.SrcPort
+			k.L4Dst = t.DstPort
+		case ProtoUDP:
+			u, err := UnmarshalUDP(ip.Payload)
+			if err != nil {
+				return k, err
+			}
+			k.HasL4 = true
+			k.L4Src = u.SrcPort
+			k.L4Dst = u.DstPort
+		}
+	case EtherTypeARP:
+		a, err := UnmarshalARP(eth.Payload)
+		if err != nil {
+			return k, err
+		}
+		k.HasIP = true
+		k.IPSrc = a.SenderIP
+		k.IPDst = a.TargetIP
+	}
+	return k, nil
+}
+
+// BuildTCP constructs a full Ethernet/IPv4/TCP frame.
+func BuildTCP(srcMAC, dstMAC MAC, srcIP, dstIP IPv4, seg *TCPSegment) []byte {
+	ip := &IPv4Packet{Protocol: ProtoTCP, Src: srcIP, Dst: dstIP, Payload: seg.Marshal(srcIP, dstIP)}
+	eth := &Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4, Payload: ip.Marshal()}
+	return eth.Marshal()
+}
+
+// BuildUDP constructs a full Ethernet/IPv4/UDP frame.
+func BuildUDP(srcMAC, dstMAC MAC, srcIP, dstIP IPv4, dgram *UDPDatagram) []byte {
+	ip := &IPv4Packet{Protocol: ProtoUDP, Src: srcIP, Dst: dstIP, Payload: dgram.Marshal(srcIP, dstIP)}
+	eth := &Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4, Payload: ip.Marshal()}
+	return eth.Marshal()
+}
+
+// BuildARP constructs a full Ethernet/ARP frame. Requests are broadcast.
+func BuildARP(a *ARP) []byte {
+	dst := a.TargetMAC
+	if a.Op == ARPRequest {
+		dst = Broadcast
+	}
+	eth := &Ethernet{Dst: dst, Src: a.SenderMAC, EtherType: EtherTypeARP, Payload: a.Marshal()}
+	return eth.Marshal()
+}
+
+// BuildICMP constructs a full Ethernet/IPv4/ICMP frame.
+func BuildICMP(srcMAC, dstMAC MAC, srcIP, dstIP IPv4, msg *ICMPMessage) []byte {
+	ip := &IPv4Packet{Protocol: ProtoICMP, Src: srcIP, Dst: dstIP, Payload: msg.Marshal()}
+	eth := &Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4, Payload: ip.Marshal()}
+	return eth.Marshal()
+}

@@ -1,0 +1,108 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IPv4Packet is an IPv4 datagram (no options).
+type IPv4Packet struct {
+	TOS      uint8
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Src      IPv4
+	Dst      IPv4
+	Payload  []byte
+}
+
+const ipv4HeaderLen = 20
+
+// Marshal serializes the datagram, computing the header checksum.
+func (p *IPv4Packet) Marshal() []byte {
+	b := make([]byte, ipv4HeaderLen+len(p.Payload))
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = p.TOS
+	binary.BigEndian.PutUint16(b[2:4], uint16(ipv4HeaderLen+len(p.Payload)))
+	binary.BigEndian.PutUint16(b[4:6], p.ID)
+	// flags+fragment offset zero
+	ttl := p.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	b[8] = ttl
+	b[9] = p.Protocol
+	copy(b[12:16], p.Src[:])
+	copy(b[16:20], p.Dst[:])
+	binary.BigEndian.PutUint16(b[10:12], Checksum(b[:ipv4HeaderLen]))
+	copy(b[ipv4HeaderLen:], p.Payload)
+	return b
+}
+
+// UnmarshalIPv4 parses an IPv4 datagram. The returned payload aliases b.
+func UnmarshalIPv4(b []byte) (*IPv4Packet, error) {
+	if len(b) < ipv4HeaderLen {
+		return nil, fmt.Errorf("ipv4: %w", ErrTruncated)
+	}
+	if b[0]>>4 != 4 {
+		return nil, fmt.Errorf("ipv4: version %d", b[0]>>4)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < ipv4HeaderLen || len(b) < ihl {
+		return nil, fmt.Errorf("ipv4: bad IHL %d: %w", ihl, ErrTruncated)
+	}
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if total > len(b) || total < ihl {
+		total = len(b)
+	}
+	p := &IPv4Packet{
+		TOS:      b[1],
+		ID:       binary.BigEndian.Uint16(b[4:6]),
+		TTL:      b[8],
+		Protocol: b[9],
+		Payload:  b[ihl:total],
+	}
+	copy(p.Src[:], b[12:16])
+	copy(p.Dst[:], b[16:20])
+	return p, nil
+}
+
+// Checksum computes the RFC 1071 internet checksum over b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+func pseudoHeaderSum(src, dst IPv4, proto uint8, l4len int) uint32 {
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(src[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(dst[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(dst[2:4]))
+	sum += uint32(proto)
+	sum += uint32(l4len)
+	return sum
+}
+
+func l4Checksum(src, dst IPv4, proto uint8, seg []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, proto, len(seg))
+	for i := 0; i+1 < len(seg); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(seg[i : i+2]))
+	}
+	if len(seg)%2 == 1 {
+		sum += uint32(seg[len(seg)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}

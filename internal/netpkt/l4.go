@@ -1,0 +1,138 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TCP flag bits.
+const (
+	TCPFin uint8 = 1 << 0
+	TCPSyn uint8 = 1 << 1
+	TCPRst uint8 = 1 << 2
+	TCPPsh uint8 = 1 << 3
+	TCPAck uint8 = 1 << 4
+)
+
+// TCPSegment is a TCP segment (no options).
+type TCPSegment struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+	Payload []byte
+}
+
+const tcpHeaderLen = 20
+
+// Marshal serializes the segment, computing the checksum against the given
+// pseudo-header addresses.
+func (t *TCPSegment) Marshal(src, dst IPv4) []byte {
+	b := make([]byte, tcpHeaderLen+len(t.Payload))
+	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], t.Seq)
+	binary.BigEndian.PutUint32(b[8:12], t.Ack)
+	b[12] = 5 << 4 // data offset: 5 words
+	b[13] = t.Flags
+	window := t.Window
+	if window == 0 {
+		window = 65535
+	}
+	binary.BigEndian.PutUint16(b[14:16], window)
+	copy(b[tcpHeaderLen:], t.Payload)
+	binary.BigEndian.PutUint16(b[16:18], l4Checksum(src, dst, ProtoTCP, b))
+	return b
+}
+
+// UnmarshalTCP parses a TCP segment. The returned payload aliases b.
+func UnmarshalTCP(b []byte) (*TCPSegment, error) {
+	if len(b) < tcpHeaderLen {
+		return nil, fmt.Errorf("tcp: %w", ErrTruncated)
+	}
+	off := int(b[12]>>4) * 4
+	if off < tcpHeaderLen || len(b) < off {
+		return nil, fmt.Errorf("tcp: bad data offset %d: %w", off, ErrTruncated)
+	}
+	return &TCPSegment{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Seq:     binary.BigEndian.Uint32(b[4:8]),
+		Ack:     binary.BigEndian.Uint32(b[8:12]),
+		Flags:   b[13],
+		Window:  binary.BigEndian.Uint16(b[14:16]),
+		Payload: b[off:],
+	}, nil
+}
+
+// UDPDatagram is a UDP datagram.
+type UDPDatagram struct {
+	SrcPort uint16
+	DstPort uint16
+	Payload []byte
+}
+
+const udpHeaderLen = 8
+
+// Marshal serializes the datagram, computing the checksum against the given
+// pseudo-header addresses.
+func (u *UDPDatagram) Marshal(src, dst IPv4) []byte {
+	b := make([]byte, udpHeaderLen+len(u.Payload))
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], uint16(len(b)))
+	copy(b[udpHeaderLen:], u.Payload)
+	binary.BigEndian.PutUint16(b[6:8], l4Checksum(src, dst, ProtoUDP, b))
+	return b
+}
+
+// UnmarshalUDP parses a UDP datagram. The returned payload aliases b.
+func UnmarshalUDP(b []byte) (*UDPDatagram, error) {
+	if len(b) < udpHeaderLen {
+		return nil, fmt.Errorf("udp: %w", ErrTruncated)
+	}
+	length := int(binary.BigEndian.Uint16(b[4:6]))
+	if length < udpHeaderLen || length > len(b) {
+		length = len(b)
+	}
+	return &UDPDatagram{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Payload: b[udpHeaderLen:length],
+	}, nil
+}
+
+// ICMP message types.
+const (
+	ICMPEchoReply   uint8 = 0
+	ICMPEchoRequest uint8 = 8
+)
+
+// ICMPMessage is an ICMP message.
+type ICMPMessage struct {
+	Type    uint8
+	Code    uint8
+	Payload []byte
+}
+
+const icmpHeaderLen = 4
+
+// Marshal serializes the message, computing the checksum.
+func (m *ICMPMessage) Marshal() []byte {
+	b := make([]byte, icmpHeaderLen+len(m.Payload))
+	b[0] = m.Type
+	b[1] = m.Code
+	copy(b[icmpHeaderLen:], m.Payload)
+	binary.BigEndian.PutUint16(b[2:4], Checksum(b))
+	return b
+}
+
+// UnmarshalICMP parses an ICMP message. The returned payload aliases b.
+func UnmarshalICMP(b []byte) (*ICMPMessage, error) {
+	if len(b) < icmpHeaderLen {
+		return nil, fmt.Errorf("icmp: %w", ErrTruncated)
+	}
+	return &ICMPMessage{Type: b[0], Code: b[1], Payload: b[icmpHeaderLen:]}, nil
+}

@@ -1,0 +1,335 @@
+package netpkt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseMAC(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    MAC
+		wantErr bool
+	}{
+		{give: "00:11:22:33:44:55", want: MAC{0x00, 0x11, 0x22, 0x33, 0x44, 0x55}},
+		{give: "ff:ff:ff:ff:ff:ff", want: Broadcast},
+		{give: "aa:BB:cc:DD:ee:FF", want: MAC{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}},
+		{give: "00:11:22:33:44", wantErr: true},
+		{give: "00:11:22:33:44:55:66", wantErr: true},
+		{give: "zz:11:22:33:44:55", wantErr: true},
+		{give: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ParseMAC(tt.give)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseMAC(%q): want error, got %v", tt.give, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseMAC(%q): %v", tt.give, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseMAC(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestMACStringRoundTrip(t *testing.T) {
+	f := func(m MAC) bool {
+		parsed, err := ParseMAC(m.String())
+		return err == nil && parsed == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseIPv4(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    IPv4
+		wantErr bool
+	}{
+		{give: "10.0.0.1", want: IPv4{10, 0, 0, 1}},
+		{give: "255.255.255.255", want: IPv4{255, 255, 255, 255}},
+		{give: "0.0.0.0", want: IPv4{}},
+		{give: "10.0.0", wantErr: true},
+		{give: "10.0.0.256", wantErr: true},
+		{give: "10.0.0.1.2", wantErr: true},
+		{give: "a.b.c.d", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ParseIPv4(tt.give)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseIPv4(%q): want error, got %v", tt.give, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseIPv4(%q): %v", tt.give, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseIPv4(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestIPv4Uint32RoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		return IPv4FromUint32(v).Uint32() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEthernetRoundTrip(t *testing.T) {
+	e := &Ethernet{
+		Dst:       MustParseMAC("02:00:00:00:00:01"),
+		Src:       MustParseMAC("02:00:00:00:00:02"),
+		EtherType: EtherTypeIPv4,
+		Payload:   []byte{1, 2, 3, 4},
+	}
+	got, err := UnmarshalEthernet(e.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dst != e.Dst || got.Src != e.Src || got.EtherType != e.EtherType {
+		t.Fatalf("got %+v, want %+v", got, e)
+	}
+	if !bytes.Equal(got.Payload, e.Payload) {
+		t.Fatalf("payload = %v, want %v", got.Payload, e.Payload)
+	}
+}
+
+func TestEthernetTruncated(t *testing.T) {
+	if _, err := UnmarshalEthernet(make([]byte, 13)); err == nil {
+		t.Fatal("want error on truncated frame")
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	a := &ARP{
+		Op:        ARPRequest,
+		SenderMAC: MustParseMAC("02:00:00:00:00:01"),
+		SenderIP:  MustParseIPv4("10.0.0.1"),
+		TargetIP:  MustParseIPv4("10.0.0.2"),
+	}
+	got, err := UnmarshalARP(a.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *a {
+		t.Fatalf("got %+v, want %+v", got, a)
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	p := &IPv4Packet{
+		ID:       1234,
+		TTL:      64,
+		Protocol: ProtoTCP,
+		Src:      MustParseIPv4("192.168.1.10"),
+		Dst:      MustParseIPv4("192.168.1.20"),
+		Payload:  []byte("hello"),
+	}
+	got, err := UnmarshalIPv4(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != p.Src || got.Dst != p.Dst || got.Protocol != p.Protocol || got.ID != p.ID {
+		t.Fatalf("got %+v, want %+v", got, p)
+	}
+	if !bytes.Equal(got.Payload, p.Payload) {
+		t.Fatalf("payload = %q, want %q", got.Payload, p.Payload)
+	}
+}
+
+func TestIPv4ChecksumValid(t *testing.T) {
+	p := &IPv4Packet{Protocol: ProtoUDP, Src: IPv4{1, 2, 3, 4}, Dst: IPv4{5, 6, 7, 8}}
+	b := p.Marshal()
+	// The checksum of a header including its own checksum field is zero.
+	if got := Checksum(b[:20]); got != 0 {
+		t.Fatalf("header checksum verification = 0x%04x, want 0", got)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: 0001 f203 f4f5 f6f7 -> checksum 0x220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != 0x220d {
+		t.Fatalf("Checksum = 0x%04x, want 0x220d", got)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	src, dst := MustParseIPv4("10.0.0.1"), MustParseIPv4("10.0.0.2")
+	seg := &TCPSegment{
+		SrcPort: 49152,
+		DstPort: 445,
+		Seq:     1000,
+		Ack:     2000,
+		Flags:   TCPSyn | TCPAck,
+		Payload: []byte("data"),
+	}
+	b := seg.Marshal(src, dst)
+	got, err := UnmarshalTCP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != seg.SrcPort || got.DstPort != seg.DstPort ||
+		got.Seq != seg.Seq || got.Ack != seg.Ack || got.Flags != seg.Flags {
+		t.Fatalf("got %+v, want %+v", got, seg)
+	}
+	if !bytes.Equal(got.Payload, seg.Payload) {
+		t.Fatalf("payload = %q, want %q", got.Payload, seg.Payload)
+	}
+	// Verify checksum correctness: recomputing over the segment with the
+	// pseudo-header must give zero.
+	if sum := l4Checksum(src, dst, ProtoTCP, b); sum != 0 {
+		t.Fatalf("TCP checksum verification = 0x%04x, want 0", sum)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	src, dst := MustParseIPv4("10.0.0.1"), MustParseIPv4("10.0.0.53")
+	d := &UDPDatagram{SrcPort: 5353, DstPort: 53, Payload: []byte("query")}
+	b := d.Marshal(src, dst)
+	got, err := UnmarshalUDP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != d.SrcPort || got.DstPort != d.DstPort {
+		t.Fatalf("got %+v, want %+v", got, d)
+	}
+	if !bytes.Equal(got.Payload, d.Payload) {
+		t.Fatalf("payload = %q, want %q", got.Payload, d.Payload)
+	}
+	if sum := l4Checksum(src, dst, ProtoUDP, b); sum != 0 {
+		t.Fatalf("UDP checksum verification = 0x%04x, want 0", sum)
+	}
+}
+
+func TestICMPRoundTrip(t *testing.T) {
+	m := &ICMPMessage{Type: ICMPEchoRequest, Payload: []byte{0, 1, 0, 1}}
+	got, err := UnmarshalICMP(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != m.Type || got.Code != m.Code {
+		t.Fatalf("got %+v, want %+v", got, m)
+	}
+}
+
+func TestExtractFlowKeyTCP(t *testing.T) {
+	srcMAC, dstMAC := MustParseMAC("02:00:00:00:00:01"), MustParseMAC("02:00:00:00:00:02")
+	srcIP, dstIP := MustParseIPv4("10.1.0.5"), MustParseIPv4("10.2.0.9")
+	frame := BuildTCP(srcMAC, dstMAC, srcIP, dstIP, &TCPSegment{SrcPort: 31337, DstPort: 445, Flags: TCPSyn})
+	k, err := ExtractFlowKey(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.EthSrc != srcMAC || k.EthDst != dstMAC || k.EtherType != EtherTypeIPv4 {
+		t.Fatalf("ethernet fields wrong: %v", k)
+	}
+	if !k.HasIP || k.IPSrc != srcIP || k.IPDst != dstIP || k.IPProto != ProtoTCP {
+		t.Fatalf("IP fields wrong: %v", k)
+	}
+	if !k.HasL4 || k.L4Src != 31337 || k.L4Dst != 445 {
+		t.Fatalf("L4 fields wrong: %v", k)
+	}
+}
+
+func TestExtractFlowKeyUDP(t *testing.T) {
+	frame := BuildUDP(
+		MustParseMAC("02:00:00:00:00:01"), MustParseMAC("02:00:00:00:00:02"),
+		MustParseIPv4("10.0.0.1"), MustParseIPv4("10.0.0.53"),
+		&UDPDatagram{SrcPort: 5353, DstPort: 53},
+	)
+	k, err := ExtractFlowKey(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.IPProto != ProtoUDP || !k.HasL4 || k.L4Dst != 53 {
+		t.Fatalf("UDP key wrong: %v", k)
+	}
+}
+
+func TestExtractFlowKeyARP(t *testing.T) {
+	frame := BuildARP(&ARP{
+		Op:        ARPRequest,
+		SenderMAC: MustParseMAC("02:00:00:00:00:01"),
+		SenderIP:  MustParseIPv4("10.0.0.1"),
+		TargetIP:  MustParseIPv4("10.0.0.2"),
+	})
+	k, err := ExtractFlowKey(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.EtherType != EtherTypeARP {
+		t.Fatalf("EtherType = 0x%04x, want ARP", k.EtherType)
+	}
+	if !k.HasIP || k.IPSrc != MustParseIPv4("10.0.0.1") || k.IPDst != MustParseIPv4("10.0.0.2") {
+		t.Fatalf("ARP addresses wrong: %v", k)
+	}
+	if k.EthDst != Broadcast {
+		t.Fatalf("ARP request dst = %v, want broadcast", k.EthDst)
+	}
+}
+
+func TestExtractFlowKeyICMP(t *testing.T) {
+	frame := BuildICMP(
+		MustParseMAC("02:00:00:00:00:01"), MustParseMAC("02:00:00:00:00:02"),
+		MustParseIPv4("10.0.0.1"), MustParseIPv4("10.0.0.2"),
+		&ICMPMessage{Type: ICMPEchoRequest},
+	)
+	k, err := ExtractFlowKey(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.IPProto != ProtoICMP || k.HasL4 {
+		t.Fatalf("ICMP key wrong: %v", k)
+	}
+}
+
+func TestFlowKeyReverse(t *testing.T) {
+	frame := BuildTCP(
+		MustParseMAC("02:00:00:00:00:01"), MustParseMAC("02:00:00:00:00:02"),
+		MustParseIPv4("10.0.0.1"), MustParseIPv4("10.0.0.2"),
+		&TCPSegment{SrcPort: 1000, DstPort: 2000},
+	)
+	k, err := ExtractFlowKey(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := k.Reverse()
+	if r.EthSrc != k.EthDst || r.IPSrc != k.IPDst || r.L4Src != k.L4Dst {
+		t.Fatalf("Reverse() = %v", r)
+	}
+	if rr := r.Reverse(); rr != k {
+		t.Fatalf("double reverse = %v, want %v", rr, k)
+	}
+}
+
+func TestFlowKeyReverseInvolution(t *testing.T) {
+	f := func(k FlowKey) bool {
+		return k.Reverse().Reverse() == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractFlowKeyTruncatedInner(t *testing.T) {
+	// An IPv4 ethertype with a payload too short for an IP header.
+	e := &Ethernet{EtherType: EtherTypeIPv4, Payload: []byte{0x45, 0x00}}
+	if _, err := ExtractFlowKey(e.Marshal()); err == nil {
+		t.Fatal("want error for truncated IP payload")
+	}
+}

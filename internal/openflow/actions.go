@@ -1,0 +1,223 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+var errTooShort = errors.New("buffer too short")
+
+// Action is an OpenFlow action.
+type Action interface {
+	// Marshal serializes the action including its common header.
+	Marshal() []byte
+}
+
+// Action type codes.
+const (
+	actionTypeOutput uint16 = 0
+)
+
+// ActionOutput forwards a packet out a port (ofp_action_output).
+type ActionOutput struct {
+	Port   uint32
+	MaxLen uint16
+}
+
+var _ Action = (*ActionOutput)(nil)
+
+// ControllerMaxLen asks the switch to send the full packet to the
+// controller (OFPCML_NO_BUFFER).
+const ControllerMaxLen uint16 = 0xffff
+
+// Marshal implements Action.
+func (a *ActionOutput) Marshal() []byte {
+	b := make([]byte, 16)
+	binary.BigEndian.PutUint16(b[0:2], actionTypeOutput)
+	binary.BigEndian.PutUint16(b[2:4], 16)
+	binary.BigEndian.PutUint32(b[4:8], a.Port)
+	binary.BigEndian.PutUint16(b[8:10], a.MaxLen)
+	return b
+}
+
+// ActionRaw preserves an unmodeled action byte-for-byte for passthrough.
+type ActionRaw struct {
+	Bytes []byte
+}
+
+var _ Action = (*ActionRaw)(nil)
+
+// Marshal implements Action.
+func (a *ActionRaw) Marshal() []byte { return a.Bytes }
+
+func marshalActions(actions []Action) []byte {
+	var b []byte
+	for _, a := range actions {
+		b = append(b, a.Marshal()...)
+	}
+	return b
+}
+
+// unmarshalActions parses a list of actions occupying exactly b.
+func unmarshalActions(b []byte) ([]Action, error) {
+	var actions []Action
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("action header: %w", errTooShort)
+		}
+		atype := binary.BigEndian.Uint16(b[0:2])
+		alen := int(binary.BigEndian.Uint16(b[2:4]))
+		if alen < 8 || alen%8 != 0 || alen > len(b) {
+			return nil, fmt.Errorf("action: bad length %d", alen)
+		}
+		switch atype {
+		case actionTypeOutput:
+			if alen != 16 {
+				return nil, fmt.Errorf("output action: bad length %d", alen)
+			}
+			actions = append(actions, &ActionOutput{
+				Port:   binary.BigEndian.Uint32(b[4:8]),
+				MaxLen: binary.BigEndian.Uint16(b[8:10]),
+			})
+		default:
+			actions = append(actions, &ActionRaw{Bytes: append([]byte(nil), b[:alen]...)})
+		}
+		b = b[alen:]
+	}
+	return actions, nil
+}
+
+// Instruction is an OpenFlow 1.3 flow instruction.
+type Instruction interface {
+	// Marshal serializes the instruction including its common header.
+	Marshal() []byte
+}
+
+// Instruction type codes.
+const (
+	instrTypeGotoTable    uint16 = 1
+	instrTypeWriteActions uint16 = 3
+	instrTypeApplyActions uint16 = 4
+	instrTypeClearActions uint16 = 5
+)
+
+// InstructionGotoTable continues pipeline processing at another table. The
+// DFI Proxy rewrites TableID in these when crossing between the controller's
+// table space and the switch's (paper §IV-B).
+type InstructionGotoTable struct {
+	TableID uint8
+}
+
+var _ Instruction = (*InstructionGotoTable)(nil)
+
+// Marshal implements Instruction.
+func (i *InstructionGotoTable) Marshal() []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint16(b[0:2], instrTypeGotoTable)
+	binary.BigEndian.PutUint16(b[2:4], 8)
+	b[4] = i.TableID
+	return b
+}
+
+// InstructionApplyActions applies actions immediately.
+type InstructionApplyActions struct {
+	Actions []Action
+}
+
+var _ Instruction = (*InstructionApplyActions)(nil)
+
+// Marshal implements Instruction.
+func (i *InstructionApplyActions) Marshal() []byte {
+	acts := marshalActions(i.Actions)
+	b := make([]byte, 8+len(acts))
+	binary.BigEndian.PutUint16(b[0:2], instrTypeApplyActions)
+	binary.BigEndian.PutUint16(b[2:4], uint16(len(b)))
+	copy(b[8:], acts)
+	return b
+}
+
+// InstructionWriteActions writes actions into the action set.
+type InstructionWriteActions struct {
+	Actions []Action
+}
+
+var _ Instruction = (*InstructionWriteActions)(nil)
+
+// Marshal implements Instruction.
+func (i *InstructionWriteActions) Marshal() []byte {
+	acts := marshalActions(i.Actions)
+	b := make([]byte, 8+len(acts))
+	binary.BigEndian.PutUint16(b[0:2], instrTypeWriteActions)
+	binary.BigEndian.PutUint16(b[2:4], uint16(len(b)))
+	copy(b[8:], acts)
+	return b
+}
+
+// InstructionClearActions clears the action set.
+type InstructionClearActions struct{}
+
+var _ Instruction = (*InstructionClearActions)(nil)
+
+// Marshal implements Instruction.
+func (i *InstructionClearActions) Marshal() []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint16(b[0:2], instrTypeClearActions)
+	binary.BigEndian.PutUint16(b[2:4], 8)
+	return b
+}
+
+// InstructionRaw preserves an unmodeled instruction for passthrough.
+type InstructionRaw struct {
+	Bytes []byte
+}
+
+var _ Instruction = (*InstructionRaw)(nil)
+
+// Marshal implements Instruction.
+func (i *InstructionRaw) Marshal() []byte { return i.Bytes }
+
+func marshalInstructions(instrs []Instruction) []byte {
+	var b []byte
+	for _, in := range instrs {
+		b = append(b, in.Marshal()...)
+	}
+	return b
+}
+
+// unmarshalInstructions parses a list of instructions occupying exactly b.
+func unmarshalInstructions(b []byte) ([]Instruction, error) {
+	var instrs []Instruction
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("instruction header: %w", errTooShort)
+		}
+		itype := binary.BigEndian.Uint16(b[0:2])
+		ilen := int(binary.BigEndian.Uint16(b[2:4]))
+		if ilen < 8 || ilen > len(b) {
+			return nil, fmt.Errorf("instruction: bad length %d", ilen)
+		}
+		switch itype {
+		case instrTypeGotoTable:
+			instrs = append(instrs, &InstructionGotoTable{TableID: b[4]})
+		case instrTypeApplyActions:
+			acts, err := unmarshalActions(b[8:ilen])
+			if err != nil {
+				return nil, fmt.Errorf("apply-actions: %w", err)
+			}
+			instrs = append(instrs, &InstructionApplyActions{Actions: acts})
+		case instrTypeWriteActions:
+			acts, err := unmarshalActions(b[8:ilen])
+			if err != nil {
+				return nil, fmt.Errorf("write-actions: %w", err)
+			}
+			instrs = append(instrs, &InstructionWriteActions{Actions: acts})
+		case instrTypeClearActions:
+			instrs = append(instrs, &InstructionClearActions{})
+		default:
+			instrs = append(instrs, &InstructionRaw{Bytes: append([]byte(nil), b[:ilen]...)})
+		}
+		b = b[ilen:]
+	}
+	return instrs, nil
+}

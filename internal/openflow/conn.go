@@ -1,0 +1,93 @@
+package openflow
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Conn frames OpenFlow messages over a byte stream. Writes are safe for
+// concurrent use; Recv must be called from a single goroutine.
+type Conn struct {
+	writeMu sync.Mutex
+	rw      io.ReadWriter
+	nextXID atomic.Uint32
+}
+
+// NewConn wraps a byte stream (typically a net.Conn or net.Pipe end).
+func NewConn(rw io.ReadWriter) *Conn {
+	c := &Conn{rw: rw}
+	c.nextXID.Store(1)
+	return c
+}
+
+// Send writes m with a freshly allocated transaction id, which it returns.
+func (c *Conn) Send(m Message) (uint32, error) {
+	xid := c.nextXID.Add(1)
+	return xid, c.SendXID(xid, m)
+}
+
+// SendXID writes m with the caller's transaction id (used for replies and
+// for transparent proxying).
+func (c *Conn) SendXID(xid uint32, m Message) error {
+	b, err := Encode(xid, m)
+	if err != nil {
+		return err
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if _, err := c.rw.Write(b); err != nil {
+		return fmt.Errorf("send %v: %w", m.Type(), err)
+	}
+	return nil
+}
+
+// Recv reads the next message.
+func (c *Conn) Recv() (uint32, Message, error) {
+	return ReadMessage(c.rw)
+}
+
+// Close closes the underlying stream when it is an io.Closer.
+func (c *Conn) Close() error {
+	if cl, ok := c.rw.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}
+
+// Handshake performs the initiator side of OpenFlow connection setup:
+// exchange HELLOs, then issue FEATURES_REQUEST and return the reply.
+// It is used by controllers (and the DFI Proxy when fronting a controller).
+func (c *Conn) Handshake() (*FeaturesReply, error) {
+	if _, err := c.Send(&Hello{}); err != nil {
+		return nil, fmt.Errorf("handshake: %w", err)
+	}
+	// Expect the peer HELLO first.
+	_, m, err := c.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("handshake: %w", err)
+	}
+	if _, ok := m.(*Hello); !ok {
+		return nil, fmt.Errorf("handshake: expected HELLO, got %v", m.Type())
+	}
+	if _, err := c.Send(&FeaturesRequest{}); err != nil {
+		return nil, fmt.Errorf("handshake: %w", err)
+	}
+	for {
+		_, m, err := c.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("handshake: %w", err)
+		}
+		switch v := m.(type) {
+		case *FeaturesReply:
+			return v, nil
+		case *EchoRequest:
+			if err := c.SendXID(0, &EchoReply{Data: v.Data}); err != nil {
+				return nil, fmt.Errorf("handshake: %w", err)
+			}
+		default:
+			// Ignore anything else (e.g. port status) until features.
+		}
+	}
+}

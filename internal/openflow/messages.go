@@ -1,0 +1,535 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Hello opens version negotiation.
+type Hello struct {
+	// Elements carries optional hello elements verbatim.
+	Elements []byte
+}
+
+var _ Message = (*Hello)(nil)
+
+// Type implements Message.
+func (*Hello) Type() MessageType { return TypeHello }
+
+// MarshalBody implements Message.
+func (h *Hello) MarshalBody() ([]byte, error) { return h.Elements, nil }
+
+// UnmarshalBody implements Message.
+func (h *Hello) UnmarshalBody(b []byte) error {
+	h.Elements = append([]byte(nil), b...)
+	return nil
+}
+
+// EchoRequest is a liveness probe.
+type EchoRequest struct {
+	Data []byte
+}
+
+var _ Message = (*EchoRequest)(nil)
+
+// Type implements Message.
+func (*EchoRequest) Type() MessageType { return TypeEchoRequest }
+
+// MarshalBody implements Message.
+func (e *EchoRequest) MarshalBody() ([]byte, error) { return e.Data, nil }
+
+// UnmarshalBody implements Message.
+func (e *EchoRequest) UnmarshalBody(b []byte) error {
+	e.Data = append([]byte(nil), b...)
+	return nil
+}
+
+// EchoReply answers an EchoRequest, mirroring its data.
+type EchoReply struct {
+	Data []byte
+}
+
+var _ Message = (*EchoReply)(nil)
+
+// Type implements Message.
+func (*EchoReply) Type() MessageType { return TypeEchoReply }
+
+// MarshalBody implements Message.
+func (e *EchoReply) MarshalBody() ([]byte, error) { return e.Data, nil }
+
+// UnmarshalBody implements Message.
+func (e *EchoReply) UnmarshalBody(b []byte) error {
+	e.Data = append([]byte(nil), b...)
+	return nil
+}
+
+// Error reports a protocol error (ofp_error_msg).
+type Error struct {
+	ErrType uint16
+	Code    uint16
+	Data    []byte
+}
+
+var _ Message = (*Error)(nil)
+
+// Type implements Message.
+func (*Error) Type() MessageType { return TypeError }
+
+// MarshalBody implements Message.
+func (e *Error) MarshalBody() ([]byte, error) {
+	b := make([]byte, 4+len(e.Data))
+	binary.BigEndian.PutUint16(b[0:2], e.ErrType)
+	binary.BigEndian.PutUint16(b[2:4], e.Code)
+	copy(b[4:], e.Data)
+	return b, nil
+}
+
+// UnmarshalBody implements Message.
+func (e *Error) UnmarshalBody(b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("error msg: %w", errTooShort)
+	}
+	e.ErrType = binary.BigEndian.Uint16(b[0:2])
+	e.Code = binary.BigEndian.Uint16(b[2:4])
+	e.Data = append([]byte(nil), b[4:]...)
+	return nil
+}
+
+// FeaturesRequest asks the switch for its datapath features.
+type FeaturesRequest struct{}
+
+var _ Message = (*FeaturesRequest)(nil)
+
+// Type implements Message.
+func (*FeaturesRequest) Type() MessageType { return TypeFeaturesRequest }
+
+// MarshalBody implements Message.
+func (*FeaturesRequest) MarshalBody() ([]byte, error) { return nil, nil }
+
+// UnmarshalBody implements Message.
+func (*FeaturesRequest) UnmarshalBody([]byte) error { return nil }
+
+// FeaturesReply describes the switch datapath (ofp_switch_features). The
+// DFI Proxy decrements NumTables toward the controller to hide table 0.
+type FeaturesReply struct {
+	DatapathID   uint64
+	NumBuffers   uint32
+	NumTables    uint8
+	AuxiliaryID  uint8
+	Capabilities uint32
+}
+
+var _ Message = (*FeaturesReply)(nil)
+
+// Type implements Message.
+func (*FeaturesReply) Type() MessageType { return TypeFeaturesReply }
+
+// MarshalBody implements Message.
+func (f *FeaturesReply) MarshalBody() ([]byte, error) {
+	b := make([]byte, 24)
+	binary.BigEndian.PutUint64(b[0:8], f.DatapathID)
+	binary.BigEndian.PutUint32(b[8:12], f.NumBuffers)
+	b[12] = f.NumTables
+	b[13] = f.AuxiliaryID
+	binary.BigEndian.PutUint32(b[16:20], f.Capabilities)
+	return b, nil
+}
+
+// UnmarshalBody implements Message.
+func (f *FeaturesReply) UnmarshalBody(b []byte) error {
+	if len(b) < 24 {
+		return fmt.Errorf("features reply: %w", errTooShort)
+	}
+	f.DatapathID = binary.BigEndian.Uint64(b[0:8])
+	f.NumBuffers = binary.BigEndian.Uint32(b[8:12])
+	f.NumTables = b[12]
+	f.AuxiliaryID = b[13]
+	f.Capabilities = binary.BigEndian.Uint32(b[16:20])
+	return nil
+}
+
+// GetConfigRequest asks for the switch configuration.
+type GetConfigRequest struct{}
+
+var _ Message = (*GetConfigRequest)(nil)
+
+// Type implements Message.
+func (*GetConfigRequest) Type() MessageType { return TypeGetConfigReq }
+
+// MarshalBody implements Message.
+func (*GetConfigRequest) MarshalBody() ([]byte, error) { return nil, nil }
+
+// UnmarshalBody implements Message.
+func (*GetConfigRequest) UnmarshalBody([]byte) error { return nil }
+
+// GetConfigReply carries the switch configuration.
+type GetConfigReply struct {
+	Flags       uint16
+	MissSendLen uint16
+}
+
+var _ Message = (*GetConfigReply)(nil)
+
+// Type implements Message.
+func (*GetConfigReply) Type() MessageType { return TypeGetConfigReply }
+
+// MarshalBody implements Message.
+func (c *GetConfigReply) MarshalBody() ([]byte, error) {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint16(b[0:2], c.Flags)
+	binary.BigEndian.PutUint16(b[2:4], c.MissSendLen)
+	return b, nil
+}
+
+// UnmarshalBody implements Message.
+func (c *GetConfigReply) UnmarshalBody(b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("get config reply: %w", errTooShort)
+	}
+	c.Flags = binary.BigEndian.Uint16(b[0:2])
+	c.MissSendLen = binary.BigEndian.Uint16(b[2:4])
+	return nil
+}
+
+// SetConfig sets the switch configuration.
+type SetConfig struct {
+	Flags       uint16
+	MissSendLen uint16
+}
+
+var _ Message = (*SetConfig)(nil)
+
+// Type implements Message.
+func (*SetConfig) Type() MessageType { return TypeSetConfig }
+
+// MarshalBody implements Message.
+func (c *SetConfig) MarshalBody() ([]byte, error) {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint16(b[0:2], c.Flags)
+	binary.BigEndian.PutUint16(b[2:4], c.MissSendLen)
+	return b, nil
+}
+
+// UnmarshalBody implements Message.
+func (c *SetConfig) UnmarshalBody(b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("set config: %w", errTooShort)
+	}
+	c.Flags = binary.BigEndian.Uint16(b[0:2])
+	c.MissSendLen = binary.BigEndian.Uint16(b[2:4])
+	return nil
+}
+
+// Packet-in reasons.
+const (
+	PacketInReasonNoMatch uint8 = 0
+	PacketInReasonAction  uint8 = 1
+)
+
+// PacketIn carries a packet from the switch to the control plane
+// (ofp_packet_in). DFI processes these before the controller (paper §III-B).
+type PacketIn struct {
+	BufferID uint32
+	TotalLen uint16
+	Reason   uint8
+	TableID  uint8
+	Cookie   uint64
+	Match    *Match
+	Data     []byte
+}
+
+var _ Message = (*PacketIn)(nil)
+
+// Type implements Message.
+func (*PacketIn) Type() MessageType { return TypePacketIn }
+
+// MarshalBody implements Message.
+func (p *PacketIn) MarshalBody() ([]byte, error) {
+	match := p.Match
+	if match == nil {
+		match = &Match{}
+	}
+	mb := match.Marshal()
+	b := make([]byte, 16+len(mb)+2+len(p.Data))
+	binary.BigEndian.PutUint32(b[0:4], p.BufferID)
+	totalLen := p.TotalLen
+	if totalLen == 0 {
+		totalLen = uint16(len(p.Data))
+	}
+	binary.BigEndian.PutUint16(b[4:6], totalLen)
+	b[6] = p.Reason
+	b[7] = p.TableID
+	binary.BigEndian.PutUint64(b[8:16], p.Cookie)
+	copy(b[16:], mb)
+	copy(b[16+len(mb)+2:], p.Data)
+	return b, nil
+}
+
+// UnmarshalBody implements Message.
+func (p *PacketIn) UnmarshalBody(b []byte) error {
+	if len(b) < 16 {
+		return fmt.Errorf("packet-in: %w", errTooShort)
+	}
+	p.BufferID = binary.BigEndian.Uint32(b[0:4])
+	p.TotalLen = binary.BigEndian.Uint16(b[4:6])
+	p.Reason = b[6]
+	p.TableID = b[7]
+	p.Cookie = binary.BigEndian.Uint64(b[8:16])
+	m, n, err := unmarshalMatch(b[16:])
+	if err != nil {
+		return fmt.Errorf("packet-in: %w", err)
+	}
+	p.Match = m
+	rest := b[16+n:]
+	if len(rest) < 2 {
+		return fmt.Errorf("packet-in pad: %w", errTooShort)
+	}
+	p.Data = append([]byte(nil), rest[2:]...)
+	return nil
+}
+
+// InPort returns the ingress port recorded in the packet-in match, or
+// PortAny if absent.
+func (p *PacketIn) InPort() uint32 {
+	if p.Match != nil && p.Match.InPort != nil {
+		return *p.Match.InPort
+	}
+	return PortAny
+}
+
+// PacketOut injects a packet into the data plane (ofp_packet_out).
+type PacketOut struct {
+	BufferID uint32
+	InPort   uint32
+	Actions  []Action
+	Data     []byte
+}
+
+var _ Message = (*PacketOut)(nil)
+
+// Type implements Message.
+func (*PacketOut) Type() MessageType { return TypePacketOut }
+
+// MarshalBody implements Message.
+func (p *PacketOut) MarshalBody() ([]byte, error) {
+	acts := marshalActions(p.Actions)
+	b := make([]byte, 16+len(acts)+len(p.Data))
+	binary.BigEndian.PutUint32(b[0:4], p.BufferID)
+	binary.BigEndian.PutUint32(b[4:8], p.InPort)
+	binary.BigEndian.PutUint16(b[8:10], uint16(len(acts)))
+	copy(b[16:], acts)
+	copy(b[16+len(acts):], p.Data)
+	return b, nil
+}
+
+// UnmarshalBody implements Message.
+func (p *PacketOut) UnmarshalBody(b []byte) error {
+	if len(b) < 16 {
+		return fmt.Errorf("packet-out: %w", errTooShort)
+	}
+	p.BufferID = binary.BigEndian.Uint32(b[0:4])
+	p.InPort = binary.BigEndian.Uint32(b[4:8])
+	actsLen := int(binary.BigEndian.Uint16(b[8:10]))
+	if 16+actsLen > len(b) {
+		return fmt.Errorf("packet-out actions: %w", errTooShort)
+	}
+	acts, err := unmarshalActions(b[16 : 16+actsLen])
+	if err != nil {
+		return fmt.Errorf("packet-out: %w", err)
+	}
+	p.Actions = acts
+	p.Data = append([]byte(nil), b[16+actsLen:]...)
+	return nil
+}
+
+// Flow-mod commands (ofp_flow_mod_command).
+const (
+	FlowModAdd          uint8 = 0
+	FlowModModify       uint8 = 1
+	FlowModModifyStrict uint8 = 2
+	FlowModDelete       uint8 = 3
+	FlowModDeleteStrict uint8 = 4
+)
+
+// Flow-mod flags.
+const (
+	FlowFlagSendFlowRem uint16 = 1 << 0
+)
+
+// FlowMod programs a flow table entry (ofp_flow_mod). Cookie carries DFI's
+// policy-rule tag used for cookie-scoped flushes (paper §III-B).
+type FlowMod struct {
+	Cookie       uint64
+	CookieMask   uint64
+	TableID      uint8
+	Command      uint8
+	IdleTimeout  uint16
+	HardTimeout  uint16
+	Priority     uint16
+	BufferID     uint32
+	OutPort      uint32
+	OutGroup     uint32
+	Flags        uint16
+	Match        *Match
+	Instructions []Instruction
+}
+
+var _ Message = (*FlowMod)(nil)
+
+// Type implements Message.
+func (*FlowMod) Type() MessageType { return TypeFlowMod }
+
+// MarshalBody implements Message.
+func (f *FlowMod) MarshalBody() ([]byte, error) {
+	match := f.Match
+	if match == nil {
+		match = &Match{}
+	}
+	mb := match.Marshal()
+	ib := marshalInstructions(f.Instructions)
+	b := make([]byte, 40+len(mb)+len(ib))
+	binary.BigEndian.PutUint64(b[0:8], f.Cookie)
+	binary.BigEndian.PutUint64(b[8:16], f.CookieMask)
+	b[16] = f.TableID
+	b[17] = f.Command
+	binary.BigEndian.PutUint16(b[18:20], f.IdleTimeout)
+	binary.BigEndian.PutUint16(b[20:22], f.HardTimeout)
+	binary.BigEndian.PutUint16(b[22:24], f.Priority)
+	binary.BigEndian.PutUint32(b[24:28], f.BufferID)
+	binary.BigEndian.PutUint32(b[28:32], f.OutPort)
+	binary.BigEndian.PutUint32(b[32:36], f.OutGroup)
+	binary.BigEndian.PutUint16(b[36:38], f.Flags)
+	copy(b[40:], mb)
+	copy(b[40+len(mb):], ib)
+	return b, nil
+}
+
+// UnmarshalBody implements Message.
+func (f *FlowMod) UnmarshalBody(b []byte) error {
+	if len(b) < 40 {
+		return fmt.Errorf("flow-mod: %w", errTooShort)
+	}
+	f.Cookie = binary.BigEndian.Uint64(b[0:8])
+	f.CookieMask = binary.BigEndian.Uint64(b[8:16])
+	f.TableID = b[16]
+	f.Command = b[17]
+	f.IdleTimeout = binary.BigEndian.Uint16(b[18:20])
+	f.HardTimeout = binary.BigEndian.Uint16(b[20:22])
+	f.Priority = binary.BigEndian.Uint16(b[22:24])
+	f.BufferID = binary.BigEndian.Uint32(b[24:28])
+	f.OutPort = binary.BigEndian.Uint32(b[28:32])
+	f.OutGroup = binary.BigEndian.Uint32(b[32:36])
+	f.Flags = binary.BigEndian.Uint16(b[36:38])
+	m, n, err := unmarshalMatch(b[40:])
+	if err != nil {
+		return fmt.Errorf("flow-mod: %w", err)
+	}
+	f.Match = m
+	instrs, err := unmarshalInstructions(b[40+n:])
+	if err != nil {
+		return fmt.Errorf("flow-mod: %w", err)
+	}
+	f.Instructions = instrs
+	return nil
+}
+
+// Flow-removed reasons.
+const (
+	FlowRemovedIdleTimeout uint8 = 0
+	FlowRemovedHardTimeout uint8 = 1
+	FlowRemovedDelete      uint8 = 2
+)
+
+// FlowRemoved notifies the control plane that a flow entry was removed
+// (ofp_flow_removed).
+type FlowRemoved struct {
+	Cookie       uint64
+	Priority     uint16
+	Reason       uint8
+	TableID      uint8
+	DurationSec  uint32
+	DurationNsec uint32
+	IdleTimeout  uint16
+	HardTimeout  uint16
+	PacketCount  uint64
+	ByteCount    uint64
+	Match        *Match
+}
+
+var _ Message = (*FlowRemoved)(nil)
+
+// Type implements Message.
+func (*FlowRemoved) Type() MessageType { return TypeFlowRemoved }
+
+// MarshalBody implements Message.
+func (f *FlowRemoved) MarshalBody() ([]byte, error) {
+	match := f.Match
+	if match == nil {
+		match = &Match{}
+	}
+	mb := match.Marshal()
+	b := make([]byte, 40+len(mb))
+	binary.BigEndian.PutUint64(b[0:8], f.Cookie)
+	binary.BigEndian.PutUint16(b[8:10], f.Priority)
+	b[10] = f.Reason
+	b[11] = f.TableID
+	binary.BigEndian.PutUint32(b[12:16], f.DurationSec)
+	binary.BigEndian.PutUint32(b[16:20], f.DurationNsec)
+	binary.BigEndian.PutUint16(b[20:22], f.IdleTimeout)
+	binary.BigEndian.PutUint16(b[22:24], f.HardTimeout)
+	binary.BigEndian.PutUint64(b[24:32], f.PacketCount)
+	binary.BigEndian.PutUint64(b[32:40], f.ByteCount)
+	copy(b[40:], mb)
+	return b, nil
+}
+
+// UnmarshalBody implements Message.
+func (f *FlowRemoved) UnmarshalBody(b []byte) error {
+	if len(b) < 40 {
+		return fmt.Errorf("flow-removed: %w", errTooShort)
+	}
+	f.Cookie = binary.BigEndian.Uint64(b[0:8])
+	f.Priority = binary.BigEndian.Uint16(b[8:10])
+	f.Reason = b[10]
+	f.TableID = b[11]
+	f.DurationSec = binary.BigEndian.Uint32(b[12:16])
+	f.DurationNsec = binary.BigEndian.Uint32(b[16:20])
+	f.IdleTimeout = binary.BigEndian.Uint16(b[20:22])
+	f.HardTimeout = binary.BigEndian.Uint16(b[22:24])
+	f.PacketCount = binary.BigEndian.Uint64(b[24:32])
+	f.ByteCount = binary.BigEndian.Uint64(b[32:40])
+	m, _, err := unmarshalMatch(b[40:])
+	if err != nil {
+		return fmt.Errorf("flow-removed: %w", err)
+	}
+	f.Match = m
+	return nil
+}
+
+// BarrierRequest forces ordering of preceding messages.
+type BarrierRequest struct{}
+
+var _ Message = (*BarrierRequest)(nil)
+
+// Type implements Message.
+func (*BarrierRequest) Type() MessageType { return TypeBarrierRequest }
+
+// MarshalBody implements Message.
+func (*BarrierRequest) MarshalBody() ([]byte, error) { return nil, nil }
+
+// UnmarshalBody implements Message.
+func (*BarrierRequest) UnmarshalBody([]byte) error { return nil }
+
+// BarrierReply acknowledges a BarrierRequest.
+type BarrierReply struct{}
+
+var _ Message = (*BarrierReply)(nil)
+
+// Type implements Message.
+func (*BarrierReply) Type() MessageType { return TypeBarrierReply }
+
+// MarshalBody implements Message.
+func (*BarrierReply) MarshalBody() ([]byte, error) { return nil, nil }
+
+// UnmarshalBody implements Message.
+func (*BarrierReply) UnmarshalBody([]byte) error { return nil }

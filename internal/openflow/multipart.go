@@ -1,0 +1,252 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Multipart types (ofp_multipart_type).
+const (
+	MultipartDesc      uint16 = 0
+	MultipartFlow      uint16 = 1
+	MultipartAggregate uint16 = 2
+	MultipartTable     uint16 = 3
+	MultipartPortStats uint16 = 4
+)
+
+// MultipartRequest is an ofp_multipart_request. Flow-stats and
+// aggregate-stats requests are modeled (the DFI Proxy must rewrite their
+// table ids); table-stats requests have an empty body; other subtypes are
+// carried verbatim in RawBody.
+type MultipartRequest struct {
+	PartType uint16
+	Flags    uint16
+	// Flow is set when PartType is MultipartFlow or MultipartAggregate
+	// (the two share the ofp_flow_stats_request body).
+	Flow *FlowStatsRequest
+	// RawBody carries the body verbatim for other subtypes.
+	RawBody []byte
+}
+
+var _ Message = (*MultipartRequest)(nil)
+
+// FlowStatsRequest is the body of a flow-stats multipart request.
+type FlowStatsRequest struct {
+	TableID    uint8
+	OutPort    uint32
+	OutGroup   uint32
+	Cookie     uint64
+	CookieMask uint64
+	Match      *Match
+}
+
+// AllTables selects every flow table in stats requests (OFPTT_ALL).
+const AllTables uint8 = 0xff
+
+// Type implements Message.
+func (*MultipartRequest) Type() MessageType { return TypeMultipartReq }
+
+// MarshalBody implements Message.
+func (m *MultipartRequest) MarshalBody() ([]byte, error) {
+	var body []byte
+	switch {
+	case (m.PartType == MultipartFlow || m.PartType == MultipartAggregate) && m.Flow != nil:
+		match := m.Flow.Match
+		if match == nil {
+			match = &Match{}
+		}
+		mb := match.Marshal()
+		body = make([]byte, 32+len(mb))
+		body[0] = m.Flow.TableID
+		binary.BigEndian.PutUint32(body[4:8], m.Flow.OutPort)
+		binary.BigEndian.PutUint32(body[8:12], m.Flow.OutGroup)
+		binary.BigEndian.PutUint64(body[16:24], m.Flow.Cookie)
+		binary.BigEndian.PutUint64(body[24:32], m.Flow.CookieMask)
+		copy(body[32:], mb)
+	default:
+		body = m.RawBody
+	}
+	b := make([]byte, 8+len(body))
+	binary.BigEndian.PutUint16(b[0:2], m.PartType)
+	binary.BigEndian.PutUint16(b[2:4], m.Flags)
+	copy(b[8:], body)
+	return b, nil
+}
+
+// UnmarshalBody implements Message.
+func (m *MultipartRequest) UnmarshalBody(b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("multipart request: %w", errTooShort)
+	}
+	m.PartType = binary.BigEndian.Uint16(b[0:2])
+	m.Flags = binary.BigEndian.Uint16(b[2:4])
+	body := b[8:]
+	if m.PartType == MultipartFlow || m.PartType == MultipartAggregate {
+		if len(body) < 32 {
+			return fmt.Errorf("flow stats request: %w", errTooShort)
+		}
+		match, _, err := unmarshalMatch(body[32:])
+		if err != nil {
+			return fmt.Errorf("flow stats request: %w", err)
+		}
+		m.Flow = &FlowStatsRequest{
+			TableID:    body[0],
+			OutPort:    binary.BigEndian.Uint32(body[4:8]),
+			OutGroup:   binary.BigEndian.Uint32(body[8:12]),
+			Cookie:     binary.BigEndian.Uint64(body[16:24]),
+			CookieMask: binary.BigEndian.Uint64(body[24:32]),
+			Match:      match,
+		}
+		return nil
+	}
+	m.RawBody = append([]byte(nil), body...)
+	return nil
+}
+
+// MultipartReply is an ofp_multipart_reply. Flow, table and aggregate
+// stats are modeled; other subtypes are carried verbatim in RawBody.
+type MultipartReply struct {
+	PartType uint16
+	Flags    uint16
+	// Flows is set when PartType == MultipartFlow.
+	Flows []*FlowStatsEntry
+	// Tables is set when PartType == MultipartTable.
+	Tables []*TableStatsEntry
+	// Aggregate is set when PartType == MultipartAggregate.
+	Aggregate *AggregateStats
+	// RawBody carries the body verbatim for other subtypes.
+	RawBody []byte
+}
+
+var _ Message = (*MultipartReply)(nil)
+
+// FlowStatsEntry is one ofp_flow_stats record in a flow-stats reply.
+type FlowStatsEntry struct {
+	TableID      uint8
+	DurationSec  uint32
+	DurationNsec uint32
+	Priority     uint16
+	IdleTimeout  uint16
+	HardTimeout  uint16
+	Flags        uint16
+	Cookie       uint64
+	PacketCount  uint64
+	ByteCount    uint64
+	Match        *Match
+	Instructions []Instruction
+}
+
+// Type implements Message.
+func (*MultipartReply) Type() MessageType { return TypeMultipartReply }
+
+const flowStatsFixedLen = 48
+
+// MarshalBody implements Message.
+func (m *MultipartReply) MarshalBody() ([]byte, error) {
+	var body []byte
+	switch {
+	case m.PartType == MultipartFlow:
+		for _, fs := range m.Flows {
+			match := fs.Match
+			if match == nil {
+				match = &Match{}
+			}
+			mb := match.Marshal()
+			ib := marshalInstructions(fs.Instructions)
+			entry := make([]byte, flowStatsFixedLen+len(mb)+len(ib))
+			binary.BigEndian.PutUint16(entry[0:2], uint16(len(entry)))
+			entry[2] = fs.TableID
+			binary.BigEndian.PutUint32(entry[4:8], fs.DurationSec)
+			binary.BigEndian.PutUint32(entry[8:12], fs.DurationNsec)
+			binary.BigEndian.PutUint16(entry[12:14], fs.Priority)
+			binary.BigEndian.PutUint16(entry[14:16], fs.IdleTimeout)
+			binary.BigEndian.PutUint16(entry[16:18], fs.HardTimeout)
+			binary.BigEndian.PutUint16(entry[18:20], fs.Flags)
+			binary.BigEndian.PutUint64(entry[24:32], fs.Cookie)
+			binary.BigEndian.PutUint64(entry[32:40], fs.PacketCount)
+			binary.BigEndian.PutUint64(entry[40:48], fs.ByteCount)
+			copy(entry[flowStatsFixedLen:], mb)
+			copy(entry[flowStatsFixedLen+len(mb):], ib)
+			body = append(body, entry...)
+		}
+	case m.PartType == MultipartTable:
+		for _, ts := range m.Tables {
+			body = append(body, ts.marshal()...)
+		}
+	case m.PartType == MultipartAggregate && m.Aggregate != nil:
+		body = m.Aggregate.marshal()
+	default:
+		body = m.RawBody
+	}
+	b := make([]byte, 8+len(body))
+	binary.BigEndian.PutUint16(b[0:2], m.PartType)
+	binary.BigEndian.PutUint16(b[2:4], m.Flags)
+	copy(b[8:], body)
+	return b, nil
+}
+
+// UnmarshalBody implements Message.
+func (m *MultipartReply) UnmarshalBody(b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("multipart reply: %w", errTooShort)
+	}
+	m.PartType = binary.BigEndian.Uint16(b[0:2])
+	m.Flags = binary.BigEndian.Uint16(b[2:4])
+	body := b[8:]
+	switch m.PartType {
+	case MultipartTable:
+		tables, err := unmarshalTableStats(body)
+		if err != nil {
+			return err
+		}
+		m.Tables = tables
+		return nil
+	case MultipartAggregate:
+		agg, err := unmarshalAggregateStats(body)
+		if err != nil {
+			return err
+		}
+		m.Aggregate = agg
+		return nil
+	case MultipartFlow:
+		// Parsed below.
+	default:
+		m.RawBody = append([]byte(nil), body...)
+		return nil
+	}
+	m.Flows = nil
+	for len(body) > 0 {
+		if len(body) < flowStatsFixedLen {
+			return fmt.Errorf("flow stats entry: %w", errTooShort)
+		}
+		entryLen := int(binary.BigEndian.Uint16(body[0:2]))
+		if entryLen < flowStatsFixedLen || entryLen > len(body) {
+			return fmt.Errorf("flow stats entry: bad length %d", entryLen)
+		}
+		entry := body[:entryLen]
+		body = body[entryLen:]
+		match, n, err := unmarshalMatch(entry[flowStatsFixedLen:])
+		if err != nil {
+			return fmt.Errorf("flow stats entry: %w", err)
+		}
+		instrs, err := unmarshalInstructions(entry[flowStatsFixedLen+n:])
+		if err != nil {
+			return fmt.Errorf("flow stats entry: %w", err)
+		}
+		m.Flows = append(m.Flows, &FlowStatsEntry{
+			TableID:      entry[2],
+			DurationSec:  binary.BigEndian.Uint32(entry[4:8]),
+			DurationNsec: binary.BigEndian.Uint32(entry[8:12]),
+			Priority:     binary.BigEndian.Uint16(entry[12:14]),
+			IdleTimeout:  binary.BigEndian.Uint16(entry[14:16]),
+			HardTimeout:  binary.BigEndian.Uint16(entry[16:18]),
+			Flags:        binary.BigEndian.Uint16(entry[18:20]),
+			Cookie:       binary.BigEndian.Uint64(entry[24:32]),
+			PacketCount:  binary.BigEndian.Uint64(entry[32:40]),
+			ByteCount:    binary.BigEndian.Uint64(entry[40:48]),
+			Match:        match,
+			Instructions: instrs,
+		})
+	}
+	return nil
+}

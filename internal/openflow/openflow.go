@@ -1,0 +1,228 @@
+// Package openflow implements the OpenFlow 1.3 binary wire protocol subset
+// that DFI exercises: connection setup (HELLO/FEATURES/ECHO), reactive flow
+// programming (PACKET_IN, PACKET_OUT, FLOW_MOD, FLOW_REMOVED, BARRIER),
+// flow statistics (MULTIPART), OXM matches, instructions and actions.
+//
+// It is the from-scratch substrate standing in for OpenFlowJ in the paper's
+// implementation. Messages are encoded/decoded to the exact on-wire layout
+// of the OpenFlow 1.3.5 specification so that the DFI Proxy can interpose
+// on a real byte stream between switches and an arbitrary controller.
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Version is the OpenFlow protocol version this package speaks (1.3).
+const Version uint8 = 0x04
+
+// MessageType identifies an OpenFlow message type (ofp_type).
+type MessageType uint8
+
+// OpenFlow 1.3 message types.
+const (
+	TypeHello           MessageType = 0
+	TypeError           MessageType = 1
+	TypeEchoRequest     MessageType = 2
+	TypeEchoReply       MessageType = 3
+	TypeExperimenter    MessageType = 4
+	TypeFeaturesRequest MessageType = 5
+	TypeFeaturesReply   MessageType = 6
+	TypeGetConfigReq    MessageType = 7
+	TypeGetConfigReply  MessageType = 8
+	TypeSetConfig       MessageType = 9
+	TypePacketIn        MessageType = 10
+	TypeFlowRemoved     MessageType = 11
+	TypePortStatus      MessageType = 12
+	TypePacketOut       MessageType = 13
+	TypeFlowMod         MessageType = 14
+	TypeGroupMod        MessageType = 15
+	TypePortMod         MessageType = 16
+	TypeTableMod        MessageType = 17
+	TypeMultipartReq    MessageType = 18
+	TypeMultipartReply  MessageType = 19
+	TypeBarrierRequest  MessageType = 20
+	TypeBarrierReply    MessageType = 21
+)
+
+// String renders the message type name for logs.
+func (t MessageType) String() string {
+	names := map[MessageType]string{
+		TypeHello: "HELLO", TypeError: "ERROR",
+		TypeEchoRequest: "ECHO_REQUEST", TypeEchoReply: "ECHO_REPLY",
+		TypeExperimenter: "EXPERIMENTER", TypeFeaturesRequest: "FEATURES_REQUEST",
+		TypeFeaturesReply: "FEATURES_REPLY", TypeGetConfigReq: "GET_CONFIG_REQUEST",
+		TypeGetConfigReply: "GET_CONFIG_REPLY", TypeSetConfig: "SET_CONFIG",
+		TypePacketIn: "PACKET_IN", TypeFlowRemoved: "FLOW_REMOVED",
+		TypePortStatus: "PORT_STATUS", TypePacketOut: "PACKET_OUT",
+		TypeFlowMod: "FLOW_MOD", TypeGroupMod: "GROUP_MOD",
+		TypePortMod: "PORT_MOD", TypeTableMod: "TABLE_MOD",
+		TypeMultipartReq: "MULTIPART_REQUEST", TypeMultipartReply: "MULTIPART_REPLY",
+		TypeBarrierRequest: "BARRIER_REQUEST", TypeBarrierReply: "BARRIER_REPLY",
+	}
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("OFPT(%d)", uint8(t))
+}
+
+// Reserved port numbers (ofp_port_no).
+const (
+	PortMax        uint32 = 0xffffff00
+	PortInPort     uint32 = 0xfffffff8
+	PortTable      uint32 = 0xfffffff9
+	PortNormal     uint32 = 0xfffffffa
+	PortFlood      uint32 = 0xfffffffb
+	PortAll        uint32 = 0xfffffffc
+	PortController uint32 = 0xfffffffd
+	PortLocal      uint32 = 0xfffffffe
+	PortAny        uint32 = 0xffffffff
+)
+
+// NoBuffer indicates an unbuffered packet (OFP_NO_BUFFER).
+const NoBuffer uint32 = 0xffffffff
+
+const headerLen = 8
+
+// MaxMessageLen bounds accepted message sizes, guarding the decoder against
+// hostile or corrupt length fields.
+const MaxMessageLen = 1 << 17
+
+// Message is an OpenFlow message body. Concrete message types implement it.
+type Message interface {
+	// Type returns the ofp_type this message encodes as.
+	Type() MessageType
+	// MarshalBody serializes the message body (everything after the
+	// 8-byte header).
+	MarshalBody() ([]byte, error)
+	// UnmarshalBody parses the message body.
+	UnmarshalBody(b []byte) error
+}
+
+// Raw is a passthrough body for message types this package does not model
+// in detail. It preserves bytes exactly, which lets the DFI Proxy forward
+// unknown messages transparently.
+type Raw struct {
+	RawType MessageType
+	Body    []byte
+}
+
+var _ Message = (*Raw)(nil)
+
+// Type implements Message.
+func (r *Raw) Type() MessageType { return r.RawType }
+
+// MarshalBody implements Message.
+func (r *Raw) MarshalBody() ([]byte, error) { return r.Body, nil }
+
+// UnmarshalBody implements Message.
+func (r *Raw) UnmarshalBody(b []byte) error {
+	r.Body = append([]byte(nil), b...)
+	return nil
+}
+
+// Encode serializes a full message (header + body) with the given
+// transaction id.
+func Encode(xid uint32, m Message) ([]byte, error) {
+	body, err := m.MarshalBody()
+	if err != nil {
+		return nil, fmt.Errorf("marshal %v: %w", m.Type(), err)
+	}
+	if headerLen+len(body) > MaxMessageLen {
+		return nil, fmt.Errorf("marshal %v: body of %d bytes exceeds max", m.Type(), len(body))
+	}
+	b := make([]byte, headerLen+len(body))
+	b[0] = Version
+	b[1] = uint8(m.Type())
+	binary.BigEndian.PutUint16(b[2:4], uint16(len(b)))
+	binary.BigEndian.PutUint32(b[4:8], xid)
+	copy(b[headerLen:], body)
+	return b, nil
+}
+
+// WriteMessage encodes and writes a full message to w.
+func WriteMessage(w io.Writer, xid uint32, m Message) error {
+	b, err := Encode(xid, m)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("write %v: %w", m.Type(), err)
+	}
+	return nil
+}
+
+// ReadMessage reads one message from r, returning its transaction id and
+// decoded body. Unmodeled message types decode as *Raw.
+func ReadMessage(r io.Reader) (uint32, Message, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0] != Version {
+		return 0, nil, fmt.Errorf("openflow: unsupported version 0x%02x", hdr[0])
+	}
+	length := int(binary.BigEndian.Uint16(hdr[2:4]))
+	if length < headerLen || length > MaxMessageLen {
+		return 0, nil, fmt.Errorf("openflow: bad message length %d", length)
+	}
+	xid := binary.BigEndian.Uint32(hdr[4:8])
+	body := make([]byte, length-headerLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("openflow: read body: %w", err)
+	}
+	m := newMessage(MessageType(hdr[1]))
+	if err := m.UnmarshalBody(body); err != nil {
+		return 0, nil, fmt.Errorf("openflow: decode %v: %w", MessageType(hdr[1]), err)
+	}
+	return xid, m, nil
+}
+
+// newMessage returns a zero value of the concrete type for t, or *Raw for
+// unmodeled types.
+func newMessage(t MessageType) Message {
+	switch t {
+	case TypeHello:
+		return &Hello{}
+	case TypeError:
+		return &Error{}
+	case TypeEchoRequest:
+		return &EchoRequest{}
+	case TypeEchoReply:
+		return &EchoReply{}
+	case TypeFeaturesRequest:
+		return &FeaturesRequest{}
+	case TypeFeaturesReply:
+		return &FeaturesReply{}
+	case TypeGetConfigReq:
+		return &GetConfigRequest{}
+	case TypeGetConfigReply:
+		return &GetConfigReply{}
+	case TypeSetConfig:
+		return &SetConfig{}
+	case TypePacketIn:
+		return &PacketIn{}
+	case TypePortStatus:
+		return &PortStatus{}
+	case TypeTableMod:
+		return &TableMod{}
+	case TypeFlowRemoved:
+		return &FlowRemoved{}
+	case TypePacketOut:
+		return &PacketOut{}
+	case TypeFlowMod:
+		return &FlowMod{}
+	case TypeMultipartReq:
+		return &MultipartRequest{}
+	case TypeMultipartReply:
+		return &MultipartReply{}
+	case TypeBarrierRequest:
+		return &BarrierRequest{}
+	case TypeBarrierReply:
+		return &BarrierReply{}
+	default:
+		return &Raw{RawType: t}
+	}
+}

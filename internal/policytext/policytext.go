@@ -1,0 +1,349 @@
+// Package policytext implements DFI's human-readable policy file format.
+// The paper's first design requirement for policy (§III-A) is that rules
+// be written over identifiers administrators understand; this package
+// gives dfid a loadable, diffable on-disk form of such rules.
+//
+// Grammar (one statement per line; '#' starts a comment):
+//
+//	pdp <name> priority <n>
+//	allow|deny [proto tcp|udp|icmp|arp|ip] [from <endpoint>] [to <endpoint>]
+//
+// where <endpoint> is one or more of:
+//
+//	user <name> | host <name> | ip <a.b.c.d> | port <n> | mac <xx:..:xx>
+//	| switchport <n> | dpid <n>
+//
+// Rules are attributed to the most recently declared pdp. Examples:
+//
+//	pdp corp priority 50
+//	# Alice's machines may reach the mail server's IMAP port.
+//	allow proto tcp from user alice to host mail port 143
+//	deny from host lobby-kiosk
+package policytext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+)
+
+// PDPDecl is one "pdp" statement.
+type PDPDecl struct {
+	Name     string
+	Priority int
+	Line     int
+}
+
+// Document is a parsed policy file.
+type Document struct {
+	PDPs  []PDPDecl
+	Rules []policy.Rule // PDP set, Priority unset (assigned at insert)
+}
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("policy line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse reads a policy document.
+func Parse(r io.Reader) (*Document, error) {
+	doc := &Document{}
+	scanner := bufio.NewScanner(r)
+	currentPDP := ""
+	declared := map[string]bool{}
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "pdp":
+			decl, err := parsePDP(fields, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if declared[decl.Name] {
+				return nil, errf(lineNo, "pdp %q declared twice", decl.Name)
+			}
+			declared[decl.Name] = true
+			doc.PDPs = append(doc.PDPs, decl)
+			currentPDP = decl.Name
+		case "allow", "deny":
+			if currentPDP == "" {
+				return nil, errf(lineNo, "%s before any pdp declaration", fields[0])
+			}
+			rule, err := parseRule(fields, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			rule.PDP = currentPDP
+			doc.Rules = append(doc.Rules, rule)
+		default:
+			return nil, errf(lineNo, "unknown statement %q", fields[0])
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("policy: read: %w", err)
+	}
+	return doc, nil
+}
+
+func parsePDP(fields []string, line int) (PDPDecl, error) {
+	// pdp <name> priority <n>
+	if len(fields) != 4 || fields[2] != "priority" {
+		return PDPDecl{}, errf(line, "want: pdp <name> priority <n>")
+	}
+	prio, err := strconv.Atoi(fields[3])
+	if err != nil {
+		return PDPDecl{}, errf(line, "bad priority %q", fields[3])
+	}
+	return PDPDecl{Name: fields[1], Priority: prio, Line: line}, nil
+}
+
+func parseRule(fields []string, line int) (policy.Rule, error) {
+	var r policy.Rule
+	switch fields[0] {
+	case "allow":
+		r.Action = policy.ActionAllow
+	case "deny":
+		r.Action = policy.ActionDeny
+	}
+	rest := fields[1:]
+	for len(rest) > 0 {
+		switch rest[0] {
+		case "proto":
+			if len(rest) < 2 {
+				return r, errf(line, "proto needs a value")
+			}
+			if err := setProto(&r, rest[1], line); err != nil {
+				return r, err
+			}
+			rest = rest[2:]
+		case "from":
+			spec, n, err := parseEndpoint(rest[1:], line)
+			if err != nil {
+				return r, err
+			}
+			r.Src = spec
+			rest = rest[1+n:]
+		case "to":
+			spec, n, err := parseEndpoint(rest[1:], line)
+			if err != nil {
+				return r, err
+			}
+			r.Dst = spec
+			rest = rest[1+n:]
+		default:
+			return r, errf(line, "unexpected token %q", rest[0])
+		}
+	}
+	return r, nil
+}
+
+func setProto(r *policy.Rule, name string, line int) error {
+	ipv4 := netpkt.EtherTypeIPv4
+	arp := netpkt.EtherTypeARP
+	switch name {
+	case "tcp":
+		p := netpkt.ProtoTCP
+		r.Props = policy.FlowProperties{EtherType: &ipv4, IPProto: &p}
+	case "udp":
+		p := netpkt.ProtoUDP
+		r.Props = policy.FlowProperties{EtherType: &ipv4, IPProto: &p}
+	case "icmp":
+		p := netpkt.ProtoICMP
+		r.Props = policy.FlowProperties{EtherType: &ipv4, IPProto: &p}
+	case "ip":
+		r.Props = policy.FlowProperties{EtherType: &ipv4}
+	case "arp":
+		r.Props = policy.FlowProperties{EtherType: &arp}
+	default:
+		return errf(line, "unknown proto %q", name)
+	}
+	return nil
+}
+
+// endpoint field keywords.
+var endpointKeywords = map[string]bool{
+	"user": true, "host": true, "ip": true, "port": true,
+	"mac": true, "switchport": true, "dpid": true,
+}
+
+// parseEndpoint consumes key/value pairs until a non-endpoint token,
+// returning the spec and the number of tokens consumed.
+func parseEndpoint(tokens []string, line int) (policy.EndpointSpec, int, error) {
+	var spec policy.EndpointSpec
+	consumed := 0
+	seen := map[string]bool{}
+	for len(tokens) >= 2 && endpointKeywords[tokens[0]] {
+		key, val := tokens[0], tokens[1]
+		if seen[key] {
+			return spec, 0, errf(line, "duplicate %s in endpoint", key)
+		}
+		seen[key] = true
+		switch key {
+		case "user":
+			spec.User = val
+		case "host":
+			spec.Host = val
+		case "ip":
+			ip, err := netpkt.ParseIPv4(val)
+			if err != nil {
+				return spec, 0, errf(line, "bad ip %q", val)
+			}
+			spec.IP = &ip
+		case "port":
+			p, err := strconv.ParseUint(val, 10, 16)
+			if err != nil {
+				return spec, 0, errf(line, "bad port %q", val)
+			}
+			port := uint16(p)
+			spec.Port = &port
+		case "mac":
+			mac, err := netpkt.ParseMAC(val)
+			if err != nil {
+				return spec, 0, errf(line, "bad mac %q", val)
+			}
+			spec.MAC = &mac
+		case "switchport":
+			p, err := strconv.ParseUint(val, 10, 32)
+			if err != nil {
+				return spec, 0, errf(line, "bad switchport %q", val)
+			}
+			sp := uint32(p)
+			spec.SwitchPort = &sp
+		case "dpid":
+			d, err := strconv.ParseUint(val, 0, 64)
+			if err != nil {
+				return spec, 0, errf(line, "bad dpid %q", val)
+			}
+			spec.DPID = &d
+		}
+		tokens = tokens[2:]
+		consumed += 2
+	}
+	if consumed == 0 {
+		got := "nothing"
+		if len(tokens) > 0 {
+			got = fmt.Sprintf("%q", tokens[0])
+		}
+		return spec, 0, errf(line, "expected endpoint fields, got %s", got)
+	}
+	return spec, consumed, nil
+}
+
+// Apply registers the document's PDPs and inserts its rules into pm,
+// returning the inserted rule ids.
+func Apply(pm *policy.Manager, doc *Document) ([]policy.RuleID, error) {
+	for _, decl := range doc.PDPs {
+		if err := pm.RegisterPDP(decl.Name, decl.Priority); err != nil {
+			return nil, fmt.Errorf("policy line %d: %w", decl.Line, err)
+		}
+	}
+	ids := make([]policy.RuleID, 0, len(doc.Rules))
+	for _, r := range doc.Rules {
+		id, err := pm.Insert(r)
+		if err != nil {
+			return ids, fmt.Errorf("policy: insert %s: %w", r.String(), err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Format renders a document back to its textual form (normalized).
+func Format(doc *Document) string {
+	var b strings.Builder
+	byPDP := map[string][]policy.Rule{}
+	for _, r := range doc.Rules {
+		byPDP[r.PDP] = append(byPDP[r.PDP], r)
+	}
+	for i, decl := range doc.PDPs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "pdp %s priority %d\n", decl.Name, decl.Priority)
+		for _, r := range byPDP[decl.Name] {
+			b.WriteString(FormatRule(r))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// FormatRule renders one rule as a policy-file statement.
+func FormatRule(r policy.Rule) string {
+	var b strings.Builder
+	if r.Action == policy.ActionAllow {
+		b.WriteString("allow")
+	} else {
+		b.WriteString("deny")
+	}
+	if r.Props.EtherType != nil {
+		switch {
+		case *r.Props.EtherType == netpkt.EtherTypeARP:
+			b.WriteString(" proto arp")
+		case r.Props.IPProto == nil:
+			b.WriteString(" proto ip")
+		case *r.Props.IPProto == netpkt.ProtoTCP:
+			b.WriteString(" proto tcp")
+		case *r.Props.IPProto == netpkt.ProtoUDP:
+			b.WriteString(" proto udp")
+		case *r.Props.IPProto == netpkt.ProtoICMP:
+			b.WriteString(" proto icmp")
+		}
+	}
+	writeEndpoint(&b, " from", r.Src)
+	writeEndpoint(&b, " to", r.Dst)
+	return b.String()
+}
+
+func writeEndpoint(b *strings.Builder, prefix string, e policy.EndpointSpec) {
+	var parts []string
+	if e.User != "" {
+		parts = append(parts, "user "+e.User)
+	}
+	if e.Host != "" {
+		parts = append(parts, "host "+e.Host)
+	}
+	if e.IP != nil {
+		parts = append(parts, "ip "+e.IP.String())
+	}
+	if e.Port != nil {
+		parts = append(parts, fmt.Sprintf("port %d", *e.Port))
+	}
+	if e.MAC != nil {
+		parts = append(parts, "mac "+e.MAC.String())
+	}
+	if e.SwitchPort != nil {
+		parts = append(parts, fmt.Sprintf("switchport %d", *e.SwitchPort))
+	}
+	if e.DPID != nil {
+		parts = append(parts, fmt.Sprintf("dpid %#x", *e.DPID))
+	}
+	if len(parts) == 0 {
+		return
+	}
+	b.WriteString(prefix + " " + strings.Join(parts, " "))
+}

@@ -1,0 +1,279 @@
+package policytext
+
+import (
+	"errors"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+)
+
+const sample = `
+# Corporate policy.
+pdp corp priority 50
+allow proto tcp from user alice to host mail port 143
+deny from host lobby-kiosk
+
+pdp security priority 900
+deny to ip 10.0.0.66
+`
+
+func TestParseSample(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.PDPs) != 2 {
+		t.Fatalf("pdps = %d", len(doc.PDPs))
+	}
+	if doc.PDPs[0].Name != "corp" || doc.PDPs[0].Priority != 50 {
+		t.Fatalf("pdp[0] = %+v", doc.PDPs[0])
+	}
+	if len(doc.Rules) != 3 {
+		t.Fatalf("rules = %d", len(doc.Rules))
+	}
+
+	r := doc.Rules[0]
+	if r.PDP != "corp" || r.Action != policy.ActionAllow {
+		t.Fatalf("rule[0] = %+v", r)
+	}
+	if r.Props.IPProto == nil || *r.Props.IPProto != netpkt.ProtoTCP {
+		t.Fatalf("rule[0] proto = %+v", r.Props)
+	}
+	if r.Src.User != "alice" || r.Dst.Host != "mail" {
+		t.Fatalf("rule[0] endpoints = %+v", r)
+	}
+	if r.Dst.Port == nil || *r.Dst.Port != 143 {
+		t.Fatalf("rule[0] port = %+v", r.Dst.Port)
+	}
+
+	if doc.Rules[1].PDP != "corp" || doc.Rules[1].Src.Host != "lobby-kiosk" {
+		t.Fatalf("rule[1] = %+v", doc.Rules[1])
+	}
+	r = doc.Rules[2]
+	if r.PDP != "security" || r.Action != policy.ActionDeny {
+		t.Fatalf("rule[2] = %+v", r)
+	}
+	if r.Dst.IP == nil || r.Dst.IP.String() != "10.0.0.66" {
+		t.Fatalf("rule[2] ip = %+v", r.Dst.IP)
+	}
+}
+
+func TestParseAllEndpointFields(t *testing.T) {
+	doc, err := Parse(strings.NewReader(`
+pdp p priority 1
+allow from user u host h ip 10.0.0.1 port 80 mac 02:00:00:00:00:01 switchport 3 dpid 0x2a to host dst
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := doc.Rules[0].Src
+	if src.User != "u" || src.Host != "h" || src.IP == nil || src.Port == nil ||
+		src.MAC == nil || src.SwitchPort == nil || src.DPID == nil {
+		t.Fatalf("src = %+v", src)
+	}
+	if *src.DPID != 0x2a || *src.SwitchPort != 3 {
+		t.Fatalf("src = %+v", src)
+	}
+}
+
+func TestParseProtocols(t *testing.T) {
+	doc, err := Parse(strings.NewReader(`
+pdp p priority 1
+allow proto tcp from host a
+allow proto udp from host a
+allow proto icmp from host a
+allow proto ip from host a
+allow proto arp from host a
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rules) != 5 {
+		t.Fatalf("rules = %d", len(doc.Rules))
+	}
+	if *doc.Rules[4].Props.EtherType != netpkt.EtherTypeARP {
+		t.Fatal("arp rule wrong")
+	}
+	if doc.Rules[3].Props.IPProto != nil {
+		t.Fatal("ip rule must not pin a protocol")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+		line int
+	}{
+		{name: "rule before pdp", give: "allow from host a", line: 1},
+		{name: "unknown statement", give: "pdp p priority 1\nfrobnicate", line: 2},
+		{name: "bad priority", give: "pdp p priority banana", line: 1},
+		{name: "duplicate pdp", give: "pdp p priority 1\npdp p priority 2", line: 2},
+		{name: "bad proto", give: "pdp p priority 1\nallow proto quic from host a", line: 2},
+		{name: "bad ip", give: "pdp p priority 1\nallow from ip 999.1.1.1", line: 2},
+		{name: "bad port", give: "pdp p priority 1\nallow to port banana", line: 2},
+		{name: "bad mac", give: "pdp p priority 1\nallow from mac zz", line: 2},
+		{name: "empty endpoint", give: "pdp p priority 1\nallow from", line: 2},
+		{name: "duplicate field", give: "pdp p priority 1\nallow from host a host b", line: 2},
+		{name: "dangling token", give: "pdp p priority 1\nallow shrug", line: 2},
+	}
+	for _, tt := range tests {
+		_, err := Parse(strings.NewReader(tt.give))
+		if err == nil {
+			t.Errorf("%s: parse accepted %q", tt.name, tt.give)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error %v is not a ParseError", tt.name, err)
+			continue
+		}
+		if pe.Line != tt.line {
+			t.Errorf("%s: error on line %d, want %d (%v)", tt.name, pe.Line, tt.line, err)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	doc, err := Parse(strings.NewReader(`
+# leading comment
+
+pdp p priority 1   # trailing comment
+allow from host a  # another
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rules) != 1 {
+		t.Fatalf("rules = %d", len(doc.Rules))
+	}
+}
+
+func TestApply(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := policy.NewManager()
+	ids, err := Apply(pm, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || pm.Len() != 3 {
+		t.Fatalf("applied %d rules, stored %d", len(ids), pm.Len())
+	}
+	// Priorities flow from the pdp declarations.
+	r, ok := pm.Get(ids[2])
+	if !ok || r.Priority != 900 {
+		t.Fatalf("rule = %+v", r)
+	}
+	// The security deny outranks any corp allow for the blocked IP.
+	ip := netpkt.MustParseIPv4("10.0.0.66")
+	d := pm.Query(&policy.FlowView{
+		EtherType: netpkt.EtherTypeIPv4,
+		Src:       policy.EndpointAttrs{Users: []string{"alice"}},
+		Dst:       policy.EndpointAttrs{Host: "mail", HasIP: true, IP: ip},
+	})
+	if d.Action != policy.ActionDeny {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestApplyDuplicatePriorityFails(t *testing.T) {
+	doc, err := Parse(strings.NewReader("pdp a priority 1\npdp b priority 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(policy.NewManager(), doc); err == nil {
+		t.Fatal("duplicate priorities accepted")
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(doc)
+	doc2, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", text, err)
+	}
+	if len(doc2.Rules) != len(doc.Rules) || len(doc2.PDPs) != len(doc.PDPs) {
+		t.Fatalf("round trip lost statements:\n%s", text)
+	}
+	for i := range doc.Rules {
+		if FormatRule(doc.Rules[i]) != FormatRule(doc2.Rules[i]) {
+			t.Fatalf("rule %d differs after round trip:\n%s\nvs\n%s",
+				i, FormatRule(doc.Rules[i]), FormatRule(doc2.Rules[i]))
+		}
+	}
+}
+
+// TestPropertyFormatParseRoundTrip: any rule built from the value universe
+// survives Format → Parse unchanged.
+func TestPropertyFormatParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	randomSpec := func() policy.EndpointSpec {
+		var e policy.EndpointSpec
+		if rng.Intn(2) == 0 {
+			e.User = "u" + strconv.Itoa(rng.Intn(5))
+		}
+		if rng.Intn(2) == 0 {
+			e.Host = "h" + strconv.Itoa(rng.Intn(5))
+		}
+		if rng.Intn(2) == 0 {
+			ip := netpkt.IPv4FromUint32(0x0a000000 | uint32(rng.Intn(1<<16)))
+			e.IP = &ip
+		}
+		if rng.Intn(2) == 0 {
+			port := uint16(rng.Intn(65535) + 1)
+			e.Port = &port
+		}
+		if rng.Intn(3) == 0 {
+			mac := netpkt.MAC{2, 0, 0, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))}
+			e.MAC = &mac
+		}
+		if rng.Intn(4) == 0 {
+			sp := uint32(rng.Intn(48) + 1)
+			e.SwitchPort = &sp
+		}
+		if rng.Intn(4) == 0 {
+			d := uint64(rng.Intn(1 << 16))
+			e.DPID = &d
+		}
+		return e
+	}
+	protos := []string{"", "tcp", "udp", "icmp", "ip", "arp"}
+	for i := 0; i < 2000; i++ {
+		r := policy.Rule{PDP: "p", Action: policy.ActionAllow}
+		if rng.Intn(2) == 0 {
+			r.Action = policy.ActionDeny
+		}
+		if proto := protos[rng.Intn(len(protos))]; proto != "" {
+			if err := setProto(&r, proto, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r.Src = randomSpec()
+		r.Dst = randomSpec()
+
+		text := "pdp p priority 1\n" + FormatRule(r) + "\n"
+		doc, err := Parse(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", text, err)
+		}
+		if len(doc.Rules) != 1 {
+			t.Fatalf("round trip produced %d rules from %q", len(doc.Rules), text)
+		}
+		got := doc.Rules[0]
+		got.PDP = r.PDP
+		if FormatRule(got) != FormatRule(r) {
+			t.Fatalf("round trip changed rule:\n%s\nvs\n%s", FormatRule(r), FormatRule(got))
+		}
+	}
+}

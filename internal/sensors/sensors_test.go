@@ -1,0 +1,227 @@
+package sensors
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/bus"
+	"github.com/dfi-sdn/dfi/internal/core/entity"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+)
+
+var (
+	ipA  = netpkt.MustParseIPv4("10.0.0.1")
+	macA = netpkt.MustParseMAC("02:00:00:00:00:01")
+)
+
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", msg)
+}
+
+// authCollector records auth events from the bus.
+type authCollector struct {
+	mu     sync.Mutex
+	events []AuthEvent
+}
+
+func (c *authCollector) add(ev AuthEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, ev)
+}
+
+func (c *authCollector) snapshot() []AuthEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]AuthEvent(nil), c.events...)
+}
+
+func subscribeAuth(t *testing.T, b *bus.Bus) *authCollector {
+	t.Helper()
+	c := &authCollector{}
+	if _, err := b.Subscribe(TopicAuth, func(ev bus.Event) {
+		if ae, ok := ev.Payload.(AuthEvent); ok {
+			c.add(ae)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSIEMProcessCountHeuristic(t *testing.T) {
+	b := bus.New()
+	defer b.Close()
+	collector := subscribeAuth(t, b)
+	siem, err := NewSIEMSensor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer siem.Close()
+
+	// First process: log-on.
+	siem.Ingest(ProcessEvent{User: "alice", Host: "h1", Delta: +1})
+	// More processes: no additional event.
+	siem.Ingest(ProcessEvent{User: "alice", Host: "h1", Delta: +2})
+	// Down to one: still logged on.
+	siem.Ingest(ProcessEvent{User: "alice", Host: "h1", Delta: -2})
+	// Last process exits: log-off.
+	siem.Ingest(ProcessEvent{User: "alice", Host: "h1", Delta: -1})
+
+	waitFor(t, func() bool { return len(collector.snapshot()) == 2 }, "2 auth events")
+	events := collector.snapshot()
+	if !events[0].LoggedOn || events[0].User != "alice" || events[0].Host != "h1" {
+		t.Fatalf("first event = %+v", events[0])
+	}
+	if events[1].LoggedOn {
+		t.Fatalf("second event = %+v, want log-off", events[1])
+	}
+}
+
+func TestSIEMPerHostIndependence(t *testing.T) {
+	b := bus.New()
+	defer b.Close()
+	collector := subscribeAuth(t, b)
+	siem, err := NewSIEMSensor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer siem.Close()
+
+	siem.Ingest(ProcessEvent{User: "alice", Host: "h1", Delta: +1})
+	siem.Ingest(ProcessEvent{User: "alice", Host: "h2", Delta: +1})
+	siem.Ingest(ProcessEvent{User: "alice", Host: "h1", Delta: -1})
+
+	waitFor(t, func() bool { return len(collector.snapshot()) == 3 }, "3 auth events")
+	if siem.ProcessCount("alice", "h2") != 1 {
+		t.Fatal("h2 count affected by h1 events")
+	}
+	if siem.ProcessCount("alice", "h1") != 0 {
+		t.Fatal("h1 count not zeroed")
+	}
+}
+
+func TestSIEMCountNeverNegative(t *testing.T) {
+	b := bus.New()
+	defer b.Close()
+	collector := subscribeAuth(t, b)
+	siem, err := NewSIEMSensor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer siem.Close()
+	// A stray exit with no matching create must not wedge the counter.
+	siem.Ingest(ProcessEvent{User: "bob", Host: "h1", Delta: -1})
+	siem.Ingest(ProcessEvent{User: "bob", Host: "h1", Delta: +1})
+	waitFor(t, func() bool { return len(collector.snapshot()) == 1 }, "log-on after stray exit")
+	if !collector.snapshot()[0].LoggedOn {
+		t.Fatal("want log-on")
+	}
+}
+
+func TestSIEMViaBusIngestion(t *testing.T) {
+	b := bus.New()
+	defer b.Close()
+	collector := subscribeAuth(t, b)
+	siem, err := NewSIEMSensor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer siem.Close()
+	// Endpoints publish raw process events on the bus; the SIEM derives
+	// log-ons from them.
+	if err := b.Publish(bus.Event{Topic: TopicProcess,
+		Payload: ProcessEvent{User: "carol", Host: "h3", Delta: +1}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(collector.snapshot()) == 1 }, "derived log-on")
+}
+
+func TestDNSAndDHCPSensorsPublish(t *testing.T) {
+	b := bus.New()
+	defer b.Close()
+	var mu sync.Mutex
+	var dnsEvents []DNSBinding
+	var dhcpEvents []DHCPBinding
+	if _, err := b.Subscribe(TopicDNS, func(ev bus.Event) {
+		if d, ok := ev.Payload.(DNSBinding); ok {
+			mu.Lock()
+			dnsEvents = append(dnsEvents, d)
+			mu.Unlock()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Subscribe(TopicDHCP, func(ev bus.Event) {
+		if d, ok := ev.Payload.(DHCPBinding); ok {
+			mu.Lock()
+			dhcpEvents = append(dhcpEvents, d)
+			mu.Unlock()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	NewDNSSensor(b).Record("h1", ipA, false)
+	NewDHCPSensor(b).Record(ipA, macA, false)
+
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(dnsEvents) == 1 && len(dhcpEvents) == 1
+	}, "sensor events")
+	mu.Lock()
+	defer mu.Unlock()
+	if dnsEvents[0].Host != "h1" || dnsEvents[0].IP != ipA {
+		t.Fatalf("dns event = %+v", dnsEvents[0])
+	}
+	if dhcpEvents[0].MAC != macA {
+		t.Fatalf("dhcp event = %+v", dhcpEvents[0])
+	}
+}
+
+func TestAttachEntityManagerEndToEnd(t *testing.T) {
+	b := bus.New()
+	defer b.Close()
+	em := entity.NewManager()
+	cancel, err := AttachEntityManager(b, em)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	NewDHCPSensor(b).Record(ipA, macA, false)
+	NewDNSSensor(b).Record("h1", ipA, false)
+	if err := b.Publish(bus.Event{Topic: TopicAuth,
+		Payload: AuthEvent{User: "alice", Host: "h1", LoggedOn: true}}); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, func() bool {
+		res, err := em.Resolve(entity.Observed{MAC: macA, HasIP: true, IP: ipA})
+		return err == nil && res.Host == "h1" && len(res.Users) == 1
+	}, "full binding chain via bus")
+
+	// Removal events unbind.
+	NewDNSSensor(b).Record("h1", ipA, true)
+	waitFor(t, func() bool {
+		_, ok := em.HostOf(ipA)
+		return !ok
+	}, "DNS unbind")
+
+	// After cancel, events stop flowing.
+	cancel()
+	NewDNSSensor(b).Record("h2", ipA, false)
+	time.Sleep(20 * time.Millisecond)
+	if _, ok := em.HostOf(ipA); ok {
+		t.Fatal("binding applied after cancel")
+	}
+}

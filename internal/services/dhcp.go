@@ -1,0 +1,117 @@
+// Package services implements simulated authoritative enterprise services
+// — DHCP, DNS and a directory (Active Directory stand-in) — that anchor
+// DFI's identifier-binding sensors and drive the security evaluation
+// testbed. Each service notifies an observer (the corresponding sensor) of
+// every binding change, making it the authoritative source the paper
+// requires (§IV-A).
+package services
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+)
+
+// DHCPObserver is notified of lease changes; the DHCP binding sensor
+// implements this.
+type DHCPObserver func(ip netpkt.IPv4, mac netpkt.MAC, removed bool)
+
+// ErrPoolExhausted reports an empty DHCP pool.
+var ErrPoolExhausted = errors.New("services: DHCP pool exhausted")
+
+// DHCPServer hands out IPv4 leases from a contiguous pool.
+type DHCPServer struct {
+	observer DHCPObserver
+
+	mu    sync.Mutex
+	base  uint32
+	size  int
+	next  int
+	byMAC map[netpkt.MAC]netpkt.IPv4
+	byIP  map[netpkt.IPv4]netpkt.MAC
+	freed []netpkt.IPv4
+}
+
+// NewDHCPServer returns a server leasing size addresses starting at base.
+// The observer may be nil.
+func NewDHCPServer(base netpkt.IPv4, size int, observer DHCPObserver) *DHCPServer {
+	return &DHCPServer{
+		observer: observer,
+		base:     base.Uint32(),
+		size:     size,
+		byMAC:    make(map[netpkt.MAC]netpkt.IPv4),
+		byIP:     make(map[netpkt.IPv4]netpkt.MAC),
+	}
+}
+
+// Lease assigns (or renews) an address for mac.
+func (d *DHCPServer) Lease(mac netpkt.MAC) (netpkt.IPv4, error) {
+	d.mu.Lock()
+	if ip, ok := d.byMAC[mac]; ok {
+		d.mu.Unlock()
+		return ip, nil
+	}
+	var ip netpkt.IPv4
+	switch {
+	case len(d.freed) > 0:
+		ip = d.freed[len(d.freed)-1]
+		d.freed = d.freed[:len(d.freed)-1]
+	case d.next < d.size:
+		ip = netpkt.IPv4FromUint32(d.base + uint32(d.next))
+		d.next++
+	default:
+		d.mu.Unlock()
+		return netpkt.IPv4{}, fmt.Errorf("%w: size %d", ErrPoolExhausted, d.size)
+	}
+	d.byMAC[mac] = ip
+	d.byIP[ip] = mac
+	obs := d.observer
+	d.mu.Unlock()
+
+	if obs != nil {
+		obs(ip, mac, false)
+	}
+	return ip, nil
+}
+
+// Release returns mac's lease to the pool.
+func (d *DHCPServer) Release(mac netpkt.MAC) {
+	d.mu.Lock()
+	ip, ok := d.byMAC[mac]
+	if ok {
+		delete(d.byMAC, mac)
+		delete(d.byIP, ip)
+		d.freed = append(d.freed, ip)
+	}
+	obs := d.observer
+	d.mu.Unlock()
+
+	if ok && obs != nil {
+		obs(ip, mac, true)
+	}
+}
+
+// LeaseOf returns the current lease for mac.
+func (d *DHCPServer) LeaseOf(mac netpkt.MAC) (netpkt.IPv4, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ip, ok := d.byMAC[mac]
+	return ip, ok
+}
+
+// OwnerOf returns the MAC holding ip.
+func (d *DHCPServer) OwnerOf(ip netpkt.IPv4) (netpkt.MAC, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	mac, ok := d.byIP[ip]
+	return mac, ok
+}
+
+// ActiveLeases returns the number of outstanding leases.
+func (d *DHCPServer) ActiveLeases() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.byMAC)
+}

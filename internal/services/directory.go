@@ -1,0 +1,214 @@
+package services
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Directory is the Active Directory stand-in: it holds user accounts, host
+// accounts, group (enclave) membership, Local Administrator grants, and —
+// because this is what NotPetya-class credential theft exploits — the set
+// of credentials cached on each endpoint by past log-ons. Like real AD, it
+// does NOT track who is currently logged on; that is derived by the SIEM
+// sensor from process events (paper §IV-A).
+type Directory struct {
+	mu     sync.Mutex
+	users  map[string]*userRecord
+	hosts  map[string]*hostRecord
+	groups map[string]map[string]struct{} // group -> members (users)
+}
+
+type userRecord struct {
+	name   string
+	groups map[string]struct{}
+}
+
+type hostRecord struct {
+	name        string
+	enclave     string
+	primaryUser string
+	localAdmins map[string]struct{}
+	cachedCreds map[string]struct{}
+}
+
+// Errors callers can match.
+var (
+	ErrUnknownUser = errors.New("services: unknown user")
+	ErrUnknownHost = errors.New("services: unknown host")
+)
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{
+		users:  make(map[string]*userRecord),
+		hosts:  make(map[string]*hostRecord),
+		groups: make(map[string]map[string]struct{}),
+	}
+}
+
+// AddUser creates a user account in the given groups.
+func (d *Directory) AddUser(name string, groups ...string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	u := d.users[name]
+	if u == nil {
+		u = &userRecord{name: name, groups: make(map[string]struct{})}
+		d.users[name] = u
+	}
+	for _, g := range groups {
+		u.groups[g] = struct{}{}
+		if d.groups[g] == nil {
+			d.groups[g] = make(map[string]struct{})
+		}
+		d.groups[g][name] = struct{}{}
+	}
+}
+
+// AddHost creates (or replaces) a host account joined to the domain.
+func (d *Directory) AddHost(name, enclave, primaryUser string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hosts[name] = &hostRecord{
+		name:        name,
+		enclave:     enclave,
+		primaryUser: primaryUser,
+		localAdmins: make(map[string]struct{}),
+		cachedCreds: make(map[string]struct{}),
+	}
+}
+
+// GrantLocalAdmin gives user Local Administrator privileges on host.
+func (d *Directory) GrantLocalAdmin(host, user string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h, ok := d.hosts[host]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHost, host)
+	}
+	h.localAdmins[user] = struct{}{}
+	return nil
+}
+
+// IsLocalAdmin reports whether user has Local Administrator on host.
+func (d *Directory) IsLocalAdmin(host, user string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h, ok := d.hosts[host]
+	if !ok {
+		return false
+	}
+	_, ok = h.localAdmins[user]
+	return ok
+}
+
+// CacheCredential records that user's credentials are now cached on host
+// (the OS caches them at interactive log-on and never evicts them, which is
+// what credential-theft malware dumps).
+func (d *Directory) CacheCredential(host, user string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h, ok := d.hosts[host]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHost, host)
+	}
+	h.cachedCreds[user] = struct{}{}
+	return nil
+}
+
+// CachedCredentials returns the users whose credentials are cached on host.
+func (d *Directory) CachedCredentials(host string) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h, ok := d.hosts[host]
+	if !ok {
+		return nil
+	}
+	users := make([]string, 0, len(h.cachedCreds))
+	for u := range h.cachedCreds {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	return users
+}
+
+// EnclaveOf returns the enclave (department/group) a host belongs to.
+func (d *Directory) EnclaveOf(host string) (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h, ok := d.hosts[host]
+	if !ok {
+		return "", false
+	}
+	return h.enclave, true
+}
+
+// PrimaryUserOf returns the host's primary user ("" for servers).
+func (d *Directory) PrimaryUserOf(host string) (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h, ok := d.hosts[host]
+	if !ok {
+		return "", false
+	}
+	return h.primaryUser, true
+}
+
+// HostsInEnclave returns all hosts in the enclave, sorted.
+func (d *Directory) HostsInEnclave(enclave string) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var hosts []string
+	for name, h := range d.hosts {
+		if h.enclave == enclave {
+			hosts = append(hosts, name)
+		}
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+// Hosts returns all host names, sorted.
+func (d *Directory) Hosts() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	hosts := make([]string, 0, len(d.hosts))
+	for name := range d.hosts {
+		hosts = append(hosts, name)
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+// Users returns all user names, sorted.
+func (d *Directory) Users() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	users := make([]string, 0, len(d.users))
+	for name := range d.users {
+		users = append(users, name)
+	}
+	sort.Strings(users)
+	return users
+}
+
+// GroupMembers returns the users in a group, sorted.
+func (d *Directory) GroupMembers(group string) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	members := make([]string, 0, len(d.groups[group]))
+	for u := range d.groups[group] {
+		members = append(members, u)
+	}
+	sort.Strings(members)
+	return members
+}
+
+// HasHost reports whether the host is joined to the domain.
+func (d *Directory) HasHost(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.hosts[name]
+	return ok
+}

@@ -1,0 +1,115 @@
+package services
+
+import (
+	"sync"
+
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+)
+
+// DNSObserver is notified of record changes; the DNS binding sensor
+// implements this.
+type DNSObserver func(host string, ip netpkt.IPv4, removed bool)
+
+// DNSServer holds A records and their reverse mappings; it is the
+// authoritative source for hostname↔IP bindings.
+type DNSServer struct {
+	observer DNSObserver
+
+	mu  sync.Mutex
+	a   map[string]map[netpkt.IPv4]struct{}
+	ptr map[netpkt.IPv4]string
+}
+
+// NewDNSServer returns an empty server. The observer may be nil.
+func NewDNSServer(observer DNSObserver) *DNSServer {
+	return &DNSServer{
+		observer: observer,
+		a:        make(map[string]map[netpkt.IPv4]struct{}),
+		ptr:      make(map[netpkt.IPv4]string),
+	}
+}
+
+// Register adds an A record host→ip (and the PTR back-reference). If ip
+// previously resolved to another host, that record is replaced (dynamic
+// DNS update).
+func (d *DNSServer) Register(host string, ip netpkt.IPv4) {
+	d.mu.Lock()
+	var removedHost string
+	if prev, ok := d.ptr[ip]; ok && prev != host {
+		removedHost = prev
+		if set := d.a[prev]; set != nil {
+			delete(set, ip)
+			if len(set) == 0 {
+				delete(d.a, prev)
+			}
+		}
+	}
+	if d.a[host] == nil {
+		d.a[host] = make(map[netpkt.IPv4]struct{})
+	}
+	d.a[host][ip] = struct{}{}
+	d.ptr[ip] = host
+	obs := d.observer
+	d.mu.Unlock()
+
+	if obs != nil {
+		if removedHost != "" {
+			obs(removedHost, ip, true)
+		}
+		obs(host, ip, false)
+	}
+}
+
+// Unregister removes the A record host→ip.
+func (d *DNSServer) Unregister(host string, ip netpkt.IPv4) {
+	d.mu.Lock()
+	removed := false
+	if set := d.a[host]; set != nil {
+		if _, ok := set[ip]; ok {
+			removed = true
+			delete(set, ip)
+			if len(set) == 0 {
+				delete(d.a, host)
+			}
+			if d.ptr[ip] == host {
+				delete(d.ptr, ip)
+			}
+		}
+	}
+	obs := d.observer
+	d.mu.Unlock()
+
+	if removed && obs != nil {
+		obs(host, ip, true)
+	}
+}
+
+// LookupA returns the addresses for host.
+func (d *DNSServer) LookupA(host string) []netpkt.IPv4 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ips := make([]netpkt.IPv4, 0, len(d.a[host]))
+	for ip := range d.a[host] {
+		ips = append(ips, ip)
+	}
+	return ips
+}
+
+// LookupPTR returns the hostname for ip.
+func (d *DNSServer) LookupPTR(ip netpkt.IPv4) (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h, ok := d.ptr[ip]
+	return h, ok
+}
+
+// Records returns the number of A records.
+func (d *DNSServer) Records() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, set := range d.a {
+		n += len(set)
+	}
+	return n
+}

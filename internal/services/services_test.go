@@ -1,0 +1,246 @@
+package services
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+)
+
+var (
+	mac1 = netpkt.MustParseMAC("02:00:00:00:00:01")
+	mac2 = netpkt.MustParseMAC("02:00:00:00:00:02")
+	mac3 = netpkt.MustParseMAC("02:00:00:00:00:03")
+)
+
+func TestDHCPLeaseAssignsSequential(t *testing.T) {
+	d := NewDHCPServer(netpkt.MustParseIPv4("10.0.0.10"), 4, nil)
+	ip1, err := d.Lease(mac1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip1 != netpkt.MustParseIPv4("10.0.0.10") {
+		t.Fatalf("first lease = %v", ip1)
+	}
+	ip2, err := d.Lease(mac2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip2 == ip1 {
+		t.Fatal("duplicate lease")
+	}
+	// Renewal returns the same address.
+	again, err := d.Lease(mac1)
+	if err != nil || again != ip1 {
+		t.Fatalf("renewal = %v, %v", again, err)
+	}
+	if d.ActiveLeases() != 2 {
+		t.Fatalf("active = %d", d.ActiveLeases())
+	}
+}
+
+func TestDHCPReleaseRecycles(t *testing.T) {
+	d := NewDHCPServer(netpkt.MustParseIPv4("10.0.0.10"), 1, nil)
+	ip1, err := d.Lease(mac1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Lease(mac2); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("err = %v, want pool exhausted", err)
+	}
+	d.Release(mac1)
+	ip2, err := d.Lease(mac2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip2 != ip1 {
+		t.Fatalf("recycled lease = %v, want %v", ip2, ip1)
+	}
+}
+
+func TestDHCPObserverNotified(t *testing.T) {
+	var mu sync.Mutex
+	type event struct {
+		ip      netpkt.IPv4
+		mac     netpkt.MAC
+		removed bool
+	}
+	var events []event
+	d := NewDHCPServer(netpkt.MustParseIPv4("10.0.0.10"), 4,
+		func(ip netpkt.IPv4, mac netpkt.MAC, removed bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			events = append(events, event{ip: ip, mac: mac, removed: removed})
+		})
+	ip, err := d.Lease(mac1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Release(mac1)
+	snapshot := func() []event {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]event(nil), events...)
+	}
+	got := snapshot()
+	if len(got) != 2 {
+		t.Fatalf("events = %d", len(got))
+	}
+	if got[0].removed || got[0].ip != ip || got[0].mac != mac1 {
+		t.Fatalf("lease event = %+v", got[0])
+	}
+	if !got[1].removed {
+		t.Fatalf("release event = %+v", got[1])
+	}
+	// A renewal must not re-notify.
+	if _, err := d.Lease(mac2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Lease(mac2); err != nil {
+		t.Fatal(err)
+	}
+	if got := snapshot(); len(got) != 3 {
+		t.Fatalf("renewal re-notified: %d events", len(got))
+	}
+	_ = mac3
+}
+
+func TestDHCPOwnerLookup(t *testing.T) {
+	d := NewDHCPServer(netpkt.MustParseIPv4("10.0.0.10"), 4, nil)
+	ip, err := d.Lease(mac1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, ok := d.OwnerOf(ip)
+	if !ok || owner != mac1 {
+		t.Fatalf("owner = %v, %v", owner, ok)
+	}
+	got, ok := d.LeaseOf(mac1)
+	if !ok || got != ip {
+		t.Fatalf("lease = %v, %v", got, ok)
+	}
+}
+
+func TestDNSRegisterLookup(t *testing.T) {
+	ip1 := netpkt.MustParseIPv4("10.0.0.1")
+	ip2 := netpkt.MustParseIPv4("10.0.0.2")
+	d := NewDNSServer(nil)
+	d.Register("h1", ip1)
+	d.Register("h1", ip2)
+	if got := d.LookupA("h1"); len(got) != 2 {
+		t.Fatalf("A records = %v", got)
+	}
+	if host, ok := d.LookupPTR(ip1); !ok || host != "h1" {
+		t.Fatalf("PTR = %q, %v", host, ok)
+	}
+	if d.Records() != 2 {
+		t.Fatalf("records = %d", d.Records())
+	}
+}
+
+func TestDNSDynamicUpdateMovesRecord(t *testing.T) {
+	ip := netpkt.MustParseIPv4("10.0.0.1")
+	var mu sync.Mutex
+	var events []string
+	d := NewDNSServer(func(host string, _ netpkt.IPv4, removed bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		suffix := "+"
+		if removed {
+			suffix = "-"
+		}
+		events = append(events, host+suffix)
+	})
+	d.Register("h1", ip)
+	d.Register("h2", ip) // dynamic DNS: the address moves
+	if host, _ := d.LookupPTR(ip); host != "h2" {
+		t.Fatalf("PTR = %q", host)
+	}
+	if got := d.LookupA("h1"); len(got) != 0 {
+		t.Fatalf("stale A record: %v", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"h1+", "h1-", "h2+"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+func TestDNSUnregister(t *testing.T) {
+	ip := netpkt.MustParseIPv4("10.0.0.1")
+	d := NewDNSServer(nil)
+	d.Register("h1", ip)
+	d.Unregister("h1", ip)
+	if _, ok := d.LookupPTR(ip); ok {
+		t.Fatal("PTR survived unregister")
+	}
+	d.Unregister("h1", ip) // idempotent
+}
+
+func TestDirectoryAccountsAndGrants(t *testing.T) {
+	dir := NewDirectory()
+	dir.AddUser("alice", "eng")
+	dir.AddUser("bob", "eng")
+	dir.AddHost("h1", "eng", "alice")
+	dir.AddHost("h2", "eng", "bob")
+
+	if err := dir.GrantLocalAdmin("h1", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if !dir.IsLocalAdmin("h1", "bob") {
+		t.Fatal("grant lost")
+	}
+	if dir.IsLocalAdmin("h2", "alice") {
+		t.Fatal("ungranted admin")
+	}
+	if err := dir.GrantLocalAdmin("ghost", "bob"); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("err = %v", err)
+	}
+
+	if enclave, ok := dir.EnclaveOf("h1"); !ok || enclave != "eng" {
+		t.Fatalf("enclave = %q, %v", enclave, ok)
+	}
+	if u, ok := dir.PrimaryUserOf("h1"); !ok || u != "alice" {
+		t.Fatalf("primary = %q, %v", u, ok)
+	}
+	if hosts := dir.HostsInEnclave("eng"); len(hosts) != 2 {
+		t.Fatalf("enclave hosts = %v", hosts)
+	}
+	if members := dir.GroupMembers("eng"); len(members) != 2 {
+		t.Fatalf("group members = %v", members)
+	}
+	if !dir.HasHost("h1") || dir.HasHost("ghost") {
+		t.Fatal("HasHost wrong")
+	}
+}
+
+func TestDirectoryCredentialCache(t *testing.T) {
+	dir := NewDirectory()
+	dir.AddHost("h1", "eng", "alice")
+	if err := dir.CacheCredential("h1", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.CacheCredential("h1", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.CacheCredential("h1", "alice"); err != nil { // dedup
+		t.Fatal(err)
+	}
+	creds := dir.CachedCredentials("h1")
+	if len(creds) != 2 || creds[0] != "alice" || creds[1] != "bob" {
+		t.Fatalf("creds = %v", creds)
+	}
+	if err := dir.CacheCredential("ghost", "x"); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := dir.CachedCredentials("ghost"); got != nil {
+		t.Fatalf("creds on unknown host = %v", got)
+	}
+}

@@ -1,0 +1,191 @@
+// Package simclock provides real and simulated (discrete-event) clocks.
+//
+// Components that need time take a Clock so that the security evaluation
+// (a simulated business day of user activity and worm propagation) can run
+// deterministically in virtual time, while production deployments use the
+// wall clock.
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the passage of time.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks the calling goroutine for d on this clock.
+	Sleep(d time.Duration)
+}
+
+// Real is a Clock backed by the wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Simulated is a deterministic discrete-event Clock. Goroutines that
+// participate in simulated time must be started with Go and may only block
+// via Sleep (or by returning); the driver advances virtual time whenever
+// every participating goroutine is asleep.
+//
+// The zero value is not usable; construct with NewSimulated.
+type Simulated struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	now    time.Time
+	active int
+	queue  entryHeap
+	seq    uint64
+}
+
+// NewSimulated returns a Simulated clock starting at the given epoch.
+func NewSimulated(epoch time.Time) *Simulated {
+	s := &Simulated{now: epoch}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+var _ Clock = (*Simulated)(nil)
+
+// Now implements Clock.
+func (s *Simulated) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Sleep implements Clock. It must only be called from a goroutine started
+// via Go (or from a ScheduleAt callback).
+func (s *Simulated) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ch := make(chan struct{})
+	s.mu.Lock()
+	heap.Push(&s.queue, &entry{at: s.now.Add(d), seq: s.seq, wake: ch})
+	s.seq++
+	s.active--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-ch
+}
+
+// Go starts fn as a goroutine participating in simulated time. The driver
+// will not advance the clock while fn is runnable.
+func (s *Simulated) Go(fn func()) {
+	s.mu.Lock()
+	s.active++
+	s.mu.Unlock()
+	go func() {
+		defer s.exit()
+		fn()
+	}()
+}
+
+func (s *Simulated) exit() {
+	s.mu.Lock()
+	s.active--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// ScheduleAt arranges for fn to run (as a participating goroutine) when
+// virtual time reaches at. Times in the past run at the current time.
+func (s *Simulated) ScheduleAt(at time.Time, fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if at.Before(s.now) {
+		at = s.now
+	}
+	heap.Push(&s.queue, &entry{at: at, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// ScheduleAfter arranges for fn to run d after the current virtual time.
+func (s *Simulated) ScheduleAfter(d time.Duration, fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	heap.Push(&s.queue, &entry{at: s.now.Add(d), seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// RunUntil drives the simulation until virtual time would pass deadline or
+// no further events exist. It returns the virtual time at which it stopped.
+// RunUntil must not be called concurrently with itself.
+func (s *Simulated) RunUntil(deadline time.Time) time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for s.active > 0 {
+			s.cond.Wait()
+		}
+		if s.queue.Len() == 0 {
+			return s.now
+		}
+		next := s.queue[0]
+		if next.at.After(deadline) {
+			s.now = deadline
+			return s.now
+		}
+		heap.Pop(&s.queue)
+		if next.at.After(s.now) {
+			s.now = next.at
+		}
+		s.active++
+		if next.wake != nil {
+			close(next.wake)
+		} else {
+			fn := next.fn
+			go func() {
+				defer s.exit()
+				fn()
+			}()
+		}
+	}
+}
+
+// Run drives the simulation until no events remain, returning the final
+// virtual time.
+func (s *Simulated) Run() time.Time {
+	// A deadline far enough out to be "forever" for any simulation here.
+	return s.RunUntil(s.Now().AddDate(1000, 0, 0))
+}
+
+type entry struct {
+	at   time.Time
+	seq  uint64
+	wake chan struct{}
+	fn   func()
+}
+
+type entryHeap []*entry
+
+func (h entryHeap) Len() int { return len(h) }
+
+func (h entryHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *entryHeap) Push(x any) { *h = append(*h, x.(*entry)) }
+
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,213 @@
+package simclock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2019, 3, 1, 9, 0, 0, 0, time.UTC)
+
+func TestRealClockNow(t *testing.T) {
+	var c Real
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v, want within [%v, %v]", got, before, after)
+	}
+}
+
+func TestSimulatedNowStartsAtEpoch(t *testing.T) {
+	s := NewSimulated(epoch)
+	if got := s.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", got, epoch)
+	}
+}
+
+func TestScheduleAtOrdering(t *testing.T) {
+	s := NewSimulated(epoch)
+	var mu sync.Mutex
+	var order []string
+	record := func(name string) func() {
+		return func() {
+			mu.Lock()
+			defer mu.Unlock()
+			order = append(order, name)
+		}
+	}
+	s.ScheduleAt(epoch.Add(2*time.Second), record("b"))
+	s.ScheduleAt(epoch.Add(1*time.Second), record("a"))
+	s.ScheduleAt(epoch.Add(3*time.Second), record("c"))
+	s.Run()
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"a", "b", "c"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestScheduleSameTimeFIFO(t *testing.T) {
+	s := NewSimulated(epoch)
+	var mu sync.Mutex
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.ScheduleAt(epoch.Add(time.Second), func() {
+			mu.Lock()
+			defer mu.Unlock()
+			order = append(order, i)
+		})
+	}
+	s.Run()
+	mu.Lock()
+	defer mu.Unlock()
+	// Same-time events start in FIFO order; since each callback only
+	// appends, the driver serializes them one at a time (active returns to
+	// zero between each), preserving order.
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	s := NewSimulated(epoch)
+	var woke time.Time
+	s.Go(func() {
+		s.Sleep(42 * time.Minute)
+		woke = s.Now()
+	})
+	end := s.Run()
+	want := epoch.Add(42 * time.Minute)
+	if !woke.Equal(want) {
+		t.Fatalf("woke at %v, want %v", woke, want)
+	}
+	if !end.Equal(want) {
+		t.Fatalf("Run() = %v, want %v", end, want)
+	}
+}
+
+func TestSleepZeroReturnsImmediately(t *testing.T) {
+	s := NewSimulated(epoch)
+	done := false
+	s.Go(func() {
+		s.Sleep(0)
+		s.Sleep(-time.Second)
+		done = true
+	})
+	s.Run()
+	if !done {
+		t.Fatal("goroutine did not complete")
+	}
+	if got := s.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want unchanged epoch %v", got, epoch)
+	}
+}
+
+func TestInterleavedSleepers(t *testing.T) {
+	s := NewSimulated(epoch)
+	var mu sync.Mutex
+	var order []string
+	sleeper := func(name string, step time.Duration, n int) func() {
+		return func() {
+			for i := 0; i < n; i++ {
+				s.Sleep(step)
+				mu.Lock()
+				order = append(order, name)
+				mu.Unlock()
+			}
+		}
+	}
+	s.Go(sleeper("fast", time.Second, 3))   // wakes at 1s, 2s, 3s
+	s.Go(sleeper("slow", 2*time.Second, 1)) // wakes at 2s
+	s.Run()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 4 {
+		t.Fatalf("got %d wakeups, want 4: %v", len(order), order)
+	}
+	if order[0] != "fast" {
+		t.Fatalf("first wake = %q, want fast", order[0])
+	}
+	if order[3] != "fast" {
+		t.Fatalf("last wake = %q, want fast (3s)", order[3])
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	s := NewSimulated(epoch)
+	var ran atomic.Int32
+	s.ScheduleAt(epoch.Add(time.Hour), func() { ran.Add(1) })
+	s.ScheduleAt(epoch.Add(3*time.Hour), func() { ran.Add(1) })
+	deadline := epoch.Add(2 * time.Hour)
+	end := s.RunUntil(deadline)
+	if !end.Equal(deadline) {
+		t.Fatalf("RunUntil = %v, want %v", end, deadline)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("ran %d events before deadline, want 1", got)
+	}
+	// Continuing past the deadline runs the remaining event.
+	s.Run()
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("ran %d events total, want 2", got)
+	}
+}
+
+func TestScheduleAfterUsesCurrentVirtualTime(t *testing.T) {
+	s := NewSimulated(epoch)
+	var secondAt time.Time
+	s.ScheduleAt(epoch.Add(time.Minute), func() {
+		s.ScheduleAfter(time.Minute, func() { secondAt = s.Now() })
+	})
+	s.Run()
+	want := epoch.Add(2 * time.Minute)
+	if !secondAt.Equal(want) {
+		t.Fatalf("nested event at %v, want %v", secondAt, want)
+	}
+}
+
+func TestScheduleAtPastRunsAtCurrentTime(t *testing.T) {
+	s := NewSimulated(epoch)
+	var at time.Time
+	s.ScheduleAt(epoch.Add(10*time.Minute), func() {
+		s.ScheduleAt(epoch, func() { at = s.Now() }) // in the past
+	})
+	s.Run()
+	want := epoch.Add(10 * time.Minute)
+	if !at.Equal(want) {
+		t.Fatalf("past-scheduled event ran at %v, want clamped to %v", at, want)
+	}
+}
+
+func TestManyGoroutinesDeterministic(t *testing.T) {
+	run := func() time.Time {
+		s := NewSimulated(epoch)
+		for i := 0; i < 50; i++ {
+			d := time.Duration(i+1) * time.Second
+			s.Go(func() {
+				for j := 0; j < 5; j++ {
+					s.Sleep(d)
+				}
+			})
+		}
+		return s.Run()
+	}
+	first := run()
+	want := epoch.Add(250 * time.Second) // slowest: 50s × 5
+	if !first.Equal(want) {
+		t.Fatalf("final time %v, want %v", first, want)
+	}
+	if second := run(); !second.Equal(first) {
+		t.Fatalf("non-deterministic: %v vs %v", first, second)
+	}
+}

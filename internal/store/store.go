@@ -1,0 +1,184 @@
+// Package store provides the in-memory storage layer backing DFI's Policy
+// Manager and Entity Resolution Manager. It is the from-scratch substrate
+// standing in for the paper's MySQL databases: concurrent tables plus an
+// injectable query-latency model, so that the RPC+database costs the paper
+// measured (≈2.4–2.5 ms per query, Table II) can be reproduced for the
+// evaluation while remaining zero for ordinary library use.
+package store
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/simclock"
+)
+
+// LatencyModel samples the simulated cost of one query round trip.
+type LatencyModel interface {
+	// Sample returns the cost of the next query; never negative.
+	Sample() time.Duration
+}
+
+type zeroLatency struct{}
+
+func (zeroLatency) Sample() time.Duration { return 0 }
+
+// Zero returns a LatencyModel with no cost (the default for library use).
+func Zero() LatencyModel { return zeroLatency{} }
+
+// Gaussian is a LatencyModel with normally distributed samples truncated at
+// zero, matching the mean ± σ figures the paper reports.
+type Gaussian struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	mean   time.Duration
+	stddev time.Duration
+}
+
+var _ LatencyModel = (*Gaussian)(nil)
+
+// NewGaussian returns a Gaussian latency model with the given parameters,
+// deterministic for a given seed.
+func NewGaussian(mean, stddev time.Duration, seed int64) *Gaussian {
+	return &Gaussian{rng: rand.New(rand.NewSource(seed)), mean: mean, stddev: stddev}
+}
+
+// Sample implements LatencyModel.
+func (g *Gaussian) Sample() time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	d := time.Duration(g.rng.NormFloat64()*float64(g.stddev)) + g.mean
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Fixed returns a LatencyModel that always samples d.
+func Fixed(d time.Duration) LatencyModel { return fixedLatency(d) }
+
+type fixedLatency time.Duration
+
+func (f fixedLatency) Sample() time.Duration { return time.Duration(f) }
+
+// Charge sleeps on clock for one sample of m and returns the charged cost.
+// A nil model or clock charges nothing.
+//
+// On the real clock, time.Sleep overshoots by roughly the kernel timer
+// granularity (measured near a millisecond on coarse-tick kernels), which
+// would inflate every calibrated stage cost. Charge compensates by
+// measuring the overshoot once and sleeping that much less; charges below
+// the measured overshoot cost only their code path, keeping the benchmark's
+// aggregate latency faithful to the model.
+func Charge(clock simclock.Clock, m LatencyModel) time.Duration {
+	if m == nil || clock == nil {
+		return 0
+	}
+	d := m.Sample()
+	if d <= 0 {
+		return 0
+	}
+	if _, isReal := clock.(simclock.Real); isReal {
+		if over := sleepOvershoot(); d > over {
+			time.Sleep(d - over)
+		}
+		return d
+	}
+	clock.Sleep(d)
+	return d
+}
+
+var (
+	overshootOnce sync.Once
+	overshootEst  time.Duration
+)
+
+// sleepOvershoot measures, once, how far time.Sleep overshoots on this
+// machine (a memoized hardware calibration constant, not mutable state).
+func sleepOvershoot() time.Duration {
+	overshootOnce.Do(func() {
+		const (
+			probes = 8
+			probeD = 200 * time.Microsecond
+		)
+		var total time.Duration
+		for i := 0; i < probes; i++ {
+			start := time.Now()
+			time.Sleep(probeD)
+			total += time.Since(start) - probeD
+		}
+		overshootEst = total / probes
+		if overshootEst < 0 {
+			overshootEst = 0
+		}
+	})
+	return overshootEst
+}
+
+// Table is a concurrent map with copy-on-read iteration, the storage
+// primitive behind the policy and binding databases.
+type Table[K comparable, V any] struct {
+	mu   sync.RWMutex
+	rows map[K]V
+}
+
+// NewTable returns an empty table.
+func NewTable[K comparable, V any]() *Table[K, V] {
+	return &Table[K, V]{rows: make(map[K]V)}
+}
+
+// Get returns the row for k.
+func (t *Table[K, V]) Get(k K) (V, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, ok := t.rows[k]
+	return v, ok
+}
+
+// Put inserts or replaces the row for k.
+func (t *Table[K, V]) Put(k K, v V) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows[k] = v
+}
+
+// Delete removes the row for k, reporting whether it existed.
+func (t *Table[K, V]) Delete(k K) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.rows[k]
+	delete(t.rows, k)
+	return ok
+}
+
+// Len returns the number of rows.
+func (t *Table[K, V]) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// ForEach calls fn for every row of a consistent snapshot, stopping early
+// if fn returns false. fn may safely mutate the table.
+func (t *Table[K, V]) ForEach(fn func(K, V) bool) {
+	t.mu.RLock()
+	snapshot := make(map[K]V, len(t.rows))
+	for k, v := range t.rows {
+		snapshot[k] = v
+	}
+	t.mu.RUnlock()
+	for k, v := range snapshot {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Update atomically applies fn to the row for k (zero value if absent) and
+// stores the result.
+func (t *Table[K, V]) Update(k K, fn func(V) V) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows[k] = fn(t.rows[k])
+}

@@ -1,0 +1,156 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/simclock"
+)
+
+func TestZeroLatency(t *testing.T) {
+	if d := Zero().Sample(); d != 0 {
+		t.Fatalf("Zero().Sample() = %v", d)
+	}
+}
+
+func TestFixedLatency(t *testing.T) {
+	m := Fixed(5 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if d := m.Sample(); d != 5*time.Millisecond {
+			t.Fatalf("Fixed.Sample() = %v", d)
+		}
+	}
+}
+
+func TestGaussianStats(t *testing.T) {
+	mean := 2410 * time.Microsecond
+	stddev := 970 * time.Microsecond
+	g := NewGaussian(mean, stddev, 1)
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		d := g.Sample()
+		if d < 0 {
+			t.Fatal("negative sample")
+		}
+		v := float64(d)
+		sum += v
+		sumSq += v * v
+	}
+	gotMean := sum / n
+	// Truncation at zero biases the mean slightly upward; allow 5%.
+	if diff := gotMean - float64(mean); diff < -0.05*float64(mean) || diff > 0.05*float64(mean) {
+		t.Fatalf("mean = %v, want ≈ %v", time.Duration(gotMean), mean)
+	}
+	gotVar := sumSq/n - gotMean*gotMean
+	wantVar := float64(stddev) * float64(stddev)
+	if gotVar < 0.8*wantVar || gotVar > 1.2*wantVar {
+		t.Fatalf("variance = %v, want ≈ %v", gotVar, wantVar)
+	}
+}
+
+func TestGaussianDeterministicPerSeed(t *testing.T) {
+	a := NewGaussian(time.Millisecond, time.Millisecond/4, 7)
+	b := NewGaussian(time.Millisecond, time.Millisecond/4, 7)
+	for i := 0; i < 100; i++ {
+		if a.Sample() != b.Sample() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestChargeAdvancesSimulatedClock(t *testing.T) {
+	epoch := time.Date(2019, 3, 1, 9, 0, 0, 0, time.UTC)
+	clk := simclock.NewSimulated(epoch)
+	var charged time.Duration
+	clk.Go(func() {
+		charged = Charge(clk, Fixed(3*time.Millisecond))
+	})
+	end := clk.Run()
+	if charged != 3*time.Millisecond {
+		t.Fatalf("charged = %v", charged)
+	}
+	if want := epoch.Add(3 * time.Millisecond); !end.Equal(want) {
+		t.Fatalf("clock at %v, want %v", end, want)
+	}
+}
+
+func TestChargeNilIsFree(t *testing.T) {
+	if d := Charge(nil, Fixed(time.Second)); d != 0 {
+		t.Fatalf("Charge(nil, ...) = %v", d)
+	}
+	if d := Charge(simclock.Real{}, nil); d != 0 {
+		t.Fatalf("Charge(..., nil) = %v", d)
+	}
+}
+
+func TestTableCRUD(t *testing.T) {
+	tab := NewTable[string, int]()
+	if _, ok := tab.Get("a"); ok {
+		t.Fatal("empty table returned a row")
+	}
+	tab.Put("a", 1)
+	tab.Put("b", 2)
+	if v, ok := tab.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	tab.Put("a", 10)
+	if v, _ := tab.Get("a"); v != 10 {
+		t.Fatalf("overwrite failed: %d", v)
+	}
+	if !tab.Delete("a") {
+		t.Fatal("Delete(a) = false")
+	}
+	if tab.Delete("a") {
+		t.Fatal("double delete = true")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len after delete = %d", tab.Len())
+	}
+}
+
+func TestTableForEachSnapshotAllowsMutation(t *testing.T) {
+	tab := NewTable[int, int]()
+	for i := 0; i < 10; i++ {
+		tab.Put(i, i)
+	}
+	seen := 0
+	tab.ForEach(func(k, _ int) bool {
+		seen++
+		tab.Delete(k) // must not deadlock or skip
+		return true
+	})
+	if seen != 10 {
+		t.Fatalf("visited %d rows, want 10", seen)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tab.Len())
+	}
+}
+
+func TestTableForEachEarlyStop(t *testing.T) {
+	tab := NewTable[int, int]()
+	for i := 0; i < 10; i++ {
+		tab.Put(i, i)
+	}
+	seen := 0
+	tab.ForEach(func(int, int) bool {
+		seen++
+		return false
+	})
+	if seen != 1 {
+		t.Fatalf("visited %d rows after early stop, want 1", seen)
+	}
+}
+
+func TestTableUpdate(t *testing.T) {
+	tab := NewTable[string, int]()
+	tab.Update("counter", func(v int) int { return v + 1 })
+	tab.Update("counter", func(v int) int { return v + 1 })
+	if v, _ := tab.Get("counter"); v != 2 {
+		t.Fatalf("counter = %d, want 2", v)
+	}
+}

@@ -1,0 +1,198 @@
+package testbed
+
+import (
+	"sort"
+	"time"
+)
+
+// buildScripts generates each user's day-long log-on/log-off script
+// (paper §V-B): every script has at least two hours logged on between
+// 09:00 and 13:00; most users return for the afternoon; a few work into
+// the evening; activity dwindles outside business hours. Scripts are
+// deterministic per seed and fixed across conditions.
+func (tb *Testbed) buildScripts() {
+	for _, name := range tb.EndHosts() {
+		h := tb.hosts[name]
+		user := h.PrimaryUser
+		var script []Interval
+
+		// Morning block: start 08:30–10:30, lasting 2–4 h past 09:00 —
+		// every script keeps the paper's "at least two hours logged on
+		// within 09:00–13:00". The spread in arrival times is what lets
+		// late hosts escape a morning outbreak (the paper's post-hoc
+		// 10:46 log-on).
+		start := 8*time.Hour + 30*time.Minute + time.Duration(tb.rng.Int63n(int64(120*time.Minute)))
+		effective := start
+		if effective < 9*time.Hour {
+			effective = 9 * time.Hour
+		}
+		// Ensure ≥2h past 09:00 regardless of an early arrival.
+		dur := (effective - start) + 2*time.Hour + time.Duration(tb.rng.Int63n(int64(2*time.Hour)))
+		script = append(script, Interval{Start: start, End: start + dur})
+
+		// Afternoon block for 90% of users: 13:00–14:00 start, 2–4.5 h.
+		if tb.rng.Float64() < 0.9 {
+			aStart := 13*time.Hour + time.Duration(tb.rng.Int63n(int64(time.Hour)))
+			if aStart < script[0].End+10*time.Minute {
+				aStart = script[0].End + 10*time.Minute
+			}
+			aDur := 2*time.Hour + time.Duration(tb.rng.Int63n(int64(150*time.Minute)))
+			script = append(script, Interval{Start: aStart, End: aStart + aDur})
+		}
+
+		// Evening block for 15%: 18:30–20:30 start, 0.5–2 h.
+		if tb.rng.Float64() < 0.15 {
+			eStart := 18*time.Hour + 30*time.Minute + time.Duration(tb.rng.Int63n(int64(2*time.Hour)))
+			prev := script[len(script)-1].End
+			if eStart < prev+10*time.Minute {
+				eStart = prev + 10*time.Minute
+			}
+			eDur := 30*time.Minute + time.Duration(tb.rng.Int63n(int64(90*time.Minute)))
+			script = append(script, Interval{Start: eStart, End: eStart + eDur})
+		}
+		tb.scripts[user] = script
+	}
+}
+
+// Script returns a user's logged-on intervals.
+func (tb *Testbed) Script(user string) []Interval {
+	return append([]Interval(nil), tb.scripts[user]...)
+}
+
+// FootholdHost picks the departmental end host to infect for a foothold at
+// the given offset from midnight: the host whose user is logged on at that
+// time with the earliest arrival (the paper's foothold is a host in active
+// use, compromised e.g. via a malicious software update). If nobody is
+// logged on at that hour, the first end host is returned — an unattended
+// always-on desktop.
+func (tb *Testbed) FootholdHost(at time.Duration) string {
+	bestName := ""
+	bestStart := time.Duration(-1)
+	for _, name := range tb.EndHosts() {
+		h := tb.hosts[name]
+		for _, iv := range tb.scripts[h.PrimaryUser] {
+			if iv.Start <= at && at < iv.End {
+				if bestStart < 0 || iv.Start < bestStart {
+					bestName = name
+					bestStart = iv.Start
+				}
+				break
+			}
+		}
+	}
+	if bestName != "" {
+		return bestName
+	}
+	return tb.EndHosts()[0]
+}
+
+// scheduleDay registers every script event and periodic switch timeout
+// sweeps on the simulated clock.
+func (tb *Testbed) scheduleDay(horizon time.Duration) {
+	for _, name := range tb.EndHosts() {
+		h := tb.hosts[name]
+		user := h.PrimaryUser
+		host := h.Name
+		for _, iv := range tb.scripts[user] {
+			iv := iv
+			tb.clock.ScheduleAt(tb.cfg.Epoch.Add(iv.Start), func() { tb.logon(user, host) })
+			tb.clock.ScheduleAt(tb.cfg.Epoch.Add(iv.End), func() { tb.logoff(user, host) })
+		}
+	}
+	// Sweep flow-rule timeouts every simulated minute so stale entries do
+	// not exhaust table capacity.
+	for off := time.Minute; off <= horizon; off += time.Minute {
+		tb.clock.ScheduleAt(tb.cfg.Epoch.Add(off), func() {
+			tb.core.SweepTimeouts()
+			for _, sw := range tb.switches {
+				sw.SweepTimeouts()
+			}
+		})
+	}
+}
+
+// InfectionRecord reports one infection.
+type InfectionRecord struct {
+	Host string
+	// At is the offset from the epoch (midnight).
+	At time.Duration
+}
+
+// Result summarizes one outbreak run.
+type Result struct {
+	Condition Condition
+	Foothold  string
+	// FootholdAt is the infection start, offset from midnight.
+	FootholdAt time.Duration
+	// Infections are ordered by time (the foothold first).
+	Infections []InfectionRecord
+	// TotalHosts is the testbed size (92).
+	TotalHosts int
+}
+
+// InfectedBy returns how many hosts were infected within d of the foothold.
+func (r *Result) InfectedBy(d time.Duration) int {
+	n := 0
+	for _, rec := range r.Infections {
+		if rec.At-r.FootholdAt <= d {
+			n++
+		}
+	}
+	return n
+}
+
+// FirstSpread returns the delay from foothold to the first *other* host's
+// infection, and false if the worm never spread.
+func (r *Result) FirstSpread() (time.Duration, bool) {
+	for _, rec := range r.Infections {
+		if rec.Host != r.Foothold {
+			return rec.At - r.FootholdAt, true
+		}
+	}
+	return 0, false
+}
+
+// Timeline buckets cumulative infections at the given interval for span
+// time after the foothold (inclusive of t=0).
+func (r *Result) Timeline(interval, span time.Duration) []int {
+	var out []int
+	for t := time.Duration(0); t <= span; t += interval {
+		out = append(out, r.InfectedBy(t))
+	}
+	return out
+}
+
+// RunInfection executes the full scenario: user scripts run from midnight,
+// the worm takes its foothold at footholdAt (offset from midnight), and
+// the simulation runs until horizon. It returns the infection record.
+func (tb *Testbed) RunInfection(foothold string, footholdAt, horizon time.Duration) (*Result, error) {
+	if _, ok := tb.hosts[foothold]; !ok {
+		return nil, errUnknownHost(foothold)
+	}
+	tb.scheduleDay(horizon)
+	tb.clock.ScheduleAt(tb.cfg.Epoch.Add(footholdAt), func() {
+		tb.outbreak.Infect(foothold)
+	})
+	tb.clock.RunUntil(tb.cfg.Epoch.Add(horizon))
+
+	res := &Result{
+		Condition:  tb.cfg.Condition,
+		Foothold:   foothold,
+		FootholdAt: footholdAt,
+		TotalHosts: len(tb.hosts),
+	}
+	for host, at := range tb.outbreak.Infections() {
+		res.Infections = append(res.Infections, InfectionRecord{Host: host, At: at.Sub(tb.cfg.Epoch)})
+	}
+	sort.Slice(res.Infections, func(i, j int) bool {
+		if res.Infections[i].At != res.Infections[j].At {
+			return res.Infections[i].At < res.Infections[j].At
+		}
+		return res.Infections[i].Host < res.Infections[j].Host
+	})
+	return res, nil
+}
+
+type errUnknownHost string
+
+func (e errUnknownHost) Error() string { return "testbed: unknown host " + string(e) }

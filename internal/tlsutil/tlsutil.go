@@ -1,0 +1,212 @@
+// Package tlsutil provides the TLS plumbing for DFI's control-channel
+// connections (paper §IV: "The sockets may be optionally secured using TLS
+// to encrypt all exchanged OpenFlow messages"): certificate generation for
+// a private control-plane CA, and ready-made server/client configurations
+// for dfid, switchd and controllerd.
+package tlsutil
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"time"
+)
+
+// CA is a private certificate authority for a DFI control plane.
+type CA struct {
+	cert *x509.Certificate
+	key  *ecdsa.PrivateKey
+	pem  []byte
+}
+
+// NewCA creates a CA valid for the given lifetime.
+func NewCA(commonName string, lifetime time.Duration) (*CA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("tlsutil: ca key: %w", err)
+	}
+	serial, err := randomSerial()
+	if err != nil {
+		return nil, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: commonName, Organization: []string{"DFI"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(lifetime),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("tlsutil: ca cert: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("tlsutil: ca parse: %w", err)
+	}
+	return &CA{
+		cert: cert,
+		key:  key,
+		pem:  pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der}),
+	}, nil
+}
+
+// CertPEM returns the CA certificate in PEM form.
+func (c *CA) CertPEM() []byte { return append([]byte(nil), c.pem...) }
+
+// Pool returns a certificate pool trusting only this CA.
+func (c *CA) Pool() *x509.CertPool {
+	pool := x509.NewCertPool()
+	pool.AddCert(c.cert)
+	return pool
+}
+
+// Issue creates a leaf certificate for the given DNS names and IPs, usable
+// for both server and client authentication.
+func (c *CA) Issue(commonName string, dnsNames []string, ips []net.IP, lifetime time.Duration) (tls.Certificate, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("tlsutil: leaf key: %w", err)
+	}
+	serial, err := randomSerial()
+	if err != nil {
+		return tls.Certificate{}, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: serial,
+		Subject:      pkix.Name{CommonName: commonName, Organization: []string{"DFI"}},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(lifetime),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+		DNSNames:     dnsNames,
+		IPAddresses:  ips,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, c.cert, &key.PublicKey, c.key)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("tlsutil: leaf cert: %w", err)
+	}
+	return tls.Certificate{
+		Certificate: [][]byte{der, c.cert.Raw},
+		PrivateKey:  key,
+	}, nil
+}
+
+// ServerConfig returns a TLS config for accepting OpenFlow connections,
+// requiring client certificates from the same CA (mutual TLS, so rogue
+// endpoints cannot impersonate switches to the control plane).
+func (c *CA) ServerConfig(cert tls.Certificate) *tls.Config {
+	return &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		ClientAuth:   tls.RequireAndVerifyClientCert,
+		ClientCAs:    c.Pool(),
+		MinVersion:   tls.VersionTLS13,
+	}
+}
+
+// ClientConfig returns a TLS config for dialing a control plane presenting
+// a certificate from the same CA.
+func (c *CA) ClientConfig(cert tls.Certificate, serverName string) *tls.Config {
+	return &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		RootCAs:      c.Pool(),
+		ServerName:   serverName,
+		MinVersion:   tls.VersionTLS13,
+	}
+}
+
+// WriteFiles persists a certificate and its key as PEM files (0600 key),
+// for use with dfid's -tls-cert/-tls-key flags.
+func WriteFiles(cert tls.Certificate, certPath, keyPath string) error {
+	var certPEM []byte
+	for _, der := range cert.Certificate {
+		certPEM = append(certPEM, pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})...)
+	}
+	keyDER, err := x509.MarshalPKCS8PrivateKey(cert.PrivateKey)
+	if err != nil {
+		return fmt.Errorf("tlsutil: marshal key: %w", err)
+	}
+	keyPEM := pem.EncodeToMemory(&pem.Block{Type: "PRIVATE KEY", Bytes: keyDER})
+	if err := os.WriteFile(certPath, certPEM, 0o644); err != nil {
+		return fmt.Errorf("tlsutil: write cert: %w", err)
+	}
+	if err := os.WriteFile(keyPath, keyPEM, 0o600); err != nil {
+		return fmt.Errorf("tlsutil: write key: %w", err)
+	}
+	return nil
+}
+
+// LoadServerConfig builds a server TLS config from PEM files; caPath may
+// be empty to skip client-certificate verification.
+func LoadServerConfig(certPath, keyPath, caPath string) (*tls.Config, error) {
+	cert, err := tls.LoadX509KeyPair(certPath, keyPath)
+	if err != nil {
+		return nil, fmt.Errorf("tlsutil: load keypair: %w", err)
+	}
+	cfg := &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS13,
+	}
+	if caPath != "" {
+		pool, err := loadPool(caPath)
+		if err != nil {
+			return nil, err
+		}
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+		cfg.ClientCAs = pool
+	}
+	return cfg, nil
+}
+
+// LoadClientConfig builds a client TLS config from PEM files; certPath and
+// keyPath may be empty when the server does not require client
+// certificates.
+func LoadClientConfig(caPath, certPath, keyPath, serverName string) (*tls.Config, error) {
+	pool, err := loadPool(caPath)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &tls.Config{
+		RootCAs:    pool,
+		ServerName: serverName,
+		MinVersion: tls.VersionTLS13,
+	}
+	if certPath != "" {
+		cert, err := tls.LoadX509KeyPair(certPath, keyPath)
+		if err != nil {
+			return nil, fmt.Errorf("tlsutil: load keypair: %w", err)
+		}
+		cfg.Certificates = []tls.Certificate{cert}
+	}
+	return cfg, nil
+}
+
+func loadPool(caPath string) (*x509.CertPool, error) {
+	caPEM, err := os.ReadFile(caPath)
+	if err != nil {
+		return nil, fmt.Errorf("tlsutil: read ca: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(caPEM) {
+		return nil, fmt.Errorf("tlsutil: no certificates in %s", caPath)
+	}
+	return pool, nil
+}
+
+func randomSerial() (*big.Int, error) {
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 127))
+	if err != nil {
+		return nil, fmt.Errorf("tlsutil: serial: %w", err)
+	}
+	return serial, nil
+}

@@ -1,0 +1,234 @@
+package tlsutil
+
+import (
+	"crypto/tls"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/openflow"
+)
+
+func TestMutualTLSOpenFlowExchange(t *testing.T) {
+	ca, err := NewCA("dfi-test-ca", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverCert, err := ca.Issue("dfid", []string{"dfid"}, []net.IP{net.IPv4(127, 0, 0, 1)}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientCert, err := ca.Issue("switch-1", nil, nil, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lis, err := tls.Listen("tcp", "127.0.0.1:0", ca.ServerConfig(serverCert))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+
+	serverErr := make(chan error, 1)
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			serverErr <- err
+			return
+		}
+		defer conn.Close()
+		c := openflow.NewConn(conn)
+		xid, msg, err := c.Recv()
+		if err != nil {
+			serverErr <- err
+			return
+		}
+		if _, ok := msg.(*openflow.Hello); !ok {
+			serverErr <- io.ErrUnexpectedEOF
+			return
+		}
+		serverErr <- c.SendXID(xid, &openflow.Hello{})
+	}()
+
+	conn, err := tls.Dial("tcp", lis.Addr().String(), ca.ClientConfig(clientCert, "dfid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c := openflow.NewConn(conn)
+	if _, err := c.Send(&openflow.Hello{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, msg, err := c.Recv(); err != nil {
+		t.Fatal(err)
+	} else if _, ok := msg.(*openflow.Hello); !ok {
+		t.Fatalf("got %T", msg)
+	}
+	if err := <-serverErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerRejectsClientWithoutCert(t *testing.T) {
+	ca, err := NewCA("dfi-test-ca", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverCert, err := ca.Issue("dfid", nil, []net.IP{net.IPv4(127, 0, 0, 1)}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := tls.Listen("tcp", "127.0.0.1:0", ca.ServerConfig(serverCert))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		// Force the handshake; it must fail without a client cert.
+		_, _ = conn.Read(make([]byte, 1))
+		conn.Close()
+	}()
+
+	conn, err := tls.Dial("tcp", lis.Addr().String(), &tls.Config{
+		RootCAs:    ca.Pool(),
+		ServerName: "dfid",
+		MinVersion: tls.VersionTLS13,
+	})
+	if err == nil {
+		// TLS 1.3 may defer the client-cert failure to first use.
+		if _, werr := conn.Write([]byte("x")); werr == nil {
+			_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+			if _, rerr := conn.Read(make([]byte, 1)); rerr == nil {
+				t.Fatal("connection succeeded without a client certificate")
+			}
+		}
+		conn.Close()
+	}
+}
+
+func TestRejectsForeignCA(t *testing.T) {
+	ca1, err := NewCA("ca-1", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca2, err := NewCA("ca-2", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverCert, err := ca1.Issue("dfid", nil, []net.IP{net.IPv4(127, 0, 0, 1)}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreignClient, err := ca2.Issue("intruder", nil, nil, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lis, err := tls.Listen("tcp", "127.0.0.1:0", ca1.ServerConfig(serverCert))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		_, _ = conn.Read(make([]byte, 1))
+		conn.Close()
+	}()
+
+	conn, err := tls.Dial("tcp", lis.Addr().String(), ca1.ClientConfig(foreignClient, "dfid"))
+	if err != nil {
+		return // rejected at handshake: good
+	}
+	defer conn.Close()
+	if _, werr := conn.Write([]byte("x")); werr == nil {
+		_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, rerr := conn.Read(make([]byte, 1)); rerr == nil {
+			t.Fatal("foreign-CA client accepted")
+		}
+	}
+}
+
+func TestWriteAndLoadFiles(t *testing.T) {
+	dir := t.TempDir()
+	ca, err := NewCA("dfi-test-ca", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := ca.Issue("dfid", nil, []net.IP{net.IPv4(127, 0, 0, 1)}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	certPath := filepath.Join(dir, "dfid.pem")
+	keyPath := filepath.Join(dir, "dfid.key")
+	caPath := filepath.Join(dir, "ca.pem")
+	if err := WriteFiles(cert, certPath, keyPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCA(ca, caPath); err != nil {
+		t.Fatal(err)
+	}
+
+	serverCfg, err := LoadServerConfig(certPath, keyPath, caPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serverCfg.ClientAuth != tls.RequireAndVerifyClientCert {
+		t.Fatal("client auth not required with a CA configured")
+	}
+	clientCfg, err := LoadClientConfig(caPath, certPath, keyPath, "127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The loaded configs must complete a real handshake.
+	lis, err := tls.Listen("tcp", "127.0.0.1:0", serverCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 2)
+		_, err = io.ReadFull(conn, buf)
+		done <- err
+	}()
+	conn, err := tls.Dial("tcp", lis.Addr().String(), clientCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Bad paths fail cleanly.
+	if _, err := LoadServerConfig("/nope", "/nope", ""); err == nil {
+		t.Fatal("missing keypair accepted")
+	}
+	if _, err := LoadClientConfig("/nope", "", "", ""); err == nil {
+		t.Fatal("missing CA accepted")
+	}
+}
+
+func writeCA(ca *CA, path string) error {
+	return os.WriteFile(path, ca.CertPEM(), 0o644)
+}

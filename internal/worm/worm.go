@@ -1,0 +1,214 @@
+// Package worm implements the paper's NotPetya surrogate (§V-B): a
+// self-propagating malware model built from the published propagation
+// logic. An infected instance performs reconnaissance to build a target
+// list, then loops over the shuffled list serially, trying each target
+// first with a vulnerability exploit and, if that fails, with credential
+// theft — remote access using a cached credential that holds Local
+// Administrator on the target. Between sweeps it waits three minutes; after
+// a random 10–60 minute lifetime it times out and stops propagating (the
+// ransomware "lock down").
+package worm
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/simclock"
+)
+
+// SMBPort is the propagation port the surrogate attacks over (the
+// EternalBlue/SMB vector NotPetya used).
+const SMBPort uint16 = 445
+
+// Params are the surrogate's timing constants. The three-minute sweep wait
+// and the 10–60 minute lifetime are the paper's; the per-attempt costs are
+// calibrated to reproduce the infection-curve knees of Figure 5a.
+type Params struct {
+	// SweepWait separates full passes over the target list (paper: 3 min).
+	SweepWait time.Duration
+	// MinLifetime/MaxLifetime bound the uniformly random propagation
+	// window (paper: 10–60 min).
+	MinLifetime time.Duration
+	MaxLifetime time.Duration
+	// BlockedCost is the connection timeout paid when the network denies
+	// the flow.
+	BlockedCost time.Duration
+	// ExploitCost is the time to deliver the exploit payload (success).
+	ExploitCost time.Duration
+	// ExploitFailCost is the time for the exploit to fail on a patched
+	// target.
+	ExploitFailCost time.Duration
+	// CredentialCost is the time for one remote log-on with stolen
+	// credentials.
+	CredentialCost time.Duration
+}
+
+// DefaultParams returns the calibrated constants.
+func DefaultParams() Params {
+	return Params{
+		SweepWait:       3 * time.Minute,
+		MinLifetime:     10 * time.Minute,
+		MaxLifetime:     60 * time.Minute,
+		BlockedCost:     10 * time.Second,
+		ExploitCost:     time.Second,
+		ExploitFailCost: 500 * time.Millisecond,
+		CredentialCost:  500 * time.Millisecond,
+	}
+}
+
+// Network is the worm's view of the environment, provided by the testbed.
+type Network interface {
+	// Targets returns the reconnaissance result for an instance on host:
+	// every other end host and server (control-plane hosts are protected
+	// from recon and out of scope).
+	Targets(host string) []string
+	// TryConnect attempts a TCP connection src→dst on port, reporting
+	// whether the network (DFI) admitted it bidirectionally.
+	TryConnect(src, dst string, port uint16) bool
+	// Vulnerable reports whether dst is exploitable.
+	Vulnerable(dst string) bool
+	// CachedCredentials returns the credentials dumpable on host.
+	CachedCredentials(host string) []string
+	// HasLocalAdmin reports whether user can install software on dst
+	// remotely.
+	HasLocalAdmin(user, dst string) bool
+}
+
+// Outbreak coordinates worm instances over a simulated clock and records
+// infection times.
+type Outbreak struct {
+	params  Params
+	network Network
+	clock   *simclock.Simulated
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+
+	mu        sync.Mutex
+	infected  map[string]time.Time
+	instances int
+	onInfect  func(host string)
+}
+
+// SetOnInfect registers a callback invoked (outside the outbreak's lock,
+// in the infecting goroutine) whenever a new host becomes infected — the
+// hook detection/incident-response models attach to. It must be set before
+// the first Infect.
+func (o *Outbreak) SetOnInfect(fn func(host string)) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.onInfect = fn
+}
+
+// NewOutbreak prepares an outbreak; no host is infected yet.
+func NewOutbreak(params Params, network Network, clock *simclock.Simulated, seed int64) *Outbreak {
+	return &Outbreak{
+		params:   params,
+		network:  network,
+		clock:    clock,
+		rng:      rand.New(rand.NewSource(seed)),
+		infected: make(map[string]time.Time),
+	}
+}
+
+// Infect marks host as infected and starts its propagation instance as a
+// simulated goroutine. Re-infection is a no-op.
+func (o *Outbreak) Infect(host string) {
+	o.mu.Lock()
+	if _, done := o.infected[host]; done {
+		o.mu.Unlock()
+		return
+	}
+	o.infected[host] = o.clock.Now()
+	o.instances++
+	hook := o.onInfect
+	o.mu.Unlock()
+
+	if hook != nil {
+		hook(host)
+	}
+
+	o.rngMu.Lock()
+	lifetime := o.params.MinLifetime +
+		time.Duration(o.rng.Int63n(int64(o.params.MaxLifetime-o.params.MinLifetime)+1))
+	shuffleSeed := o.rng.Int63()
+	o.rngMu.Unlock()
+
+	o.clock.Go(func() {
+		o.run(host, lifetime, shuffleSeed)
+	})
+}
+
+// IsInfected reports whether host has been infected.
+func (o *Outbreak) IsInfected(host string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	_, ok := o.infected[host]
+	return ok
+}
+
+// Infections returns a copy of the infection times.
+func (o *Outbreak) Infections() map[string]time.Time {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]time.Time, len(o.infected))
+	for h, at := range o.infected {
+		out[h] = at
+	}
+	return out
+}
+
+// Count returns the number of infected hosts.
+func (o *Outbreak) Count() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.infected)
+}
+
+// run is one instance's propagation loop (paper §V-B threat model).
+func (o *Outbreak) run(self string, lifetime time.Duration, shuffleSeed int64) {
+	deadline := o.clock.Now().Add(lifetime)
+	targets := o.network.Targets(self)
+	rng := rand.New(rand.NewSource(shuffleSeed))
+
+	for o.clock.Now().Before(deadline) {
+		// The target list is shuffled on each infected host (and the
+		// order varies across sweeps as real scanning does).
+		rng.Shuffle(len(targets), func(i, j int) {
+			targets[i], targets[j] = targets[j], targets[i]
+		})
+		for _, target := range targets {
+			if !o.clock.Now().Before(deadline) {
+				return
+			}
+			o.attempt(self, target)
+		}
+		o.clock.Sleep(o.params.SweepWait)
+	}
+}
+
+// attempt tries to propagate self→target: exploit first, then credential
+// theft. Both vectors require the network to admit the SMB connection.
+func (o *Outbreak) attempt(self, target string) {
+	if !o.network.TryConnect(self, target, SMBPort) {
+		o.clock.Sleep(o.params.BlockedCost)
+		return
+	}
+	if o.network.Vulnerable(target) {
+		o.clock.Sleep(o.params.ExploitCost)
+		o.Infect(target)
+		return
+	}
+	o.clock.Sleep(o.params.ExploitFailCost)
+
+	// Exploit failed: dump local credentials and try each that holds
+	// Local Administrator on the target.
+	for _, cred := range o.network.CachedCredentials(self) {
+		if !o.network.HasLocalAdmin(cred, target) {
+			continue
+		}
+		o.clock.Sleep(o.params.CredentialCost)
+		o.Infect(target)
+		return
+	}
+}

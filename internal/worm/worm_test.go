@@ -1,0 +1,187 @@
+package worm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/simclock"
+)
+
+var epoch = time.Date(2019, 3, 1, 9, 0, 0, 0, time.UTC)
+
+// fakeNet is a scripted worm environment.
+type fakeNet struct {
+	mu       sync.Mutex
+	hosts    []string
+	reach    func(src, dst string) bool
+	vuln     map[string]bool
+	creds    map[string][]string
+	admin    func(user, dst string) bool
+	attempts int
+}
+
+func (f *fakeNet) Targets(host string) []string {
+	out := make([]string, 0, len(f.hosts))
+	for _, h := range f.hosts {
+		if h != host {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func (f *fakeNet) TryConnect(src, dst string, _ uint16) bool {
+	f.mu.Lock()
+	f.attempts++
+	f.mu.Unlock()
+	if f.reach == nil {
+		return true
+	}
+	return f.reach(src, dst)
+}
+
+func (f *fakeNet) Vulnerable(dst string) bool { return f.vuln[dst] }
+
+func (f *fakeNet) CachedCredentials(host string) []string { return f.creds[host] }
+
+func (f *fakeNet) HasLocalAdmin(user, dst string) bool {
+	if f.admin == nil {
+		return false
+	}
+	return f.admin(user, dst)
+}
+
+func fastParams() Params {
+	p := DefaultParams()
+	p.SweepWait = 10 * time.Second
+	p.MinLifetime = 2 * time.Minute
+	p.MaxLifetime = 5 * time.Minute
+	return p
+}
+
+func TestExploitVectorSpreads(t *testing.T) {
+	clk := simclock.NewSimulated(epoch)
+	net := &fakeNet{
+		hosts: []string{"a", "b", "c"},
+		vuln:  map[string]bool{"b": true, "c": true},
+	}
+	o := NewOutbreak(fastParams(), net, clk, 1)
+	o.Infect("a")
+	clk.Run()
+	if o.Count() != 3 {
+		t.Fatalf("infected %d/3", o.Count())
+	}
+}
+
+func TestCredentialVectorNeedsAdminCred(t *testing.T) {
+	clk := simclock.NewSimulated(epoch)
+	net := &fakeNet{
+		hosts: []string{"a", "b", "c"},
+		vuln:  map[string]bool{}, // nothing exploitable
+		creds: map[string][]string{"a": {"u-a"}},
+		admin: func(user, dst string) bool { return user == "u-a" && dst == "b" },
+	}
+	o := NewOutbreak(fastParams(), net, clk, 1)
+	o.Infect("a")
+	clk.Run()
+	if !o.IsInfected("b") {
+		t.Fatal("credential vector failed against b")
+	}
+	if o.IsInfected("c") {
+		t.Fatal("c infected without exploit or admin credential")
+	}
+}
+
+func TestUnreachableTargetsSafe(t *testing.T) {
+	clk := simclock.NewSimulated(epoch)
+	net := &fakeNet{
+		hosts: []string{"a", "b"},
+		vuln:  map[string]bool{"b": true},
+		reach: func(string, string) bool { return false },
+	}
+	o := NewOutbreak(fastParams(), net, clk, 1)
+	o.Infect("a")
+	clk.Run()
+	if o.Count() != 1 {
+		t.Fatalf("infected %d, want isolated foothold", o.Count())
+	}
+	if net.attempts == 0 {
+		t.Fatal("worm never tried")
+	}
+}
+
+func TestLifetimeBoundsPropagation(t *testing.T) {
+	clk := simclock.NewSimulated(epoch)
+	params := fastParams()
+	net := &fakeNet{hosts: []string{"a", "b"}, vuln: map[string]bool{"b": true}}
+	o := NewOutbreak(params, net, clk, 1)
+	o.Infect("a")
+	end := clk.Run()
+	// All activity must stop within every instance's max lifetime plus
+	// one final sweep.
+	latest := epoch.Add(2*params.MaxLifetime + params.SweepWait + time.Minute)
+	if end.After(latest) {
+		t.Fatalf("simulation ran until %v, after %v", end, latest)
+	}
+}
+
+func TestReinfectionIsNoOp(t *testing.T) {
+	clk := simclock.NewSimulated(epoch)
+	net := &fakeNet{hosts: []string{"a"}}
+	o := NewOutbreak(fastParams(), net, clk, 1)
+	o.Infect("a")
+	o.Infect("a")
+	clk.Run()
+	if o.Count() != 1 {
+		t.Fatalf("count = %d", o.Count())
+	}
+	inf := o.Infections()
+	if len(inf) != 1 {
+		t.Fatalf("infections = %v", inf)
+	}
+}
+
+func TestInfectionTimesMonotone(t *testing.T) {
+	clk := simclock.NewSimulated(epoch)
+	net := &fakeNet{
+		hosts: []string{"a", "b", "c", "d"},
+		vuln:  map[string]bool{"b": true, "c": true, "d": true},
+	}
+	o := NewOutbreak(fastParams(), net, clk, 7)
+	o.Infect("a")
+	clk.Run()
+	for host, at := range o.Infections() {
+		if at.Before(epoch) {
+			t.Fatalf("%s infected at %v, before epoch", host, at)
+		}
+	}
+	if at := o.Infections()["a"]; !at.Equal(epoch) {
+		t.Fatalf("foothold time = %v", at)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	run := func() map[string]time.Time {
+		clk := simclock.NewSimulated(epoch)
+		net := &fakeNet{
+			hosts: []string{"a", "b", "c", "d", "e"},
+			vuln:  map[string]bool{"b": true, "d": true},
+			creds: map[string][]string{"a": {"u"}, "b": {"u"}, "d": {"u"}},
+			admin: func(user, dst string) bool { return dst == "c" || dst == "e" },
+		}
+		o := NewOutbreak(fastParams(), net, clk, 99)
+		o.Infect("a")
+		clk.Run()
+		return o.Infections()
+	}
+	first, second := run(), run()
+	if len(first) != len(second) {
+		t.Fatalf("non-deterministic: %v vs %v", first, second)
+	}
+	for host, at := range first {
+		if !second[host].Equal(at) {
+			t.Fatalf("non-deterministic time for %s: %v vs %v", host, at, second[host])
+		}
+	}
+}
