@@ -17,6 +17,9 @@ import (
 	"github.com/dfi-sdn/dfi/internal/bufpipe"
 	"github.com/dfi-sdn/dfi/internal/cbench"
 	"github.com/dfi-sdn/dfi/internal/controller"
+	"github.com/dfi-sdn/dfi/internal/core/entity"
+	"github.com/dfi-sdn/dfi/internal/core/pcp"
+	"github.com/dfi-sdn/dfi/internal/core/policy"
 	"github.com/dfi-sdn/dfi/internal/experiments"
 	"github.com/dfi-sdn/dfi/internal/netpkt"
 	"github.com/dfi-sdn/dfi/internal/openflow"
@@ -423,6 +426,148 @@ func BenchmarkAblation_WildcardCache(b *testing.B) {
 	}
 	b.Run("exact-rules", func(b *testing.B) { run(b, false) })
 	b.Run("wildcard-cache", func(b *testing.B) { run(b, true) })
+}
+
+// --- admission fast-path microbenchmarks ---
+
+// policyBenchManager builds a Manager holding n rules with the field mix a
+// real deployment shows: IP-pinned, MAC-pinned, user/host-scoped and
+// port-only (residual) rules spread across three PDP priorities.
+func policyBenchManager(tb testing.TB, n int) *policy.Manager {
+	tb.Helper()
+	pm := policy.NewManager()
+	for i, prio := range []int{10, 20, 30} {
+		if err := pm.RegisterPDP(fmt.Sprintf("pdp%d", i), prio); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		r := policy.Rule{PDP: fmt.Sprintf("pdp%d", i%3)}
+		if i%2 == 0 {
+			r.Action = policy.ActionAllow
+		} else {
+			r.Action = policy.ActionDeny
+		}
+		switch i % 6 {
+		case 0:
+			ip := netpkt.IPv4FromUint32(0x0a010000 + uint32(i))
+			r.Src.IP = &ip
+		case 1:
+			ip := netpkt.IPv4FromUint32(0x0a020000 + uint32(i))
+			r.Dst.IP = &ip
+		case 2:
+			mac := netpkt.MAC{0x02, 0x10, byte(i >> 16), byte(i >> 8), byte(i), 0x01}
+			r.Src.MAC = &mac
+		case 3:
+			r.Src.User = fmt.Sprintf("user%d", i)
+		case 4:
+			r.Dst.Host = fmt.Sprintf("host%d", i)
+		case 5:
+			port := uint16(1024 + i%40000)
+			r.Src.Port = &port
+		}
+		if _, err := pm.Insert(r); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return pm
+}
+
+// policyBenchFlows returns the query mix: a flow hitting an IP-indexed
+// rule, one hitting a user-scoped rule, and one matching nothing (the
+// default-deny worst case, which a linear scan pays in full).
+func policyBenchFlows(n int) []*policy.FlowView {
+	hit := &policy.FlowView{
+		EtherType: netpkt.EtherTypeIPv4, HasIPProto: true, IPProto: netpkt.ProtoTCP,
+		Src: policy.EndpointAttrs{
+			HasIP: true, IP: netpkt.IPv4FromUint32(0x0a010000), // rule 0's Src.IP
+			MAC: netpkt.MAC{0x02, 0xaa, 0, 0, 0, 1}, HasPort: true, Port: 40000,
+		},
+		Dst: policy.EndpointAttrs{
+			HasIP: true, IP: netpkt.IPv4FromUint32(0x0afe0001),
+			MAC: netpkt.MAC{0x02, 0xaa, 0, 0, 0, 2}, HasPort: true, Port: 80,
+		},
+	}
+	userHit := &policy.FlowView{
+		EtherType: netpkt.EtherTypeIPv4, HasIPProto: true, IPProto: netpkt.ProtoTCP,
+		Src: policy.EndpointAttrs{
+			Users: []string{"user3"}, Host: "h-user3",
+			HasIP: true, IP: netpkt.IPv4FromUint32(0x0ac80001),
+			MAC:   netpkt.MAC{0x02, 0xbb, 0, 0, 0, 1},
+		},
+		Dst: policy.EndpointAttrs{
+			HasIP: true, IP: netpkt.IPv4FromUint32(0x0ac80002),
+			MAC:   netpkt.MAC{0x02, 0xbb, 0, 0, 0, 2},
+		},
+	}
+	if n < 4 {
+		// user3 only exists with ≥4 rules; fall back to the miss flow.
+		userHit = hit
+	}
+	miss := &policy.FlowView{
+		EtherType: netpkt.EtherTypeIPv4, HasIPProto: true, IPProto: netpkt.ProtoUDP,
+		Src: policy.EndpointAttrs{
+			HasIP: true, IP: netpkt.IPv4FromUint32(0x0afd0001),
+			MAC:   netpkt.MAC{0x02, 0xcc, 0, 0, 0, 1}, HasPort: true, Port: 53,
+		},
+		Dst: policy.EndpointAttrs{
+			HasIP: true, IP: netpkt.IPv4FromUint32(0x0afd0002),
+			MAC:   netpkt.MAC{0x02, 0xcc, 0, 0, 0, 2}, HasPort: true, Port: 53,
+		},
+	}
+	return []*policy.FlowView{hit, userHit, miss}
+}
+
+func benchmarkPolicyQuery(b *testing.B, n int) {
+	pm := policyBenchManager(b, n)
+	flows := policyBenchFlows(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pm.Query(flows[i%len(flows)])
+	}
+}
+
+func BenchmarkPolicyQuery_10Rules(b *testing.B)  { benchmarkPolicyQuery(b, 10) }
+func BenchmarkPolicyQuery_100Rules(b *testing.B) { benchmarkPolicyQuery(b, 100) }
+func BenchmarkPolicyQuery_1kRules(b *testing.B)  { benchmarkPolicyQuery(b, 1000) }
+func BenchmarkPolicyQuery_10kRules(b *testing.B) { benchmarkPolicyQuery(b, 10000) }
+
+// nopSwitch discards installed flow rules.
+type nopSwitch struct{}
+
+func (nopSwitch) WriteFlowMod(*openflow.FlowMod) error { return nil }
+
+// BenchmarkPCP_AdmissionHotPath measures one full admission through
+// pcp.Process against a 1k-rule policy: "cold" runs the complete
+// parse → MAC-sensor → binding query → policy query → compile path every
+// time (flow-decision cache disabled); "cache-hit" re-admits the same flow
+// and is served by the epoch-validated decision cache.
+func BenchmarkPCP_AdmissionHotPath(b *testing.B) {
+	run := func(b *testing.B, cacheSize int) {
+		pm := policyBenchManager(b, 1000)
+		erm := entity.NewManager()
+		erm.BindIPMAC(netpkt.MustParseIPv4("10.0.0.1"), netpkt.MustParseMAC("02:00:00:00:00:01"))
+		erm.BindHostIP("h1", netpkt.MustParseIPv4("10.0.0.1"))
+		erm.BindUserHost("alice", "h1")
+		p := pcp.New(pcp.Config{Entity: erm, Policy: pm, FlowCacheSize: cacheSize})
+		p.AttachSwitch(1, nopSwitch{})
+		frame := benchFrame()
+		req := &pcp.Request{DPID: 1, PacketIn: &openflow.PacketIn{
+			BufferID: openflow.NoBuffer,
+			Reason:   openflow.PacketInReasonNoMatch,
+			Match:    &openflow.Match{InPort: openflow.U32(3)},
+			Data:     frame,
+		}}
+		p.Process(req) // prime
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Process(req)
+		}
+	}
+	b.Run("cold", func(b *testing.B) { run(b, -1) })
+	b.Run("cache-hit", func(b *testing.B) { run(b, 0) })
 }
 
 // BenchmarkExtension_IncidentResponse quantifies the paper's closing claim

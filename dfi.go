@@ -54,6 +54,7 @@ type config struct {
 	denyIdleSec   uint16
 	externalBus   *bus.Bus
 	wildcardCache bool
+	flowCacheSize int
 }
 
 // Option configures a System.
@@ -125,6 +126,15 @@ func WithWildcardCaching() Option {
 	return func(c *config) { c.wildcardCache = true }
 }
 
+// WithFlowDecisionCache sizes the PCP's flow-decision cache: the LRU that
+// lets a re-admitted flow skip the binding and policy queries while both
+// the policy epoch and the identifier-binding epoch are unchanged, so a
+// cached decision can never outlive a revocation or a binding change.
+// 0 selects the default (4096 entries); negative disables the cache.
+func WithFlowDecisionCache(size int) Option {
+	return func(c *config) { c.flowCacheSize = size }
+}
+
 // WithBus supplies an existing event bus instead of creating one.
 func WithBus(b *bus.Bus) Option {
 	return func(c *config) { c.externalBus = b }
@@ -174,6 +184,7 @@ func New(opts ...Option) (*System, error) {
 		WildcardCaching:     cfg.wildcardCache,
 		AllowIdleTimeoutSec: cfg.allowIdleSec,
 		DenyIdleTimeoutSec:  cfg.denyIdleSec,
+		FlowCacheSize:       cfg.flowCacheSize,
 	})
 
 	var err error

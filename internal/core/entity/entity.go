@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/dfi-sdn/dfi/internal/netpkt"
 	"github.com/dfi-sdn/dfi/internal/simclock"
@@ -36,6 +37,13 @@ type Location struct {
 type Manager struct {
 	clock   simclock.Clock
 	latency store.LatencyModel
+
+	// epoch counts effective binding mutations: it is bumped only when a
+	// Bind*/Unbind* call actually changes the stored bindings, never on
+	// no-op re-binds (the PCP re-observes every flow's MAC location, so a
+	// no-op bump would defeat any epoch-validated decision cache). A
+	// resolution performed at epoch E stays valid while the epoch is E.
+	epoch atomic.Uint64
 
 	mu sync.RWMutex
 	// username <-> hostname (SIEM log-on sensor).
@@ -80,20 +88,35 @@ func NewManager(opts ...Option) *Manager {
 	return m
 }
 
+// Epoch returns the current binding epoch (see the epoch field): it
+// increases exactly when the stored bindings change, so a decision derived
+// from resolutions at epoch E is stale iff Epoch() != E.
+func (m *Manager) Epoch() uint64 { return m.epoch.Load() }
+
+// bump records an effective binding mutation. Called with m.mu held for
+// writing, so the new epoch is visible before the mutation's lock release.
+func (m *Manager) bump(changed bool) {
+	if changed {
+		m.epoch.Add(1)
+	}
+}
+
 // BindUserHost records that user is logged onto host.
 func (m *Manager) BindUserHost(user, host string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	addTo(m.userToHosts, user, host)
+	changed := addTo(m.userToHosts, user, host)
 	addTo(m.hostToUsers, host, user)
+	m.bump(changed)
 }
 
 // UnbindUserHost records that user logged off host.
 func (m *Manager) UnbindUserHost(user, host string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	removeFrom(m.userToHosts, user, host)
+	changed := removeFrom(m.userToHosts, user, host)
 	removeFrom(m.hostToUsers, host, user)
+	m.bump(changed)
 }
 
 // BindHostIP records a DNS binding between host and ip. An IP maps to one
@@ -102,21 +125,31 @@ func (m *Manager) UnbindUserHost(user, host string) {
 func (m *Manager) BindHostIP(host string, ip netpkt.IPv4) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if prev, ok := m.ipToHost[ip]; ok && prev != host {
+	prev, had := m.ipToHost[ip]
+	if had && prev == host {
+		return
+	}
+	if had {
 		removeFromKey(m.hostToIPs, prev, ip)
 	}
 	m.ipToHost[ip] = host
 	addToKey(m.hostToIPs, host, ip)
+	m.bump(true)
 }
 
 // UnbindHostIP removes a DNS binding.
 func (m *Manager) UnbindHostIP(host string, ip netpkt.IPv4) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	changed := false
 	if m.ipToHost[ip] == host {
 		delete(m.ipToHost, ip)
+		changed = true
 	}
-	removeFromKey(m.hostToIPs, host, ip)
+	if removeFromKey(m.hostToIPs, host, ip) {
+		changed = true
+	}
+	m.bump(changed)
 }
 
 // BindIPMAC records a DHCP lease binding ip to mac, replacing any previous
@@ -124,7 +157,11 @@ func (m *Manager) UnbindHostIP(host string, ip netpkt.IPv4) {
 func (m *Manager) BindIPMAC(ip netpkt.IPv4, mac netpkt.MAC) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if prev, ok := m.ipToMAC[ip]; ok && prev != mac {
+	prev, had := m.ipToMAC[ip]
+	if had && prev == mac {
+		return
+	}
+	if had {
 		removeIPFrom(m.macToIPs, prev, ip)
 	}
 	m.ipToMAC[ip] = mac
@@ -132,28 +169,40 @@ func (m *Manager) BindIPMAC(ip netpkt.IPv4, mac netpkt.MAC) {
 		m.macToIPs[mac] = make(map[netpkt.IPv4]struct{})
 	}
 	m.macToIPs[mac][ip] = struct{}{}
+	m.bump(true)
 }
 
 // UnbindIPMAC removes a DHCP lease binding (lease expiry/release).
 func (m *Manager) UnbindIPMAC(ip netpkt.IPv4, mac netpkt.MAC) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	changed := false
 	if m.ipToMAC[ip] == mac {
 		delete(m.ipToMAC, ip)
+		changed = true
 	}
-	removeIPFrom(m.macToIPs, mac, ip)
+	if removeIPFrom(m.macToIPs, mac, ip) {
+		changed = true
+	}
+	m.bump(changed)
 }
 
 // BindMACLocation records that mac was observed attached to port on switch
 // dpid. Each MAC has at most one port per switch (paper §IV-A); a new port
-// replaces the old one.
+// replaces the old one. Re-observing an unchanged location — the common
+// case, since the PCP reports it for every admitted flow — leaves the
+// binding epoch untouched.
 func (m *Manager) BindMACLocation(mac netpkt.MAC, loc Location) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if port, ok := m.macToLoc[mac][loc.DPID]; ok && port == loc.Port {
+		return
+	}
 	if m.macToLoc[mac] == nil {
 		m.macToLoc[mac] = make(map[uint64]uint32)
 	}
 	m.macToLoc[mac][loc.DPID] = loc.Port
+	m.bump(true)
 }
 
 // UnbindMACLocation removes a MAC's attachment on one switch.
@@ -161,9 +210,12 @@ func (m *Manager) UnbindMACLocation(mac netpkt.MAC, dpid uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if ports, ok := m.macToLoc[mac]; ok {
-		delete(ports, dpid)
-		if len(ports) == 0 {
-			delete(m.macToLoc, mac)
+		if _, had := ports[dpid]; had {
+			delete(ports, dpid)
+			if len(ports) == 0 {
+				delete(m.macToLoc, mac)
+			}
+			m.bump(true)
 		}
 	}
 }
@@ -299,20 +351,30 @@ func (m *Manager) LocationOf(mac netpkt.MAC, dpid uint64) (uint32, bool) {
 	return port, ok
 }
 
-func addTo(m map[string]map[string]struct{}, k, v string) {
+func addTo(m map[string]map[string]struct{}, k, v string) bool {
 	if m[k] == nil {
 		m[k] = make(map[string]struct{})
 	}
+	if _, had := m[k][v]; had {
+		return false
+	}
 	m[k][v] = struct{}{}
+	return true
 }
 
-func removeFrom(m map[string]map[string]struct{}, k, v string) {
-	if set, ok := m[k]; ok {
-		delete(set, v)
-		if len(set) == 0 {
-			delete(m, k)
-		}
+func removeFrom(m map[string]map[string]struct{}, k, v string) bool {
+	set, ok := m[k]
+	if !ok {
+		return false
 	}
+	if _, had := set[v]; !had {
+		return false
+	}
+	delete(set, v)
+	if len(set) == 0 {
+		delete(m, k)
+	}
+	return true
 }
 
 func addToKey(m map[string]map[netpkt.IPv4]struct{}, k string, ip netpkt.IPv4) {
@@ -322,20 +384,32 @@ func addToKey(m map[string]map[netpkt.IPv4]struct{}, k string, ip netpkt.IPv4) {
 	m[k][ip] = struct{}{}
 }
 
-func removeFromKey(m map[string]map[netpkt.IPv4]struct{}, k string, ip netpkt.IPv4) {
-	if set, ok := m[k]; ok {
-		delete(set, ip)
-		if len(set) == 0 {
-			delete(m, k)
-		}
+func removeFromKey(m map[string]map[netpkt.IPv4]struct{}, k string, ip netpkt.IPv4) bool {
+	set, ok := m[k]
+	if !ok {
+		return false
 	}
+	if _, had := set[ip]; !had {
+		return false
+	}
+	delete(set, ip)
+	if len(set) == 0 {
+		delete(m, k)
+	}
+	return true
 }
 
-func removeIPFrom(m map[netpkt.MAC]map[netpkt.IPv4]struct{}, mac netpkt.MAC, ip netpkt.IPv4) {
-	if set, ok := m[mac]; ok {
-		delete(set, ip)
-		if len(set) == 0 {
-			delete(m, mac)
-		}
+func removeIPFrom(m map[netpkt.MAC]map[netpkt.IPv4]struct{}, mac netpkt.MAC, ip netpkt.IPv4) bool {
+	set, ok := m[mac]
+	if !ok {
+		return false
 	}
+	if _, had := set[ip]; !had {
+		return false
+	}
+	delete(set, ip)
+	if len(set) == 0 {
+		delete(m, mac)
+	}
+	return true
 }

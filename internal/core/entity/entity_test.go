@@ -211,3 +211,48 @@ func TestLogoffRemovesUserFromResolution(t *testing.T) {
 		t.Fatalf("Host = %q (machine binding should survive logoff)", res.Host)
 	}
 }
+
+// TestEpochBumpsOnlyOnEffectiveChange: every kind of binding mutation
+// bumps the epoch exactly when it changes state, and re-binding identical
+// state never does — the PCP re-observes every flow's MAC location, so a
+// no-op bump would invalidate the flow-decision cache on every packet.
+func TestEpochBumpsOnlyOnEffectiveChange(t *testing.T) {
+	m := NewManager()
+	e := m.Epoch()
+	step := func(name string, wantBump bool, f func()) {
+		t.Helper()
+		f()
+		now := m.Epoch()
+		if wantBump && now == e {
+			t.Fatalf("%s: epoch did not bump", name)
+		}
+		if !wantBump && now != e {
+			t.Fatalf("%s: no-op bumped epoch %d -> %d", name, e, now)
+		}
+		e = now
+	}
+
+	step("bind user", true, func() { m.BindUserHost("alice", "h1") })
+	step("rebind same user", false, func() { m.BindUserHost("alice", "h1") })
+	step("unbind user", true, func() { m.UnbindUserHost("alice", "h1") })
+	step("unbind absent user", false, func() { m.UnbindUserHost("alice", "h1") })
+
+	step("bind host ip", true, func() { m.BindHostIP("h1", ipA) })
+	step("rebind same host ip", false, func() { m.BindHostIP("h1", ipA) })
+	step("rebind ip to new host", true, func() { m.BindHostIP("h2", ipA) })
+	step("unbind host ip", true, func() { m.UnbindHostIP("h2", ipA) })
+	step("unbind absent host ip", false, func() { m.UnbindHostIP("h2", ipA) })
+
+	step("bind ip mac", true, func() { m.BindIPMAC(ipA, macA) })
+	step("rebind same lease", false, func() { m.BindIPMAC(ipA, macA) })
+	step("lease reassignment", true, func() { m.BindIPMAC(ipA, macB) })
+	step("unbind lease", true, func() { m.UnbindIPMAC(ipA, macB) })
+	step("unbind absent lease", false, func() { m.UnbindIPMAC(ipA, macB) })
+
+	step("bind mac location", true, func() { m.BindMACLocation(macA, Location{DPID: 1, Port: 3}) })
+	step("re-observe same location", false, func() { m.BindMACLocation(macA, Location{DPID: 1, Port: 3}) })
+	step("mac moves port", true, func() { m.BindMACLocation(macA, Location{DPID: 1, Port: 4}) })
+	step("same mac on second switch", true, func() { m.BindMACLocation(macA, Location{DPID: 2, Port: 1}) })
+	step("unbind location", true, func() { m.UnbindMACLocation(macA, 1) })
+	step("unbind absent location", false, func() { m.UnbindMACLocation(macA, 1) })
+}

@@ -91,6 +91,12 @@ type Config struct {
 	// cookie-scoped flushes, not timeouts (default 300/30).
 	AllowIdleTimeoutSec uint16
 	DenyIdleTimeoutSec  uint16
+	// FlowCacheSize bounds the flow-decision cache, the LRU that lets a
+	// re-admitted flow skip the binding and policy queries while both the
+	// policy epoch and the entity (binding) epoch are unchanged (see
+	// cache.go for the staleness argument). 0 selects the default (4096
+	// entries); negative disables the cache.
+	FlowCacheSize int
 }
 
 // Metrics exposes the per-stage latency breakdown the paper reports in
@@ -101,10 +107,12 @@ type Metrics struct {
 	OtherPCP     *harness.DurationStats
 	Total        *harness.DurationStats
 
-	processed atomic.Uint64
-	dropped   atomic.Uint64
-	denied    atomic.Uint64
-	allowed   atomic.Uint64
+	processed   atomic.Uint64
+	dropped     atomic.Uint64
+	denied      atomic.Uint64
+	allowed     atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
 }
 
 // Processed returns the number of requests fully processed.
@@ -119,10 +127,19 @@ func (m *Metrics) Denied() uint64 { return m.denied.Load() }
 // Allowed returns the number of allow decisions.
 func (m *Metrics) Allowed() uint64 { return m.allowed.Load() }
 
+// CacheHits returns the number of admissions served from the
+// flow-decision cache (binding and policy queries skipped).
+func (m *Metrics) CacheHits() uint64 { return m.cacheHits.Load() }
+
+// CacheMisses returns the number of admissions that took the full
+// enrich-and-query path (including when the cache is disabled).
+func (m *Metrics) CacheMisses() uint64 { return m.cacheMisses.Load() }
+
 // PCP is the Policy Compilation Point.
 type PCP struct {
 	cfg     Config
 	metrics Metrics
+	cache   *decisionCache // nil when disabled
 
 	queue chan *Request
 	wg    sync.WaitGroup
@@ -163,6 +180,13 @@ func New(cfg Config) *PCP {
 		queue:    make(chan *Request, cfg.QueueDepth),
 		stop:     make(chan struct{}),
 		switches: make(map[uint64]SwitchClient),
+	}
+	if cfg.FlowCacheSize >= 0 {
+		size := cfg.FlowCacheSize
+		if size == 0 {
+			size = 4096
+		}
+		p.cache = newDecisionCache(size)
 	}
 	p.metrics.BindingQuery = &harness.DurationStats{}
 	p.metrics.PolicyQuery = &harness.DurationStats{}
@@ -276,13 +300,49 @@ func (p *PCP) worker() {
 	}
 }
 
-// Process handles one request synchronously: enrich, decide, compile,
-// install, notify. Exported for single-threaded harnesses (the worm
-// testbed) that bypass the queue.
+// Process handles one request synchronously: parse (once), enrich, decide,
+// compile, install, notify. Exported for single-threaded harnesses (the
+// worm testbed) that bypass the queue.
+//
+// The decision step consults the flow-decision cache first: a hit skips
+// both the binding query and the policy query, which are the two dominant
+// per-flow costs the paper measures (Table II). A hit is only served while
+// the policy and entity epochs recorded with the cached decision are still
+// current, so a cached decision can never survive a revocation, flush or
+// binding change (see cache.go).
 func (p *PCP) Process(req *Request) {
 	start := p.cfg.Clock.Now()
-	dec, fv := p.decide(req)
-	p.install(req, dec, fv)
+	key, kerr := netpkt.ExtractFlowKey(req.PacketIn.Data)
+	var dec Decision
+	var fv *policy.FlowView
+	if kerr != nil {
+		dec = Decision{Err: kerr}
+	} else {
+		inPort := req.PacketIn.InPort()
+		// MAC↔switch-port sensor (paper §IV-A): the PCP is the
+		// authoritative observer of where traffic physically enters the
+		// network. Runs before the cache probe so that a moved MAC bumps
+		// the entity epoch and invalidates decisions made at the old port.
+		p.cfg.Entity.BindMACLocation(key.EthSrc, entity.Location{DPID: req.DPID, Port: inPort})
+
+		ck := cacheKey{dpid: req.DPID, inPort: inPort, key: key}
+		hit := false
+		if p.cache != nil {
+			if d, ok := p.cache.lookup(ck, p.cfg.Policy.Epoch(), p.cfg.Entity.Epoch()); ok {
+				dec, hit = d, true
+				p.metrics.cacheHits.Add(1)
+			}
+		}
+		if !hit {
+			p.metrics.cacheMisses.Add(1)
+			var policyEpoch, entityEpoch uint64
+			dec, fv, policyEpoch, entityEpoch = p.decide(req, key, inPort)
+			if p.cache != nil && dec.Err == nil {
+				p.cache.store(ck, dec, policyEpoch, entityEpoch)
+			}
+		}
+	}
+	p.install(req, dec, fv, key)
 	p.metrics.Total.Add(p.cfg.Clock.Now().Sub(start))
 	p.metrics.processed.Add(1)
 	if dec.Allow {
@@ -295,16 +355,13 @@ func (p *PCP) Process(req *Request) {
 	}
 }
 
-func (p *PCP) decide(req *Request) (Decision, *policy.FlowView) {
-	key, err := netpkt.ExtractFlowKey(req.PacketIn.Data)
-	if err != nil {
-		return Decision{Err: err}, nil
-	}
-	inPort := req.PacketIn.InPort()
-
-	// MAC↔switch-port sensor (paper §IV-A): the PCP is the authoritative
-	// observer of where traffic physically enters the network.
-	p.cfg.Entity.BindMACLocation(key.EthSrc, entity.Location{DPID: req.DPID, Port: inPort})
+// decide runs the full enrich-and-query path for a parsed flow. It returns
+// the epochs its answer was derived under — the entity epoch read before
+// resolution and the policy epoch carried by the queried snapshot — so the
+// caller can cache the decision; a concurrent policy or binding change
+// makes the stored epochs stale and the cache entry self-invalidates.
+func (p *PCP) decide(req *Request, key netpkt.FlowKey, inPort uint32) (Decision, *policy.FlowView, uint64, uint64) {
+	entityEpoch := p.cfg.Entity.Epoch()
 
 	// Binding query: enrich both endpoints in one round trip.
 	tBind := p.cfg.Clock.Now()
@@ -320,7 +377,7 @@ func (p *PCP) decide(req *Request) (Decision, *policy.FlowView) {
 	p.metrics.BindingQuery.Add(p.cfg.Clock.Now().Sub(tBind))
 	if err != nil {
 		// Inconsistent identifiers: spoofed traffic is denied outright.
-		return Decision{Err: err}, nil
+		return Decision{Err: err}, nil, 0, 0
 	}
 
 	fv := flowView(key, inPort, req.DPID, srcRes, dstRes, p.cfg.Entity)
@@ -333,12 +390,15 @@ func (p *PCP) decide(req *Request) (Decision, *policy.FlowView) {
 	if pd.Matched {
 		ruleID = pd.Rule.ID
 	}
-	return Decision{Allow: pd.Action == policy.ActionAllow, RuleID: ruleID}, fv
+	return Decision{Allow: pd.Action == policy.ActionAllow, RuleID: ruleID}, fv, pd.Epoch, entityEpoch
 }
 
 // install compiles and installs the flow rule implementing dec for req's
-// packet, charging the PCP's remaining processing cost.
-func (p *PCP) install(req *Request, dec Decision, fv *policy.FlowView) {
+// packet, charging the PCP's remaining processing cost. fv is nil for
+// decisions served from the flow-decision cache; those install the exact
+// match (wildcard widening needs the enriched view and a policy walk —
+// exactly the work the cache exists to skip).
+func (p *PCP) install(req *Request, dec Decision, fv *policy.FlowView, key netpkt.FlowKey) {
 	tOther := p.cfg.Clock.Now()
 	defer func() {
 		p.metrics.OtherPCP.Add(p.cfg.Clock.Now().Sub(tOther))
@@ -353,10 +413,6 @@ func (p *PCP) install(req *Request, dec Decision, fv *policy.FlowView) {
 	}
 	client := p.client(req.DPID)
 	if client == nil {
-		return
-	}
-	key, err := netpkt.ExtractFlowKey(req.PacketIn.Data)
-	if err != nil {
 		return
 	}
 	fm := p.CompileFlowMod(key, req.PacketIn.InPort(), dec)

@@ -63,11 +63,12 @@ func (p *PCP) compileCachedMatch(key netpkt.FlowKey, inPort uint32, fv *policy.F
 		return exact
 	}
 
+	// One immutable snapshot serves both the winner lookup and the safety
+	// walk, so the check is consistent and copies nothing.
+	snap := p.cfg.Policy.Snapshot()
 	var winner *policy.Rule
 	if dec.RuleID != policy.DefaultDenyID {
-		if r, ok := p.cfg.Policy.Get(dec.RuleID); ok {
-			winner = &r
-		} else {
+		if winner = snap.Get(dec.RuleID); winner == nil {
 			return exact // revoked mid-flight; stay exact
 		}
 	}
@@ -76,7 +77,7 @@ func (p *PCP) compileCachedMatch(key netpkt.FlowKey, inPort uint32, fv *policy.F
 		action = policy.ActionAllow
 	}
 
-	rules := p.cfg.Policy.Rules()
+	rules := snap.All()
 	for _, drop := range widenLevels {
 		if !winnerAllowsDrop(winner, drop) {
 			continue
@@ -116,9 +117,8 @@ func winnerAllowsDrop(winner *policy.Rule, drop widenDrop) bool {
 }
 
 // safeToWiden checks condition 2 over the whole policy database.
-func safeToWiden(rules []policy.Rule, winner *policy.Rule, action policy.Action, fv *policy.FlowView, drop widenDrop) bool {
-	for i := range rules {
-		r := &rules[i]
+func safeToWiden(rules []*policy.Rule, winner *policy.Rule, action policy.Action, fv *policy.FlowView, drop widenDrop) bool {
+	for _, r := range rules {
 		if winner != nil && r.ID == winner.ID {
 			continue
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/dfi-sdn/dfi/internal/simclock"
 	"github.com/dfi-sdn/dfi/internal/store"
@@ -14,9 +15,17 @@ import (
 type Decision struct {
 	Action Action
 	// Rule is the winning rule, nil when no rule matched (default deny).
+	// It points into the immutable policy snapshot that produced the
+	// decision: callers must not modify it, and may retain it safely (a
+	// later policy change builds a new snapshot rather than mutating
+	// this one).
 	Rule *Rule
 	// Matched reports whether any rule matched.
 	Matched bool
+	// Epoch is the policy epoch of the snapshot that produced this
+	// decision (see Manager.Epoch); the PCP's flow-decision cache uses it
+	// to detect staleness.
+	Epoch uint64
 }
 
 // FlushFunc is notified with the ids of policy rules whose derived flow
@@ -39,15 +48,27 @@ var (
 // Manager is DFI's Policy Manager: it receives policy rules and revocations
 // from PDPs, performs consistency checks, stores the current global policy,
 // and answers per-flow queries from the PCP.
+//
+// Reads and writes are decoupled copy-on-write: mutations build a fresh
+// immutable Snapshot under the write lock and publish it atomically, so
+// Query (the admission hot path) runs lock-free against whichever snapshot
+// is current. Every published snapshot carries a strictly increasing epoch;
+// crucially, the new epoch is visible to readers before the flush
+// notification for the mutation fires, so by the time derived flow rules
+// are being removed from switches no cache keyed on the old epoch can
+// still validate.
 type Manager struct {
 	clock   simclock.Clock
 	latency store.LatencyModel
 
-	mu         sync.RWMutex
+	snap atomic.Pointer[Snapshot]
+
+	mu         sync.Mutex
 	rules      map[RuleID]*Rule
 	pdps       map[string]int // name -> priority
 	priorities map[int]string // priority -> name
 	nextID     RuleID
+	epoch      uint64
 	onFlush    FlushFunc
 }
 
@@ -71,10 +92,19 @@ func NewManager(opts ...ManagerOption) *Manager {
 		priorities: make(map[int]string),
 		nextID:     1,
 	}
+	m.snap.Store(emptySnapshot())
 	for _, opt := range opts {
 		opt(m)
 	}
 	return m
+}
+
+// publishLocked builds and publishes the snapshot for the current rule set,
+// bumping the epoch. Callers hold m.mu and must invoke it before releasing
+// the lock (and therefore before any flush notification).
+func (m *Manager) publishLocked() {
+	m.epoch++
+	m.snap.Store(buildSnapshot(m.epoch, m.rules))
 }
 
 // SetFlushFunc registers the callback invoked when derived flow rules must
@@ -131,6 +161,7 @@ func (m *Manager) Insert(r Rule) (RuleID, error) {
 	}
 	stored := r
 	m.rules[stored.ID] = &stored
+	m.publishLocked()
 	fn := m.onFlush
 	m.mu.Unlock()
 
@@ -151,6 +182,7 @@ func (m *Manager) Revoke(id RuleID) error {
 		return fmt.Errorf("%w: %d", ErrUnknownRule, id)
 	}
 	delete(m.rules, id)
+	m.publishLocked()
 	fn := m.onFlush
 	m.mu.Unlock()
 
@@ -173,6 +205,9 @@ func (m *Manager) RevokeAll(pdp string) int {
 	for _, id := range ids {
 		delete(m.rules, id)
 	}
+	if len(ids) > 0 {
+		m.publishLocked()
+	}
 	fn := m.onFlush
 	m.mu.Unlock()
 
@@ -187,55 +222,48 @@ func (m *Manager) RevokeAll(pdp string) int {
 // wins; among equal-priority matches with conflicting actions, Deny wins
 // (erring on the side of stopping unauthorized flows); with no match the
 // decision is the default Deny.
+//
+// Query is lock-free and allocation-free: it reads the current immutable
+// snapshot and returns a pointer to the winning rule inside it (see
+// Decision.Rule for the immutability contract).
 func (m *Manager) Query(f *FlowView) Decision {
 	store.Charge(m.clock, m.latency)
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-
-	var best *Rule
-	for _, r := range m.rules {
-		if !r.Matches(f) {
-			continue
-		}
-		switch {
-		case best == nil,
-			r.Priority > best.Priority,
-			r.Priority == best.Priority && r.Action == ActionDeny && best.Action == ActionAllow:
-			best = r
-		}
-	}
-	if best == nil {
-		return Decision{Action: ActionDeny}
-	}
-	cp := *best
-	return Decision{Action: best.Action, Rule: &cp, Matched: true}
+	return m.snap.Load().Query(f)
 }
 
-// Rules returns a snapshot of the stored policy, ordered by id.
+// Snapshot returns the current immutable policy snapshot, for callers that
+// need a consistent multi-rule view of the policy (e.g. the PCP's wildcard
+// widening safety check) without copying the rule set.
+func (m *Manager) Snapshot() *Snapshot {
+	return m.snap.Load()
+}
+
+// Epoch returns the current policy epoch: a counter that increases on
+// every insert, revoke and revoke-all. A Decision carrying an older epoch
+// was made against a policy that has since changed.
+func (m *Manager) Epoch() uint64 {
+	return m.snap.Load().epoch
+}
+
+// Rules returns a copy of the stored policy, ordered by id.
 func (m *Manager) Rules() []Rule {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := make([]Rule, 0, len(m.rules))
-	for _, r := range m.rules {
-		out = append(out, *r)
+	all := m.snap.Load().all
+	out := make([]Rule, len(all))
+	for i, r := range all {
+		out[i] = *r
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // Len returns the number of stored rules.
 func (m *Manager) Len() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.rules)
+	return m.snap.Load().Len()
 }
 
 // Get returns the rule with the given id.
 func (m *Manager) Get(id RuleID) (Rule, bool) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	r, ok := m.rules[id]
-	if !ok {
+	r := m.snap.Load().Get(id)
+	if r == nil {
 		return Rule{}, false
 	}
 	return *r, true

@@ -1,0 +1,86 @@
+package policy
+
+import "sort"
+
+// Snapshot is an immutable, epoch-versioned view of the stored policy. The
+// Manager publishes a fresh Snapshot on every mutation (insert, revoke,
+// revoke-all) and readers load it through one atomic pointer, so the
+// admission hot path queries policy with zero locking and zero allocation
+// while writers build the next version on the side (copy-on-write).
+//
+// Everything reachable from a Snapshot — including every *Rule — is frozen:
+// callers must treat returned rules as read-only. The epoch increases by
+// exactly one per mutation, which is what lets the PCP's flow-decision
+// cache detect staleness: a cached decision tagged with epoch E is valid
+// only while the current epoch is still E.
+type Snapshot struct {
+	epoch uint64
+	// buckets holds the rules grouped by priority, highest first, each
+	// bucket indexed on its cheap discriminating fields (see index.go).
+	buckets []bucket
+	// all holds every rule ordered by id, for iteration without copying.
+	all  []*Rule
+	byID map[RuleID]*Rule
+}
+
+// emptySnapshot is the epoch-0 snapshot a fresh Manager starts from.
+func emptySnapshot() *Snapshot {
+	return &Snapshot{byID: map[RuleID]*Rule{}}
+}
+
+// buildSnapshot freezes the given rule set at the given epoch.
+func buildSnapshot(epoch uint64, rules map[RuleID]*Rule) *Snapshot {
+	s := &Snapshot{
+		epoch: epoch,
+		all:   make([]*Rule, 0, len(rules)),
+		byID:  make(map[RuleID]*Rule, len(rules)),
+	}
+	for id, r := range rules {
+		s.all = append(s.all, r)
+		s.byID[id] = r
+	}
+	sort.Slice(s.all, func(i, j int) bool { return s.all[i].ID < s.all[j].ID })
+
+	// Group by priority, highest first, preserving id order inside each
+	// group so equal-priority iteration stays deterministic.
+	byPrio := make(map[int][]*Rule)
+	prios := make([]int, 0, 8)
+	for _, r := range s.all {
+		if _, ok := byPrio[r.Priority]; !ok {
+			prios = append(prios, r.Priority)
+		}
+		byPrio[r.Priority] = append(byPrio[r.Priority], r)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(prios)))
+	s.buckets = make([]bucket, len(prios))
+	for i, p := range prios {
+		s.buckets[i] = buildBucket(p, byPrio[p])
+	}
+	return s
+}
+
+// Epoch returns the snapshot's version number.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Len returns the number of rules in the snapshot.
+func (s *Snapshot) Len() int { return len(s.all) }
+
+// All returns every rule in the snapshot ordered by id. The returned slice
+// and the rules it points to are immutable: callers must not modify them.
+func (s *Snapshot) All() []*Rule { return s.all }
+
+// Get returns the rule with the given id, or nil. The rule is immutable.
+func (s *Snapshot) Get(id RuleID) *Rule { return s.byID[id] }
+
+// Query returns the decision for a flow against this frozen policy: the
+// highest-priority matching rule wins; among equal-priority matches with
+// conflicting actions, Deny wins; with no match the decision is the
+// default Deny. It performs no locking and no allocation.
+func (s *Snapshot) Query(f *FlowView) Decision {
+	for i := range s.buckets {
+		if r := s.buckets[i].match(f); r != nil {
+			return Decision{Action: r.Action, Rule: r, Matched: true, Epoch: s.epoch}
+		}
+	}
+	return Decision{Action: ActionDeny, Epoch: s.epoch}
+}
