@@ -8,6 +8,7 @@ import (
 	"github.com/dfi-sdn/dfi/internal/core/policy"
 	"github.com/dfi-sdn/dfi/internal/core/proxy"
 	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/obs"
 	"github.com/dfi-sdn/dfi/internal/simclock"
 	"github.com/dfi-sdn/dfi/internal/store"
 )
@@ -109,6 +110,32 @@ type (
 	// BusEvent is one routed event.
 	BusEvent = bus.Event
 )
+
+// Observability.
+type (
+	// MetricsRegistry holds a System's instruments and renders them in
+	// Prometheus text exposition format (see System.Metrics, WithMetrics).
+	MetricsRegistry = obs.Registry
+	// AdmissionTrace is one flow's recorded trip through admission:
+	// per-stage durations and the outcome.
+	AdmissionTrace = obs.AdmissionTrace
+	// TraceRing retains the most recent admission traces (see
+	// System.Traces, WithAdmissionTracing).
+	TraceRing = obs.TraceRing
+	// TraceOutcome is an admission trace's disposition.
+	TraceOutcome = obs.Outcome
+)
+
+// Admission trace outcomes.
+const (
+	OutcomeAllow        = obs.OutcomeAllow
+	OutcomeDeny         = obs.OutcomeDeny
+	OutcomeError        = obs.OutcomeError
+	OutcomeOverloadDrop = obs.OutcomeOverloadDrop
+)
+
+// NewMetricsRegistry returns an empty metrics registry for WithMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Convenience wildcard-field constructors for building EndpointSpecs.
 

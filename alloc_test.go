@@ -1,0 +1,38 @@
+package dfi_test
+
+import (
+	"testing"
+
+	"github.com/dfi-sdn/dfi/internal/core/entity"
+	"github.com/dfi-sdn/dfi/internal/core/pcp"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/openflow"
+)
+
+// TestAdmissionHotPathZeroAlloc is the CI gate behind the 0 B/op claim of
+// BenchmarkPCP_AdmissionHotPath/cache-hit: with metrics enabled (the PCP
+// always carries a live registry) and tracing sampled out (no ring), a
+// cache-hit re-admission must not allocate.
+func TestAdmissionHotPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	pm := policyBenchManager(t, 1000)
+	erm := entity.NewManager()
+	erm.BindIPMAC(netpkt.MustParseIPv4("10.0.0.1"), netpkt.MustParseMAC("02:00:00:00:00:01"))
+	erm.BindHostIP("h1", netpkt.MustParseIPv4("10.0.0.1"))
+	erm.BindUserHost("alice", "h1")
+	p := pcp.New(pcp.Config{Entity: erm, Policy: pm})
+	p.AttachSwitch(1, nopSwitch{})
+	req := &pcp.Request{DPID: 1, PacketIn: &openflow.PacketIn{
+		BufferID: openflow.NoBuffer,
+		Reason:   openflow.PacketInReasonNoMatch,
+		Match:    &openflow.Match{InPort: openflow.U32(3)},
+		Data:     benchFrame(),
+	}}
+	p.Process(req) // prime the decision cache
+
+	if allocs := testing.AllocsPerRun(200, func() { p.Process(req) }); allocs != 0 {
+		t.Fatalf("cache-hit admission allocates %.1f objects/op, want 0", allocs)
+	}
+}

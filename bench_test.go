@@ -122,7 +122,7 @@ func BenchmarkTable2_Breakdown(b *testing.B) {
 	b.ReportMetric(float64(m.BindingQuery.Mean())/1e6, "ms/binding")
 	b.ReportMetric(float64(m.PolicyQuery.Mean())/1e6, "ms/policy")
 	b.ReportMetric(float64(m.OtherPCP.Mean())/1e6, "ms/otherPCP")
-	b.ReportMetric(float64(sys.DFIProxy().Overhead().Mean())/1e6, "ms/proxy")
+	b.ReportMetric(float64(sys.Proxy().Overhead().Mean())/1e6, "ms/proxy")
 }
 
 // BenchmarkFig4_TTFB reproduces Figure 4: TTFB for new flows vs background
@@ -493,11 +493,11 @@ func policyBenchFlows(n int) []*policy.FlowView {
 		Src: policy.EndpointAttrs{
 			Users: []string{"user3"}, Host: "h-user3",
 			HasIP: true, IP: netpkt.IPv4FromUint32(0x0ac80001),
-			MAC:   netpkt.MAC{0x02, 0xbb, 0, 0, 0, 1},
+			MAC: netpkt.MAC{0x02, 0xbb, 0, 0, 0, 1},
 		},
 		Dst: policy.EndpointAttrs{
 			HasIP: true, IP: netpkt.IPv4FromUint32(0x0ac80002),
-			MAC:   netpkt.MAC{0x02, 0xbb, 0, 0, 0, 2},
+			MAC: netpkt.MAC{0x02, 0xbb, 0, 0, 0, 2},
 		},
 	}
 	if n < 4 {
@@ -508,11 +508,11 @@ func policyBenchFlows(n int) []*policy.FlowView {
 		EtherType: netpkt.EtherTypeIPv4, HasIPProto: true, IPProto: netpkt.ProtoUDP,
 		Src: policy.EndpointAttrs{
 			HasIP: true, IP: netpkt.IPv4FromUint32(0x0afd0001),
-			MAC:   netpkt.MAC{0x02, 0xcc, 0, 0, 0, 1}, HasPort: true, Port: 53,
+			MAC: netpkt.MAC{0x02, 0xcc, 0, 0, 0, 1}, HasPort: true, Port: 53,
 		},
 		Dst: policy.EndpointAttrs{
 			HasIP: true, IP: netpkt.IPv4FromUint32(0x0afd0002),
-			MAC:   netpkt.MAC{0x02, 0xcc, 0, 0, 0, 2}, HasPort: true, Port: 53,
+			MAC: netpkt.MAC{0x02, 0xcc, 0, 0, 0, 2}, HasPort: true, Port: 53,
 		},
 	}
 	return []*policy.FlowView{hit, userHit, miss}

@@ -9,6 +9,8 @@
 //	dfictl revoke 7
 //	dfictl bind user-host alice alice-laptop
 //	dfictl stats
+//	dfictl metrics
+//	dfictl trace 20
 package main
 
 import (
@@ -33,7 +35,7 @@ func main() {
 
 func run(client *admin.Client, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: dfictl rules|allow|deny|revoke|pdp|bind|apply|switches|flows|stats")
+		return fmt.Errorf("usage: dfictl rules|allow|deny|revoke|pdp|bind|apply|switches|flows|stats|metrics|trace")
 	}
 	switch args[0] {
 	case "rules":
@@ -129,8 +131,51 @@ func run(client *admin.Client, args []string) error {
 			stats.ProxyPacketIns, stats.ProxyDenied, stats.ProxyDropped, stats.ProxyForwarded)
 		fmt.Printf("pcp processed:    %d (allowed %d, denied %d, queue drops %d)\n",
 			stats.PCPProcessed, stats.PCPAllowed, stats.PCPDenied, stats.PCPDropped)
+		fmt.Printf("decision cache:   %d hits, %d misses (%d stale)\n",
+			stats.PCPCacheHits, stats.PCPCacheMisses, stats.PCPCacheStale)
 		fmt.Printf("latency:          %.2fms total (binding %.2fms, policy %.2fms)\n",
 			stats.MeanLatencyMs, stats.BindingQueryMs, stats.PolicyQueryMs)
+		return nil
+
+	case "metrics":
+		text, err := client.Metrics()
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+
+	case "trace":
+		n := 20
+		if len(args) > 2 {
+			return fmt.Errorf("usage: dfictl trace [n]")
+		}
+		if len(args) == 2 {
+			var err error
+			if n, err = strconv.Atoi(args[1]); err != nil || n < 1 {
+				return fmt.Errorf("bad trace count %q", args[1])
+			}
+		}
+		traces, err := client.Traces(n)
+		if err != nil {
+			return err
+		}
+		if len(traces) == 0 {
+			fmt.Println("no traces recorded")
+			return nil
+		}
+		for _, t := range traces {
+			line := fmt.Sprintf("#%-6d sw=%#x in=%-3d %-13s total=%7.1fus (parse %.1f, binding %.1f, policy %.1f, install %.1f, proxy %.1f)",
+				t.Seq, t.DPID, t.InPort, t.Outcome, t.TotalUs,
+				t.ParseUs, t.BindingUs, t.PolicyUs, t.InstallUs, t.ProxyUs)
+			if t.CacheHit {
+				line += " [cache-hit]"
+			}
+			if t.Err != "" {
+				line += " err=" + t.Err
+			}
+			fmt.Println(line + "  " + t.Flow)
+		}
 		return nil
 
 	default:

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"io"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	dfi "github.com/dfi-sdn/dfi"
+	"github.com/dfi-sdn/dfi/internal/admin"
+	"github.com/dfi-sdn/dfi/internal/bufpipe"
+	"github.com/dfi-sdn/dfi/internal/controller"
+)
+
+// newTestClient stands up a full System behind an admin server and returns
+// a client pointed at it, exactly as dfictl -admin would build one.
+func newTestClient(t *testing.T) (*dfi.System, *admin.Client) {
+	t.Helper()
+	sys, err := dfi.New(dfi.WithControllerDialer(func() (io.ReadWriteCloser, error) {
+		a, b := bufpipe.New()
+		ctl := controller.New(controller.Config{})
+		go func() { _ = ctl.Serve(b) }()
+		return a, nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	srv := httptest.NewServer(admin.Handler(sys))
+	t.Cleanup(srv.Close)
+	return sys, admin.NewClient(srv.URL)
+}
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out, _ := io.ReadAll(r)
+	if errRun != nil {
+		t.Fatalf("command failed: %v\noutput: %s", errRun, out)
+	}
+	return string(out)
+}
+
+func TestRoundTripOverV1(t *testing.T) {
+	sys, client := newTestClient(t)
+
+	if err := run(client, []string{"pdp", "register", "ops", "50"}); err != nil {
+		t.Fatal(err)
+	}
+	out := capture(t, func() error {
+		return run(client, []string{"allow", "-pdp", "ops", "-src-user", "alice", "-dst-host", "mail"})
+	})
+	if !strings.Contains(out, "rule #1 inserted") {
+		t.Fatalf("allow output = %q", out)
+	}
+	out = capture(t, func() error { return run(client, []string{"rules"}) })
+	if !strings.Contains(out, "alice") || !strings.Contains(out, "ops") {
+		t.Fatalf("rules output = %q", out)
+	}
+
+	if err := run(client, []string{"bind", "user-host", "alice", "h1"}); err != nil {
+		t.Fatal(err)
+	}
+	if users := sys.Entity().UsersOn("h1"); len(users) != 1 || users[0] != "alice" {
+		t.Fatalf("binding did not land: %v", users)
+	}
+	if err := run(client, []string{"unbind", "user-host", "alice", "h1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	out = capture(t, func() error { return run(client, []string{"stats"}) })
+	if !strings.Contains(out, "rules:            1") {
+		t.Fatalf("stats output = %q", out)
+	}
+
+	if err := run(client, []string{"revoke", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Revoking again must surface the server's enveloped 404.
+	err := run(client, []string{"revoke", "1"})
+	if err == nil || !strings.Contains(err.Error(), "not_found") {
+		t.Fatalf("double revoke error = %v", err)
+	}
+}
+
+func TestMetricsAndTraceSubcommands(t *testing.T) {
+	_, client := newTestClient(t)
+
+	out := capture(t, func() error { return run(client, []string{"metrics"}) })
+	if !strings.Contains(out, "# TYPE dfi_pcp_processed_total counter") {
+		t.Fatalf("metrics output missing exposition:\n%s", out)
+	}
+
+	out = capture(t, func() error { return run(client, []string{"trace"}) })
+	if !strings.Contains(out, "no traces recorded") {
+		t.Fatalf("trace output = %q", out)
+	}
+	if err := run(client, []string{"trace", "banana"}); err == nil {
+		t.Fatal("bad trace count accepted")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"github.com/dfi-sdn/dfi/internal/core/pcp"
 	"github.com/dfi-sdn/dfi/internal/core/policy"
 	"github.com/dfi-sdn/dfi/internal/core/proxy"
+	"github.com/dfi-sdn/dfi/internal/obs"
 	"github.com/dfi-sdn/dfi/internal/sensors"
 	"github.com/dfi-sdn/dfi/internal/simclock"
 	"github.com/dfi-sdn/dfi/internal/store"
@@ -55,6 +56,10 @@ type config struct {
 	externalBus   *bus.Bus
 	wildcardCache bool
 	flowCacheSize int
+	metrics       *obs.Registry
+	traceCap      int
+	traceEvery    int
+	traceSet      bool
 }
 
 // Option configures a System.
@@ -140,6 +145,29 @@ func WithBus(b *bus.Bus) Option {
 	return func(c *config) { c.externalBus = b }
 }
 
+// WithMetrics supplies the metrics registry every DFI component registers
+// its instruments with, letting one registry aggregate several systems or
+// share a process-wide scrape endpoint. Without this option the System
+// creates a private registry, reachable via Metrics(). A registry must not
+// be shared by two Systems: several gauges (PCP queue depth, worker pool)
+// are bound to one System's components at registration time.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *config) { c.metrics = reg }
+}
+
+// WithAdmissionTracing configures the per-flow admission trace ring:
+// capacity bounds how many completed traces are retained (0 selects 256)
+// and every samples one admission in that many (1 traces everything;
+// non-positive disables tracing, making its hot-path cost zero).
+// The default is capacity 512, every 1.
+func WithAdmissionTracing(capacity, every int) Option {
+	return func(c *config) {
+		c.traceCap = capacity
+		c.traceEvery = every
+		c.traceSet = true
+	}
+}
+
 // System is an assembled DFI control plane.
 type System struct {
 	bus      *bus.Bus
@@ -148,6 +176,8 @@ type System struct {
 	entity   *entity.Manager
 	pcp      *pcp.PCP
 	proxy    *proxy.Proxy
+	metrics  *obs.Registry
+	traces   *obs.TraceRing
 	detachFn func()
 }
 
@@ -171,8 +201,26 @@ func New(opts ...Option) (*System, error) {
 		s.bus = bus.New()
 		s.ownsBus = true
 	}
-	s.policy = policy.NewManager(policy.WithQueryLatency(cfg.clock, cfg.policyLat))
-	s.entity = entity.NewManager(entity.WithQueryLatency(cfg.clock, cfg.bindingLat))
+	if cfg.metrics != nil {
+		s.metrics = cfg.metrics
+	} else {
+		s.metrics = obs.NewRegistry()
+	}
+	if !cfg.traceSet {
+		cfg.traceCap, cfg.traceEvery = 512, 1
+	}
+	s.traces = obs.NewTraceRing(cfg.traceCap, cfg.traceEvery)
+	s.metrics.CounterFunc("dfi_bus_published_total",
+		"Events accepted by the sensor bus.", s.bus.Published)
+	s.metrics.CounterFunc("dfi_bus_dropped_total",
+		"Events discarded due to full subscriber queues.", s.bus.Dropped)
+
+	s.policy = policy.NewManager(
+		policy.WithQueryLatency(cfg.clock, cfg.policyLat),
+		policy.WithObserver(s.metrics))
+	s.entity = entity.NewManager(
+		entity.WithQueryLatency(cfg.clock, cfg.bindingLat),
+		entity.WithObserver(s.metrics))
 	s.pcp = pcp.New(pcp.Config{
 		Entity:              s.entity,
 		Policy:              s.policy,
@@ -185,6 +233,8 @@ func New(opts ...Option) (*System, error) {
 		AllowIdleTimeoutSec: cfg.allowIdleSec,
 		DenyIdleTimeoutSec:  cfg.denyIdleSec,
 		FlowCacheSize:       cfg.flowCacheSize,
+		Obs:                 s.metrics,
+		Trace:               s.traces,
 	})
 
 	var err error
@@ -193,6 +243,7 @@ func New(opts ...Option) (*System, error) {
 		DialController: cfg.dial,
 		Clock:          cfg.clock,
 		Latency:        cfg.proxyLat,
+		Obs:            s.metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dfi: %w", err)
@@ -224,8 +275,22 @@ func (s *System) Entity() *entity.Manager { return s.entity }
 // PCP returns the Policy Compilation Point.
 func (s *System) PCP() *pcp.PCP { return s.pcp }
 
-// DFIProxy returns the proxy (for statistics).
-func (s *System) DFIProxy() *proxy.Proxy { return s.proxy }
+// Proxy returns the interposition proxy (for statistics).
+func (s *System) Proxy() *proxy.Proxy { return s.proxy }
+
+// DFIProxy returns the proxy.
+//
+// Deprecated: use Proxy. Retained for callers written against the
+// pre-observability API; it is a trivial wrapper and will be removed.
+func (s *System) DFIProxy() *proxy.Proxy { return s.Proxy() }
+
+// Metrics returns the registry holding every component's instruments
+// (the one passed to WithMetrics, or the System's private registry).
+func (s *System) Metrics() *obs.Registry { return s.metrics }
+
+// Traces returns the admission trace ring (never nil; disabled rings
+// simply record nothing).
+func (s *System) Traces() *obs.TraceRing { return s.traces }
 
 // EventBus returns the sensor event bus.
 func (s *System) EventBus() *bus.Bus { return s.bus }

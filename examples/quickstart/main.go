@@ -89,7 +89,7 @@ func run() error {
 	sw.Inject(kiosk.port, syn(kiosk, files))
 	time.Sleep(200 * time.Millisecond)
 
-	stats := sys.DFIProxy().Stats()
+	stats := sys.Proxy().Stats()
 	fmt.Printf("\nDFI proxy: %d packet-ins, %d denied, %d forwarded to the controller\n",
 		stats.PacketIns, stats.Denied, stats.Forwarded)
 	fmt.Printf("switch: %d rules in DFI's table 0, %d in the controller's tables\n",

@@ -6,14 +6,40 @@ package admin
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
 
 	dfi "github.com/dfi-sdn/dfi"
 	"github.com/dfi-sdn/dfi/internal/core/policy"
 	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/obs"
 	"github.com/dfi-sdn/dfi/internal/openflow"
+)
+
+// ErrorJSON is the uniform error envelope every non-2xx response carries.
+type ErrorJSON struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody is the envelope's payload: a stable machine-readable code and
+// a human-readable message.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes used in the envelope.
+const (
+	CodeBadRequest       = "bad_request"        // malformed request (unparseable JSON)
+	CodeValidation       = "validation_failed"  // well-formed but semantically invalid
+	CodeConflict         = "conflict"           // duplicate PDP/priority
+	CodeNotFound         = "not_found"          // unknown id or endpoint
+	CodeMethodNotAllowed = "method_not_allowed" // endpoint exists, method does not
+	CodeBadGateway       = "bad_gateway"        // a switch query failed
 )
 
 // RuleJSON is the wire form of a policy rule. Empty/absent fields are
@@ -70,9 +96,62 @@ type StatsJSON struct {
 	PCPDropped     uint64  `json:"pcpDropped"`
 	PCPAllowed     uint64  `json:"pcpAllowed"`
 	PCPDenied      uint64  `json:"pcpDenied"`
+	PCPCacheHits   uint64  `json:"pcpCacheHits"`
+	PCPCacheMisses uint64  `json:"pcpCacheMisses"`
+	PCPCacheStale  uint64  `json:"pcpCacheStale"`
 	MeanLatencyMs  float64 `json:"meanLatencyMs"`
 	BindingQueryMs float64 `json:"bindingQueryMs"`
 	PolicyQueryMs  float64 `json:"policyQueryMs"`
+}
+
+// HealthJSON is the /v1/healthz body.
+type HealthJSON struct {
+	Status   string `json:"status"`
+	Switches int    `json:"switches"`
+	Rules    int    `json:"rules"`
+	// Traces is the total number of admission traces committed so far.
+	Traces uint64 `json:"traces"`
+}
+
+// TraceJSON is the wire form of one admission trace. Stage durations are
+// microseconds, matching the paper's Table II units.
+type TraceJSON struct {
+	Seq       uint64  `json:"seq"`
+	Start     string  `json:"start"`
+	DPID      uint64  `json:"dpid"`
+	InPort    uint32  `json:"inPort"`
+	Flow      string  `json:"flow"`
+	Outcome   string  `json:"outcome"`
+	CacheHit  bool    `json:"cacheHit"`
+	RuleID    uint64  `json:"ruleId"`
+	Err       string  `json:"err,omitempty"`
+	ParseUs   float64 `json:"parseUs"`
+	BindingUs float64 `json:"bindingUs"`
+	PolicyUs  float64 `json:"policyUs"`
+	InstallUs float64 `json:"installUs"`
+	ProxyUs   float64 `json:"proxyUs"`
+	TotalUs   float64 `json:"totalUs"`
+}
+
+func fromTrace(t obs.AdmissionTrace) TraceJSON {
+	us := func(d time.Duration) float64 { return float64(d) / 1e3 }
+	return TraceJSON{
+		Seq:       t.Seq,
+		Start:     t.Start.Format(time.RFC3339Nano),
+		DPID:      t.DPID,
+		InPort:    t.InPort,
+		Flow:      t.Key.String(),
+		Outcome:   t.Outcome.String(),
+		CacheHit:  t.CacheHit,
+		RuleID:    t.RuleID,
+		Err:       t.Err,
+		ParseUs:   us(t.Parse),
+		BindingUs: us(t.Binding),
+		PolicyUs:  us(t.Policy),
+		InstallUs: us(t.Install),
+		ProxyUs:   us(t.Proxy),
+		TotalUs:   us(t.Total),
+	}
 }
 
 // BindingJSON adds one identifier binding.
@@ -166,11 +245,19 @@ func fromEndpoint(e policy.EndpointSpec) EndpointJSON {
 	return j
 }
 
-// Handler serves the admin API for sys.
+// Handler serves the admin API for sys. Every route lives under the
+// versioned /v1/ prefix; the pre-versioning unversioned paths are kept as
+// thin aliases of the same handlers. All error responses — including the
+// mux's own 404s and 405s — carry the ErrorJSON envelope.
 func Handler(sys *dfi.System) http.Handler {
 	mux := http.NewServeMux()
+	// handle registers a /v1 route and its legacy unversioned alias.
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, h)
+		mux.HandleFunc(strings.Replace(pattern, "/v1/", "/", 1), h)
+	}
 
-	mux.HandleFunc("GET /v1/rules", func(w http.ResponseWriter, _ *http.Request) {
+	handle("GET /v1/rules", func(w http.ResponseWriter, _ *http.Request) {
 		rules := sys.Policy().Rules()
 		out := make([]RuleJSON, 0, len(rules))
 		for _, r := range rules {
@@ -179,82 +266,91 @@ func Handler(sys *dfi.System) http.Handler {
 		writeJSON(w, http.StatusOK, out)
 	})
 
-	mux.HandleFunc("POST /v1/rules", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/rules", func(w http.ResponseWriter, r *http.Request) {
 		var j RuleJSON
 		if err := json.NewDecoder(r.Body).Decode(&j); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, http.StatusBadRequest, CodeBadRequest, err)
 			return
 		}
 		rule, err := toRule(j)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, http.StatusUnprocessableEntity, CodeValidation, err)
 			return
 		}
 		id, err := sys.Policy().Insert(rule)
 		if err != nil {
-			httpError(w, http.StatusConflict, err)
+			if errors.Is(err, policy.ErrUnknownPDP) {
+				httpError(w, http.StatusUnprocessableEntity, CodeValidation, err)
+			} else {
+				httpError(w, http.StatusConflict, CodeConflict, err)
+			}
 			return
 		}
 		writeJSON(w, http.StatusCreated, map[string]uint64{"id": uint64(id)})
 	})
 
-	mux.HandleFunc("DELETE /v1/rules/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE /v1/rules/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, http.StatusUnprocessableEntity, CodeValidation, err)
 			return
 		}
 		if err := sys.Policy().Revoke(policy.RuleID(id)); err != nil {
-			httpError(w, http.StatusNotFound, err)
+			httpError(w, http.StatusNotFound, CodeNotFound, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
 
-	mux.HandleFunc("POST /v1/pdps", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/pdps", func(w http.ResponseWriter, r *http.Request) {
 		var j struct {
 			Name     string `json:"name"`
 			Priority int    `json:"priority"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&j); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, http.StatusBadRequest, CodeBadRequest, err)
+			return
+		}
+		if j.Name == "" {
+			httpError(w, http.StatusUnprocessableEntity, CodeValidation,
+				errors.New("admin: pdp name required"))
 			return
 		}
 		if err := sys.Policy().RegisterPDP(j.Name, j.Priority); err != nil {
-			httpError(w, http.StatusConflict, err)
+			httpError(w, http.StatusConflict, CodeConflict, err)
 			return
 		}
 		w.WriteHeader(http.StatusCreated)
 	})
 
-	mux.HandleFunc("POST /v1/bindings", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/bindings", func(w http.ResponseWriter, r *http.Request) {
 		var j BindingJSON
 		if err := json.NewDecoder(r.Body).Decode(&j); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, http.StatusBadRequest, CodeBadRequest, err)
 			return
 		}
 		if err := applyBinding(sys, j); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, http.StatusUnprocessableEntity, CodeValidation, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
 
-	mux.HandleFunc("GET /v1/switches", func(w http.ResponseWriter, _ *http.Request) {
+	handle("GET /v1/switches", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, sys.PCP().Switches())
 	})
 
-	mux.HandleFunc("GET /v1/flows/{dpid}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/flows/{dpid}", func(w http.ResponseWriter, r *http.Request) {
 		dpid, err := strconv.ParseUint(r.PathValue("dpid"), 0, 64)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, http.StatusUnprocessableEntity, CodeValidation, err)
 			return
 		}
 		tableID := openflow.AllTables
 		if tq := r.URL.Query().Get("table"); tq != "" {
 			tv, err := strconv.ParseUint(tq, 10, 8)
 			if err != nil {
-				httpError(w, http.StatusBadRequest, err)
+				httpError(w, http.StatusUnprocessableEntity, CodeValidation, err)
 				return
 			}
 			tableID = uint8(tv)
@@ -266,7 +362,7 @@ func Handler(sys *dfi.System) http.Handler {
 			Match:    &openflow.Match{},
 		})
 		if err != nil {
-			httpError(w, http.StatusBadGateway, err)
+			httpError(w, http.StatusBadGateway, CodeBadGateway, err)
 			return
 		}
 		out := make([]FlowJSON, 0, len(flows))
@@ -276,8 +372,8 @@ func Handler(sys *dfi.System) http.Handler {
 		writeJSON(w, http.StatusOK, out)
 	})
 
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
-		ps := sys.DFIProxy().Stats()
+	handle("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
+		ps := sys.Proxy().Stats()
 		m := sys.PCP().Metrics()
 		writeJSON(w, http.StatusOK, StatsJSON{
 			Rules:          sys.Policy().Len(),
@@ -289,13 +385,97 @@ func Handler(sys *dfi.System) http.Handler {
 			PCPDropped:     m.Dropped(),
 			PCPAllowed:     m.Allowed(),
 			PCPDenied:      m.Denied(),
+			PCPCacheHits:   m.CacheHits(),
+			PCPCacheMisses: m.CacheMisses(),
+			PCPCacheStale:  m.CacheStale(),
 			MeanLatencyMs:  float64(m.Total.Mean()) / 1e6,
 			BindingQueryMs: float64(m.BindingQuery.Mean()) / 1e6,
 			PolicyQueryMs:  float64(m.PolicyQuery.Mean()) / 1e6,
 		})
 	})
 
-	return mux
+	handle("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = sys.Metrics().WritePrometheus(w)
+	})
+
+	handle("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, HealthJSON{
+			Status:   "ok",
+			Switches: len(sys.PCP().Switches()),
+			Rules:    sys.Policy().Len(),
+			Traces:   sys.Traces().Committed(),
+		})
+	})
+
+	handle("GET /v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 64
+		if nq := r.URL.Query().Get("n"); nq != "" {
+			nv, err := strconv.Atoi(nq)
+			if err != nil || nv < 1 {
+				httpError(w, http.StatusUnprocessableEntity, CodeValidation,
+					fmt.Errorf("admin: bad trace count %q", nq))
+				return
+			}
+			n = nv
+		}
+		traces := sys.Traces().Last(n)
+		out := make([]TraceJSON, 0, len(traces))
+		for _, t := range traces {
+			out = append(out, fromTrace(t))
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	return envelopeErrors(mux)
+}
+
+// envelopeErrors wraps the mux so its built-in plain-text 404 and 405
+// responses are rewritten into the JSON error envelope. Handlers that
+// produce their own 404s are untouched: they write JSON before the status.
+func envelopeErrors(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
+	})
+}
+
+type envelopeWriter struct {
+	http.ResponseWriter
+	// intercepted marks that the envelope replaced the handler's body.
+	intercepted bool
+	wroteHeader bool
+}
+
+func (w *envelopeWriter) WriteHeader(code int) {
+	if w.wroteHeader {
+		return
+	}
+	w.wroteHeader = true
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		w.intercepted = true
+		body := ErrorJSON{Error: ErrorBody{Code: CodeNotFound, Message: "no such endpoint"}}
+		if code == http.StatusMethodNotAllowed {
+			body.Error = ErrorBody{Code: CodeMethodNotAllowed, Message: "method not allowed"}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Del("X-Content-Type-Options")
+		w.ResponseWriter.WriteHeader(code)
+		_ = json.NewEncoder(w.ResponseWriter).Encode(body)
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *envelopeWriter) Write(b []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.intercepted {
+		// Swallow the mux's plain-text body; the envelope is already out.
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
 }
 
 func fromFlowStats(f *openflow.FlowStatsEntry) FlowJSON {
@@ -375,6 +555,6 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+func httpError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, ErrorJSON{Error: ErrorBody{Code: code, Message: err.Error()}})
 }

@@ -68,6 +68,36 @@ func (c *Client) Stats() (StatsJSON, error) {
 	return out, c.do(http.MethodGet, "/v1/stats", nil, &out)
 }
 
+// Healthz reads the liveness summary.
+func (c *Client) Healthz() (HealthJSON, error) {
+	var out HealthJSON
+	return out, c.do(http.MethodGet, "/v1/healthz", nil, &out)
+}
+
+// Traces reads the last n admission traces, most recent first.
+func (c *Client) Traces(n int) ([]TraceJSON, error) {
+	var out []TraceJSON
+	return out, c.do(http.MethodGet, fmt.Sprintf("/v1/trace?n=%d", n), nil, &out)
+}
+
+// Metrics reads the Prometheus text exposition of every registered
+// instrument.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.http.Get(c.base + "/v1/metrics")
+	if err != nil {
+		return "", fmt.Errorf("admin client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return "", fmt.Errorf("admin client: %s", resp.Status)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("admin client: %w", err)
+	}
+	return string(raw), nil
+}
+
 func (c *Client) do(method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
@@ -90,9 +120,10 @@ func (c *Client) do(method, path string, in, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		var apiErr map[string]string
-		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr["error"] != "" {
-			return fmt.Errorf("admin client: %s: %s", resp.Status, apiErr["error"])
+		var apiErr ErrorJSON
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error.Message != "" {
+			return fmt.Errorf("admin client: %s: %s (%s)",
+				resp.Status, apiErr.Error.Message, apiErr.Error.Code)
 		}
 		return fmt.Errorf("admin client: %s", resp.Status)
 	}

@@ -1,0 +1,228 @@
+package admin
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/dfi-sdn/dfi/internal/core/pcp"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/openflow"
+)
+
+// nopSwitch satisfies pcp.SwitchClient, discarding installed rules.
+type nopSwitch struct{}
+
+func (nopSwitch) WriteFlowMod(*openflow.FlowMod) error { return nil }
+
+// admitFlow pushes one synthetic packet-in through the PCP so counters and
+// traces move without wiring a whole simulated switch.
+func admitFlow(p *pcp.PCP, srcPort uint16) {
+	frame := netpkt.BuildTCP(
+		netpkt.MustParseMAC("02:00:00:00:00:01"), netpkt.MustParseMAC("02:00:00:00:00:02"),
+		netpkt.MustParseIPv4("10.0.0.1"), netpkt.MustParseIPv4("10.0.0.2"),
+		&netpkt.TCPSegment{SrcPort: srcPort, DstPort: 80, Flags: netpkt.TCPSyn})
+	p.Process(&pcp.Request{DPID: 7, PacketIn: &openflow.PacketIn{
+		BufferID: openflow.NoBuffer,
+		Reason:   openflow.PacketInReasonNoMatch,
+		Match:    &openflow.Match{InPort: openflow.U32(3)},
+		Data:     frame,
+	}})
+}
+
+// get performs a raw request and decodes any error envelope.
+func get(t *testing.T, method, url string, body string) (*http.Response, ErrorJSON) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var env ErrorJSON
+	_ = json.Unmarshal(raw, &env)
+	return resp, env
+}
+
+func TestErrorEnvelopeAndMethodRouting(t *testing.T) {
+	_, client := newTestServer(t)
+	base := client.base
+
+	// Unknown endpoint: JSON 404 envelope, not the mux's plain text.
+	resp, env := get(t, http.MethodGet, base+"/v1/nope", "")
+	if resp.StatusCode != http.StatusNotFound || env.Error.Code != CodeNotFound {
+		t.Fatalf("404 = %d %+v", resp.StatusCode, env)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("404 content type = %q", ct)
+	}
+
+	// Known endpoint, wrong method: 405 envelope.
+	resp, env = get(t, http.MethodPut, base+"/v1/rules", "")
+	if resp.StatusCode != http.StatusMethodNotAllowed || env.Error.Code != CodeMethodNotAllowed {
+		t.Fatalf("405 = %d %+v", resp.StatusCode, env)
+	}
+
+	// Malformed JSON body: 400 bad_request.
+	resp, env = get(t, http.MethodPost, base+"/v1/rules", "{not json")
+	if resp.StatusCode != http.StatusBadRequest || env.Error.Code != CodeBadRequest {
+		t.Fatalf("400 = %d %+v", resp.StatusCode, env)
+	}
+
+	// Well-formed but invalid: 422 validation_failed.
+	resp, env = get(t, http.MethodPost, base+"/v1/rules", `{"pdp":"x","action":"shrug"}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity || env.Error.Code != CodeValidation {
+		t.Fatalf("422 = %d %+v", resp.StatusCode, env)
+	}
+	if env.Error.Message == "" {
+		t.Fatal("empty validation message")
+	}
+
+	// Bad path id: 422, unknown id: 404.
+	resp, env = get(t, http.MethodDelete, base+"/v1/rules/banana", "")
+	if resp.StatusCode != http.StatusUnprocessableEntity || env.Error.Code != CodeValidation {
+		t.Fatalf("bad id = %d %+v", resp.StatusCode, env)
+	}
+	resp, env = get(t, http.MethodDelete, base+"/v1/rules/999", "")
+	if resp.StatusCode != http.StatusNotFound || env.Error.Code != CodeNotFound {
+		t.Fatalf("unknown id = %d %+v", resp.StatusCode, env)
+	}
+}
+
+func TestLegacyUnversionedAliases(t *testing.T) {
+	_, client := newTestServer(t)
+	if err := client.RegisterPDP("ops", 50); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/v1/rules", "/rules", "/v1/stats", "/stats", "/v1/healthz", "/healthz"} {
+		resp, _ := get(t, http.MethodGet, client.base+path, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+	// Aliases share handlers, not just routes: inserting via the legacy
+	// path is visible under /v1.
+	resp, _ := get(t, http.MethodPost, client.base+"/pdps", `{"name":"legacy","priority":60}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("legacy pdp register = %d", resp.StatusCode)
+	}
+	if err := client.RegisterPDP("legacy", 61); err == nil {
+		t.Fatal("PDP registered via legacy alias not visible under /v1")
+	}
+}
+
+func TestObservabilityEndpoints(t *testing.T) {
+	sys, client := newTestServer(t)
+	sys.PCP().AttachSwitch(7, nopSwitch{})
+	for i := 0; i < 5; i++ {
+		admitFlow(sys.PCP(), uint16(40000+i))
+	}
+
+	h, err := client.Healthz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Traces == 0 {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	text, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE dfi_pcp_processed_total counter",
+		"dfi_pcp_processed_total 5",
+		`dfi_pcp_stage_seconds_count{stage="binding_query"}`,
+		"dfi_policy_rules 0",
+		"dfi_bus_published_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	traces, err := client.Traces(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("traces = %d, want 3", len(traces))
+	}
+	tr := traces[0]
+	if tr.Outcome != "deny" || tr.DPID != 7 || tr.TotalUs <= 0 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if !strings.Contains(tr.Flow, "10.0.0.1") {
+		t.Fatalf("trace flow = %q", tr.Flow)
+	}
+	// Most recent first.
+	if traces[0].Seq < traces[1].Seq {
+		t.Fatalf("trace order: %d before %d", traces[0].Seq, traces[1].Seq)
+	}
+
+	// Invalid count: 422 envelope.
+	resp, env := get(t, http.MethodGet, client.base+"/v1/trace?n=banana", "")
+	if resp.StatusCode != http.StatusUnprocessableEntity || env.Error.Code != CodeValidation {
+		t.Fatalf("bad n = %d %+v", resp.StatusCode, env)
+	}
+
+	// Stats and the registry agree: one source of truth.
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PCPProcessed != 5 || stats.PCPProcessed != sys.PCP().Metrics().Processed() {
+		t.Fatalf("stats processed = %d", stats.PCPProcessed)
+	}
+}
+
+// TestMetricsScrapeUnderAdmissionLoad hammers the registry from concurrent
+// admissions while /v1/metrics is scraped; run with -race this checks the
+// registry's lock-free instruments against the exposition path.
+func TestMetricsScrapeUnderAdmissionLoad(t *testing.T) {
+	sys, client := newTestServer(t)
+	sys.PCP().AttachSwitch(7, nopSwitch{})
+
+	const workers, perWorker = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				admitFlow(sys.PCP(), uint16(20000+w*perWorker+i))
+			}
+		}(w)
+	}
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for i := 0; i < 20; i++ {
+			if _, err := client.Metrics(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-scrapeDone
+
+	if got := sys.PCP().Metrics().Processed(); got != workers*perWorker {
+		t.Fatalf("processed = %d, want %d", got, workers*perWorker)
+	}
+	text, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "dfi_pcp_processed_total 200") {
+		t.Fatal("final scrape does not reflect all admissions")
+	}
+}

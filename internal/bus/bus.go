@@ -39,7 +39,8 @@ type Bus struct {
 	nextID int
 	closed bool
 
-	dropped uint64
+	published uint64
+	dropped   uint64
 }
 
 // New returns an empty bus.
@@ -110,6 +111,7 @@ func (b *Bus) Publish(ev Event) error {
 		b.mu.Unlock()
 		return ErrClosed
 	}
+	b.published++
 	matched := make([]*subscription, 0, 4)
 	for _, s := range b.subs {
 		if topicMatches(s.pattern, ev.Topic) {
@@ -125,6 +127,14 @@ func (b *Bus) Publish(ev Event) error {
 	}
 	b.mu.Unlock()
 	return nil
+}
+
+// Published reports how many events have been accepted by Publish since the
+// bus was created (each counted once regardless of subscriber fan-out).
+func (b *Bus) Published() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.published
 }
 
 // Dropped reports how many events were discarded due to full subscriber

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/obs"
 	"github.com/dfi-sdn/dfi/internal/simclock"
 	"github.com/dfi-sdn/dfi/internal/store"
 )
@@ -37,6 +38,10 @@ type Location struct {
 type Manager struct {
 	clock   simclock.Clock
 	latency store.LatencyModel
+
+	// spoofRejections counts resolutions refused with ErrInconsistent.
+	// Nil (a no-op) unless WithObserver installed a registry.
+	spoofRejections *obs.Counter
 
 	// epoch counts effective binding mutations: it is bumped only when a
 	// Bind*/Unbind* call actually changes the stored bindings, never on
@@ -68,6 +73,23 @@ func WithQueryLatency(clock simclock.Clock, m store.LatencyModel) Option {
 	return func(em *Manager) {
 		em.clock = clock
 		em.latency = m
+	}
+}
+
+// WithObserver registers the Entity Resolution Manager's instruments —
+// binding count, binding epoch, spoof rejections — with reg. Binding-query
+// latency is not re-measured here: the PCP times the full query from outside
+// as dfi_pcp_stage_seconds{stage="binding_query"}.
+func WithObserver(reg *obs.Registry) Option {
+	return func(em *Manager) {
+		em.spoofRejections = reg.Counter("dfi_entity_spoof_rejections_total",
+			"Resolutions refused because packet identifiers contradicted the bindings.")
+		reg.GaugeFunc("dfi_entity_epoch",
+			"Current binding epoch (bumps only on effective binding changes).",
+			func() float64 { return float64(em.Epoch()) })
+		reg.GaugeFunc("dfi_entity_bindings",
+			"Stored binding edges across all levels of the identifier chain.",
+			func() float64 { return float64(em.bindingCount()) })
 	}
 }
 
@@ -269,6 +291,7 @@ func (m *Manager) resolveLocked(o Observed) (Resolution, error) {
 	var res Resolution
 	if o.HasIP && !o.IP.IsZero() {
 		if boundMAC, ok := m.ipToMAC[o.IP]; ok && boundMAC != o.MAC {
+			m.spoofRejections.Inc()
 			return res, fmt.Errorf("%w: IP %s bound to MAC %s, packet uses %s",
 				ErrInconsistent, o.IP, boundMAC, o.MAC)
 		}
@@ -277,6 +300,7 @@ func (m *Manager) resolveLocked(o Observed) (Resolution, error) {
 	if o.HasLoc {
 		if ports, ok := m.macToLoc[o.MAC]; ok {
 			if port, ok := ports[o.Loc.DPID]; ok && port != o.Loc.Port {
+				m.spoofRejections.Inc()
 				return res, fmt.Errorf("%w: MAC %s expected on port %d of switch %#x, seen on %d",
 					ErrInconsistent, o.MAC, port, o.Loc.DPID, o.Loc.Port)
 			}
@@ -289,6 +313,21 @@ func (m *Manager) resolveLocked(o Observed) (Resolution, error) {
 		sort.Strings(res.Users)
 	}
 	return res, nil
+}
+
+// bindingCount totals the stored binding edges: user↔host pairs, IP→host
+// DNS entries, IP→MAC leases, and MAC→(switch,port) attachments.
+func (m *Manager) bindingCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := len(m.ipToHost) + len(m.ipToMAC)
+	for _, hosts := range m.userToHosts {
+		n += len(hosts)
+	}
+	for _, ports := range m.macToLoc {
+		n += len(ports)
+	}
+	return n
 }
 
 // UsersOn returns the users currently bound to host.

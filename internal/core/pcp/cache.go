@@ -105,21 +105,23 @@ func (c *decisionCache) shardOf(ck *cacheKey) *cacheShard {
 }
 
 // lookup returns the cached decision for ck when its recorded epochs still
-// match the current ones; a stale entry is evicted on the spot.
-func (c *decisionCache) lookup(ck cacheKey, policyEpoch, entityEpoch uint64) (Decision, bool) {
+// match the current ones; a stale entry is evicted on the spot, which the
+// third return reports so the PCP can count epoch invalidations separately
+// from plain misses.
+func (c *decisionCache) lookup(ck cacheKey, policyEpoch, entityEpoch uint64) (dec Decision, ok, stale bool) {
 	s := c.shardOf(&ck)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e, ok := s.entries[ck]
-	if !ok {
-		return Decision{}, false
+	e, found := s.entries[ck]
+	if !found {
+		return Decision{}, false, false
 	}
 	if e.policyEpoch != policyEpoch || e.entityEpoch != entityEpoch {
 		s.remove(e)
-		return Decision{}, false
+		return Decision{}, false, true
 	}
 	s.moveToFront(e)
-	return Decision{Allow: e.allow, RuleID: e.ruleID}, true
+	return Decision{Allow: e.allow, RuleID: e.ruleID}, true, false
 }
 
 // store records a decision made under the given epochs, evicting the least

@@ -150,16 +150,24 @@ func TestStaleStoreNeverValidates(t *testing.T) {
 	// In-flight decision derived at epochs (1,1); revoke bumps policy to 2
 	// before the store lands.
 	c.store(ck, Decision{Allow: true, RuleID: 42}, 1, 1)
-	if _, ok := c.lookup(ck, 2, 1); ok {
+	if _, ok, stale := c.lookup(ck, 2, 1); ok {
 		t.Fatal("stale allow validated after policy epoch bump")
+	} else if !stale {
+		t.Fatal("epoch-invalidated eviction not reported as stale")
 	}
 	if c.len() != 0 {
 		t.Fatalf("stale entry not evicted: len=%d", c.len())
 	}
+	// A plain miss (no entry at all) must not read as stale.
+	if _, ok, stale := c.lookup(ck, 2, 1); ok || stale {
+		t.Fatalf("empty lookup: ok=%v stale=%v, want miss", ok, stale)
+	}
 	// Same for the entity epoch.
 	c.store(ck, Decision{Allow: true, RuleID: 42}, 2, 1)
-	if _, ok := c.lookup(ck, 2, 2); ok {
+	if _, ok, stale := c.lookup(ck, 2, 2); ok {
 		t.Fatal("stale allow validated after entity epoch bump")
+	} else if !stale {
+		t.Fatal("entity-epoch eviction not reported as stale")
 	}
 }
 

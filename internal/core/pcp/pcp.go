@@ -16,12 +16,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"github.com/dfi-sdn/dfi/internal/core/entity"
 	"github.com/dfi-sdn/dfi/internal/core/policy"
-	"github.com/dfi-sdn/dfi/internal/harness"
 	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/obs"
 	"github.com/dfi-sdn/dfi/internal/openflow"
 	"github.com/dfi-sdn/dfi/internal/simclock"
 	"github.com/dfi-sdn/dfi/internal/store"
@@ -29,6 +29,10 @@ import (
 
 // SwitchClient writes OpenFlow messages to one switch; the DFI Proxy
 // provides one per switch connection.
+//
+// Implementations must not retain fm (or its Match or Instructions) after
+// WriteFlowMod returns: the PCP compiles cache-hit flow mods into pooled
+// buffers that are reused for the next admission. Retainers must deep-copy.
 type SwitchClient interface {
 	WriteFlowMod(fm *openflow.FlowMod) error
 }
@@ -63,6 +67,10 @@ type Decision struct {
 type Request struct {
 	DPID     uint64
 	PacketIn *openflow.PacketIn
+	// ProxyOverhead is the proxy-side forwarding cost already spent on this
+	// packet-in before it was submitted; it is copied into sampled admission
+	// traces as the proxy-forward stage.
+	ProxyOverhead time.Duration
 	// Done, if non-nil, receives the decision once processing completes.
 	Done func(Decision)
 }
@@ -97,49 +105,73 @@ type Config struct {
 	// cache.go for the staleness argument). 0 selects the default (4096
 	// entries); negative disables the cache.
 	FlowCacheSize int
+	// Obs receives the PCP's instruments (counters, gauges, per-stage
+	// histograms). Nil selects a private registry, so Metrics accessors are
+	// always live; a dfi.System passes its shared registry here. One PCP
+	// per registry — the queue-depth gauge reads this PCP's queue.
+	Obs *obs.Registry
+	// Trace receives sampled admission traces; nil disables tracing, which
+	// costs the admission path one nil check and no allocations.
+	Trace *obs.TraceRing
 }
 
 // Metrics exposes the per-stage latency breakdown the paper reports in
-// Table II, plus queue statistics.
+// Table II, plus queue and cache statistics. Every field is an instrument
+// in the PCP's obs.Registry, so the experiment harness (through these
+// accessors) and a /v1/metrics scrape read the same numbers.
 type Metrics struct {
-	BindingQuery *harness.DurationStats
-	PolicyQuery  *harness.DurationStats
-	OtherPCP     *harness.DurationStats
-	Total        *harness.DurationStats
+	BindingQuery *obs.Histogram
+	PolicyQuery  *obs.Histogram
+	OtherPCP     *obs.Histogram
+	Total        *obs.Histogram
 
-	processed   atomic.Uint64
-	dropped     atomic.Uint64
-	denied      atomic.Uint64
-	allowed     atomic.Uint64
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
+	processed   *obs.Counter
+	dropped     *obs.Counter
+	denied      *obs.Counter
+	allowed     *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	cacheStale  *obs.Counter
+	workersBusy *obs.Gauge
 }
 
 // Processed returns the number of requests fully processed.
-func (m *Metrics) Processed() uint64 { return m.processed.Load() }
+func (m *Metrics) Processed() uint64 { return m.processed.Value() }
 
 // Dropped returns the number of requests rejected by a full queue.
-func (m *Metrics) Dropped() uint64 { return m.dropped.Load() }
+func (m *Metrics) Dropped() uint64 { return m.dropped.Value() }
 
 // Denied returns the number of deny decisions.
-func (m *Metrics) Denied() uint64 { return m.denied.Load() }
+func (m *Metrics) Denied() uint64 { return m.denied.Value() }
 
 // Allowed returns the number of allow decisions.
-func (m *Metrics) Allowed() uint64 { return m.allowed.Load() }
+func (m *Metrics) Allowed() uint64 { return m.allowed.Value() }
 
 // CacheHits returns the number of admissions served from the
 // flow-decision cache (binding and policy queries skipped).
-func (m *Metrics) CacheHits() uint64 { return m.cacheHits.Load() }
+func (m *Metrics) CacheHits() uint64 { return m.cacheHits.Value() }
 
 // CacheMisses returns the number of admissions that took the full
 // enrich-and-query path (including when the cache is disabled).
-func (m *Metrics) CacheMisses() uint64 { return m.cacheMisses.Load() }
+func (m *Metrics) CacheMisses() uint64 { return m.cacheMisses.Value() }
+
+// CacheStale returns the number of cache probes that found an entry
+// invalidated by a policy or binding epoch change (a subset of misses).
+func (m *Metrics) CacheStale() uint64 { return m.cacheStale.Value() }
+
+// WorkersBusy returns the number of workers currently processing a request.
+func (m *Metrics) WorkersBusy() int64 { return m.workersBusy.Value() }
 
 // PCP is the Policy Compilation Point.
 type PCP struct {
 	cfg     Config
+	reg     *obs.Registry
 	metrics Metrics
 	cache   *decisionCache // nil when disabled
+
+	// compilePool recycles flow-mod compilation buffers so the cache-hit
+	// fast path allocates nothing (see compileBuf).
+	compilePool sync.Pool
 
 	queue chan *Request
 	wg    sync.WaitGroup
@@ -175,11 +207,20 @@ func New(cfg Config) *PCP {
 	if cfg.Clock == nil {
 		cfg.Clock = simclock.Real{}
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		// A private registry keeps every instrument live, so a
+		// directly-constructed PCP measures exactly like one wired into a
+		// dfi.System with metrics enabled.
+		reg = obs.NewRegistry()
+	}
 	p := &PCP{
-		cfg:      cfg,
-		queue:    make(chan *Request, cfg.QueueDepth),
-		stop:     make(chan struct{}),
-		switches: make(map[uint64]SwitchClient),
+		cfg:         cfg,
+		reg:         reg,
+		compilePool: sync.Pool{New: func() any { return new(compileBuf) }},
+		queue:       make(chan *Request, cfg.QueueDepth),
+		stop:        make(chan struct{}),
+		switches:    make(map[uint64]SwitchClient),
 	}
 	if cfg.FlowCacheSize >= 0 {
 		size := cfg.FlowCacheSize
@@ -188,16 +229,44 @@ func New(cfg Config) *PCP {
 		}
 		p.cache = newDecisionCache(size)
 	}
-	p.metrics.BindingQuery = &harness.DurationStats{}
-	p.metrics.PolicyQuery = &harness.DurationStats{}
-	p.metrics.OtherPCP = &harness.DurationStats{}
-	p.metrics.Total = &harness.DurationStats{}
+	stages := reg.HistogramVec("dfi_pcp_stage_seconds",
+		"Per-stage admission latency (paper Table II).", "stage", nil)
+	p.metrics.BindingQuery = stages.With("binding_query")
+	p.metrics.PolicyQuery = stages.With("policy_query")
+	p.metrics.OtherPCP = stages.With("other_pcp")
+	p.metrics.Total = stages.With("total")
+	decisions := reg.CounterVec("dfi_pcp_decisions_total",
+		"Admission decisions by outcome.", "outcome")
+	p.metrics.allowed = decisions.With("allow")
+	p.metrics.denied = decisions.With("deny")
+	cacheEvents := reg.CounterVec("dfi_pcp_cache_events_total",
+		"Flow-decision cache probes: hit, miss, or stale (an entry evicted because its policy or entity epoch changed; stale probes also count as misses).",
+		"event")
+	p.metrics.cacheHits = cacheEvents.With("hit")
+	p.metrics.cacheMisses = cacheEvents.With("miss")
+	p.metrics.cacheStale = cacheEvents.With("stale")
+	p.metrics.processed = reg.Counter("dfi_pcp_processed_total",
+		"Admission requests fully processed.")
+	p.metrics.dropped = reg.Counter("dfi_pcp_queue_drops_total",
+		"Admission requests dropped by a full queue (control-plane saturation).")
+	p.metrics.workersBusy = reg.Gauge("dfi_pcp_workers_busy",
+		"Admission workers currently processing a request.")
+	reg.GaugeFunc("dfi_pcp_workers",
+		"Size of the admission worker pool.",
+		func() float64 { return float64(cfg.Workers) })
+	reg.GaugeFunc("dfi_pcp_queue_depth",
+		"Admission requests waiting in the bounded queue.",
+		func() float64 { return float64(len(p.queue)) })
 	cfg.Policy.SetFlushFunc(p.FlushPolicies)
 	return p
 }
 
 // Metrics returns the PCP's metrics collector.
 func (p *PCP) Metrics() *Metrics { return &p.metrics }
+
+// Registry returns the registry holding the PCP's instruments (the one
+// passed in Config.Obs, or the private one created in its absence).
+func (p *PCP) Registry() *obs.Registry { return p.reg }
 
 // Start launches the worker pool.
 func (p *PCP) Start() {
@@ -276,15 +345,29 @@ func (p *PCP) Submit(req *Request) bool {
 	started := p.started
 	p.mu.RUnlock()
 	if !started {
-		p.metrics.dropped.Add(1)
+		p.dropOverload(req)
 		return false
 	}
 	select {
 	case p.queue <- req:
 		return true
 	default:
-		p.metrics.dropped.Add(1)
+		p.dropOverload(req)
 		return false
+	}
+}
+
+// dropOverload records one queue (or not-running) drop, tracing it when
+// sampled so control-plane saturation is visible at /v1/trace.
+func (p *PCP) dropOverload(req *Request) {
+	p.metrics.dropped.Inc()
+	if p.cfg.Trace.Sampled() {
+		p.cfg.Trace.Commit(obs.AdmissionTrace{
+			Start:   p.cfg.Clock.Now(),
+			DPID:    req.DPID,
+			Outcome: obs.OutcomeOverloadDrop,
+			Proxy:   req.ProxyOverhead,
+		})
 	}
 }
 
@@ -295,7 +378,9 @@ func (p *PCP) worker() {
 		case <-p.stop:
 			return
 		case req := <-p.queue:
+			p.metrics.workersBusy.Inc()
 			p.Process(req)
+			p.metrics.workersBusy.Dec()
 		}
 	}
 }
@@ -312,13 +397,28 @@ func (p *PCP) worker() {
 // binding change (see cache.go).
 func (p *PCP) Process(req *Request) {
 	start := p.cfg.Clock.Now()
+	// tr stays on the stack: it is only ever copied by value into the ring,
+	// so an admission that is sampled out pays nothing beyond zeroing it.
+	var tr obs.AdmissionTrace
+	sampled := p.cfg.Trace.Sampled()
 	key, kerr := netpkt.ExtractFlowKey(req.PacketIn.Data)
+	if sampled {
+		tr.Start = start
+		tr.DPID = req.DPID
+		tr.Key = key
+		tr.Proxy = req.ProxyOverhead
+		tr.Parse = p.cfg.Clock.Now().Sub(start)
+	}
 	var dec Decision
 	var fv *policy.FlowView
+	hit := false
 	if kerr != nil {
 		dec = Decision{Err: kerr}
 	} else {
 		inPort := req.PacketIn.InPort()
+		if sampled {
+			tr.InPort = inPort
+		}
 		// MAC↔switch-port sensor (paper §IV-A): the PCP is the
 		// authoritative observer of where traffic physically enters the
 		// network. Runs before the cache probe so that a moved MAC bumps
@@ -326,29 +426,56 @@ func (p *PCP) Process(req *Request) {
 		p.cfg.Entity.BindMACLocation(key.EthSrc, entity.Location{DPID: req.DPID, Port: inPort})
 
 		ck := cacheKey{dpid: req.DPID, inPort: inPort, key: key}
-		hit := false
 		if p.cache != nil {
-			if d, ok := p.cache.lookup(ck, p.cfg.Policy.Epoch(), p.cfg.Entity.Epoch()); ok {
+			d, ok, stale := p.cache.lookup(ck, p.cfg.Policy.Epoch(), p.cfg.Entity.Epoch())
+			if ok {
 				dec, hit = d, true
-				p.metrics.cacheHits.Add(1)
+				p.metrics.cacheHits.Inc()
+			} else if stale {
+				p.metrics.cacheStale.Inc()
 			}
 		}
 		if !hit {
-			p.metrics.cacheMisses.Add(1)
+			p.metrics.cacheMisses.Inc()
 			var policyEpoch, entityEpoch uint64
-			dec, fv, policyEpoch, entityEpoch = p.decide(req, key, inPort)
+			var bindDur, polDur time.Duration
+			dec, fv, policyEpoch, entityEpoch, bindDur, polDur = p.decide(req, key, inPort)
+			if sampled {
+				tr.Binding, tr.Policy = bindDur, polDur
+			}
 			if p.cache != nil && dec.Err == nil {
 				p.cache.store(ck, dec, policyEpoch, entityEpoch)
 			}
 		}
 	}
+	tInstall := start
+	if sampled {
+		tInstall = p.cfg.Clock.Now()
+	}
 	p.install(req, dec, fv, key)
-	p.metrics.Total.Add(p.cfg.Clock.Now().Sub(start))
-	p.metrics.processed.Add(1)
+	end := p.cfg.Clock.Now()
+	p.metrics.Total.Add(end.Sub(start))
+	p.metrics.processed.Inc()
 	if dec.Allow {
-		p.metrics.allowed.Add(1)
+		p.metrics.allowed.Inc()
 	} else {
-		p.metrics.denied.Add(1)
+		p.metrics.denied.Inc()
+	}
+	if sampled {
+		tr.Install = end.Sub(tInstall)
+		tr.Total = end.Sub(start)
+		tr.CacheHit = hit
+		tr.RuleID = uint64(dec.RuleID)
+		switch {
+		case dec.Err != nil:
+			tr.Outcome = obs.OutcomeError
+			tr.Err = dec.Err.Error()
+		case dec.Allow:
+			tr.Outcome = obs.OutcomeAllow
+		default:
+			tr.Outcome = obs.OutcomeDeny
+		}
+		p.cfg.Trace.Commit(tr)
 	}
 	if req.Done != nil {
 		req.Done(dec)
@@ -359,9 +486,12 @@ func (p *PCP) Process(req *Request) {
 // the epochs its answer was derived under — the entity epoch read before
 // resolution and the policy epoch carried by the queried snapshot — so the
 // caller can cache the decision; a concurrent policy or binding change
-// makes the stored epochs stale and the cache entry self-invalidates.
-func (p *PCP) decide(req *Request, key netpkt.FlowKey, inPort uint32) (Decision, *policy.FlowView, uint64, uint64) {
-	entityEpoch := p.cfg.Entity.Epoch()
+// makes the stored epochs stale and the cache entry self-invalidates. The
+// per-stage durations come back as plain return values (rather than decide
+// writing into a caller-owned trace) so the caller's trace never escapes
+// to the heap.
+func (p *PCP) decide(req *Request, key netpkt.FlowKey, inPort uint32) (dec Decision, fv *policy.FlowView, policyEpoch, entityEpoch uint64, bindDur, polDur time.Duration) {
+	entityEpoch = p.cfg.Entity.Epoch()
 
 	// Binding query: enrich both endpoints in one round trip.
 	tBind := p.cfg.Clock.Now()
@@ -374,23 +504,26 @@ func (p *PCP) decide(req *Request, key netpkt.FlowKey, inPort uint32) (Decision,
 	}
 	dstObs := entity.Observed{MAC: key.EthDst, HasIP: key.HasIP, IP: key.IPDst}
 	srcRes, dstRes, err := p.cfg.Entity.ResolveBoth(srcObs, dstObs)
-	p.metrics.BindingQuery.Add(p.cfg.Clock.Now().Sub(tBind))
+	bindDur = p.cfg.Clock.Now().Sub(tBind)
+	p.metrics.BindingQuery.Add(bindDur)
 	if err != nil {
 		// Inconsistent identifiers: spoofed traffic is denied outright.
-		return Decision{Err: err}, nil, 0, 0
+		return Decision{Err: err}, nil, 0, 0, bindDur, 0
 	}
 
-	fv := flowView(key, inPort, req.DPID, srcRes, dstRes, p.cfg.Entity)
+	fv = flowView(key, inPort, req.DPID, srcRes, dstRes, p.cfg.Entity)
 
 	tPolicy := p.cfg.Clock.Now()
 	pd := p.cfg.Policy.Query(fv)
-	p.metrics.PolicyQuery.Add(p.cfg.Clock.Now().Sub(tPolicy))
+	polDur = p.cfg.Clock.Now().Sub(tPolicy)
+	p.metrics.PolicyQuery.Add(polDur)
 
 	var ruleID policy.RuleID = policy.DefaultDenyID
 	if pd.Matched {
 		ruleID = pd.Rule.ID
 	}
-	return Decision{Allow: pd.Action == policy.ActionAllow, RuleID: ruleID}, fv, pd.Epoch, entityEpoch
+	dec = Decision{Allow: pd.Action == policy.ActionAllow, RuleID: ruleID}
+	return dec, fv, pd.Epoch, entityEpoch, bindDur, polDur
 }
 
 // install compiles and installs the flow rule implementing dec for req's
@@ -415,11 +548,106 @@ func (p *PCP) install(req *Request, dec Decision, fv *policy.FlowView, key netpk
 	if client == nil {
 		return
 	}
-	fm := p.CompileFlowMod(key, req.PacketIn.InPort(), dec)
 	if fv != nil {
+		// Fresh decision: the enriched view enables wildcard widening, and
+		// this path already paid the binding and policy queries, so the
+		// compile allocations are noise.
+		fm := p.CompileFlowMod(key, req.PacketIn.InPort(), dec)
 		fm.Match = p.compileCachedMatch(key, req.PacketIn.InPort(), fv, dec)
+		_ = client.WriteFlowMod(fm)
+		return
 	}
-	_ = client.WriteFlowMod(fm)
+	// Cache-hit fast path: compile the exact match into a pooled buffer so
+	// the admission path allocates nothing. Safe because SwitchClient
+	// forbids retaining the flow mod past WriteFlowMod.
+	cb := p.compilePool.Get().(*compileBuf)
+	cb.fill(p, key, req.PacketIn.InPort(), dec)
+	_ = client.WriteFlowMod(&cb.fm)
+	p.compilePool.Put(cb)
+}
+
+// gotoTable1 is the shared allow instruction: every admitted flow continues
+// to table 1, the controller's first table. Immutable — the proxy's
+// table-space rewrites copy goto-table instructions instead of mutating
+// them — so all pooled flow mods share this one slice.
+var gotoTable1 = []openflow.Instruction{&openflow.InstructionGotoTable{TableID: 1}}
+
+// compileBuf is a reusable flow-mod compilation buffer for the cache-hit
+// fast path. Its Match's pointer fields point at the buffer's own value
+// fields, so filling and writing an exact-match rule performs no heap
+// allocation; openflow.ExactMatchFor builds the identical match with one
+// allocation per pinned field.
+type compileBuf struct {
+	fm    openflow.FlowMod
+	match openflow.Match
+
+	inPort  uint32
+	ethSrc  netpkt.MAC
+	ethDst  netpkt.MAC
+	ethType uint16
+	ipProto uint8
+	ipSrc   netpkt.IPv4
+	ipDst   netpkt.IPv4
+	l4Src   uint16
+	l4Dst   uint16
+}
+
+// fill compiles the exact-match table-0 rule implementing dec into the
+// buffer, mirroring CompileFlowMod (which see for the semantics).
+func (cb *compileBuf) fill(p *PCP, key netpkt.FlowKey, inPort uint32, dec Decision) {
+	cb.inPort = inPort
+	cb.ethSrc = key.EthSrc
+	cb.ethDst = key.EthDst
+	cb.ethType = key.EtherType
+	// Rebuild the match wholesale: fields the previous flow pinned but this
+	// one does not must come back nil (wildcard).
+	cb.match = openflow.Match{
+		InPort:  &cb.inPort,
+		EthSrc:  &cb.ethSrc,
+		EthDst:  &cb.ethDst,
+		EthType: &cb.ethType,
+	}
+	if key.HasIP && key.EtherType == netpkt.EtherTypeIPv4 {
+		cb.ipProto = key.IPProto
+		cb.ipSrc = key.IPSrc
+		cb.ipDst = key.IPDst
+		cb.match.IPProto = &cb.ipProto
+		cb.match.IPv4Src = &cb.ipSrc
+		cb.match.IPv4Dst = &cb.ipDst
+		if key.HasL4 {
+			cb.l4Src = key.L4Src
+			cb.l4Dst = key.L4Dst
+			switch key.IPProto {
+			case netpkt.ProtoTCP:
+				cb.match.TCPSrc = &cb.l4Src
+				cb.match.TCPDst = &cb.l4Dst
+			case netpkt.ProtoUDP:
+				cb.match.UDPSrc = &cb.l4Src
+				cb.match.UDPDst = &cb.l4Dst
+			}
+		}
+	}
+	if key.HasIP && key.EtherType == netpkt.EtherTypeARP {
+		cb.ipSrc = key.IPSrc
+		cb.ipDst = key.IPDst
+		cb.match.ARPSPA = &cb.ipSrc
+		cb.match.ARPTPA = &cb.ipDst
+	}
+	cb.fm = openflow.FlowMod{
+		Cookie:      uint64(dec.RuleID),
+		TableID:     0,
+		Command:     openflow.FlowModAdd,
+		Priority:    p.cfg.RulePriority,
+		BufferID:    openflow.NoBuffer,
+		OutPort:     openflow.PortAny,
+		OutGroup:    0xffffffff,
+		Match:       &cb.match,
+		IdleTimeout: p.cfg.DenyIdleTimeoutSec,
+	}
+	if dec.Allow {
+		cb.fm.IdleTimeout = p.cfg.AllowIdleTimeoutSec
+		cb.fm.Instructions = gotoTable1
+	}
 }
 
 // CompileFlowMod builds the exact-match table-0 rule implementing dec for

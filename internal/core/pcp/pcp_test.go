@@ -20,7 +20,9 @@ var (
 	ipB  = netpkt.MustParseIPv4("10.0.0.11")
 )
 
-// fakeSwitch records flow-mods.
+// fakeSwitch records flow-mods. It deep-copies each one: SwitchClient
+// forbids retaining the flow mod past WriteFlowMod (the PCP reuses pooled
+// compilation buffers).
 type fakeSwitch struct {
 	mu   sync.Mutex
 	mods []*openflow.FlowMod
@@ -29,7 +31,12 @@ type fakeSwitch struct {
 func (f *fakeSwitch) WriteFlowMod(fm *openflow.FlowMod) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.mods = append(f.mods, fm)
+	cp := *fm
+	if fm.Match != nil {
+		cp.Match = fm.Match.Clone()
+	}
+	cp.Instructions = append([]openflow.Instruction(nil), fm.Instructions...)
+	f.mods = append(f.mods, &cp)
 	return nil
 }
 

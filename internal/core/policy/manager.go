@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/dfi-sdn/dfi/internal/obs"
 	"github.com/dfi-sdn/dfi/internal/simclock"
 	"github.com/dfi-sdn/dfi/internal/store"
 )
@@ -61,6 +62,13 @@ type Manager struct {
 	clock   simclock.Clock
 	latency store.LatencyModel
 
+	// Observability instruments; nil (and therefore no-ops) unless
+	// WithObserver installed a registry. Query latency is not re-measured
+	// here — the PCP already times it from outside as
+	// dfi_pcp_stage_seconds{stage="policy_query"}.
+	snapshotRebuilds *obs.Counter
+	queries          *obs.Counter
+
 	snap atomic.Pointer[Snapshot]
 
 	mu         sync.Mutex
@@ -81,6 +89,23 @@ func WithQueryLatency(clock simclock.Clock, m store.LatencyModel) ManagerOption 
 	return func(pm *Manager) {
 		pm.clock = clock
 		pm.latency = m
+	}
+}
+
+// WithObserver registers the Policy Manager's instruments — rule count,
+// epoch, snapshot rebuilds, queries served — with reg.
+func WithObserver(reg *obs.Registry) ManagerOption {
+	return func(pm *Manager) {
+		pm.snapshotRebuilds = reg.Counter("dfi_policy_snapshot_rebuilds_total",
+			"Copy-on-write policy snapshot publications (one per insert/revoke batch).")
+		pm.queries = reg.Counter("dfi_policy_queries_total",
+			"Per-flow policy queries served.")
+		reg.GaugeFunc("dfi_policy_rules",
+			"Rules in the current policy snapshot.",
+			func() float64 { return float64(pm.Len()) })
+		reg.GaugeFunc("dfi_policy_epoch",
+			"Current policy epoch (bumps on every insert, revoke and revoke-all).",
+			func() float64 { return float64(pm.Epoch()) })
 	}
 }
 
@@ -105,6 +130,7 @@ func NewManager(opts ...ManagerOption) *Manager {
 func (m *Manager) publishLocked() {
 	m.epoch++
 	m.snap.Store(buildSnapshot(m.epoch, m.rules))
+	m.snapshotRebuilds.Inc()
 }
 
 // SetFlushFunc registers the callback invoked when derived flow rules must
@@ -227,6 +253,7 @@ func (m *Manager) RevokeAll(pdp string) int {
 // snapshot and returns a pointer to the winning rule inside it (see
 // Decision.Rule for the immutability contract).
 func (m *Manager) Query(f *FlowView) Decision {
+	m.queries.Inc()
 	store.Charge(m.clock, m.latency)
 	return m.snap.Load().Query(f)
 }

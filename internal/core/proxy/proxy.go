@@ -20,7 +20,7 @@ import (
 	"time"
 
 	"github.com/dfi-sdn/dfi/internal/core/pcp"
-	"github.com/dfi-sdn/dfi/internal/harness"
+	"github.com/dfi-sdn/dfi/internal/obs"
 	"github.com/dfi-sdn/dfi/internal/openflow"
 	"github.com/dfi-sdn/dfi/internal/simclock"
 	"github.com/dfi-sdn/dfi/internal/store"
@@ -38,9 +38,15 @@ type Config struct {
 	// Table II "Proxy": 0.16 ms); zero by default.
 	Clock   simclock.Clock
 	Latency store.LatencyModel
+	// Obs receives the proxy's instruments. Nil selects the PCP's registry,
+	// so a directly-constructed proxy exposes its counters alongside the
+	// PCP's in one place.
+	Obs *obs.Registry
 }
 
-// Stats exposes aggregate proxy statistics.
+// Stats is a point-in-time snapshot of the proxy's counters, assembled from
+// the obs registry (the registry is the source of truth; this struct is a
+// convenience view for harness code and /v1/stats).
 type Stats struct {
 	PacketIns       uint64
 	Denied          uint64
@@ -51,12 +57,12 @@ type Stats struct {
 // Proxy interposes between switches and the controller.
 type Proxy struct {
 	cfg      Config
-	overhead harness.DurationStats
+	overhead *obs.Histogram
 
-	packetIns atomic.Uint64
-	denied    atomic.Uint64
-	dropped   atomic.Uint64
-	forwarded atomic.Uint64
+	packetIns *obs.Counter
+	denied    *obs.Counter
+	dropped   *obs.Counter
+	forwarded *obs.Counter
 }
 
 // New returns a Proxy.
@@ -70,21 +76,37 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = simclock.Real{}
 	}
-	return &Proxy{cfg: cfg}, nil
+	reg := cfg.Obs
+	if reg == nil {
+		reg = cfg.PCP.Registry()
+	}
+	return &Proxy{
+		cfg: cfg,
+		packetIns: reg.Counter("dfi_proxy_packet_ins_total",
+			"Packet-ins intercepted from switches."),
+		denied: reg.Counter("dfi_proxy_denied_total",
+			"Packet-ins denied by the PCP and withheld from the controller."),
+		dropped: reg.Counter("dfi_proxy_overload_drops_total",
+			"Packet-ins dropped before a decision (PCP queue full or unidentified switch)."),
+		forwarded: reg.Counter("dfi_proxy_forwarded_total",
+			"Packet-ins forwarded to the controller."),
+		overhead: reg.Histogram("dfi_proxy_forward_seconds",
+			"Proxy-side forwarding overhead per admission-checked packet-in (paper Table II \"Proxy\").", nil),
+	}, nil
 }
 
 // Stats returns a snapshot of aggregate statistics.
 func (p *Proxy) Stats() Stats {
 	return Stats{
-		PacketIns:       p.packetIns.Load(),
-		Denied:          p.denied.Load(),
-		DroppedOverload: p.dropped.Load(),
-		Forwarded:       p.forwarded.Load(),
+		PacketIns:       p.packetIns.Value(),
+		Denied:          p.denied.Value(),
+		DroppedOverload: p.dropped.Value(),
+		Forwarded:       p.forwarded.Value(),
 	}
 }
 
 // Overhead returns the proxy's measured per-packet-in forwarding cost.
-func (p *Proxy) Overhead() *harness.DurationStats { return &p.overhead }
+func (p *Proxy) Overhead() *obs.Histogram { return p.overhead }
 
 // switchWriter adapts the switch-side connection as the PCP's write and
 // read paths.
@@ -308,7 +330,7 @@ func (s *session) handleFromSwitch(xid uint32, msg openflow.Message) error {
 
 func (s *session) handlePacketIn(xid uint32, pi *openflow.PacketIn) error {
 	p := s.proxy
-	p.packetIns.Add(1)
+	p.packetIns.Inc()
 
 	// A miss in table 1 or higher can only be reached through DFI's
 	// table-0 rules (goto-table): the flow was already admitted. Those
@@ -320,7 +342,7 @@ func (s *session) handlePacketIn(xid uint32, pi *openflow.PacketIn) error {
 		if err := s.ctl.SendXID(xid, &out); err != nil {
 			return err
 		}
-		p.forwarded.Add(1)
+		p.forwarded.Inc()
 		return nil
 	}
 
@@ -331,7 +353,7 @@ func (s *session) handlePacketIn(xid uint32, pi *openflow.PacketIn) error {
 	if !ok {
 		// Packet-in before the features exchange: indistinguishable
 		// switches cannot be policy-checked; drop.
-		p.dropped.Add(1)
+		p.dropped.Inc()
 		return nil
 	}
 
@@ -343,7 +365,7 @@ func (s *session) handlePacketIn(xid uint32, pi *openflow.PacketIn) error {
 			if !dec.Allow {
 				// Denied (or unevaluable) packets never reach the
 				// controller, so it cannot be poisoned by them.
-				p.denied.Add(1)
+				p.denied.Inc()
 				return
 			}
 			out := *pi
@@ -351,14 +373,15 @@ func (s *session) handlePacketIn(xid uint32, pi *openflow.PacketIn) error {
 				out.TableID--
 			}
 			if err := s.ctl.SendXID(xid, &out); err == nil {
-				p.forwarded.Add(1)
+				p.forwarded.Inc()
 			}
 		},
 	}
 	s.wg.Add(1)
+	req.ProxyOverhead = p.cfg.Clock.Now().Sub(t0)
 	if !p.cfg.PCP.Submit(req) {
 		s.wg.Done()
-		p.dropped.Add(1)
+		p.dropped.Inc()
 	}
 	p.overhead.Add(p.cfg.Clock.Now().Sub(t0))
 	return nil

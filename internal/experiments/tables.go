@@ -181,7 +181,7 @@ func RunTable2(cfg MicrobenchConfig) (*Table2Result, error) {
 		return nil, fmt.Errorf("latency mode: %w", err)
 	}
 	m := r.sys.PCP().Metrics()
-	overhead := r.sys.DFIProxy().Overhead()
+	overhead := r.sys.Proxy().Overhead()
 	return &Table2Result{
 		BindingQuery: StatRow{Mean: m.BindingQuery.Mean(), StdDev: m.BindingQuery.StdDev()},
 		PolicyQuery:  StatRow{Mean: m.PolicyQuery.Mean(), StdDev: m.PolicyQuery.StdDev()},

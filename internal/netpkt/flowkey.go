@@ -1,6 +1,9 @@
 package netpkt
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // FlowKey is the set of header fields DFI and the switch pipeline match on,
 // extracted from a raw Ethernet frame. Fields beyond EtherType are only
@@ -44,51 +47,69 @@ func (k FlowKey) Reverse() FlowKey {
 // ExtractFlowKey parses the headers of a raw Ethernet frame into a FlowKey.
 // For ARP frames the sender/target protocol addresses populate IPSrc/IPDst
 // (mirroring OpenFlow's ARP_SPA/ARP_TPA usage in access-control matches).
+//
+// The headers are decoded inline rather than through the Unmarshal* helpers:
+// those return heap-allocated header structs, and this function runs on the
+// admission hot path, which must not allocate. Validation (and the error
+// text) matches the helpers field for field.
 func ExtractFlowKey(frame []byte) (FlowKey, error) {
 	var k FlowKey
-	eth, err := UnmarshalEthernet(frame)
-	if err != nil {
-		return k, err
+	if len(frame) < ethernetHeaderLen {
+		return k, fmt.Errorf("ethernet: %w", ErrTruncated)
 	}
-	k.EthSrc = eth.Src
-	k.EthDst = eth.Dst
-	k.EtherType = eth.EtherType
-	switch eth.EtherType {
+	copy(k.EthDst[:], frame[0:6])
+	copy(k.EthSrc[:], frame[6:12])
+	k.EtherType = binary.BigEndian.Uint16(frame[12:14])
+	payload := frame[ethernetHeaderLen:]
+	switch k.EtherType {
 	case EtherTypeIPv4:
-		ip, err := UnmarshalIPv4(eth.Payload)
-		if err != nil {
-			return k, err
+		b := payload
+		if len(b) < ipv4HeaderLen {
+			return k, fmt.Errorf("ipv4: %w", ErrTruncated)
+		}
+		if b[0]>>4 != 4 {
+			return k, fmt.Errorf("ipv4: version %d", b[0]>>4)
+		}
+		ihl := int(b[0]&0x0f) * 4
+		if ihl < ipv4HeaderLen || len(b) < ihl {
+			return k, fmt.Errorf("ipv4: bad IHL %d: %w", ihl, ErrTruncated)
+		}
+		total := int(binary.BigEndian.Uint16(b[2:4]))
+		if total > len(b) || total < ihl {
+			total = len(b)
 		}
 		k.HasIP = true
-		k.IPSrc = ip.Src
-		k.IPDst = ip.Dst
-		k.IPProto = ip.Protocol
-		switch ip.Protocol {
+		copy(k.IPSrc[:], b[12:16])
+		copy(k.IPDst[:], b[16:20])
+		k.IPProto = b[9]
+		l4 := b[ihl:total]
+		switch k.IPProto {
 		case ProtoTCP:
-			t, err := UnmarshalTCP(ip.Payload)
-			if err != nil {
-				return k, err
+			if len(l4) < tcpHeaderLen {
+				return k, fmt.Errorf("tcp: %w", ErrTruncated)
+			}
+			off := int(l4[12]>>4) * 4
+			if off < tcpHeaderLen || len(l4) < off {
+				return k, fmt.Errorf("tcp: bad data offset %d: %w", off, ErrTruncated)
 			}
 			k.HasL4 = true
-			k.L4Src = t.SrcPort
-			k.L4Dst = t.DstPort
+			k.L4Src = binary.BigEndian.Uint16(l4[0:2])
+			k.L4Dst = binary.BigEndian.Uint16(l4[2:4])
 		case ProtoUDP:
-			u, err := UnmarshalUDP(ip.Payload)
-			if err != nil {
-				return k, err
+			if len(l4) < udpHeaderLen {
+				return k, fmt.Errorf("udp: %w", ErrTruncated)
 			}
 			k.HasL4 = true
-			k.L4Src = u.SrcPort
-			k.L4Dst = u.DstPort
+			k.L4Src = binary.BigEndian.Uint16(l4[0:2])
+			k.L4Dst = binary.BigEndian.Uint16(l4[2:4])
 		}
 	case EtherTypeARP:
-		a, err := UnmarshalARP(eth.Payload)
-		if err != nil {
-			return k, err
+		if len(payload) < arpLen {
+			return k, fmt.Errorf("arp: %w", ErrTruncated)
 		}
 		k.HasIP = true
-		k.IPSrc = a.SenderIP
-		k.IPDst = a.TargetIP
+		copy(k.IPSrc[:], payload[14:18])
+		copy(k.IPDst[:], payload[24:28])
 	}
 	return k, nil
 }

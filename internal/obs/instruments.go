@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. All methods are safe for
+// concurrent use and tolerate a nil receiver (no-op), so uninstrumented
+// components need no branches at call sites.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (zero on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) kind() Kind { return KindCounter }
+
+func (c *Counter) expose(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "%s %d\n", name, c.Value())
+	return err
+}
+
+// counterFunc is a read-at-scrape counter.
+type counterFunc func() uint64
+
+func (counterFunc) kind() Kind { return KindCounter }
+
+func (f counterFunc) expose(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "%s %d\n", name, f())
+	return err
+}
+
+// Gauge is a value that can go up and down. Nil-receiver safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds delta (negative to subtract).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (zero on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) kind() Kind { return KindGauge }
+
+func (g *Gauge) expose(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "%s %d\n", name, g.Value())
+	return err
+}
+
+// gaugeFunc is a read-at-scrape gauge.
+type gaugeFunc func() float64
+
+func (gaugeFunc) kind() Kind { return KindGauge }
+
+func (f gaugeFunc) expose(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(f()))
+	return err
+}
+
+// DefBuckets are the default latency bounds in seconds: 1µs–1s exponential,
+// spanning this implementation's native sub-microsecond stages and the
+// paper's millisecond-scale calibrated profile (Table II).
+var DefBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1,
+}
+
+// Histogram is a lock-free fixed-bucket latency histogram. Observe performs
+// only atomic adds (plus one CAS loop for the sum of squares), so admission
+// workers never serialize on it; Mean and StdDev give the same numbers the
+// harness's Welford accumulators produced, within floating-point noise.
+// Nil-receiver safe like Counter.
+type Histogram struct {
+	boundsNs []int64   // bucket upper bounds in nanoseconds, ascending
+	bounds   []float64 // same bounds in seconds, for exposition
+	buckets  []atomic.Uint64
+	inf      atomic.Uint64 // observations above the last bound
+	count    atomic.Uint64
+	sumNs    atomic.Int64
+	sumSq    atomic.Uint64 // float64 bits of sum of squared nanoseconds
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	h := &Histogram{
+		bounds:   bounds,
+		boundsNs: make([]int64, len(bounds)),
+		buckets:  make([]atomic.Uint64, len(bounds)),
+	}
+	for i, b := range bounds {
+		h.boundsNs[i] = int64(b * float64(time.Second))
+	}
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	sq := float64(ns) * float64(ns)
+	for {
+		old := h.sumSq.Load()
+		if h.sumSq.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+sq)) {
+			break
+		}
+	}
+	for i, b := range h.boundsNs {
+		if ns <= b {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.inf.Add(1)
+}
+
+// Add records one duration; it aliases Observe so the Histogram is a
+// drop-in replacement for the harness's DurationStats at existing call
+// sites.
+func (h *Histogram) Add(d time.Duration) { h.Observe(d) }
+
+// N returns the observation count.
+func (h *Histogram) N() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load())
+}
+
+// Mean returns the mean duration (zero when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.N()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(float64(h.sumNs.Load()) / float64(n))
+}
+
+// StdDev returns the sample standard deviation (zero for n < 2), computed
+// from the running sum and sum of squares.
+func (h *Histogram) StdDev() time.Duration {
+	if h == nil {
+		return 0
+	}
+	n := float64(h.count.Load())
+	if n < 2 {
+		return 0
+	}
+	sum := float64(h.sumNs.Load())
+	sumSq := math.Float64frombits(h.sumSq.Load())
+	variance := (sumSq - sum*sum/n) / (n - 1)
+	if variance < 0 {
+		variance = 0 // floating-point cancellation on near-constant samples
+	}
+	return time.Duration(math.Sqrt(variance))
+}
+
+// String renders mean ± σ in milliseconds, the paper's format.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("%.2fms ± %.2fms",
+		float64(h.Mean())/float64(time.Millisecond),
+		float64(h.StdDev())/float64(time.Millisecond))
+}
+
+func (h *Histogram) kind() Kind { return KindHistogram }
+
+func (h *Histogram) expose(w io.Writer, name string) error {
+	return h.exposeLabeled(w, name, "")
+}
+
+// exposeLabeled renders the histogram's bucket/sum/count series, merging
+// extraLabel (already formatted as `k="v"`, or empty) into each line.
+func (h *Histogram) exposeLabeled(w io.Writer, name, extraLabel string) error {
+	sep := ""
+	if extraLabel != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n",
+			name, extraLabel, sep, formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.inf.Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, extraLabel, sep, cum); err != nil {
+		return err
+	}
+	labels := ""
+	if extraLabel != "" {
+		labels = "{" + extraLabel + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		name, labels, formatFloat(float64(h.sumNs.Load())/float64(time.Second))); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.count.Load())
+	return err
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trippable representation.
+func formatFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+)
+
+// Outcome classifies how one admission ended.
+type Outcome uint8
+
+// Admission outcomes.
+const (
+	// OutcomeAllow: the flow was admitted and forwarded to the controller.
+	OutcomeAllow Outcome = iota
+	// OutcomeDeny: the flow matched a deny (or the default deny).
+	OutcomeDeny
+	// OutcomeError: the packet could not be evaluated (parse failure or
+	// inconsistent identifier bindings); such flows are denied.
+	OutcomeError
+	// OutcomeOverloadDrop: the PCP's admission queue was full and the
+	// request was dropped (control-plane saturation).
+	OutcomeOverloadDrop
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeAllow:
+		return "allow"
+	case OutcomeDeny:
+		return "deny"
+	case OutcomeError:
+		return "error"
+	case OutcomeOverloadDrop:
+		return "overload-drop"
+	default:
+		return "unknown"
+	}
+}
+
+// AdmissionTrace records one sampled admission end to end: the stages the
+// paper's Table II names — packet-in parse, binding query, policy query,
+// compile+install, proxy forward — with their durations, the flow's
+// identifiers and the decision outcome. The struct is fixed-size (Err is
+// set only on evaluation failures), so committing a trace into the ring
+// copies it without allocating.
+type AdmissionTrace struct {
+	// Seq is the trace's position in the total committed sequence.
+	Seq uint64
+	// Start is when the PCP began processing the packet-in.
+	Start time.Time
+	// DPID and InPort locate the flow's ingress.
+	DPID   uint64
+	InPort uint32
+	// Key holds the flow's low-level identifiers as parsed from the packet.
+	Key netpkt.FlowKey
+	// Outcome is the decision; CacheHit marks decisions served from the
+	// flow-decision cache (binding and policy queries skipped).
+	Outcome  Outcome
+	CacheHit bool
+	// RuleID is the deciding policy rule (policy.DefaultDenyID for the
+	// implicit default deny); zero for overload drops.
+	RuleID uint64
+	// Err describes the evaluation failure for OutcomeError traces.
+	Err string
+	// Per-stage durations. Binding and Policy are zero on cache hits;
+	// Proxy is the DFI Proxy's forwarding overhead charged before the
+	// request entered the queue.
+	Parse   time.Duration
+	Binding time.Duration
+	Policy  time.Duration
+	Install time.Duration
+	Proxy   time.Duration
+	Total   time.Duration
+}
+
+// TraceRing is a bounded ring of admission traces with 1-in-N sampling.
+// Sampled and Commit tolerate a nil receiver, so an untraced pipeline pays
+// one nil check per admission and allocates nothing.
+//
+// The write side takes a mutex; tracing is sampled, and even at full
+// admission rate the copy held under the lock is tens of nanoseconds, so
+// workers do not serialize in any measurable way. Reads (Last) are rare —
+// an operator hitting /v1/trace.
+type TraceRing struct {
+	every uint64
+	tick  atomic.Uint64
+
+	mu   sync.Mutex
+	buf  []AdmissionTrace
+	next uint64 // total committed
+}
+
+// NewTraceRing returns a ring holding the last capacity traces, sampling
+// one admission in every (1 = every admission). A non-positive capacity
+// defaults to 256; a non-positive every disables sampling entirely.
+func NewTraceRing(capacity, every int) *TraceRing {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if every <= 0 {
+		every = 0
+	}
+	return &TraceRing{every: uint64(every), buf: make([]AdmissionTrace, 0, capacity)}
+}
+
+// Sampled reports whether the current admission should be traced,
+// advancing the sampling tick. Nil-safe: a nil ring never samples.
+func (r *TraceRing) Sampled() bool {
+	if r == nil || r.every == 0 {
+		return false
+	}
+	if r.every == 1 {
+		return true
+	}
+	return r.tick.Add(1)%r.every == 0
+}
+
+// Commit appends one trace, overwriting the oldest once the ring is full
+// and stamping t.Seq. Nil-safe no-op.
+func (r *TraceRing) Commit(t AdmissionTrace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	t.Seq = r.next
+	r.next++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, t)
+	} else {
+		r.buf[t.Seq%uint64(cap(r.buf))] = t
+	}
+	r.mu.Unlock()
+}
+
+// Last returns up to n traces, most recent first. Nil-safe: a nil ring
+// returns nil.
+func (r *TraceRing) Last(n int) []AdmissionTrace {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > len(r.buf) {
+		n = len(r.buf)
+	}
+	out := make([]AdmissionTrace, n)
+	for i := 0; i < n; i++ {
+		// next-1 is the most recent; walk backwards through the ring.
+		out[i] = r.buf[(r.next-1-uint64(i))%uint64(cap(r.buf))]
+	}
+	return out
+}
+
+// Committed returns the total number of traces committed (including ones
+// the ring has since overwritten). Nil-safe.
+func (r *TraceRing) Committed() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
