@@ -1,0 +1,115 @@
+// Command dfilint runs DFI's project-specific invariant analyzers over the
+// module: hotpathalloc, snapshotmut, lockheld, metricname, errenvelope
+// (see internal/dfilint). It is stdlib-only and exits non-zero when any
+// diagnostic survives //dfi:ignore suppression.
+//
+// Usage:
+//
+//	go run ./cmd/dfilint ./...
+//	go run ./cmd/dfilint -lockheld=false ./internal/bus/...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/dfi-sdn/dfi/internal/dfilint"
+)
+
+func main() {
+	enabled := map[string]*bool{}
+	for _, a := range dfilint.NewAnalyzers() {
+		enabled[a.Name()] = flag.Bool(a.Name(), true, a.Doc())
+	}
+	list := flag.Bool("list", false, "list analyzers and exit")
+	root := flag.String("root", "", "module root to analyze (default: nearest go.mod above the working directory)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range dfilint.NewAnalyzers() {
+			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dfilint:", err)
+			os.Exit(2)
+		}
+	}
+
+	pkgs, err := dfilint.Load(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfilint:", err)
+		os.Exit(2)
+	}
+	pkgs = filterPackages(pkgs, flag.Args())
+
+	on := make(map[string]bool, len(enabled))
+	for name, v := range enabled {
+		on[name] = *v
+	}
+	diags := dfilint.NewDriver(on).Run(pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// filterPackages narrows the loaded set to the given ./dir or ./dir/...
+// patterns; no patterns (or ./...) selects everything. Analysis always
+// loads the whole module first — intra-module type-checking needs it — so
+// patterns only scope which packages' diagnostics are reported.
+func filterPackages(pkgs []*dfilint.Package, patterns []string) []*dfilint.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	var out []*dfilint.Package
+	for _, pkg := range pkgs {
+		for _, pat := range patterns {
+			if matchPattern(pkg.Dir, pat) {
+				out = append(out, pkg)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func matchPattern(dir, pat string) bool {
+	pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+	if pat == "..." || pat == "" {
+		return true
+	}
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		return dir == rest || strings.HasPrefix(dir, rest+"/")
+	}
+	return dir == pat
+}

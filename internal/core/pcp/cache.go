@@ -108,6 +108,8 @@ func (c *decisionCache) shardOf(ck *cacheKey) *cacheShard {
 // match the current ones; a stale entry is evicted on the spot, which the
 // third return reports so the PCP can count epoch invalidations separately
 // from plain misses.
+//
+//dfi:hotpath
 func (c *decisionCache) lookup(ck cacheKey, policyEpoch, entityEpoch uint64) (dec Decision, ok, stale bool) {
 	s := c.shardOf(&ck)
 	s.mu.Lock()

@@ -395,6 +395,13 @@ func (p *PCP) worker() {
 // the policy and entity epochs recorded with the cached decision are still
 // current, so a cached decision can never survive a revocation, flush or
 // binding change (see cache.go).
+//
+// Process, install, compileBuf.fill and decisionCache.lookup are the
+// cache-hit admission path the zero-alloc gate measures; decide and
+// CompileFlowMod (the miss path) pay the enrichment/compile allocations
+// deliberately and are not annotated.
+//
+//dfi:hotpath
 func (p *PCP) Process(req *Request) {
 	start := p.cfg.Clock.Now()
 	// tr stays on the stack: it is only ever copied by value into the ring,
@@ -531,9 +538,13 @@ func (p *PCP) decide(req *Request, key netpkt.FlowKey, inPort uint32) (dec Decis
 // decisions served from the flow-decision cache; those install the exact
 // match (wildcard widening needs the enriched view and a policy walk —
 // exactly the work the cache exists to skip).
+//
+//dfi:hotpath
 func (p *PCP) install(req *Request, dec Decision, fv *policy.FlowView, key netpkt.FlowKey) {
 	tOther := p.cfg.Clock.Now()
-	defer func() {
+	// Deferred closures are open-coded and stay on the stack (the
+	// TestAdmissionHotPathZeroAlloc gate proves 0 B/op through here).
+	defer func() { //dfi:ignore hotpathalloc
 		p.metrics.OtherPCP.Add(p.cfg.Clock.Now().Sub(tOther))
 	}()
 	store.Charge(p.cfg.Clock, p.cfg.ProcessingLatency)
@@ -594,6 +605,8 @@ type compileBuf struct {
 
 // fill compiles the exact-match table-0 rule implementing dec into the
 // buffer, mirroring CompileFlowMod (which see for the semantics).
+//
+//dfi:hotpath
 func (cb *compileBuf) fill(p *PCP, key netpkt.FlowKey, inPort uint32, dec Decision) {
 	cb.inPort = inPort
 	cb.ethSrc = key.EthSrc

@@ -252,6 +252,8 @@ func (m *Manager) RevokeAll(pdp string) int {
 // Query is lock-free and allocation-free: it reads the current immutable
 // snapshot and returns a pointer to the winning rule inside it (see
 // Decision.Rule for the immutability contract).
+//
+//dfi:hotpath
 func (m *Manager) Query(f *FlowView) Decision {
 	m.queries.Inc()
 	store.Charge(m.clock, m.latency)

@@ -76,6 +76,8 @@ func (s *Snapshot) Get(id RuleID) *Rule { return s.byID[id] }
 // highest-priority matching rule wins; among equal-priority matches with
 // conflicting actions, Deny wins; with no match the decision is the
 // default Deny. It performs no locking and no allocation.
+//
+//dfi:hotpath
 func (s *Snapshot) Query(f *FlowView) Decision {
 	for i := range s.buckets {
 		if r := s.buckets[i].match(f); r != nil {

@@ -1,0 +1,183 @@
+package dfilint
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// loadFixtures loads the testdata mini-module once per test binary.
+var fixturePkgs = func() func(t *testing.T) []*Package {
+	var pkgs []*Package
+	var err error
+	loaded := false
+	return func(t *testing.T) []*Package {
+		t.Helper()
+		if !loaded {
+			pkgs, err = Load("testdata/src")
+			loaded = true
+		}
+		if err != nil {
+			t.Fatalf("loading fixtures: %v", err)
+		}
+		return pkgs
+	}
+}()
+
+// want is one expected diagnostic substring at a fixture position.
+type want struct {
+	file string
+	line int
+	sub  string
+}
+
+// collectWants parses the fixtures' "// want \"substr\" ..." annotations.
+func collectWants(t *testing.T, pkgs []*Package) []want {
+	t.Helper()
+	var wants []want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					subs, err := parseWant(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want annotation: %v", pos.Filename, pos.Line, err)
+					}
+					for _, sub := range subs {
+						wants = append(wants, want{file: pos.Filename, line: pos.Line, sub: sub})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWant extracts the quoted substrings of one want annotation.
+func parseWant(s string) ([]string, error) {
+	var subs []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("expected quoted string at %q", s)
+		}
+		end := strings.Index(s[1:], `"`)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated quote in %q", s)
+		}
+		q, err := strconv.Unquote(s[:end+2])
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, q)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("no expectations")
+	}
+	return subs, nil
+}
+
+// TestFixtures runs every analyzer over the fixture module and requires an
+// exact match between diagnostics and // want annotations: each want must
+// be produced, and each diagnostic must be expected. Suppressed cases are
+// covered by construction — a //dfi:ignore'd violation with no want
+// annotation fails the test if the suppression stops working.
+func TestFixtures(t *testing.T) {
+	pkgs := fixturePkgs(t)
+	diags := NewDriver(nil).Run(pkgs)
+	wants := collectWants(t, pkgs)
+
+	matchedWant := make([]bool, len(wants))
+	for _, d := range diags {
+		found := false
+		for i, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.sub) {
+				matchedWant[i] = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matchedWant[i] {
+			t.Errorf("%s:%d: missing diagnostic containing %q", w.file, w.line, w.sub)
+		}
+	}
+}
+
+// TestAnalyzerCoverage requires every analyzer to fire at least once in the
+// fixtures, so a broken analyzer cannot pass as "no findings".
+func TestAnalyzerCoverage(t *testing.T) {
+	pkgs := fixturePkgs(t)
+	diags := NewDriver(nil).Run(pkgs)
+	fired := map[string]int{}
+	for _, d := range diags {
+		fired[d.Analyzer]++
+	}
+	for _, a := range NewAnalyzers() {
+		if fired[a.Name()] == 0 {
+			t.Errorf("analyzer %s produced no fixture diagnostics", a.Name())
+		}
+	}
+}
+
+// TestDisableFlag checks per-analyzer enable/disable wiring.
+func TestDisableFlag(t *testing.T) {
+	pkgs := fixturePkgs(t)
+	all := NewDriver(nil).Run(pkgs)
+	without := NewDriver(map[string]bool{"hotpathalloc": false}).Run(pkgs)
+	for _, d := range without {
+		if d.Analyzer == "hotpathalloc" {
+			t.Errorf("disabled analyzer still reported: %s", d)
+		}
+	}
+	lost := 0
+	for _, d := range all {
+		if d.Analyzer == "hotpathalloc" {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Fatal("fixture produced no hotpathalloc diagnostics to disable")
+	}
+	if len(all)-len(without) != lost {
+		t.Errorf("disabling hotpathalloc dropped %d diagnostics, want %d", len(all)-len(without), lost)
+	}
+}
+
+// TestDiagnosticFormat pins the file:line: [analyzer] message rendering.
+func TestDiagnosticFormat(t *testing.T) {
+	pkgs := fixturePkgs(t)
+	diags := NewDriver(nil).Run(pkgs)
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	sorted := sort.SliceIsSorted(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		return diags[i].Pos.Line < diags[j].Pos.Line
+	})
+	if !sorted {
+		t.Error("diagnostics not sorted by position")
+	}
+	d := diags[0]
+	str := d.String()
+	wantPrefix := fmt.Sprintf("%s:%d: [%s] ", d.Pos.Filename, d.Pos.Line, d.Analyzer)
+	if !strings.HasPrefix(str, wantPrefix) {
+		t.Errorf("diagnostic %q does not start with %q", str, wantPrefix)
+	}
+	if !strings.HasSuffix(str, d.Message) {
+		t.Errorf("diagnostic %q does not end with its message", str)
+	}
+}

@@ -1,0 +1,190 @@
+// Package dfilint is a stdlib-only static-analysis driver enforcing DFI's
+// cross-cutting invariants: the allocation-free admission hot path, the
+// immutability of policy snapshots, lock discipline around channels and
+// callbacks, metric naming, and the admin API's error envelope. It is built
+// on go/parser + go/ast + go/types + go/importer alone (no x/tools), per
+// the repository's no-external-dependencies rule.
+//
+// Two comment annotations drive it:
+//
+//	//dfi:hotpath            (in a function's doc comment) marks the
+//	                         function as admission-hot-path code that the
+//	                         hotpathalloc analyzer must keep allocation-free.
+//	//dfi:ignore <analyzers> suppresses the named analyzers' diagnostics on
+//	                         the comment's own line and the line below it.
+package dfilint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the canonical file:line: [analyzer]
+// message format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Pass is the per-package context handed to an analyzer.
+type Pass struct {
+	Pkg *Package
+	// Report records one diagnostic at pos.
+	Report func(pos token.Pos, format string, args ...any)
+}
+
+// Analyzer checks one invariant across packages. Run is called once per
+// package, in deterministic (sorted import path) order, so analyzers may
+// keep cross-package state (metricname's uniqueness check does).
+type Analyzer interface {
+	Name() string
+	Doc() string
+	Run(pass *Pass)
+}
+
+// NewAnalyzers returns a fresh instance of every analyzer, in the order
+// they run.
+func NewAnalyzers() []Analyzer {
+	return []Analyzer{
+		newHotpathAlloc(),
+		newSnapshotMut(),
+		newLockHeld(),
+		newMetricName(),
+		newErrEnvelope(),
+	}
+}
+
+// Driver runs a set of analyzers over loaded packages and filters the
+// findings through //dfi:ignore suppressions.
+type Driver struct {
+	analyzers []Analyzer
+	enabled   map[string]bool // nil enables all
+}
+
+// NewDriver returns a driver over the standard analyzer set. enabled maps
+// analyzer names to whether they run; a nil map (or a missing key defaulting
+// to true) enables everything.
+func NewDriver(enabled map[string]bool) *Driver {
+	return &Driver{analyzers: NewAnalyzers(), enabled: enabled}
+}
+
+// Run analyzes every package and returns the surviving diagnostics sorted
+// by position.
+func (d *Driver) Run(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		for _, a := range d.analyzers {
+			if d.enabled != nil {
+				if on, ok := d.enabled[a.Name()]; ok && !on {
+					continue
+				}
+			}
+			name := a.Name()
+			pass := &Pass{
+				Pkg: pkg,
+				Report: func(pos token.Pos, format string, args ...any) {
+					p := pkg.Fset.Position(pos)
+					if ignores.suppressed(p, name) {
+						return
+					}
+					diags = append(diags, Diagnostic{
+						Pos:      p,
+						Analyzer: name,
+						Message:  fmt.Sprintf(format, args...),
+					})
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// ignoreSet records, per file and line, which analyzers are suppressed.
+type ignoreSet map[string]map[int]map[string]bool
+
+func (s ignoreSet) suppressed(p token.Position, analyzer string) bool {
+	lines := s[p.Filename]
+	if lines == nil {
+		return false
+	}
+	names := lines[p.Line]
+	return names != nil && (names[analyzer] || names["all"])
+}
+
+// collectIgnores scans a package's comments for //dfi:ignore directives.
+// Each directive suppresses the named analyzers (or "all") on its own line
+// and on the following line, so it works both as a trailing comment and as
+// a line above the offending statement.
+func collectIgnores(pkg *Package) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//dfi:ignore")
+				if !ok {
+					continue
+				}
+				names := strings.Fields(rest)
+				if len(names) == 0 {
+					names = []string{"all"}
+				}
+				p := pkg.Fset.Position(c.Pos())
+				lines := set[p.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[p.Filename] = lines
+				}
+				for _, line := range []int{p.Line, p.Line + 1} {
+					byName := lines[line]
+					if byName == nil {
+						byName = map[string]bool{}
+						lines[line] = byName
+					}
+					for _, n := range names {
+						byName[n] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// isHotpath reports whether a function's doc comment carries the
+// //dfi:hotpath annotation.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == "//dfi:hotpath" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package dfilint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// errEnvelope enforces the /v1 admin API error contract inside packages
+// named admin: every error response must flow through the JSON envelope
+// helper, so clients always receive {"error":{"code","message"}}. It flags
+// calls to http.Error (plain-text errors) and direct WriteHeader calls
+// with a constant status >= 400 (ad-hoc error paths that bypass the
+// envelope). The envelope helper itself writes the status through a
+// variable, so it is naturally exempt; a helper that must hard-code an
+// error status carries a //dfi:ignore errenvelope annotation.
+type errEnvelope struct{}
+
+func newErrEnvelope() *errEnvelope { return &errEnvelope{} }
+
+func (*errEnvelope) Name() string { return "errenvelope" }
+
+func (*errEnvelope) Doc() string {
+	return "admin handlers must emit errors through the /v1 JSON envelope helper"
+}
+
+func (a *errEnvelope) Run(pass *Pass) {
+	if pass.Pkg.Types.Name() != "admin" {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// http.Error(w, msg, code)
+			if id, ok := sel.X.(*ast.Ident); ok && sel.Sel.Name == "Error" {
+				if pkg, ok := info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "net/http" {
+					pass.Report(call.Pos(), "http.Error writes a plain-text error; use the /v1 JSON envelope helper")
+					return true
+				}
+			}
+			// w.WriteHeader(<constant >= 400>)
+			if sel.Sel.Name == "WriteHeader" && len(call.Args) == 1 {
+				if tv, ok := info.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+					if code, ok := constant.Int64Val(tv.Value); ok && code >= 400 {
+						pass.Report(call.Pos(), "direct WriteHeader(%d) bypasses the /v1 error envelope; use the envelope helper", code)
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,182 @@
+package dfilint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotpathAlloc flags allocation-inducing constructs inside functions whose
+// doc comment carries //dfi:hotpath: fmt calls, non-constant string
+// concatenation, make/new/append, slice and map literals (and address-taken
+// composite literals), function literals (closure capture), and arguments
+// boxed into interface parameters. These are exactly the constructs that
+// broke the zero-alloc admission gate during PR 1/PR 2 development; the
+// analyzer keeps the next refactor from reintroducing them silently.
+type hotpathAlloc struct{}
+
+func newHotpathAlloc() *hotpathAlloc { return &hotpathAlloc{} }
+
+func (*hotpathAlloc) Name() string { return "hotpathalloc" }
+
+func (*hotpathAlloc) Doc() string {
+	return "flags allocation-inducing constructs inside //dfi:hotpath functions"
+}
+
+func (a *hotpathAlloc) Run(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			a.checkBody(pass, fd.Body)
+		}
+	}
+}
+
+func (a *hotpathAlloc) checkBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			a.checkCall(pass, x)
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(info.TypeOf(x)) && info.Types[x].Value == nil {
+				pass.Report(x.OpPos, "string concatenation allocates on the hot path")
+			}
+		case *ast.FuncLit:
+			pass.Report(x.Pos(), "function literal may allocate a closure on the hot path")
+		case *ast.CompositeLit:
+			switch types.Unalias(info.TypeOf(x)).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Report(x.Pos(), "slice/map composite literal allocates on the hot path")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					pass.Report(x.Pos(), "address of composite literal allocates on the hot path")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (a *hotpathAlloc) checkCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+
+	// Builtins.
+	if id := calleeIdent(call.Fun); id != nil {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Report(call.Pos(), "make allocates; preallocate outside the hot path or use a pooled buffer")
+			case "append":
+				pass.Report(call.Pos(), "append may grow its backing array and allocate on the hot path")
+			case "new":
+				pass.Report(call.Pos(), "new allocates on the hot path")
+			}
+			return
+		}
+	}
+
+	// Conversions: T(v) boxing v into an interface.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if isInterfaceType(tv.Type) && boxes(info, call.Args[0]) {
+			pass.Report(call.Args[0].Pos(),
+				"value of type %s is boxed into an interface and allocates on the hot path",
+				info.TypeOf(call.Args[0]))
+		}
+		return
+	}
+
+	// Calls into package fmt.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+				pass.Report(call.Pos(), "call to fmt.%s allocates; hot paths must not format", sel.Sel.Name)
+			}
+		}
+	}
+
+	// Arguments boxed into interface parameters.
+	sig, ok := types.Unalias(info.TypeOf(call.Fun)).Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			param = types.Unalias(sig.Params().At(sig.Params().Len() - 1).Type()).Underlying().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if isInterfaceType(param) && boxes(info, arg) {
+			pass.Report(arg.Pos(),
+				"value of type %s is boxed into an interface and allocates on the hot path",
+				info.TypeOf(arg))
+		}
+	}
+}
+
+// calleeIdent unwraps the identifier a call expression invokes, if any.
+func calleeIdent(fun ast.Expr) *ast.Ident {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f
+	case *ast.ParenExpr:
+		return calleeIdent(f.X)
+	}
+	return nil
+}
+
+// boxes reports whether passing arg to an interface-typed slot heap-
+// allocates: true for non-pointer-shaped concrete values, false for nil,
+// constants of interface type, existing interfaces and pointer-shaped
+// values (pointers, channels, maps, funcs, unsafe.Pointer), whose word fits
+// the interface data slot directly.
+func boxes(info *types.Info, arg ast.Expr) bool {
+	tv, ok := info.Types[arg]
+	if !ok {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	t := tv.Type
+	if t == nil {
+		return false
+	}
+	switch u := types.Unalias(t).Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil {
+			return false
+		}
+	}
+	return true
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isInterfaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := types.Unalias(t).Underlying().(*types.Interface)
+	return ok
+}

@@ -1,0 +1,246 @@
+package dfilint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one fully type-checked package of the analyzed module.
+type Package struct {
+	// Path is the package's import path within the module.
+	Path string
+	// Dir is the package's directory relative to the module root.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Load parses and type-checks every package under root (a module root
+// containing go.mod), excluding _test.go files and testdata/vendor trees.
+// It is a self-contained module loader built on go/parser + go/types +
+// go/importer only: intra-module imports resolve to the packages being
+// checked, standard-library imports are type-checked from GOROOT source.
+func Load(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	dirs, err := goDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	ld := &loader{
+		fset:    fset,
+		modPath: modPath,
+		parsed:  make(map[string]*parsedPkg),
+		checked: make(map[string]*Package),
+	}
+	// srcimporter type-checks the standard library from GOROOT source; it
+	// must share our FileSet so diagnostics keep correct positions. Disable
+	// cgo so packages like net type-check from their pure-Go fallbacks
+	// without a C toolchain.
+	build.Default.CgoEnabled = false
+	ld.std = importer.ForCompiler(fset, "source", nil)
+
+	for _, dir := range dirs {
+		pp, err := parseDir(fset, root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pp == nil {
+			continue
+		}
+		rel, _ := filepath.Rel(root, dir)
+		pp.dir = filepath.ToSlash(rel)
+		if pp.dir == "." {
+			pp.path = modPath
+		} else {
+			pp.path = modPath + "/" + pp.dir
+		}
+		ld.parsed[pp.path] = pp
+	}
+
+	paths := make([]string, 0, len(ld.parsed))
+	for p := range ld.parsed {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := ld.check(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// parsedPkg is one directory's parsed-but-unchecked package.
+type parsedPkg struct {
+	path  string
+	dir   string
+	name  string
+	files []*ast.File
+}
+
+type loader struct {
+	fset    *token.FileSet
+	modPath string
+	std     types.Importer
+	parsed  map[string]*parsedPkg
+	checked map[string]*Package
+	stack   []string
+}
+
+// Import implements types.Importer: intra-module paths resolve to the
+// packages under analysis; everything else defers to the stdlib importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/") {
+		pkg, err := ld.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// check type-checks one parsed package (and, transitively, its intra-module
+// imports), memoizing the result.
+func (ld *loader) check(path string) (*Package, error) {
+	if pkg, ok := ld.checked[path]; ok {
+		return pkg, nil
+	}
+	pp, ok := ld.parsed[path]
+	if !ok {
+		return nil, fmt.Errorf("dfilint: unknown intra-module package %q", path)
+	}
+	for _, on := range ld.stack {
+		if on == path {
+			return nil, fmt.Errorf("dfilint: import cycle through %q", path)
+		}
+	}
+	ld.stack = append(ld.stack, path)
+	defer func() { ld.stack = ld.stack[:len(ld.stack)-1] }()
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var errs []string
+	conf := types.Config{
+		Importer: ld,
+		Error: func(err error) {
+			errs = append(errs, err.Error())
+		},
+	}
+	tpkg, _ := conf.Check(path, ld.fset, pp.files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("dfilint: type-checking %s:\n\t%s", path, strings.Join(errs, "\n\t"))
+	}
+	pkg := &Package{
+		Path:  path,
+		Dir:   pp.dir,
+		Fset:  ld.fset,
+		Files: pp.files,
+		Types: tpkg,
+		Info:  info,
+	}
+	ld.checked[path] = pkg
+	return pkg, nil
+}
+
+// modulePath reads the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	b, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("dfilint: %w (not a module root?)", err)
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("dfilint: no module declaration in %s", gomod)
+}
+
+// goDirs lists every directory under root that may hold a package, skipping
+// testdata, vendor, hidden and underscore-prefixed trees.
+func goDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// parseDir parses the non-test Go files of one directory, returning nil when
+// the directory holds no buildable package.
+func parseDir(fset *token.FileSet, root, dir string) (*parsedPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pp := &parsedPkg{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if pp.name == "" {
+			pp.name = f.Name.Name
+		} else if pp.name != f.Name.Name {
+			return nil, fmt.Errorf("dfilint: %s: multiple packages %q and %q", dir, pp.name, f.Name.Name)
+		}
+		pp.files = append(pp.files, f)
+	}
+	if len(pp.files) == 0 {
+		return nil, nil
+	}
+	return pp, nil
+}

@@ -1,0 +1,293 @@
+package dfilint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockHeld flags operations that can block indefinitely — channel sends,
+// bus Publish calls, and calls through function values (user callbacks) —
+// while a sync.Mutex or sync.RWMutex is held. This is the proxy/bus/entity
+// deadlock class: a callback that re-enters the locking component, or a
+// send to an unbuffered channel whose reader needs the same lock, wedges
+// the enforcement path. Non-blocking sends (inside a select that has a
+// default clause) are exempt.
+//
+// The analysis is a per-function linear scan: it tracks Lock/RLock and
+// Unlock/RUnlock calls on mutex-typed expressions in statement order,
+// treats deferred unlocks as held-to-return, and analyzes branches with a
+// copy of the entry state. Function literals start with no locks held (they
+// run later, on their own goroutine or call stack), except literals invoked
+// immediately in place.
+type lockHeld struct{}
+
+func newLockHeld() *lockHeld { return &lockHeld{} }
+
+func (*lockHeld) Name() string { return "lockheld" }
+
+func (*lockHeld) Doc() string {
+	return "flags channel sends, Publish calls and callback invocations while a mutex is held"
+}
+
+func (a *lockHeld) Run(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s := &lockScan{pass: pass, info: pass.Pkg.Info}
+			s.block(fd.Body.List, lockState{})
+		}
+	}
+}
+
+// lockState maps the source rendering of a mutex expression ("m.mu") to
+// held; it is copied at branch points.
+type lockState map[string]bool
+
+func (st lockState) clone() lockState {
+	c := make(lockState, len(st))
+	for k, v := range st {
+		c[k] = v
+	}
+	return c
+}
+
+// heldNames renders the held locks for diagnostics, sorted.
+func (st lockState) heldNames() string {
+	names := make([]string, 0, len(st))
+	for k := range st {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+type lockScan struct {
+	pass *Pass
+	info *types.Info
+}
+
+func (s *lockScan) block(stmts []ast.Stmt, st lockState) {
+	for _, stmt := range stmts {
+		s.stmt(stmt, st)
+	}
+}
+
+func (s *lockScan) stmt(stmt ast.Stmt, st lockState) {
+	switch x := stmt.(type) {
+	case *ast.ExprStmt:
+		s.expr(x.X, st)
+	case *ast.SendStmt:
+		if len(st) > 0 {
+			s.pass.Report(x.Arrow, "channel send while %s is held may block; release the lock first or use a non-blocking select", st.heldNames())
+		}
+		s.expr(x.Chan, st)
+		s.expr(x.Value, st)
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			s.expr(e, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						s.expr(e, st)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held for the rest of the scan
+		// (correct: it is released only at return). Other deferred calls run
+		// at return time; analyze their literals fresh but don't flag them.
+		if kind, _ := s.lockCall(x.Call); kind == lockRelease {
+			return
+		}
+		for _, arg := range append([]ast.Expr{x.Call.Fun}, x.Call.Args...) {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				s.block(lit.Body.List, lockState{})
+			}
+		}
+	case *ast.GoStmt:
+		for _, arg := range append([]ast.Expr{x.Call.Fun}, x.Call.Args...) {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				s.block(lit.Body.List, lockState{})
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			s.expr(e, st)
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			s.stmt(x.Init, st)
+		}
+		s.expr(x.Cond, st)
+		s.block(x.Body.List, st.clone())
+		if x.Else != nil {
+			s.stmt(x.Else, st.clone())
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			s.stmt(x.Init, st)
+		}
+		if x.Cond != nil {
+			s.expr(x.Cond, st)
+		}
+		s.block(x.Body.List, st.clone())
+	case *ast.RangeStmt:
+		s.expr(x.X, st)
+		s.block(x.Body.List, st.clone())
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			s.stmt(x.Init, st)
+		}
+		if x.Tag != nil {
+			s.expr(x.Tag, st)
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.block(cc.Body, st.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.block(cc.Body, st.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, c := range x.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok && !hasDefault && len(st) > 0 {
+				s.pass.Report(send.Arrow, "blocking select send while %s is held; add a default clause or release the lock", st.heldNames())
+			}
+			s.block(cc.Body, st.clone())
+		}
+	case *ast.BlockStmt:
+		s.block(x.List, st)
+	case *ast.LabeledStmt:
+		s.stmt(x.Stmt, st)
+	}
+}
+
+type lockKind int
+
+const (
+	lockNone lockKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockCall classifies a call as a mutex acquire/release, returning the
+// rendered receiver expression as the lock's identity.
+func (s *lockScan) lockCall(call *ast.CallExpr) (lockKind, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockNone, ""
+	}
+	fn, ok := s.info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return lockNone, ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !isSyncMutex(recv.Type()) {
+		return lockNone, ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return lockAcquire, types.ExprString(sel.X)
+	case "Unlock", "RUnlock":
+		return lockRelease, types.ExprString(sel.X)
+	case "TryLock", "TryRLock":
+		// Conservatively treated as an acquire: the common pattern checks
+		// the result and unlocks on the success path the scan also walks.
+		return lockAcquire, types.ExprString(sel.X)
+	}
+	return lockNone, ""
+}
+
+// expr walks an expression, updating lock state for mutex calls and
+// flagging Publish/callback invocations made while locks are held.
+func (s *lockScan) expr(e ast.Expr, st lockState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// Runs later, on its own stack: fresh lock state.
+			s.block(x.Body.List, lockState{})
+			return false
+		case *ast.CallExpr:
+			if kind, name := s.lockCall(x); kind != lockNone {
+				if kind == lockAcquire {
+					st[name] = true
+				} else {
+					delete(st, name)
+				}
+				return true
+			}
+			if len(st) > 0 {
+				s.checkCall(x, st)
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags Publish calls and dynamic (function-value) calls under a
+// held lock. Static function and method calls — including interface method
+// calls — are not flagged: the deadlock class this analyzer targets is
+// user-supplied callbacks and event publication, both of which appear as
+// func-typed values or bus Publish calls.
+func (s *lockScan) checkCall(call *ast.CallExpr, st lockState) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if _, ok := s.info.Uses[fun].(*types.Var); ok {
+			s.pass.Report(call.Pos(), "call through function value %q while %s is held; callbacks must not run under locks", fun.Name, st.heldNames())
+		}
+	case *ast.SelectorExpr:
+		obj := s.info.ObjectOf(fun.Sel)
+		switch o := obj.(type) {
+		case *types.Func:
+			if o.Name() == "Publish" {
+				s.pass.Report(call.Pos(), "%s while %s is held; publish after releasing the lock", types.ExprString(fun), st.heldNames())
+			}
+		case *types.Var:
+			// Func-typed struct field or package variable.
+			s.pass.Report(call.Pos(), "call through function value %q while %s is held; callbacks must not run under locks", types.ExprString(fun), st.heldNames())
+		}
+	}
+}
+
+// isSyncMutex reports whether t (possibly a pointer) is sync.Mutex or
+// sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

@@ -1,0 +1,120 @@
+package dfilint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// registryMethods are the obs.Registry registration entry points whose
+// first argument is the metric name.
+var registryMethods = map[string]bool{
+	"Counter":      true,
+	"CounterFunc":  true,
+	"Gauge":        true,
+	"GaugeFunc":    true,
+	"Histogram":    true,
+	"CounterVec":   true,
+	"HistogramVec": true,
+}
+
+// metricName enforces the obs registry naming contract at every
+// registration site: the metric name must be a constant string literal
+// (greppable, scrape-stable), must match dfi_[a-z_]+, and must be unique
+// across the whole tree — the registry deduplicates by name, so a second
+// registration silently aliases the first instrument, which is how two
+// subsystems end up incrementing the same counter.
+//
+// The analyzer keeps cross-package state; the driver runs packages in
+// deterministic order, so the "first registered at" site is stable.
+type metricName struct {
+	seen map[string]token.Position
+}
+
+func newMetricName() *metricName { return &metricName{seen: map[string]token.Position{}} }
+
+func (*metricName) Name() string { return "metricname" }
+
+func (*metricName) Doc() string {
+	return "enforces dfi_[a-z_]+ literal, globally unique metric names at obs registration sites"
+}
+
+func (a *metricName) Run(pass *Pass) {
+	if pass.Pkg.Types.Name() == "obs" {
+		// The registry implementation itself (and its internal re-
+		// registrations, e.g. vec children) is exempt; the contract binds
+		// registration sites.
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registryMethods[sel.Sel.Name] {
+				return true
+			}
+			if !isObsRegistry(info.TypeOf(sel.X)) {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				pass.Report(call.Args[0].Pos(), "metric name must be a constant string literal at the registration site")
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !validMetricName(name) {
+				pass.Report(lit.Pos(), "metric name %q must match dfi_[a-z_]+", name)
+			}
+			if first, dup := a.seen[name]; dup {
+				pass.Report(lit.Pos(), "duplicate metric name %q (first registered at %s)", name, posString(first))
+			} else {
+				a.seen[name] = pass.Pkg.Fset.Position(lit.Pos())
+			}
+			return true
+		})
+	}
+}
+
+// validMetricName reports whether name fully matches dfi_[a-z_]+.
+func validMetricName(name string) bool {
+	const prefix = "dfi_"
+	if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+		return false
+	}
+	for _, r := range name[len(prefix):] {
+		if r != '_' && (r < 'a' || r > 'z') {
+			return false
+		}
+	}
+	return true
+}
+
+func posString(p token.Position) string {
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}
+
+// isObsRegistry reports whether t (possibly a pointer) is a type named
+// Registry declared in a package named obs.
+func isObsRegistry(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}

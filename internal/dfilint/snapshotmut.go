@@ -1,0 +1,89 @@
+package dfilint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// snapshotMut flags writes through *policy.Rule pointers outside the policy
+// package itself. Rules reachable from a published snapshot — directly,
+// via Snapshot.Query/All/Get, or via Decision.Rule — are immutable by
+// contract (PR 1): a mutation would be visible to every concurrent reader
+// of the snapshot and to the PCP's flow-decision cache. Construction and
+// pre-publication mutation happen inside package policy, which is exempt.
+type snapshotMut struct{}
+
+func newSnapshotMut() *snapshotMut { return &snapshotMut{} }
+
+func (*snapshotMut) Name() string { return "snapshotmut" }
+
+func (*snapshotMut) Doc() string {
+	return "flags writes through *policy.Rule pointers (snapshot immutability contract)"
+}
+
+func (a *snapshotMut) Run(pass *Pass) {
+	if pass.Pkg.Types.Name() == "policy" {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					a.checkWrite(pass, info, lhs)
+				}
+			case *ast.IncDecStmt:
+				a.checkWrite(pass, info, s.X)
+			}
+			return true
+		})
+	}
+}
+
+// checkWrite reports when the written location is reached through a
+// *policy.Rule: any step of the access chain (selector base, index base,
+// pointer dereference) typed as a pointer to policy.Rule means the write
+// lands inside a rule that may belong to a published snapshot.
+func (a *snapshotMut) checkWrite(pass *Pass, info *types.Info, lhs ast.Expr) {
+	for {
+		switch x := lhs.(type) {
+		case *ast.SelectorExpr:
+			if isPolicyRulePtr(info.TypeOf(x.X)) {
+				pass.Report(lhs.Pos(), "write through *policy.Rule violates the snapshot immutability contract; copy the rule instead")
+				return
+			}
+			lhs = x.X
+		case *ast.StarExpr:
+			if isPolicyRulePtr(info.TypeOf(x.X)) {
+				pass.Report(lhs.Pos(), "write through *policy.Rule violates the snapshot immutability contract; copy the rule instead")
+				return
+			}
+			lhs = x.X
+		case *ast.IndexExpr:
+			lhs = x.X
+		case *ast.ParenExpr:
+			lhs = x.X
+		default:
+			return
+		}
+	}
+}
+
+// isPolicyRulePtr reports whether t is *Rule for a type named Rule declared
+// in a package named policy.
+func isPolicyRulePtr(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ptr, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(ptr.Elem()).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Rule" && obj.Pkg() != nil && obj.Pkg().Name() == "policy"
+}

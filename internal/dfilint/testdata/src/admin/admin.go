@@ -1,0 +1,45 @@
+// Package admin exercises the errenvelope analyzer (which keys on the
+// package name).
+package admin
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// envelope mirrors the real /v1 error envelope.
+type envelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// httpError is the envelope helper: the status arrives as a variable, so
+// the analyzer does not flag it.
+func httpError(w http.ResponseWriter, status int, code, msg string) {
+	var e envelope
+	e.Error.Code, e.Error.Message = code, msg
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(e)
+}
+
+// BadHandler emits errors every way the analyzer forbids.
+func BadHandler(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", http.StatusBadRequest) // want "http.Error writes a plain-text error"
+	w.WriteHeader(http.StatusNotFound)           // want "bypasses the /v1 error envelope"
+	w.WriteHeader(422)                           // want "bypasses the /v1 error envelope"
+}
+
+// GoodHandler uses the helper, and success statuses stay legal.
+func GoodHandler(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusNoContent)
+	httpError(w, http.StatusNotFound, "not_found", "no such resource")
+}
+
+// Suppressed hard-codes an error status deliberately.
+func Suppressed(w http.ResponseWriter) {
+	//dfi:ignore errenvelope
+	w.WriteHeader(http.StatusTeapot)
+}

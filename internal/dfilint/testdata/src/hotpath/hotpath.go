@@ -1,0 +1,43 @@
+// Package hotpath exercises the hotpathalloc analyzer.
+package hotpath
+
+import "fmt"
+
+var sink string
+
+var sinkSlice []byte
+
+func consume(v any) { _ = v }
+
+// Flagged demonstrates every construct hotpathalloc rejects.
+//
+//dfi:hotpath
+func Flagged(id int, parts []string) {
+	sink = fmt.Sprintf("flow-%d", id) // want "call to fmt.Sprintf" "boxed into an interface"
+	sink = parts[0] + sink            // want "string concatenation"
+	buf := make([]byte, 0, 8)         // want "make allocates"
+	buf = append(buf, 1)              // want "append may grow"
+	sinkSlice = buf
+	p := new(int)                 // want "new allocates"
+	consume(p)                    // pointers are not boxed: no diagnostic
+	consume(id)                   // want "boxed into an interface"
+	_ = any(id)                   // want "boxed into an interface"
+	_ = []int{id}                 // want "composite literal allocates"
+	_ = &struct{}{}               // want "address of composite literal"
+	f := func() int { return id } // want "function literal"
+	_ = f
+}
+
+// Suppressed carries the same violations under //dfi:ignore.
+//
+//dfi:hotpath
+func Suppressed(id int) {
+	sink = fmt.Sprintf("flow-%d", id) //dfi:ignore hotpathalloc
+	//dfi:ignore hotpathalloc
+	consume(id)
+}
+
+// NotHot is unannotated: allocation constructs are fine here.
+func NotHot(id int) {
+	sink = fmt.Sprintf("flow-%d", id)
+}

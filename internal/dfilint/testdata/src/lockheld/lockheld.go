@@ -1,0 +1,76 @@
+// Package lockheld exercises the lockheld analyzer.
+package lockheld
+
+import "sync"
+
+// Bus is a stand-in event bus: the analyzer flags any Publish method call
+// made under a lock.
+type Bus struct{}
+
+// Publish is the flagged method.
+func (b *Bus) Publish(v int) {}
+
+// S couples a mutex with the blocking operations the analyzer tracks.
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	cb func()
+	b  *Bus
+}
+
+// Bad performs every flagged operation while holding s.mu.
+func (s *S) Bad(v int) {
+	s.mu.Lock()
+	s.ch <- v      // want "channel send while s.mu is held"
+	s.b.Publish(v) // want "s.b.Publish while s.mu is held"
+	s.cb()         // want "call through function value"
+	s.mu.Unlock()
+	s.ch <- v // lock released: no diagnostic
+	s.cb()
+}
+
+// BadDefer holds the lock to return via defer.
+func (s *S) BadDefer() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.cb() // want "call through function value"
+}
+
+// BadSelect sends in a select with no default: still blocking.
+func (s *S) BadSelect(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v: // want "blocking select send while s.mu is held"
+	}
+}
+
+// GoodSelect sends non-blockingly (select with default) under the lock.
+func (s *S) GoodSelect(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+	default:
+	}
+}
+
+// GoodGoroutine launches work under the lock; the goroutine body runs with
+// its own (empty) lock state.
+func (s *S) GoodGoroutine(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- v
+		s.cb()
+	}()
+}
+
+// Suppressed acknowledges a deliberate under-lock callback.
+func (s *S) Suppressed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//dfi:ignore lockheld
+	s.cb()
+}

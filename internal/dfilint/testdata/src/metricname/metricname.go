@@ -1,0 +1,16 @@
+// Package metricname exercises the metricname analyzer.
+package metricname
+
+import "fixture/obs"
+
+// Register runs every naming violation past the analyzer.
+func Register(r *obs.Registry, dyn string) {
+	r.Counter("dfi_good_total", "fine")
+	r.HistogramVec("dfi_stage_seconds", "fine", "stage", nil)
+	r.Counter("bad_name", "missing prefix") // want "must match dfi_"
+	r.Counter("dfi_BadCase", "upper case")  // want "must match dfi_"
+	r.Counter("dfi_v2_total", "digit")      // want "must match dfi_"
+	r.Counter(dyn, "dynamic")               // want "constant string literal"
+	r.Gauge("dfi_good_total", "duplicate")  // want "duplicate metric name"
+	r.Counter("also_bad", "ack")            //dfi:ignore metricname
+}

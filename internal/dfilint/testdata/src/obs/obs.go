@@ -1,0 +1,16 @@
+// Package obs is a fixture stand-in for the real metrics registry: the
+// metricname analyzer keys on the package name, the Registry type name and
+// its registration method names.
+package obs
+
+// Registry mirrors the real registry's registration surface.
+type Registry struct{}
+
+// Counter registers a counter.
+func (r *Registry) Counter(name, help string) int { return 0 }
+
+// Gauge registers a gauge.
+func (r *Registry) Gauge(name, help string) int { return 0 }
+
+// HistogramVec registers a labelled histogram family.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) int { return 0 }

@@ -1,0 +1,35 @@
+// Package policy is a fixture stand-in for the real policy package: the
+// snapshotmut analyzer keys on the package name and the Rule type name.
+package policy
+
+// RuleID mirrors the real rule id type.
+type RuleID uint64
+
+// EndpointSpec mirrors one endpoint of a rule.
+type EndpointSpec struct {
+	User string
+	Host string
+}
+
+// Rule mirrors the real immutable snapshot rule.
+type Rule struct {
+	ID       RuleID
+	Priority int
+	Src      EndpointSpec
+	Dst      EndpointSpec
+}
+
+// Decision mirrors the real query result carrying a snapshot rule pointer.
+type Decision struct {
+	Allowed bool
+	Rule    *Rule
+}
+
+// Query returns a rule the way a snapshot query would.
+func Query() *Rule { return &Rule{} }
+
+// Mutating a rule inside package policy is allowed (pre-publication
+// construction); the analyzer exempts the defining package.
+func assign(r *Rule, id RuleID) { r.ID = id }
+
+var _ = assign

@@ -1,0 +1,29 @@
+// Package snapshotmut exercises the snapshotmut analyzer.
+package snapshotmut
+
+import "fixture/policy"
+
+// Mutate writes through snapshot rule pointers in every shape the analyzer
+// must catch.
+func Mutate(d policy.Decision) {
+	r := policy.Query()
+	r.Priority = 7     // want "write through *policy.Rule"
+	r.Src.User = "eve" // want "write through *policy.Rule"
+	d.Rule.ID = 1      // want "write through *policy.Rule"
+	*r = policy.Rule{} // want "write through *policy.Rule"
+	r.Priority++       // want "write through *policy.Rule"
+}
+
+// Copy mutates a value copy, which is fine.
+func Copy() policy.Rule {
+	r := *policy.Query()
+	r.Priority = 9
+	return r
+}
+
+// Suppressed acknowledges a deliberate exception.
+func Suppressed() {
+	r := policy.Query()
+	//dfi:ignore snapshotmut
+	r.Priority = 3
+}

@@ -2,6 +2,7 @@ package netpkt
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
 
@@ -44,18 +45,38 @@ func (k FlowKey) Reverse() FlowKey {
 	return r
 }
 
+// Precomputed parse errors for ExtractFlowKey: formatting an error on the
+// admission hot path allocates, and the malformed-packet path is reachable
+// from arbitrary attacker frames, so the errors are built once here instead
+// of per packet (found by dfilint's hotpathalloc analyzer). They wrap
+// ErrTruncated like the Unmarshal* helpers' errors, minus the per-packet
+// field values.
+var (
+	errFlowEthTruncated  = fmt.Errorf("ethernet: %w", ErrTruncated)
+	errFlowIPv4Truncated = fmt.Errorf("ipv4: %w", ErrTruncated)
+	errFlowIPv4Version   = errors.New("ipv4: bad version")
+	errFlowIPv4IHL       = fmt.Errorf("ipv4: bad IHL: %w", ErrTruncated)
+	errFlowTCPTruncated  = fmt.Errorf("tcp: %w", ErrTruncated)
+	errFlowTCPOffset     = fmt.Errorf("tcp: bad data offset: %w", ErrTruncated)
+	errFlowUDPTruncated  = fmt.Errorf("udp: %w", ErrTruncated)
+	errFlowARPTruncated  = fmt.Errorf("arp: %w", ErrTruncated)
+)
+
 // ExtractFlowKey parses the headers of a raw Ethernet frame into a FlowKey.
 // For ARP frames the sender/target protocol addresses populate IPSrc/IPDst
 // (mirroring OpenFlow's ARP_SPA/ARP_TPA usage in access-control matches).
 //
 // The headers are decoded inline rather than through the Unmarshal* helpers:
 // those return heap-allocated header structs, and this function runs on the
-// admission hot path, which must not allocate. Validation (and the error
-// text) matches the helpers field for field.
+// admission hot path, which must not allocate — on malformed input too,
+// since the error path is attacker-reachable. Validation matches the
+// helpers field for field.
+//
+//dfi:hotpath
 func ExtractFlowKey(frame []byte) (FlowKey, error) {
 	var k FlowKey
 	if len(frame) < ethernetHeaderLen {
-		return k, fmt.Errorf("ethernet: %w", ErrTruncated)
+		return k, errFlowEthTruncated
 	}
 	copy(k.EthDst[:], frame[0:6])
 	copy(k.EthSrc[:], frame[6:12])
@@ -65,14 +86,14 @@ func ExtractFlowKey(frame []byte) (FlowKey, error) {
 	case EtherTypeIPv4:
 		b := payload
 		if len(b) < ipv4HeaderLen {
-			return k, fmt.Errorf("ipv4: %w", ErrTruncated)
+			return k, errFlowIPv4Truncated
 		}
 		if b[0]>>4 != 4 {
-			return k, fmt.Errorf("ipv4: version %d", b[0]>>4)
+			return k, errFlowIPv4Version
 		}
 		ihl := int(b[0]&0x0f) * 4
 		if ihl < ipv4HeaderLen || len(b) < ihl {
-			return k, fmt.Errorf("ipv4: bad IHL %d: %w", ihl, ErrTruncated)
+			return k, errFlowIPv4IHL
 		}
 		total := int(binary.BigEndian.Uint16(b[2:4]))
 		if total > len(b) || total < ihl {
@@ -86,18 +107,18 @@ func ExtractFlowKey(frame []byte) (FlowKey, error) {
 		switch k.IPProto {
 		case ProtoTCP:
 			if len(l4) < tcpHeaderLen {
-				return k, fmt.Errorf("tcp: %w", ErrTruncated)
+				return k, errFlowTCPTruncated
 			}
 			off := int(l4[12]>>4) * 4
 			if off < tcpHeaderLen || len(l4) < off {
-				return k, fmt.Errorf("tcp: bad data offset %d: %w", off, ErrTruncated)
+				return k, errFlowTCPOffset
 			}
 			k.HasL4 = true
 			k.L4Src = binary.BigEndian.Uint16(l4[0:2])
 			k.L4Dst = binary.BigEndian.Uint16(l4[2:4])
 		case ProtoUDP:
 			if len(l4) < udpHeaderLen {
-				return k, fmt.Errorf("udp: %w", ErrTruncated)
+				return k, errFlowUDPTruncated
 			}
 			k.HasL4 = true
 			k.L4Src = binary.BigEndian.Uint16(l4[0:2])
@@ -105,7 +126,7 @@ func ExtractFlowKey(frame []byte) (FlowKey, error) {
 		}
 	case EtherTypeARP:
 		if len(payload) < arpLen {
-			return k, fmt.Errorf("arp: %w", ErrTruncated)
+			return k, errFlowARPTruncated
 		}
 		k.HasIP = true
 		copy(k.IPSrc[:], payload[14:18])

@@ -1,0 +1,172 @@
+package netpkt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedFrames builds a representative frame per protocol plus malformed
+// variants, so the fuzzers start from deep in the parse tree instead of
+// random bytes.
+func fuzzSeedFrames() [][]byte {
+	srcMAC := MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	dstMAC := MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
+	srcIP := IPv4{10, 0, 0, 1}
+	dstIP := IPv4{10, 0, 0, 2}
+
+	tcp := BuildTCP(srcMAC, dstMAC, srcIP, dstIP, &TCPSegment{
+		SrcPort: 44123, DstPort: 443, Seq: 1, Flags: 0x02, Window: 65535,
+		Payload: []byte("hello"),
+	})
+	udp := BuildUDP(srcMAC, dstMAC, srcIP, dstIP, &UDPDatagram{
+		SrcPort: 5353, DstPort: 53, Payload: []byte("query"),
+	})
+	arp := BuildARP(&ARP{
+		Op: ARPRequest, SenderMAC: srcMAC, SenderIP: srcIP, TargetIP: dstIP,
+	})
+	icmp := BuildICMP(srcMAC, dstMAC, srcIP, dstIP, &ICMPMessage{
+		Type: 8, Payload: []byte{0, 1, 0, 1},
+	})
+
+	// Malformed variants: truncation at every layer boundary, a bad IP
+	// version, and a bad IHL.
+	badVersion := append([]byte(nil), tcp...)
+	badVersion[ethernetHeaderLen] = 0x65 // version 6, IHL 5
+	badIHL := append([]byte(nil), tcp...)
+	badIHL[ethernetHeaderLen] = 0x4f // version 4, IHL 15 (> remaining bytes)
+
+	return [][]byte{
+		tcp, udp, arp, icmp,
+		tcp[:ethernetHeaderLen-1],
+		tcp[:ethernetHeaderLen+ipv4HeaderLen-1],
+		tcp[:len(tcp)-len("hello")-1],
+		arp[:ethernetHeaderLen+arpLen-1],
+		badVersion, badIHL,
+		nil,
+	}
+}
+
+// FuzzParseEthernet checks that frame parsing never panics and that a
+// successfully parsed frame re-marshals to the exact input bytes.
+func FuzzParseEthernet(f *testing.F) {
+	for _, seed := range fuzzSeedFrames() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := UnmarshalEthernet(data)
+		if err != nil {
+			return
+		}
+		if got := e.Marshal(); !bytes.Equal(got, data) {
+			t.Fatalf("ethernet remarshal mismatch:\n got %x\nwant %x", got, data)
+		}
+		switch e.EtherType {
+		case EtherTypeARP:
+			_, _ = UnmarshalARP(e.Payload)
+		case EtherTypeIPv4:
+			ip, err := UnmarshalIPv4(e.Payload)
+			if err != nil {
+				return
+			}
+			switch ip.Protocol {
+			case ProtoTCP:
+				_, _ = UnmarshalTCP(ip.Payload)
+			case ProtoUDP:
+				_, _ = UnmarshalUDP(ip.Payload)
+			case ProtoICMP:
+				_, _ = UnmarshalICMP(ip.Payload)
+			}
+		}
+	})
+}
+
+// FuzzParseIPv4 drives the IPv4 header parser and the nested L4 parsers
+// directly, without the Ethernet framing.
+func FuzzParseIPv4(f *testing.F) {
+	for _, seed := range fuzzSeedFrames() {
+		if len(seed) > ethernetHeaderLen {
+			f.Add(seed[ethernetHeaderLen:])
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ip, err := UnmarshalIPv4(data)
+		if err != nil {
+			return
+		}
+		if len(ip.Payload) > len(data) {
+			t.Fatalf("ipv4 payload of %d bytes exceeds %d input bytes", len(ip.Payload), len(data))
+		}
+		switch ip.Protocol {
+		case ProtoTCP:
+			_, _ = UnmarshalTCP(ip.Payload)
+		case ProtoUDP:
+			_, _ = UnmarshalUDP(ip.Payload)
+		case ProtoICMP:
+			_, _ = UnmarshalICMP(ip.Payload)
+		}
+	})
+}
+
+// FuzzExtractFlowKey cross-checks the zero-alloc single-pass extractor
+// against the per-layer parsers: whenever both succeed on the same bytes,
+// they must agree on every field.
+func FuzzExtractFlowKey(f *testing.F) {
+	for _, seed := range fuzzSeedFrames() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, err := ExtractFlowKey(data)
+		if err != nil {
+			return
+		}
+		e, err := UnmarshalEthernet(data)
+		if err != nil {
+			t.Fatalf("ExtractFlowKey accepted a frame UnmarshalEthernet rejects: %v", err)
+		}
+		if k.EthSrc != e.Src || k.EthDst != e.Dst || k.EtherType != e.EtherType {
+			t.Fatalf("ethernet fields diverge: key %v/%v/%#04x frame %v/%v/%#04x",
+				k.EthSrc, k.EthDst, k.EtherType, e.Src, e.Dst, e.EtherType)
+		}
+		switch {
+		case k.EtherType == EtherTypeIPv4 && k.HasIP:
+			ip, err := UnmarshalIPv4(e.Payload)
+			if err != nil {
+				t.Fatalf("key has IP fields but UnmarshalIPv4 rejects the payload: %v", err)
+			}
+			if k.IPSrc != ip.Src || k.IPDst != ip.Dst || k.IPProto != ip.Protocol {
+				t.Fatalf("ipv4 fields diverge: key %v->%v/%d packet %v->%v/%d",
+					k.IPSrc, k.IPDst, k.IPProto, ip.Src, ip.Dst, ip.Protocol)
+			}
+			if !k.HasL4 {
+				return
+			}
+			// The extractor reads ports at the IHL offset; the layered
+			// parsers see the total-length-clamped payload, which starts
+			// at the same offset, so when they succeed the ports must
+			// match.
+			switch k.IPProto {
+			case ProtoTCP:
+				if seg, err := UnmarshalTCP(ip.Payload); err == nil &&
+					(k.L4Src != seg.SrcPort || k.L4Dst != seg.DstPort) {
+					t.Fatalf("tcp ports diverge: key %d->%d segment %d->%d",
+						k.L4Src, k.L4Dst, seg.SrcPort, seg.DstPort)
+				}
+			case ProtoUDP:
+				if dgram, err := UnmarshalUDP(ip.Payload); err == nil &&
+					(k.L4Src != dgram.SrcPort || k.L4Dst != dgram.DstPort) {
+					t.Fatalf("udp ports diverge: key %d->%d datagram %d->%d",
+						k.L4Src, k.L4Dst, dgram.SrcPort, dgram.DstPort)
+				}
+			}
+		case k.EtherType == EtherTypeARP:
+			a, err := UnmarshalARP(e.Payload)
+			if err != nil {
+				t.Fatalf("key parsed an ARP frame UnmarshalARP rejects: %v", err)
+			}
+			if k.HasIP && (k.IPSrc != a.SenderIP || k.IPDst != a.TargetIP) {
+				t.Fatalf("arp addresses diverge: key %v->%v packet %v->%v",
+					k.IPSrc, k.IPDst, a.SenderIP, a.TargetIP)
+			}
+		}
+	})
+}

@@ -81,7 +81,9 @@ func (r *Registry) register(name, help string, k Kind, mk func() metric) metric 
 		}
 		return e.m
 	}
-	e := &entry{name: name, help: help, m: mk()}
+	// mk is the registry's own instrument factory, supplied by the typed
+	// registration methods below: it never re-enters the registry or blocks.
+	e := &entry{name: name, help: help, m: mk()} //dfi:ignore lockheld
 	r.byName[name] = e
 	r.ordered = append(r.ordered, e)
 	return e.m

@@ -1,0 +1,141 @@
+package openflow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+)
+
+// fuzzSeedMessages returns one representative instance per modeled message
+// type, so the fuzzers start from structurally valid encodings.
+func fuzzSeedMessages() []Message {
+	match := &Match{
+		InPort:  U32(3),
+		EthType: U16(netpkt.EtherTypeIPv4),
+		IPProto: U8(netpkt.ProtoTCP),
+		IPv4Src: IPPtr(netpkt.IPv4{10, 0, 0, 1}),
+		IPv4Dst: IPPtr(netpkt.IPv4{10, 0, 0, 2}),
+		TCPSrc:  U16(44123),
+		TCPDst:  U16(443),
+	}
+	actions := []Action{&ActionOutput{Port: 7, MaxLen: ControllerMaxLen}}
+	return []Message{
+		&Hello{},
+		&Hello{Elements: []byte{0, 1, 0, 8, 0, 0, 0, 0x10}},
+		&Error{ErrType: 1, Code: 9, Data: []byte("bad request")},
+		&EchoRequest{Data: []byte("ping")},
+		&EchoReply{Data: []byte("pong")},
+		&FeaturesRequest{},
+		&FeaturesReply{DatapathID: 0x00204afe12345678, NumBuffers: 256, NumTables: 254},
+		&GetConfigRequest{},
+		&GetConfigReply{Flags: 0, MissSendLen: 0xffff},
+		&SetConfig{MissSendLen: 128},
+		&PacketIn{BufferID: NoBuffer, Reason: 1, TableID: 0, Cookie: 42,
+			Match: &Match{InPort: U32(3)}, Data: []byte{0xde, 0xad, 0xbe, 0xef}},
+		&PacketOut{BufferID: NoBuffer, InPort: PortController, Actions: actions,
+			Data: []byte{0xca, 0xfe}},
+		&FlowMod{Cookie: 7, TableID: 1, Command: 0, IdleTimeout: 30, Priority: 100,
+			BufferID: NoBuffer, OutPort: PortAny, OutGroup: PortAny, Match: match,
+			Instructions: []Instruction{
+				&InstructionApplyActions{Actions: actions},
+				&InstructionGotoTable{TableID: 2},
+			}},
+		&FlowRemoved{Cookie: 7, Priority: 100, Reason: 0, TableID: 1,
+			DurationSec: 10, PacketCount: 5, ByteCount: 500, Match: match},
+		&PortStatus{Reason: 2},
+		&TableMod{TableID: 1, Config: 3},
+		&MultipartRequest{PartType: MultipartFlow, Flow: &FlowStatsRequest{
+			TableID: AllTables, OutPort: PortAny, OutGroup: PortAny, Match: match}},
+		&MultipartReply{PartType: MultipartFlow, Flows: []*FlowStatsEntry{{
+			TableID: 1, DurationSec: 10, Priority: 100, Cookie: 7,
+			PacketCount: 5, ByteCount: 500, Match: match,
+			Instructions: []Instruction{&InstructionApplyActions{Actions: actions}},
+		}}},
+		&BarrierRequest{},
+		&BarrierReply{},
+		&Raw{RawType: TypeExperimenter, Body: []byte{0, 0, 0, 1, 0, 0, 0, 2}},
+	}
+}
+
+// FuzzReadMessage feeds arbitrary byte streams through the full
+// decode→encode→decode→encode cycle. The first decode may canonicalize
+// (unknown OXMs are dropped, lengths are recomputed), but after that the
+// representation must be a fixed point: the second and later round trips
+// must be byte-identical, or the proxy would corrupt messages it relays.
+func FuzzReadMessage(f *testing.F) {
+	for i, m := range fuzzSeedMessages() {
+		b, err := Encode(uint32(i+1), m)
+		if err != nil {
+			f.Fatalf("encoding seed %T: %v", m, err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{Version, 0xff, 0, 8, 0, 0, 0, 1})    // unknown type → Raw
+	f.Add([]byte{Version, 0, 0, 7, 0, 0, 0, 1})       // length < header
+	f.Add([]byte{Version, 0, 0xff, 0xff, 0, 0, 0, 1}) // length > max
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xid, m, err := ReadMessage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		e1, err := Encode(xid, m)
+		if err != nil {
+			// Re-encoding may legitimately exceed MaxMessageLen when the
+			// canonical form pads a match the input packed tightly.
+			if strings.Contains(err.Error(), "exceeds max") {
+				return
+			}
+			t.Fatalf("decoded %v does not re-encode: %v", m.Type(), err)
+		}
+		xid2, m2, err := ReadMessage(bytes.NewReader(e1))
+		if err != nil {
+			t.Fatalf("canonical encoding of %v does not decode: %v\n%x", m.Type(), err, e1)
+		}
+		if xid2 != xid {
+			t.Fatalf("xid changed across round trip: %d != %d", xid2, xid)
+		}
+		e2, err := Encode(xid2, m2)
+		if err != nil {
+			t.Fatalf("re-decoded %v does not re-encode: %v", m2.Type(), err)
+		}
+		if !bytes.Equal(e1, e2) {
+			t.Fatalf("%v round trip is not a fixed point:\n first %x\nsecond %x", m.Type(), e1, e2)
+		}
+	})
+}
+
+// FuzzUnmarshalBody drives every concrete message type's body parser over
+// arbitrary bytes, bypassing the header so the fuzzer spends its budget on
+// the per-type decoders. Accepted bodies must re-marshal to a stable form.
+func FuzzUnmarshalBody(f *testing.F) {
+	for _, m := range fuzzSeedMessages() {
+		body, err := m.MarshalBody()
+		if err != nil {
+			f.Fatalf("marshaling seed %T: %v", m, err)
+		}
+		f.Add(uint8(m.Type()), body)
+	}
+	f.Fuzz(func(t *testing.T, typ uint8, body []byte) {
+		m := newMessage(MessageType(typ % (uint8(TypeBarrierReply) + 1)))
+		if err := m.UnmarshalBody(body); err != nil {
+			return
+		}
+		canon, err := m.MarshalBody()
+		if err != nil {
+			t.Fatalf("accepted %v body does not marshal: %v\n%x", m.Type(), err, body)
+		}
+		m2 := newMessage(m.Type())
+		if err := m2.UnmarshalBody(canon); err != nil {
+			t.Fatalf("canonical %v body does not parse: %v\n%x", m.Type(), err, canon)
+		}
+		canon2, err := m2.MarshalBody()
+		if err != nil {
+			t.Fatalf("re-parsed %v body does not marshal: %v", m.Type(), err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("%v body marshal is not a fixed point:\n first %x\nsecond %x", m.Type(), canon, canon2)
+		}
+	})
+}

@@ -136,9 +136,11 @@ func parseRule(fields []string, line int) (policy.Rule, error) {
 			if len(rest) < 2 {
 				return r, errf(line, "proto needs a value")
 			}
-			if err := setProto(&r, rest[1], line); err != nil {
+			props, err := protoProps(rest[1], line)
+			if err != nil {
 				return r, err
 			}
+			r.Props = props
 			rest = rest[2:]
 		case "from":
 			spec, n, err := parseEndpoint(rest[1:], line)
@@ -161,27 +163,26 @@ func parseRule(fields []string, line int) (policy.Rule, error) {
 	return r, nil
 }
 
-func setProto(r *policy.Rule, name string, line int) error {
+func protoProps(name string, line int) (policy.FlowProperties, error) {
 	ipv4 := netpkt.EtherTypeIPv4
 	arp := netpkt.EtherTypeARP
 	switch name {
 	case "tcp":
 		p := netpkt.ProtoTCP
-		r.Props = policy.FlowProperties{EtherType: &ipv4, IPProto: &p}
+		return policy.FlowProperties{EtherType: &ipv4, IPProto: &p}, nil
 	case "udp":
 		p := netpkt.ProtoUDP
-		r.Props = policy.FlowProperties{EtherType: &ipv4, IPProto: &p}
+		return policy.FlowProperties{EtherType: &ipv4, IPProto: &p}, nil
 	case "icmp":
 		p := netpkt.ProtoICMP
-		r.Props = policy.FlowProperties{EtherType: &ipv4, IPProto: &p}
+		return policy.FlowProperties{EtherType: &ipv4, IPProto: &p}, nil
 	case "ip":
-		r.Props = policy.FlowProperties{EtherType: &ipv4}
+		return policy.FlowProperties{EtherType: &ipv4}, nil
 	case "arp":
-		r.Props = policy.FlowProperties{EtherType: &arp}
+		return policy.FlowProperties{EtherType: &arp}, nil
 	default:
-		return errf(line, "unknown proto %q", name)
+		return policy.FlowProperties{}, errf(line, "unknown proto %q", name)
 	}
-	return nil
 }
 
 // endpoint field keywords.

@@ -255,9 +255,11 @@ func TestPropertyFormatParseRoundTrip(t *testing.T) {
 			r.Action = policy.ActionDeny
 		}
 		if proto := protos[rng.Intn(len(protos))]; proto != "" {
-			if err := setProto(&r, proto, 0); err != nil {
+			props, err := protoProps(proto, 0)
+			if err != nil {
 				t.Fatal(err)
 			}
+			r.Props = props
 		}
 		r.Src = randomSpec()
 		r.Dst = randomSpec()

@@ -176,9 +176,11 @@ func (t *Table[K, V]) ForEach(fn func(K, V) bool) {
 }
 
 // Update atomically applies fn to the row for k (zero value if absent) and
-// stores the result.
+// stores the result. fn runs with the table's lock held — the atomicity is
+// the point of this API — so it must be a pure transform: calling back into
+// the same Table from fn deadlocks.
 func (t *Table[K, V]) Update(k K, fn func(V) V) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.rows[k] = fn(t.rows[k])
+	t.rows[k] = fn(t.rows[k]) //dfi:ignore lockheld
 }
