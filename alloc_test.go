@@ -6,13 +6,15 @@ import (
 	"github.com/dfi-sdn/dfi/internal/core/entity"
 	"github.com/dfi-sdn/dfi/internal/core/pcp"
 	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/obs"
 	"github.com/dfi-sdn/dfi/internal/openflow"
 )
 
 // TestAdmissionHotPathZeroAlloc is the CI gate behind the 0 B/op claim of
 // BenchmarkPCP_AdmissionHotPath/cache-hit: with metrics enabled (the PCP
-// always carries a live registry) and tracing sampled out (no ring), a
-// cache-hit re-admission must not allocate.
+// always carries a live registry), a trace ring and span store attached
+// but sampling disabled (every=0), a cache-hit re-admission must not
+// allocate. Tracing compiled in and sampled out must cost nothing.
 func TestAdmissionHotPathZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation changes allocation counts")
@@ -22,7 +24,12 @@ func TestAdmissionHotPathZeroAlloc(t *testing.T) {
 	erm.BindIPMAC(netpkt.MustParseIPv4("10.0.0.1"), netpkt.MustParseMAC("02:00:00:00:00:01"))
 	erm.BindHostIP("h1", netpkt.MustParseIPv4("10.0.0.1"))
 	erm.BindUserHost("alice", "h1")
-	p := pcp.New(pcp.Config{Entity: erm, Policy: pm})
+	p := pcp.New(pcp.Config{
+		Entity: erm,
+		Policy: pm,
+		Trace:  obs.NewTraceRing(8, 0),
+		Spans:  obs.NewSpanStore(64, nil),
+	})
 	p.AttachSwitch(1, nopSwitch{})
 	req := &pcp.Request{DPID: 1, PacketIn: &openflow.PacketIn{
 		BufferID: openflow.NoBuffer,

@@ -11,6 +11,10 @@
 //	dfictl stats
 //	dfictl metrics
 //	dfictl trace 20
+//	dfictl spans            # recent spans
+//	dfictl spans 42         # every span of trace 42
+//	dfictl audit 50         # recent audit records
+//	dfictl audit verify     # walk the on-disk hash chain
 package main
 
 import (
@@ -35,7 +39,7 @@ func main() {
 
 func run(client *admin.Client, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: dfictl rules|allow|deny|revoke|pdp|bind|apply|switches|flows|stats|metrics|trace")
+		return fmt.Errorf("usage: dfictl rules|allow|deny|revoke|pdp|bind|apply|switches|flows|stats|metrics|trace|spans|audit")
 	}
 	switch args[0] {
 	case "rules":
@@ -175,6 +179,101 @@ func run(client *admin.Client, args []string) error {
 				line += " err=" + t.Err
 			}
 			fmt.Println(line + "  " + t.Flow)
+		}
+		return nil
+
+	case "spans":
+		if len(args) > 2 {
+			return fmt.Errorf("usage: dfictl spans [trace-id]")
+		}
+		var (
+			spans []admin.SpanJSON
+			err   error
+		)
+		if len(args) == 2 {
+			trace, perr := strconv.ParseUint(args[1], 10, 64)
+			if perr != nil || trace == 0 {
+				return fmt.Errorf("bad trace id %q", args[1])
+			}
+			spans, err = client.Spans(trace)
+		} else {
+			spans, err = client.RecentSpans(40)
+		}
+		if err != nil {
+			return err
+		}
+		if len(spans) == 0 {
+			fmt.Println("no spans recorded")
+			return nil
+		}
+		for _, sp := range spans {
+			line := fmt.Sprintf("trace=%-6d #%-6d parent=%-6d %-7s %-15s %9.1fus",
+				sp.Trace, sp.ID, sp.Parent, sp.Component, sp.Stage, sp.DurationUs)
+			if sp.DPID != 0 {
+				line += fmt.Sprintf(" sw=%#x", sp.DPID)
+			}
+			if sp.RuleID != 0 {
+				line += fmt.Sprintf(" rule=%d", sp.RuleID)
+			}
+			if sp.Detail != "" {
+				line += "  " + sp.Detail
+			}
+			if sp.Err != "" {
+				line += "  err=" + sp.Err
+			}
+			fmt.Println(line)
+		}
+		return nil
+
+	case "audit":
+		if len(args) == 2 && args[1] == "verify" {
+			v, err := client.AuditVerify()
+			if err != nil {
+				return err
+			}
+			if !v.OK {
+				return fmt.Errorf("audit chain FAILED after %d records: %s", v.Records, v.Error)
+			}
+			fmt.Printf("audit chain OK: %d records across %d file(s), head %.12s…\n",
+				v.Records, len(v.Files), v.Head)
+			return nil
+		}
+		n := 20
+		if len(args) > 2 {
+			return fmt.Errorf("usage: dfictl audit [n|verify]")
+		}
+		if len(args) == 2 {
+			var err error
+			if n, err = strconv.Atoi(args[1]); err != nil || n < 1 {
+				return fmt.Errorf("bad audit count %q", args[1])
+			}
+		}
+		recs, err := client.Audit(n)
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			fmt.Println("no audit records")
+			return nil
+		}
+		for _, r := range recs {
+			line := fmt.Sprintf("#%-6d %s %-8s %-10s", r.Seq, r.Time, r.Kind, r.Op)
+			if r.RuleID != 0 {
+				line += fmt.Sprintf(" rule=%d", r.RuleID)
+			}
+			if r.PDP != "" {
+				line += " pdp=" + r.PDP
+			}
+			if r.Flow != "" {
+				line += "  " + r.Flow
+			}
+			if r.CacheHit {
+				line += " [cache-hit]"
+			}
+			if r.Detail != "" {
+				line += "  " + r.Detail
+			}
+			fmt.Println(line)
 		}
 		return nil
 

@@ -45,6 +45,10 @@ func main() {
 		queueDepth = flag.Int("queue", 512, "PCP admission queue depth")
 		workers    = flag.Int("workers", 8, "PCP worker count")
 
+		auditLog      = flag.String("audit-log", "", "path of the hash-chained enforcement audit log (empty to disable)")
+		auditMaxBytes = flag.Int64("audit-max-bytes", 0, "audit log rotation threshold in bytes (0 = 64 MiB default)")
+		pprofOn       = flag.Bool("pprof", false, "expose /debug/pprof on the admin API")
+
 		tlsCert = flag.String("tls-cert", "", "PEM certificate for accepting switches over TLS")
 		tlsKey  = flag.String("tls-key", "", "PEM key for -tls-cert")
 		tlsCA   = flag.String("tls-ca", "", "CA bundle; when set, switches must present client certificates")
@@ -60,6 +64,7 @@ func main() {
 		sensorAddr: *sensorAddr,
 		bootstrap:  *bootstrap, policyFile: *policyFile,
 		queueDepth: *queueDepth, workers: *workers,
+		auditLog: *auditLog, auditMaxBytes: *auditMaxBytes, pprof: *pprofOn,
 		tlsCert: *tlsCert, tlsKey: *tlsKey, tlsCA: *tlsCA,
 		ctlCA: *ctlCA, ctlCert: *ctlCert, ctlKey: *ctlKey, ctlTLSName: *ctlTLSName,
 	}
@@ -74,6 +79,9 @@ type daemonConfig struct {
 	sensorAddr                     string
 	bootstrap, policyFile          string
 	queueDepth, workers            int
+	auditLog                       string
+	auditMaxBytes                  int64
+	pprof                          bool
 	tlsCert, tlsKey, tlsCA         string
 	ctlCA, ctlCert, ctlKey         string
 	ctlTLSName                     string
@@ -104,14 +112,21 @@ func run(cfg daemonConfig) error {
 		}
 	}
 
-	sys, err := dfi.New(
+	sysOpts := []dfi.Option{
 		dfi.WithControllerDialer(dialController),
 		dfi.WithAdmissionQueue(cfg.queueDepth, cfg.workers),
-	)
+	}
+	if cfg.auditLog != "" {
+		sysOpts = append(sysOpts, dfi.WithAuditLog(cfg.auditLog, cfg.auditMaxBytes))
+	}
+	sys, err := dfi.New(sysOpts...)
 	if err != nil {
 		return err
 	}
 	defer sys.Close()
+	if cfg.auditLog != "" {
+		log.Printf("audit log at %s (head %.12s…)", cfg.auditLog, sys.Audit().Head())
+	}
 
 	switch bootstrap {
 	case "default-deny":
@@ -166,8 +181,13 @@ func run(cfg daemonConfig) error {
 			return fmt.Errorf("admin listen: %w", err)
 		}
 		log.Printf("admin API on http://%s", adminLis.Addr())
+		var handlerOpts []admin.HandlerOption
+		if cfg.pprof {
+			handlerOpts = append(handlerOpts, admin.WithPprof())
+			log.Printf("pprof exposed at http://%s/debug/pprof/", adminLis.Addr())
+		}
 		go func() {
-			if err := http.Serve(adminLis, admin.Handler(sys)); err != nil {
+			if err := http.Serve(adminLis, admin.Handler(sys, handlerOpts...)); err != nil {
 				log.Printf("admin server stopped: %v", err)
 			}
 		}()

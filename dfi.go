@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"github.com/dfi-sdn/dfi/internal/bus"
@@ -60,6 +61,9 @@ type config struct {
 	traceCap      int
 	traceEvery    int
 	traceSet      bool
+	spanCap       int
+	auditPath     string
+	auditMaxBytes int64
 }
 
 // Option configures a System.
@@ -168,6 +172,36 @@ func WithAdmissionTracing(capacity, every int) Option {
 	}
 }
 
+// WithCausalTracing sizes the causal span store: the ring retaining the
+// spans that link a sensor event to its enforcement (bus publish →
+// entity-binding update → policy mutation → flush compilation → proxy
+// flow-mod writes) and a sampled admission to its stages. capacity 0
+// selects the default (2048 spans); a negative capacity disables causal
+// tracing entirely. Admission spans are gated by WithAdmissionTracing's
+// sampling: an admission sampled out emits no spans and allocates
+// nothing.
+func WithCausalTracing(capacity int) Option {
+	return func(c *config) {
+		if capacity == 0 {
+			capacity = 2048
+		}
+		c.spanCap = capacity
+	}
+}
+
+// WithAuditLog enables the tamper-evident enforcement audit log: an
+// append-only, hash-chained JSONL file at path recording every
+// access-control decision and every policy/binding mutation. maxBytes
+// bounds the active file (<=0 selects obs.DefaultAuditMaxBytes); on
+// overflow it rotates to path+".1" with the hash chain continuing
+// unbroken. Verify with dfictl audit verify or GET /v1/audit/verify.
+func WithAuditLog(path string, maxBytes int64) Option {
+	return func(c *config) {
+		c.auditPath = path
+		c.auditMaxBytes = maxBytes
+	}
+}
+
 // System is an assembled DFI control plane.
 type System struct {
 	bus      *bus.Bus
@@ -178,6 +212,8 @@ type System struct {
 	proxy    *proxy.Proxy
 	metrics  *obs.Registry
 	traces   *obs.TraceRing
+	spans    *obs.SpanStore
+	audit    *obs.AuditLog
 	detachFn func()
 }
 
@@ -210,17 +246,34 @@ func New(opts ...Option) (*System, error) {
 		cfg.traceCap, cfg.traceEvery = 512, 1
 	}
 	s.traces = obs.NewTraceRing(cfg.traceCap, cfg.traceEvery)
+	if cfg.spanCap >= 0 {
+		// Causal tracing is on by default (admission spans still respect
+		// the trace ring's sampling); WithCausalTracing(-1) disables it.
+		s.spans = obs.NewSpanStore(cfg.spanCap, cfg.clock)
+		s.bus.SetTracer(s.spans)
+	}
+	if cfg.auditPath != "" {
+		audit, err := obs.OpenAuditLog(cfg.auditPath, cfg.auditMaxBytes)
+		if err != nil {
+			return nil, fmt.Errorf("dfi: %w", err)
+		}
+		s.audit = audit
+	}
 	s.metrics.CounterFunc("dfi_bus_published_total",
 		"Events accepted by the sensor bus.", s.bus.Published)
 	s.metrics.CounterFunc("dfi_bus_dropped_total",
 		"Events discarded due to full subscriber queues.", s.bus.Dropped)
+	s.registerObservability()
 
 	s.policy = policy.NewManager(
 		policy.WithQueryLatency(cfg.clock, cfg.policyLat),
-		policy.WithObserver(s.metrics))
+		policy.WithObserver(s.metrics),
+		policy.WithTracing(s.spans),
+		policy.WithAuditLog(s.audit))
 	s.entity = entity.NewManager(
 		entity.WithQueryLatency(cfg.clock, cfg.bindingLat),
-		entity.WithObserver(s.metrics))
+		entity.WithObserver(s.metrics),
+		entity.WithAuditLog(s.audit))
 	s.pcp = pcp.New(pcp.Config{
 		Entity:              s.entity,
 		Policy:              s.policy,
@@ -235,6 +288,8 @@ func New(opts ...Option) (*System, error) {
 		FlowCacheSize:       cfg.flowCacheSize,
 		Obs:                 s.metrics,
 		Trace:               s.traces,
+		Spans:               s.spans,
+		Audit:               s.audit,
 	})
 
 	var err error
@@ -249,7 +304,7 @@ func New(opts ...Option) (*System, error) {
 		return nil, fmt.Errorf("dfi: %w", err)
 	}
 
-	detach, err := sensors.AttachEntityManager(s.bus, s.entity)
+	detach, err := sensors.AttachEntityManagerTraced(s.bus, s.entity, s.spans)
 	if err != nil {
 		return nil, fmt.Errorf("dfi: %w", err)
 	}
@@ -257,6 +312,40 @@ func New(opts ...Option) (*System, error) {
 
 	s.pcp.Start()
 	return s, nil
+}
+
+// registerObservability registers the System-level instruments: the span
+// and audit families plus Go runtime self-metrics, so /v1/metrics exposes
+// process health alongside the DFI counters.
+func (s *System) registerObservability() {
+	s.metrics.CounterFunc("dfi_span_committed_total",
+		"Causal spans committed to the span store (including overwritten ones).",
+		s.spans.Committed)
+	s.metrics.CounterFunc("dfi_audit_records_total",
+		"Records appended to the enforcement audit log.", s.audit.Records)
+	s.metrics.CounterFunc("dfi_audit_bytes_total",
+		"Bytes appended to the enforcement audit log.", s.audit.BytesWritten)
+	s.metrics.CounterFunc("dfi_audit_rotations_total",
+		"Audit log size-based rotations.", s.audit.Rotations)
+	s.metrics.CounterFunc("dfi_audit_append_failures_total",
+		"Audit records lost to marshal or I/O failures.", s.audit.Failures)
+	s.metrics.GaugeFunc("dfi_go_goroutines",
+		"Live goroutines in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	s.metrics.GaugeFunc("dfi_go_heap_bytes",
+		"Heap bytes in use (runtime.MemStats.HeapAlloc).",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	s.metrics.GaugeFunc("dfi_go_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time in seconds (monotone).",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
 }
 
 // ServeSwitch interposes DFI on one switch's OpenFlow connection, dialing
@@ -292,11 +381,20 @@ func (s *System) Metrics() *obs.Registry { return s.metrics }
 // simply record nothing).
 func (s *System) Traces() *obs.TraceRing { return s.traces }
 
+// Spans returns the causal span store, nil when WithCausalTracing(-1)
+// disabled it (every obs.SpanStore method is nil-safe).
+func (s *System) Spans() *obs.SpanStore { return s.spans }
+
+// Audit returns the enforcement audit log, nil unless WithAuditLog
+// enabled it (every obs.AuditLog method is nil-safe).
+func (s *System) Audit() *obs.AuditLog { return s.audit }
+
 // EventBus returns the sensor event bus.
 func (s *System) EventBus() *bus.Bus { return s.bus }
 
-// Close stops the PCP workers and detaches sensor subscriptions. Open
-// switch connections terminate when their streams close.
+// Close stops the PCP workers, detaches sensor subscriptions and closes
+// the audit log. Open switch connections terminate when their streams
+// close.
 func (s *System) Close() {
 	s.pcp.Stop()
 	if s.detachFn != nil {
@@ -304,5 +402,9 @@ func (s *System) Close() {
 	}
 	if s.ownsBus {
 		s.bus.Close()
+	} else {
+		// A shared bus outlives this System; stop feeding our span store.
+		s.bus.SetTracer(nil)
 	}
+	_ = s.audit.Close()
 }

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -154,6 +155,50 @@ func fromTrace(t obs.AdmissionTrace) TraceJSON {
 	}
 }
 
+// SpanJSON is the wire form of one causal span. Durations are
+// microseconds, matching TraceJSON.
+type SpanJSON struct {
+	Seq        uint64  `json:"seq"`
+	Trace      uint64  `json:"trace"`
+	ID         uint64  `json:"id"`
+	Parent     uint64  `json:"parent,omitempty"`
+	Component  string  `json:"component"`
+	Stage      string  `json:"stage"`
+	Start      string  `json:"start"`
+	DurationUs float64 `json:"durationUs"`
+	DPID       uint64  `json:"dpid,omitempty"`
+	RuleID     uint64  `json:"ruleId,omitempty"`
+	Detail     string  `json:"detail,omitempty"`
+	Err        string  `json:"err,omitempty"`
+}
+
+func fromSpan(sp obs.Span) SpanJSON {
+	return SpanJSON{
+		Seq:        sp.Seq,
+		Trace:      uint64(sp.Trace),
+		ID:         sp.ID,
+		Parent:     sp.Parent,
+		Component:  sp.Component,
+		Stage:      sp.Stage,
+		Start:      sp.Start.Format(time.RFC3339Nano),
+		DurationUs: float64(sp.Duration) / 1e3,
+		DPID:       sp.DPID,
+		RuleID:     sp.RuleID,
+		Detail:     sp.Detail,
+		Err:        sp.Err,
+	}
+}
+
+// AuditVerifyJSON is the /v1/audit/verify body: the outcome of walking
+// the on-disk hash chain end to end.
+type AuditVerifyJSON struct {
+	OK      bool     `json:"ok"`
+	Records int      `json:"records"`
+	Files   []string `json:"files"`
+	Head    string   `json:"head,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
 // BindingJSON adds one identifier binding.
 type BindingJSON struct {
 	Kind string `json:"kind"` // "user-host" | "host-ip" | "ip-mac"
@@ -245,11 +290,29 @@ func fromEndpoint(e policy.EndpointSpec) EndpointJSON {
 	return j
 }
 
+// HandlerOption configures optional admin API surfaces.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	pprof bool
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/. Off by default:
+// profiling endpoints expose internals and should be an explicit
+// operator choice (dfid's -pprof flag).
+func WithPprof() HandlerOption {
+	return func(c *handlerConfig) { c.pprof = true }
+}
+
 // Handler serves the admin API for sys. Every route lives under the
 // versioned /v1/ prefix; the pre-versioning unversioned paths are kept as
 // thin aliases of the same handlers. All error responses — including the
 // mux's own 404s and 405s — carry the ErrorJSON envelope.
-func Handler(sys *dfi.System) http.Handler {
+func Handler(sys *dfi.System, opts ...HandlerOption) http.Handler {
+	var cfg handlerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	// handle registers a /v1 route and its legacy unversioned alias.
 	handle := func(pattern string, h http.HandlerFunc) {
@@ -426,6 +489,92 @@ func Handler(sys *dfi.System) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
+
+	handle("GET /v1/spans", func(w http.ResponseWriter, r *http.Request) {
+		spans := sys.Spans()
+		if !spans.Enabled() {
+			httpError(w, http.StatusNotFound, CodeNotFound,
+				errors.New("admin: causal tracing disabled"))
+			return
+		}
+		var got []obs.Span
+		if tq := r.URL.Query().Get("trace"); tq != "" {
+			id, err := strconv.ParseUint(tq, 10, 64)
+			if err != nil || id == 0 {
+				httpError(w, http.StatusUnprocessableEntity, CodeValidation,
+					fmt.Errorf("admin: bad trace id %q", tq))
+				return
+			}
+			got = spans.ByTrace(obs.TraceID(id))
+		} else {
+			n := 64
+			if nq := r.URL.Query().Get("n"); nq != "" {
+				nv, err := strconv.Atoi(nq)
+				if err != nil || nv < 1 {
+					httpError(w, http.StatusUnprocessableEntity, CodeValidation,
+						fmt.Errorf("admin: bad span count %q", nq))
+					return
+				}
+				n = nv
+			}
+			got = spans.Last(n)
+		}
+		out := make([]SpanJSON, 0, len(got))
+		for _, sp := range got {
+			out = append(out, fromSpan(sp))
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	handle("GET /v1/audit", func(w http.ResponseWriter, r *http.Request) {
+		audit := sys.Audit()
+		if audit == nil {
+			httpError(w, http.StatusNotFound, CodeNotFound,
+				errors.New("admin: audit log disabled"))
+			return
+		}
+		n := 64
+		if nq := r.URL.Query().Get("n"); nq != "" {
+			nv, err := strconv.Atoi(nq)
+			if err != nil || nv < 1 {
+				httpError(w, http.StatusUnprocessableEntity, CodeValidation,
+					fmt.Errorf("admin: bad audit count %q", nq))
+				return
+			}
+			n = nv
+		}
+		recs := audit.Last(n)
+		if recs == nil {
+			recs = []obs.AuditRecord{}
+		}
+		writeJSON(w, http.StatusOK, recs)
+	})
+
+	handle("GET /v1/audit/verify", func(w http.ResponseWriter, _ *http.Request) {
+		audit := sys.Audit()
+		if audit == nil {
+			httpError(w, http.StatusNotFound, CodeNotFound,
+				errors.New("admin: audit log disabled"))
+			return
+		}
+		out := AuditVerifyJSON{Files: audit.Files(), Head: audit.Head()}
+		n, err := audit.Verify()
+		out.Records = n
+		if err != nil {
+			out.Error = err.Error()
+		} else {
+			out.OK = true
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	if cfg.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 
 	return envelopeErrors(mux)
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"github.com/dfi-sdn/dfi/internal/obs"
 )
 
 // Client talks to a dfid admin endpoint.
@@ -78,6 +80,30 @@ func (c *Client) Healthz() (HealthJSON, error) {
 func (c *Client) Traces(n int) ([]TraceJSON, error) {
 	var out []TraceJSON
 	return out, c.do(http.MethodGet, fmt.Sprintf("/v1/trace?n=%d", n), nil, &out)
+}
+
+// Spans reads every retained span of one causal trace, oldest first.
+func (c *Client) Spans(trace uint64) ([]SpanJSON, error) {
+	var out []SpanJSON
+	return out, c.do(http.MethodGet, fmt.Sprintf("/v1/spans?trace=%d", trace), nil, &out)
+}
+
+// RecentSpans reads the last n committed spans, most recent first.
+func (c *Client) RecentSpans(n int) ([]SpanJSON, error) {
+	var out []SpanJSON
+	return out, c.do(http.MethodGet, fmt.Sprintf("/v1/spans?n=%d", n), nil, &out)
+}
+
+// Audit reads the last n audit records, most recent first.
+func (c *Client) Audit(n int) ([]obs.AuditRecord, error) {
+	var out []obs.AuditRecord
+	return out, c.do(http.MethodGet, fmt.Sprintf("/v1/audit?n=%d", n), nil, &out)
+}
+
+// AuditVerify asks the server to walk its on-disk audit chain end to end.
+func (c *Client) AuditVerify() (AuditVerifyJSON, error) {
+	var out AuditVerifyJSON
+	return out, c.do(http.MethodGet, "/v1/audit/verify", nil, &out)
 }
 
 // Metrics reads the Prometheus text exposition of every registered

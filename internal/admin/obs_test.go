@@ -143,6 +143,10 @@ func TestObservabilityEndpoints(t *testing.T) {
 		`dfi_pcp_stage_seconds_count{stage="binding_query"}`,
 		"dfi_policy_rules 0",
 		"dfi_bus_published_total",
+		"dfi_span_committed_total",
+		"dfi_go_goroutines",
+		"dfi_go_heap_bytes",
+		"dfi_go_gc_pause_seconds_total",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics exposition missing %q:\n%s", want, text)

@@ -11,6 +11,10 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/obs"
 )
 
 // Event is a routed message. Payload types are defined by publishers; DFI's
@@ -20,6 +24,15 @@ type Event struct {
 	Topic string
 	// Payload is the event body.
 	Payload any
+	// Trace is the causal span context the event carries. Publishers
+	// normally leave it zero: when a tracer is attached (SetTracer) the
+	// bus starts a fresh trace per publish and subscribers see the
+	// publish span's context here, so work they do — entity-binding
+	// updates, policy revocations, flow-mod flushes — parents under it.
+	// A publisher forwarding someone else's event may set Trace to keep
+	// the original chain. The field does not cross the TCP transport;
+	// remote events re-root on the receiving bus.
+	Trace obs.SpanContext
 }
 
 // Handler consumes events delivered to a subscription.
@@ -41,6 +54,16 @@ type Bus struct {
 
 	published uint64
 	dropped   uint64
+
+	tracer atomic.Pointer[obs.SpanStore]
+}
+
+// SetTracer attaches a span store: every subsequent Publish opens a trace
+// (or continues the event's existing one), commits a ("bus","publish")
+// span covering the fan-out, and delivers the span context to subscribers
+// via Event.Trace. A nil store detaches tracing.
+func (b *Bus) SetTracer(ts *obs.SpanStore) {
+	b.tracer.Store(ts)
 }
 
 // New returns an empty bus.
@@ -106,6 +129,17 @@ func (b *Bus) SubscribeDepth(pattern string, depth int, handler Handler) (*Subsc
 // Publish routes ev to every matching subscriber. It never blocks: full
 // subscriber queues drop the event for that subscriber.
 func (b *Bus) Publish(ev Event) error {
+	ts := b.tracer.Load()
+	var sc obs.SpanContext
+	var parent uint64
+	var start time.Time
+	if ts.Enabled() {
+		parent = ev.Trace.Span
+		sc = ts.Child(ev.Trace) // fresh root unless the publisher chained one
+		ev.Trace = sc
+		start = ts.Now()
+	}
+
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -126,6 +160,19 @@ func (b *Bus) Publish(ev Event) error {
 		}
 	}
 	b.mu.Unlock()
+
+	if ts.Enabled() {
+		ts.Commit(obs.Span{
+			Trace:     sc.Trace,
+			ID:        sc.Span,
+			Parent:    parent,
+			Component: obs.CompBus,
+			Stage:     "publish",
+			Start:     start,
+			Duration:  ts.Now().Sub(start),
+			Detail:    ev.Topic,
+		})
+	}
 	return nil
 }
 

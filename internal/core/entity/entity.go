@@ -43,6 +43,10 @@ type Manager struct {
 	// Nil (a no-op) unless WithObserver installed a registry.
 	spoofRejections *obs.Counter
 
+	// audit (WithAuditLog) appends a kind="binding" record per effective
+	// binding mutation; nil-safe when unconfigured.
+	audit *obs.AuditLog
+
 	// epoch counts effective binding mutations: it is bumped only when a
 	// Bind*/Unbind* call actually changes the stored bindings, never on
 	// no-op re-binds (the PCP re-observes every flow's MAC location, so a
@@ -93,6 +97,13 @@ func WithObserver(reg *obs.Registry) Option {
 	}
 }
 
+// WithAuditLog attaches the tamper-evident audit log: every effective
+// binding mutation (no-op re-binds excluded, mirroring the epoch rules)
+// appends a kind="binding" record.
+func WithAuditLog(a *obs.AuditLog) Option {
+	return func(em *Manager) { em.audit = a }
+}
+
 // NewManager returns an empty Entity Resolution Manager.
 func NewManager(opts ...Option) *Manager {
 	m := &Manager{
@@ -126,19 +137,25 @@ func (m *Manager) bump(changed bool) {
 // BindUserHost records that user is logged onto host.
 func (m *Manager) BindUserHost(user, host string) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	changed := addTo(m.userToHosts, user, host)
 	addTo(m.hostToUsers, host, user)
 	m.bump(changed)
+	m.mu.Unlock()
+	if changed {
+		m.auditf("bind", "user-host %s@%s", user, host)
+	}
 }
 
 // UnbindUserHost records that user logged off host.
 func (m *Manager) UnbindUserHost(user, host string) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	changed := removeFrom(m.userToHosts, user, host)
 	removeFrom(m.hostToUsers, host, user)
 	m.bump(changed)
+	m.mu.Unlock()
+	if changed {
+		m.auditf("unbind", "user-host %s@%s", user, host)
+	}
 }
 
 // BindHostIP records a DNS binding between host and ip. An IP maps to one
@@ -146,9 +163,9 @@ func (m *Manager) UnbindUserHost(user, host string) {
 // IPs (multiple interfaces).
 func (m *Manager) BindHostIP(host string, ip netpkt.IPv4) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	prev, had := m.ipToHost[ip]
 	if had && prev == host {
+		m.mu.Unlock()
 		return
 	}
 	if had {
@@ -157,12 +174,13 @@ func (m *Manager) BindHostIP(host string, ip netpkt.IPv4) {
 	m.ipToHost[ip] = host
 	addToKey(m.hostToIPs, host, ip)
 	m.bump(true)
+	m.mu.Unlock()
+	m.auditf("bind", "host-ip %s=%s", host, ip)
 }
 
 // UnbindHostIP removes a DNS binding.
 func (m *Manager) UnbindHostIP(host string, ip netpkt.IPv4) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	changed := false
 	if m.ipToHost[ip] == host {
 		delete(m.ipToHost, ip)
@@ -172,15 +190,19 @@ func (m *Manager) UnbindHostIP(host string, ip netpkt.IPv4) {
 		changed = true
 	}
 	m.bump(changed)
+	m.mu.Unlock()
+	if changed {
+		m.auditf("unbind", "host-ip %s=%s", host, ip)
+	}
 }
 
 // BindIPMAC records a DHCP lease binding ip to mac, replacing any previous
 // MAC for that IP (a lease reassignment).
 func (m *Manager) BindIPMAC(ip netpkt.IPv4, mac netpkt.MAC) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	prev, had := m.ipToMAC[ip]
 	if had && prev == mac {
+		m.mu.Unlock()
 		return
 	}
 	if had {
@@ -192,12 +214,13 @@ func (m *Manager) BindIPMAC(ip netpkt.IPv4, mac netpkt.MAC) {
 	}
 	m.macToIPs[mac][ip] = struct{}{}
 	m.bump(true)
+	m.mu.Unlock()
+	m.auditf("bind", "ip-mac %s=%s", ip, mac)
 }
 
 // UnbindIPMAC removes a DHCP lease binding (lease expiry/release).
 func (m *Manager) UnbindIPMAC(ip netpkt.IPv4, mac netpkt.MAC) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	changed := false
 	if m.ipToMAC[ip] == mac {
 		delete(m.ipToMAC, ip)
@@ -207,6 +230,10 @@ func (m *Manager) UnbindIPMAC(ip netpkt.IPv4, mac netpkt.MAC) {
 		changed = true
 	}
 	m.bump(changed)
+	m.mu.Unlock()
+	if changed {
+		m.auditf("unbind", "ip-mac %s=%s", ip, mac)
+	}
 }
 
 // BindMACLocation records that mac was observed attached to port on switch
@@ -216,8 +243,8 @@ func (m *Manager) UnbindIPMAC(ip netpkt.IPv4, mac netpkt.MAC) {
 // binding epoch untouched.
 func (m *Manager) BindMACLocation(mac netpkt.MAC, loc Location) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if port, ok := m.macToLoc[mac][loc.DPID]; ok && port == loc.Port {
+		m.mu.Unlock()
 		return
 	}
 	if m.macToLoc[mac] == nil {
@@ -225,12 +252,14 @@ func (m *Manager) BindMACLocation(mac netpkt.MAC, loc Location) {
 	}
 	m.macToLoc[mac][loc.DPID] = loc.Port
 	m.bump(true)
+	m.mu.Unlock()
+	m.auditf("bind", "mac-location %s@%#x:%d", mac, loc.DPID, loc.Port)
 }
 
 // UnbindMACLocation removes a MAC's attachment on one switch.
 func (m *Manager) UnbindMACLocation(mac netpkt.MAC, dpid uint64) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	changed := false
 	if ports, ok := m.macToLoc[mac]; ok {
 		if _, had := ports[dpid]; had {
 			delete(ports, dpid)
@@ -238,8 +267,29 @@ func (m *Manager) UnbindMACLocation(mac netpkt.MAC, dpid uint64) {
 				delete(m.macToLoc, mac)
 			}
 			m.bump(true)
+			changed = true
 		}
 	}
+	m.mu.Unlock()
+	if changed {
+		m.auditf("unbind", "mac-location %s@%#x", mac, dpid)
+	}
+}
+
+// auditf appends one kind="binding" record for an effective mutation; a
+// no-op without WithAuditLog. Always called after the write lock is
+// released, so audit-log I/O never stalls admission-time resolutions
+// waiting on the read lock.
+func (m *Manager) auditf(op, format string, args ...any) {
+	if m.audit == nil {
+		return
+	}
+	m.audit.Append(obs.AuditRecord{
+		Kind:        "binding",
+		Op:          op,
+		EntityEpoch: m.Epoch(),
+		Detail:      fmt.Sprintf(format, args...),
+	})
 }
 
 // Observed is the set of low-level identifiers harvested from one end of a

@@ -7,6 +7,7 @@ import (
 	"github.com/dfi-sdn/dfi/internal/core/entity"
 	"github.com/dfi-sdn/dfi/internal/core/policy"
 	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/obs"
 )
 
 // allowHostA inserts an Allow rule for src host "a" and binds ipA/macA to
@@ -127,9 +128,9 @@ func TestEpochPublishedBeforeFlush(t *testing.T) {
 	id := allowHostA(t, erm, pm)
 	epochAfterInsert := pm.Epoch()
 	var observed []uint64
-	pm.SetFlushFunc(func(ids []policy.RuleID) {
+	pm.SetFlushFunc(func(sc obs.SpanContext, ids []policy.RuleID) {
 		observed = append(observed, pm.Epoch())
-		p.FlushPolicies(ids)
+		p.FlushPolicies(sc, ids)
 	})
 	if err := pm.Revoke(id); err != nil {
 		t.Fatal(err)

@@ -113,6 +113,14 @@ type Config struct {
 	// Trace receives sampled admission traces; nil disables tracing, which
 	// costs the admission path one nil check and no allocations.
 	Trace *obs.TraceRing
+	// Spans receives causal spans: per-stage admission spans for sampled
+	// admissions (Trace gates sampling; an admission sampled out emits no
+	// spans and allocates nothing) and flush-compilation / flow-mod-write
+	// spans for policy flushes. Nil disables span emission.
+	Spans *obs.SpanStore
+	// Audit, when non-nil, receives a kind="decision" record per processed
+	// admission and a kind="policy" op="flush" record per flush.
+	Audit *obs.AuditLog
 }
 
 // Metrics exposes the per-stage latency breakdown the paper reports in
@@ -407,9 +415,14 @@ func (p *PCP) Process(req *Request) {
 	// tr stays on the stack: it is only ever copied by value into the ring,
 	// so an admission that is sampled out pays nothing beyond zeroing it.
 	var tr obs.AdmissionTrace
+	var root obs.SpanContext
 	sampled := p.cfg.Trace.Sampled()
 	key, kerr := netpkt.ExtractFlowKey(req.PacketIn.Data)
 	if sampled {
+		// One trace id per sampled admission links the ring entry to its
+		// causal spans (zero when no span store is configured).
+		root = p.cfg.Spans.NewRoot()
+		tr.TraceID = uint64(root.Trace)
 		tr.Start = start
 		tr.DPID = req.DPID
 		tr.Key = key
@@ -483,10 +496,105 @@ func (p *PCP) Process(req *Request) {
 			tr.Outcome = obs.OutcomeDeny
 		}
 		p.cfg.Trace.Commit(tr)
+		if root.Valid() {
+			// tr and root travel by value so neither escapes; the helper is
+			// off the annotated path and only runs for sampled admissions.
+			p.emitAdmissionSpans(root, tr)
+		}
+	}
+	if p.cfg.Audit != nil {
+		p.auditDecision(req, key, kerr, dec, fv, hit, root.Trace)
 	}
 	if req.Done != nil {
 		req.Done(dec)
 	}
+}
+
+// emitAdmissionSpans projects one committed admission trace into the span
+// store: a root ("pcp","admission") span plus a child per measured stage
+// (and the proxy's forwarding overhead, spent before the PCP clock
+// started), so a /v1/trace row pivots into its /v1/spans?trace= causal
+// form. Parameters are by value: the caller's stack copies must not
+// escape.
+func (p *PCP) emitAdmissionSpans(root obs.SpanContext, tr obs.AdmissionTrace) {
+	st := p.cfg.Spans
+	commitStage := func(component, stage string, start time.Time, d time.Duration) {
+		if d <= 0 {
+			return
+		}
+		st.Commit(obs.Span{
+			Trace:     root.Trace,
+			ID:        st.Child(root).Span,
+			Parent:    root.Span,
+			Component: component,
+			Stage:     stage,
+			Start:     start,
+			Duration:  d,
+		})
+	}
+	commitStage(obs.CompProxy, "forward", tr.Start.Add(-tr.Proxy), tr.Proxy)
+	at := tr.Start
+	commitStage(obs.CompPCP, "parse", at, tr.Parse)
+	at = at.Add(tr.Parse)
+	commitStage(obs.CompPCP, "binding_query", at, tr.Binding)
+	at = at.Add(tr.Binding)
+	commitStage(obs.CompPCP, "policy_query", at, tr.Policy)
+	end := tr.Start.Add(tr.Total)
+	commitStage(obs.CompPCP, "install", end.Add(-tr.Install), tr.Install)
+	st.Commit(obs.Span{
+		Trace:     root.Trace,
+		ID:        root.Span,
+		Component: obs.CompPCP,
+		Stage:     "admission",
+		Start:     tr.Start,
+		Duration:  tr.Total,
+		DPID:      tr.DPID,
+		RuleID:    tr.RuleID,
+		Detail:    admissionDetail(tr),
+		Err:       tr.Err,
+	})
+}
+
+// admissionDetail summarizes an admission for its root span.
+func admissionDetail(tr obs.AdmissionTrace) string {
+	if tr.CacheHit {
+		return tr.Outcome.String() + " (cache hit)"
+	}
+	return tr.Outcome.String()
+}
+
+// auditDecision appends the kind="decision" record for one processed
+// admission: outcome, deciding rule, flow identifiers, the policy and
+// entity epochs in effect, and (for fresh decisions) the resolved
+// endpoint identities. Callers check p.cfg.Audit != nil first so the
+// disabled path costs nothing.
+func (p *PCP) auditDecision(req *Request, key netpkt.FlowKey, kerr error, dec Decision, fv *policy.FlowView, hit bool, trace obs.TraceID) {
+	rec := obs.AuditRecord{
+		Kind:        "decision",
+		Trace:       uint64(trace),
+		RuleID:      uint64(dec.RuleID),
+		DPID:        req.DPID,
+		PolicyEpoch: p.cfg.Policy.Epoch(),
+		EntityEpoch: p.cfg.Entity.Epoch(),
+		CacheHit:    hit,
+	}
+	switch {
+	case dec.Err != nil:
+		rec.Op = "error"
+		rec.Detail = dec.Err.Error()
+	case dec.Allow:
+		rec.Op = "allow"
+	default:
+		rec.Op = "deny"
+	}
+	if kerr == nil {
+		rec.Flow = key.String()
+	}
+	if fv != nil {
+		rec.Detail = fmt.Sprintf("src host=%q users=%v dst host=%q users=%v",
+			fv.Src.Host, fv.Src.Users, fv.Dst.Host, fv.Dst.Users)
+	}
+	_ = p.cfg.Audit.Append(rec)
 }
 
 // decide runs the full enrich-and-query path for a parsed flow. It returns
@@ -689,16 +797,28 @@ func (p *PCP) CompileFlowMod(key netpkt.FlowKey, inPort uint32, dec Decision) *o
 
 // FlushPolicies removes from every attached switch the table-0 rules
 // derived from the given policy ids (cookie-scoped delete). The Policy
-// Manager invokes this on rule revocation and conflicting inserts.
-func (p *PCP) FlushPolicies(ids []policy.RuleID) {
+// Manager invokes this on rule revocation and conflicting inserts,
+// passing the mutation's span context so the compilation and each
+// switch's flow-mod writes land in the same causal trace.
+func (p *PCP) FlushPolicies(sc obs.SpanContext, ids []policy.RuleID) {
+	span := p.cfg.Spans.Child(sc)
+	tStart := p.cfg.Spans.Now()
+
 	p.mu.RLock()
+	dpids := make([]uint64, 0, len(p.switches))
 	clients := make([]SwitchClient, 0, len(p.switches))
-	for _, c := range p.switches {
+	for dpid, c := range p.switches {
+		dpids = append(dpids, dpid)
 		clients = append(clients, c)
 	}
 	p.mu.RUnlock()
-	for _, id := range ids {
-		fm := &openflow.FlowMod{
+
+	// Compile one cookie-scoped delete per policy id up front, then write
+	// the batch switch by switch, so each switch's writes are attributable
+	// to one ("proxy","flow_mod_write") span.
+	fms := make([]*openflow.FlowMod, len(ids))
+	for i, id := range ids {
+		fms[i] = &openflow.FlowMod{
 			Cookie:     uint64(id),
 			CookieMask: ^uint64(0),
 			TableID:    0,
@@ -707,9 +827,46 @@ func (p *PCP) FlushPolicies(ids []policy.RuleID) {
 			OutGroup:   0xffffffff,
 			Match:      &openflow.Match{},
 		}
-		for _, c := range clients {
+	}
+	for i, c := range clients {
+		tSwitch := p.cfg.Spans.Now()
+		for _, fm := range fms {
 			_ = c.WriteFlowMod(fm)
 		}
+		if p.cfg.Spans.Enabled() {
+			p.cfg.Spans.Commit(obs.Span{
+				Trace:     span.Trace,
+				ID:        p.cfg.Spans.Child(span).Span,
+				Parent:    span.Span,
+				Component: obs.CompProxy,
+				Stage:     "flow_mod_write",
+				Start:     tSwitch,
+				Duration:  p.cfg.Spans.Now().Sub(tSwitch),
+				DPID:      dpids[i],
+				Detail:    fmt.Sprintf("%d cookie-scoped deletes", len(fms)),
+			})
+		}
+	}
+	if p.cfg.Spans.Enabled() {
+		p.cfg.Spans.Commit(obs.Span{
+			Trace:     span.Trace,
+			ID:        span.Span,
+			Parent:    sc.Span,
+			Component: obs.CompPCP,
+			Stage:     "flush_compile",
+			Start:     tStart,
+			Duration:  p.cfg.Spans.Now().Sub(tStart),
+			Detail:    fmt.Sprintf("%d policy ids, %d switches", len(ids), len(clients)),
+		})
+	}
+	if p.cfg.Audit != nil {
+		_ = p.cfg.Audit.Append(obs.AuditRecord{
+			Kind:        "policy",
+			Op:          "flush",
+			Trace:       uint64(span.Trace),
+			PolicyEpoch: p.cfg.Policy.Epoch(),
+			Detail:      fmt.Sprintf("flushed derived flow rules for %d policy ids across %d switches", len(ids), len(clients)),
+		})
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"github.com/dfi-sdn/dfi/internal/core/entity"
 	"github.com/dfi-sdn/dfi/internal/core/policy"
 	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/obs"
 	"github.com/dfi-sdn/dfi/internal/openflow"
 	"github.com/dfi-sdn/dfi/internal/simclock"
 	"github.com/dfi-sdn/dfi/internal/store"
@@ -178,7 +179,7 @@ func TestFlushPoliciesSendsCookieScopedDeletes(t *testing.T) {
 	p, _, _, sw := newEnv(t)
 	sw2 := &fakeSwitch{}
 	p.AttachSwitch(8, sw2)
-	p.FlushPolicies([]policy.RuleID{5, 9})
+	p.FlushPolicies(obs.SpanContext{}, []policy.RuleID{5, 9})
 	if sw.count() != 2 || sw2.count() != 2 {
 		t.Fatalf("flush mods = %d/%d, want 2 per switch", sw.count(), sw2.count())
 	}

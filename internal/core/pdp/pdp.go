@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/obs"
 )
 
 // Conventional priorities for the provided PDPs; higher wins.
@@ -97,12 +98,18 @@ func allowHosts(pdpName, src, dst string) policy.Rule {
 // insertAll inserts rules, returning their ids; on failure, already
 // inserted rules are revoked.
 func insertAll(pm *policy.Manager, rules []policy.Rule) ([]policy.RuleID, error) {
+	return insertAllCtx(pm, obs.SpanContext{}, rules)
+}
+
+// insertAllCtx is insertAll threading a causal span context into each
+// insert (and any rollback revokes).
+func insertAllCtx(pm *policy.Manager, sc obs.SpanContext, rules []policy.Rule) ([]policy.RuleID, error) {
 	ids := make([]policy.RuleID, 0, len(rules))
 	for _, r := range rules {
-		id, err := pm.Insert(r)
+		id, err := pm.InsertCtx(sc, r)
 		if err != nil {
 			for _, prev := range ids {
-				_ = pm.Revoke(prev)
+				_ = pm.RevokeCtx(sc, prev)
 			}
 			return nil, fmt.Errorf("insert %s: %w", r.String(), err)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/dfi-sdn/dfi/internal/bus"
 	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/obs"
 	"github.com/dfi-sdn/dfi/internal/sensors"
 )
 
@@ -48,9 +49,9 @@ func (q *Quarantine) Start(b *bus.Bus) error {
 			return
 		}
 		if ce.Cleared {
-			_ = q.Release(ce.Host)
+			_ = q.ReleaseCtx(ev.Trace, ce.Host)
 		} else {
-			_ = q.Isolate(ce.Host)
+			_ = q.IsolateCtx(ev.Trace, ce.Host)
 		}
 	})
 	if err != nil {
@@ -75,6 +76,13 @@ func (q *Quarantine) Stop() {
 
 // Isolate denies all flows to and from host.
 func (q *Quarantine) Isolate(host string) error {
+	return q.IsolateCtx(obs.SpanContext{}, host)
+}
+
+// IsolateCtx is Isolate carrying a causal span context (the compromise
+// event's publish span, when driven off the bus), so the emitted deny
+// rules' policy spans and flushes join the event's trace.
+func (q *Quarantine) IsolateCtx(sc obs.SpanContext, host string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if _, already := q.byHost[host]; already {
@@ -84,7 +92,7 @@ func (q *Quarantine) Isolate(host string) error {
 		{PDP: q.name, Action: policy.ActionDeny, Src: policy.EndpointSpec{Host: host}},
 		{PDP: q.name, Action: policy.ActionDeny, Dst: policy.EndpointSpec{Host: host}},
 	}
-	ids, err := insertAll(q.pm, rules)
+	ids, err := insertAllCtx(q.pm, sc, rules)
 	if err != nil {
 		return fmt.Errorf("quarantine %q: %w", host, err)
 	}
@@ -94,6 +102,11 @@ func (q *Quarantine) Isolate(host string) error {
 
 // Release lifts a quarantine.
 func (q *Quarantine) Release(host string) error {
+	return q.ReleaseCtx(obs.SpanContext{}, host)
+}
+
+// ReleaseCtx is Release carrying a causal span context (see IsolateCtx).
+func (q *Quarantine) ReleaseCtx(sc obs.SpanContext, host string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	ids, ok := q.byHost[host]
@@ -102,7 +115,7 @@ func (q *Quarantine) Release(host string) error {
 	}
 	delete(q.byHost, host)
 	for _, id := range ids {
-		if err := q.pm.Revoke(id); err != nil {
+		if err := q.pm.RevokeCtx(sc, id); err != nil {
 			return fmt.Errorf("release %q: %w", host, err)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/dfi-sdn/dfi/internal/obs"
 	"github.com/dfi-sdn/dfi/internal/simclock"
@@ -31,8 +32,11 @@ type Decision struct {
 
 // FlushFunc is notified with the ids of policy rules whose derived flow
 // rules must be removed from the switches (paper §III-B: on conflicting
-// insert and on revocation). The PCP registers one of these.
-type FlushFunc func(ids []RuleID)
+// insert and on revocation). The PCP registers one of these. sc is the
+// span context of the mutation that triggered the flush (zero when the
+// mutation was untraced), so flush compilation and the resulting flow-mod
+// writes join the mutation's causal trace.
+type FlushFunc func(sc obs.SpanContext, ids []RuleID)
 
 // Errors callers can match.
 var (
@@ -68,6 +72,12 @@ type Manager struct {
 	// dfi_pcp_stage_seconds{stage="policy_query"}.
 	snapshotRebuilds *obs.Counter
 	queries          *obs.Counter
+
+	// spans (WithTracing) emits a ("policy", op) span per mutation; audit
+	// (WithAuditLog) appends a chained record per mutation. Both are
+	// nil-safe when unconfigured.
+	spans *obs.SpanStore
+	audit *obs.AuditLog
 
 	snap atomic.Pointer[Snapshot]
 
@@ -107,6 +117,20 @@ func WithObserver(reg *obs.Registry) ManagerOption {
 			"Current policy epoch (bumps on every insert, revoke and revoke-all).",
 			func() float64 { return float64(pm.Epoch()) })
 	}
+}
+
+// WithTracing attaches a span store: every insert/revoke/revoke-all
+// commits a ("policy", op) span, parented on the caller's span context
+// when one is threaded through the Ctx mutation variants.
+func WithTracing(ts *obs.SpanStore) ManagerOption {
+	return func(pm *Manager) { pm.spans = ts }
+}
+
+// WithAuditLog attaches the tamper-evident audit log: every mutation
+// appends a kind="policy" record (op insert/revoke/revoke_all) with the
+// rule id, PDP and rule text.
+func WithAuditLog(a *obs.AuditLog) ManagerOption {
+	return func(pm *Manager) { pm.audit = a }
 }
 
 // NewManager returns an empty Policy Manager.
@@ -163,6 +187,16 @@ func (m *Manager) RegisterPDP(name string, priority int) error {
 // different action may have produced now-stale flow rules; their derived
 // rules are flushed (the conflicting policies themselves remain stored).
 func (m *Manager) Insert(r Rule) (RuleID, error) {
+	return m.InsertCtx(obs.SpanContext{}, r)
+}
+
+// InsertCtx is Insert carrying a causal span context: the mutation's
+// ("policy","insert") span parents under sc (a sensor event's publish
+// span, typically) and any triggered flush runs inside the same trace.
+func (m *Manager) InsertCtx(sc obs.SpanContext, r Rule) (RuleID, error) {
+	span := m.spans.Child(sc)
+	start := m.spans.Now()
+
 	m.mu.Lock()
 	prio, ok := m.pdps[r.PDP]
 	if !ok {
@@ -193,8 +227,10 @@ func (m *Manager) Insert(r Rule) (RuleID, error) {
 
 	if fn != nil && len(flush) > 0 {
 		sort.Slice(flush, func(i, j int) bool { return flush[i] < flush[j] })
-		fn(flush)
+		fn(span, flush)
 	}
+	m.commitSpan(sc, span, start, "insert", uint64(stored.ID), stored.String())
+	m.auditMutation(span, "insert", uint64(stored.ID), stored.PDP, stored.String())
 	return stored.ID, nil
 }
 
@@ -202,8 +238,17 @@ func (m *Manager) Insert(r Rule) (RuleID, error) {
 // switches. Revocation is distinct from inserting an opposite rule: after
 // revocation, flows match whatever other policy remains (paper §III-B).
 func (m *Manager) Revoke(id RuleID) error {
+	return m.RevokeCtx(obs.SpanContext{}, id)
+}
+
+// RevokeCtx is Revoke carrying a causal span context (see InsertCtx).
+func (m *Manager) RevokeCtx(sc obs.SpanContext, id RuleID) error {
+	span := m.spans.Child(sc)
+	start := m.spans.Now()
+
 	m.mu.Lock()
-	if _, ok := m.rules[id]; !ok {
+	r, ok := m.rules[id]
+	if !ok {
 		m.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownRule, id)
 	}
@@ -213,14 +258,24 @@ func (m *Manager) Revoke(id RuleID) error {
 	m.mu.Unlock()
 
 	if fn != nil {
-		fn([]RuleID{id})
+		fn(span, []RuleID{id})
 	}
+	m.commitSpan(sc, span, start, "revoke", uint64(id), r.String())
+	m.auditMutation(span, "revoke", uint64(id), r.PDP, r.String())
 	return nil
 }
 
 // RevokeAll revokes every rule owned by the named PDP, returning how many
 // were removed.
 func (m *Manager) RevokeAll(pdp string) int {
+	return m.RevokeAllCtx(obs.SpanContext{}, pdp)
+}
+
+// RevokeAllCtx is RevokeAll carrying a causal span context (see InsertCtx).
+func (m *Manager) RevokeAllCtx(sc obs.SpanContext, pdp string) int {
+	span := m.spans.Child(sc)
+	start := m.spans.Now()
+
 	m.mu.Lock()
 	var ids []RuleID
 	for id, r := range m.rules {
@@ -237,11 +292,50 @@ func (m *Manager) RevokeAll(pdp string) int {
 	fn := m.onFlush
 	m.mu.Unlock()
 
-	if fn != nil && len(ids) > 0 {
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		fn(ids)
+	if len(ids) == 0 {
+		return 0
 	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if fn != nil {
+		fn(span, ids)
+	}
+	m.commitSpan(sc, span, start, "revoke_all", 0, fmt.Sprintf("pdp=%s revoked=%d", pdp, len(ids)))
+	m.auditMutation(span, "revoke_all", 0, pdp, fmt.Sprintf("revoked %d rules", len(ids)))
 	return len(ids)
+}
+
+// commitSpan records one mutation span; a no-op without WithTracing.
+// Duration includes the synchronous flush the mutation triggered, so the
+// span measures time-to-enforcement, the paper's Fig. 5/6 quantity.
+func (m *Manager) commitSpan(parent, span obs.SpanContext, start time.Time, op string, ruleID uint64, detail string) {
+	if !m.spans.Enabled() {
+		return
+	}
+	m.spans.Commit(obs.Span{
+		Trace:     span.Trace,
+		ID:        span.Span,
+		Parent:    parent.Span,
+		Component: obs.CompPolicy,
+		Stage:     op,
+		Start:     start,
+		Duration:  m.spans.Now().Sub(start),
+		RuleID:    ruleID,
+		Detail:    detail,
+	})
+}
+
+// auditMutation appends one kind="policy" record; a no-op without
+// WithAuditLog.
+func (m *Manager) auditMutation(span obs.SpanContext, op string, ruleID uint64, pdp, detail string) {
+	m.audit.Append(obs.AuditRecord{
+		Kind:        "policy",
+		Op:          op,
+		Trace:       uint64(span.Trace),
+		RuleID:      ruleID,
+		PDP:         pdp,
+		PolicyEpoch: m.Epoch(),
+		Detail:      detail,
+	})
 }
 
 // Query returns the decision for a flow: the highest-priority matching rule

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/obs"
 	"github.com/dfi-sdn/dfi/internal/simclock"
 	"github.com/dfi-sdn/dfi/internal/store"
 )
@@ -210,7 +211,7 @@ func TestInsertConflictFlushesLowerPriority(t *testing.T) {
 	m := newManagerWithPDPs(t)
 	var mu sync.Mutex
 	var flushed [][]RuleID
-	m.SetFlushFunc(func(ids []RuleID) {
+	m.SetFlushFunc(func(_ obs.SpanContext, ids []RuleID) {
 		mu.Lock()
 		defer mu.Unlock()
 		flushed = append(flushed, ids)
@@ -243,7 +244,7 @@ func TestInsertAllowFlushesDefaultDeny(t *testing.T) {
 	m := newManagerWithPDPs(t)
 	var mu sync.Mutex
 	var got []RuleID
-	m.SetFlushFunc(func(ids []RuleID) {
+	m.SetFlushFunc(func(_ obs.SpanContext, ids []RuleID) {
 		mu.Lock()
 		defer mu.Unlock()
 		got = append(got, ids...)
@@ -268,7 +269,7 @@ func TestInsertDenyDoesNotFlushDefaultDeny(t *testing.T) {
 	m := newManagerWithPDPs(t)
 	var mu sync.Mutex
 	var got []RuleID
-	m.SetFlushFunc(func(ids []RuleID) {
+	m.SetFlushFunc(func(_ obs.SpanContext, ids []RuleID) {
 		mu.Lock()
 		defer mu.Unlock()
 		got = append(got, ids...)
@@ -292,7 +293,7 @@ func TestNonOverlappingInsertNoFlush(t *testing.T) {
 	}
 	var mu sync.Mutex
 	var flushes int
-	m.SetFlushFunc(func([]RuleID) {
+	m.SetFlushFunc(func(obs.SpanContext, []RuleID) {
 		mu.Lock()
 		defer mu.Unlock()
 		flushes++

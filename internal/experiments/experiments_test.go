@@ -82,6 +82,9 @@ func TestFig4ShapeTwoPoints(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock calibrated benchmark")
 	}
+	if raceEnabled {
+		t.Skip("race instrumentation slows the calibrated rig past its timing bands")
+	}
 	res, err := RunFig4(Fig4Config{
 		Rates:      []int{0, 600},
 		Samples:    10,

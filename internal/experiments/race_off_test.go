@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled mirrors the race build tag for tests whose wall-clock
+// calibrated assertions do not hold under race instrumentation slowdown.
+const raceEnabled = false

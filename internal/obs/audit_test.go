@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openTestLog(t *testing.T, maxBytes int64) (*AuditLog, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	a, err := OpenAuditLog(path, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	return a, path
+}
+
+func appendN(t *testing.T, a *AuditLog, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := a.Append(AuditRecord{Kind: "decision", Op: "allow", RuleID: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAuditAppendAndVerify(t *testing.T) {
+	a, _ := openTestLog(t, 0)
+	appendN(t, a, 10)
+	n, err := a.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("verified %d records, want 10", n)
+	}
+	if a.Records() != 10 || a.BytesWritten() == 0 {
+		t.Fatalf("counters = %d records, %d bytes", a.Records(), a.BytesWritten())
+	}
+	last := a.Last(3)
+	if len(last) != 3 || last[0].RuleID != 10 || last[2].RuleID != 8 {
+		t.Fatalf("Last(3) = %+v", last)
+	}
+}
+
+func TestAuditFlippedByteRejected(t *testing.T) {
+	a, path := openTestLog(t, 0)
+	appendN(t, a, 5)
+	if _, err := a.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte mid-file: the record's own hash breaks.
+	tampered := append([]byte(nil), raw...)
+	tampered[len(tampered)/2] ^= 0x01
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Verify(); err == nil {
+		t.Fatal("verify accepted a flipped byte")
+	}
+	// Restore: verification recovers, proving the failure was the flip.
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Verify(); err != nil {
+		t.Fatalf("verify after restore: %v", err)
+	}
+}
+
+func TestAuditTailTruncationDetected(t *testing.T) {
+	a, path := openTestLog(t, 0)
+	appendN(t, a, 6)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut whole records off the tail: the remaining chain is internally
+	// consistent, so only the head pin can catch it.
+	lines := strings.SplitAfter(string(raw), "\n")
+	trunc := strings.Join(lines[:4], "")
+	if err := os.WriteFile(path, []byte(trunc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Verify(); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("verify after truncation = %v, want truncation error", err)
+	}
+	// Without the head pin the truncated chain looks valid — that is
+	// exactly the attack the pin exists for.
+	if _, err := VerifyAuditChain([]string{path}, ""); err != nil {
+		t.Fatalf("unpinned verify of truncated chain: %v", err)
+	}
+}
+
+func TestAuditRotationContinuesChain(t *testing.T) {
+	// A tiny threshold forces rotation after every couple of records.
+	a, path := openTestLog(t, 300)
+	appendN(t, a, 12)
+	if a.Rotations() == 0 {
+		t.Fatal("no rotation at a 300-byte threshold")
+	}
+	files := a.Files()
+	if len(files) != 2 || files[0] != path+".1" || files[1] != path {
+		t.Fatalf("files = %v", files)
+	}
+	// Verify spans the rotation boundary: prev/seq chain across files.
+	if _, err := a.Verify(); err != nil {
+		t.Fatalf("verify across rotation: %v", err)
+	}
+	// Only one rotated generation is kept, so a long-lived log ages out
+	// its oldest records and the surviving chain starts mid-way.
+	n, err := VerifyAuditChain(files, a.Head())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n > 12 {
+		t.Fatalf("verified %d records", n)
+	}
+}
+
+func TestAuditReopenResumesChain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	a, err := OpenAuditLog(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, a, 4)
+	head := a.Head()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := OpenAuditLog(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Head() != head {
+		t.Fatalf("reopened head = %.12s, want %.12s", b.Head(), head)
+	}
+	appendN(t, b, 2)
+	n, err := b.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Fatalf("verified %d records after reopen, want 6", n)
+	}
+
+	// A corrupt existing log is refused rather than silently extended.
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)/3] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if _, err := OpenAuditLog(path, 0); err == nil {
+		t.Fatal("OpenAuditLog accepted a corrupt existing log")
+	}
+}
+
+func TestAuditNilSafety(t *testing.T) {
+	var a *AuditLog
+	if err := a.Append(AuditRecord{Kind: "decision"}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Head() != "" || a.Path() != "" || a.Files() != nil || a.Last(5) != nil {
+		t.Fatal("nil log returned data")
+	}
+	if a.Records() != 0 || a.BytesWritten() != 0 || a.Rotations() != 0 || a.Failures() != 0 {
+		t.Fatal("nil log counters nonzero")
+	}
+	if n, err := a.Verify(); n != 0 || err != nil {
+		t.Fatalf("nil Verify = %d, %v", n, err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

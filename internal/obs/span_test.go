@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestSpanStoreIDs(t *testing.T) {
+	s := NewSpanStore(16, nil)
+	a := s.NewRoot()
+	b := s.NewRoot()
+	if !a.Valid() || !b.Valid() {
+		t.Fatalf("roots invalid: %+v %+v", a, b)
+	}
+	if a.Trace == b.Trace {
+		t.Fatalf("roots share trace %d", a.Trace)
+	}
+	if a.Span == b.Span {
+		t.Fatalf("roots share span id %d", a.Span)
+	}
+
+	c := s.Child(a)
+	if c.Trace != a.Trace {
+		t.Fatalf("child trace = %d, want parent's %d", c.Trace, a.Trace)
+	}
+	if c.Span == a.Span {
+		t.Fatal("child reused parent's span id")
+	}
+
+	// Child of the zero context starts a fresh root, so propagation code
+	// never needs a validity check before forking.
+	d := s.Child(SpanContext{})
+	if !d.Valid() || d.Trace == a.Trace || d.Trace == b.Trace {
+		t.Fatalf("child-of-invalid = %+v", d)
+	}
+}
+
+func TestSpanStoreRingWrap(t *testing.T) {
+	s := NewSpanStore(4, nil)
+	for i := 0; i < 7; i++ {
+		s.Commit(Span{Trace: TraceID(i + 1), ID: uint64(i + 1)})
+	}
+	if s.Committed() != 7 {
+		t.Fatalf("committed = %d", s.Committed())
+	}
+	got := s.Last(10)
+	if len(got) != 4 {
+		t.Fatalf("retained = %d, want 4", len(got))
+	}
+	for i, sp := range got {
+		if want := uint64(7 - i); sp.ID != want || sp.Seq != want-1 {
+			t.Fatalf("span %d = {ID:%d Seq:%d}, want ID %d", i, sp.ID, sp.Seq, want)
+		}
+	}
+}
+
+func TestSpanStoreByTrace(t *testing.T) {
+	s := NewSpanStore(8, nil)
+	tr := s.NewRoot()
+	other := s.NewRoot()
+	s.Commit(Span{Trace: tr.Trace, ID: 1, Stage: "first"})
+	s.Commit(Span{Trace: other.Trace, ID: 2})
+	s.Commit(Span{Trace: tr.Trace, ID: 3, Stage: "second"})
+
+	got := s.ByTrace(tr.Trace)
+	if len(got) != 2 {
+		t.Fatalf("ByTrace = %d spans, want 2", len(got))
+	}
+	// Oldest first: the result reads in causal commit order.
+	if got[0].Stage != "first" || got[1].Stage != "second" {
+		t.Fatalf("ByTrace order = %q, %q", got[0].Stage, got[1].Stage)
+	}
+	if s.ByTrace(0) != nil {
+		t.Fatal("ByTrace(0) must return nil")
+	}
+	// Wrap past capacity: ByTrace still walks oldest→newest correctly.
+	for i := 0; i < 10; i++ {
+		s.Commit(Span{Trace: tr.Trace, ID: uint64(100 + i)})
+	}
+	wrapped := s.ByTrace(tr.Trace)
+	for i := 1; i < len(wrapped); i++ {
+		if wrapped[i].Seq <= wrapped[i-1].Seq {
+			t.Fatalf("ByTrace out of order after wrap: seq %d then %d",
+				wrapped[i-1].Seq, wrapped[i].Seq)
+		}
+	}
+}
+
+func TestSpanStoreNilSafety(t *testing.T) {
+	var s *SpanStore
+	if s.Enabled() {
+		t.Fatal("nil store reports enabled")
+	}
+	if sc := s.NewRoot(); sc.Valid() {
+		t.Fatalf("nil NewRoot = %+v", sc)
+	}
+	if sc := s.Child(SpanContext{Trace: 9, Span: 9}); sc.Valid() {
+		t.Fatalf("nil Child = %+v", sc)
+	}
+	s.Commit(Span{Trace: 1})
+	if s.ByTrace(1) != nil || s.Last(5) != nil || s.Committed() != 0 {
+		t.Fatal("nil store retained data")
+	}
+	ran := false
+	if sc := WithSpan(s, SpanContext{}, CompBus, "x", "", func(SpanContext) { ran = true }); sc.Valid() {
+		t.Fatalf("nil WithSpan context = %+v", sc)
+	}
+	if !ran {
+		t.Fatal("WithSpan on nil store must still run fn")
+	}
+}
+
+func TestWithSpanCommitsChild(t *testing.T) {
+	s := NewSpanStore(8, nil)
+	parent := s.NewRoot()
+	var inner SpanContext
+	sc := WithSpan(s, parent, CompEntity, "binding_update", "dns a=b", func(got SpanContext) {
+		inner = got
+	})
+	if inner != sc {
+		t.Fatalf("fn saw %+v, WithSpan returned %+v", inner, sc)
+	}
+	if sc.Trace != parent.Trace {
+		t.Fatalf("span trace = %d, want %d", sc.Trace, parent.Trace)
+	}
+	got := s.ByTrace(parent.Trace)
+	if len(got) != 1 {
+		t.Fatalf("committed %d spans, want 1", len(got))
+	}
+	sp := got[0]
+	if sp.Parent != parent.Span || sp.ID != sc.Span ||
+		sp.Component != CompEntity || sp.Stage != "binding_update" || sp.Detail != "dns a=b" {
+		t.Fatalf("span = %+v", sp)
+	}
+}

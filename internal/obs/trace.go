@@ -49,6 +49,10 @@ func (o Outcome) String() string {
 type AdmissionTrace struct {
 	// Seq is the trace's position in the total committed sequence.
 	Seq uint64
+	// TraceID links the admission to its spans in the SpanStore (zero when
+	// causal tracing is disabled): the ring is the compact per-admission
+	// view, GET /v1/spans?trace= the stage-by-stage causal one.
+	TraceID uint64
 	// Start is when the PCP began processing the packet-in.
 	Start time.Time
 	// DPID and InPort locate the flow's ingress.

@@ -12,6 +12,7 @@ import (
 	"github.com/dfi-sdn/dfi/internal/bus"
 	"github.com/dfi-sdn/dfi/internal/core/entity"
 	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/obs"
 )
 
 // Bus topics for sensor events.
@@ -165,6 +166,15 @@ func (s *SIEMSensor) Close() {
 // that sensor events keep its bindings current. It returns a cancel
 // function detaching the subscriptions.
 func AttachEntityManager(b *bus.Bus, em *entity.Manager) (func(), error) {
+	return AttachEntityManagerTraced(b, em, nil)
+}
+
+// AttachEntityManagerTraced is AttachEntityManager with causal tracing:
+// each binding update is committed to spans as an ("entity",
+// "binding_update") span parented on the delivering event's publish span,
+// linking the sensor event to the entity-manager mutation it caused. A
+// nil span store traces nothing.
+func AttachEntityManagerTraced(b *bus.Bus, em *entity.Manager, spans *obs.SpanStore) (func(), error) {
 	var subs []*bus.Subscription
 	cancel := func() {
 		for _, s := range subs {
@@ -177,11 +187,15 @@ func AttachEntityManager(b *bus.Bus, em *entity.Manager) (func(), error) {
 		if !ok {
 			return
 		}
-		if bind.Removed {
-			em.UnbindHostIP(bind.Host, bind.IP)
-		} else {
-			em.BindHostIP(bind.Host, bind.IP)
-		}
+		obs.WithSpan(spans, ev.Trace, obs.CompEntity, "binding_update",
+			fmt.Sprintf("dns host-ip %s=%s removed=%t", bind.Host, bind.IP, bind.Removed),
+			func(obs.SpanContext) {
+				if bind.Removed {
+					em.UnbindHostIP(bind.Host, bind.IP)
+				} else {
+					em.BindHostIP(bind.Host, bind.IP)
+				}
+			})
 	})
 	if err != nil {
 		return nil, fmt.Errorf("attach entity manager: %w", err)
@@ -193,11 +207,15 @@ func AttachEntityManager(b *bus.Bus, em *entity.Manager) (func(), error) {
 		if !ok {
 			return
 		}
-		if bind.Removed {
-			em.UnbindIPMAC(bind.IP, bind.MAC)
-		} else {
-			em.BindIPMAC(bind.IP, bind.MAC)
-		}
+		obs.WithSpan(spans, ev.Trace, obs.CompEntity, "binding_update",
+			fmt.Sprintf("dhcp ip-mac %s=%s removed=%t", bind.IP, bind.MAC, bind.Removed),
+			func(obs.SpanContext) {
+				if bind.Removed {
+					em.UnbindIPMAC(bind.IP, bind.MAC)
+				} else {
+					em.BindIPMAC(bind.IP, bind.MAC)
+				}
+			})
 	})
 	if err != nil {
 		cancel()
@@ -210,11 +228,15 @@ func AttachEntityManager(b *bus.Bus, em *entity.Manager) (func(), error) {
 		if !ok {
 			return
 		}
-		if ae.LoggedOn {
-			em.BindUserHost(ae.User, ae.Host)
-		} else {
-			em.UnbindUserHost(ae.User, ae.Host)
-		}
+		obs.WithSpan(spans, ev.Trace, obs.CompEntity, "binding_update",
+			fmt.Sprintf("auth user-host %s@%s on=%t", ae.User, ae.Host, ae.LoggedOn),
+			func(obs.SpanContext) {
+				if ae.LoggedOn {
+					em.BindUserHost(ae.User, ae.Host)
+				} else {
+					em.UnbindUserHost(ae.User, ae.Host)
+				}
+			})
 	})
 	if err != nil {
 		cancel()
