@@ -1,6 +1,8 @@
 package dfi_test
 
 import (
+	"bytes"
+	"io"
 	"testing"
 
 	"github.com/dfi-sdn/dfi/internal/core/entity"
@@ -43,3 +45,90 @@ func TestAdmissionHotPathZeroAlloc(t *testing.T) {
 		t.Fatalf("cache-hit admission allocates %.1f objects/op, want 0", allocs)
 	}
 }
+
+// TestWireEncodeZeroAlloc gates the append-style OpenFlow encoder: a
+// steady-state flow-mod encode into a reused buffer (the shape Conn.Send
+// and the PCP install path run) must not allocate.
+func TestWireEncodeZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	fm := &openflow.FlowMod{
+		Cookie:   0xd0f1,
+		TableID:  0,
+		Command:  openflow.FlowModAdd,
+		Priority: 500,
+		BufferID: openflow.NoBuffer,
+		Match: &openflow.Match{
+			InPort:  openflow.U32(3),
+			EthType: openflow.U16(0x0800),
+			IPProto: openflow.U8(6),
+			TCPDst:  openflow.U16(445),
+		},
+		Instructions: []openflow.Instruction{
+			&openflow.InstructionGotoTable{TableID: 1},
+		},
+	}
+	buf := make([]byte, 0, 512)
+	if allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		buf, err = openflow.AppendMessage(buf[:0], 7, fm)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("flow-mod encode allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestRelayForwardZeroAlloc gates the proxy relay's forward primitive:
+// read a frame from the stream, shift its table space in place, queue it
+// on the peer's coalescing buffer, flush. After priming (pool and buffer
+// warm-up), the loop must not allocate — this is the path every relayed
+// flow-mod takes through the DFI proxy.
+func TestRelayForwardZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	fm := &openflow.FlowMod{
+		TableID:  0,
+		Command:  openflow.FlowModAdd,
+		BufferID: openflow.NoBuffer,
+		Match:    &openflow.Match{InPort: openflow.U32(1)},
+		Instructions: []openflow.Instruction{
+			&openflow.InstructionGotoTable{TableID: 1},
+		},
+	}
+	wire, err := openflow.Encode(1, fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(wire)
+	c := openflow.NewConn(nopStream{})
+	var f openflow.Frame
+	forward := func() {
+		r.Reset(wire)
+		if err := openflow.ReadFrame(r, &f); err != nil {
+			t.Fatal(err)
+		}
+		if !f.ShiftFlowModTables(+1) {
+			t.Fatal("shift refused")
+		}
+		if err := c.QueueFrame(&f); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	forward() // prime frame buffer and write buffer
+	if allocs := testing.AllocsPerRun(200, forward); allocs != 0 {
+		t.Fatalf("relay forward allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// nopStream swallows writes and never yields reads (alloc-gate sink).
+type nopStream struct{}
+
+func (nopStream) Write(p []byte) (int, error) { return len(p), nil }
+func (nopStream) Read([]byte) (int, error)    { return 0, io.EOF }

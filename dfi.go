@@ -57,6 +57,8 @@ type config struct {
 	externalBus   *bus.Bus
 	wildcardCache bool
 	flowCacheSize int
+	flushFanOut   int
+	statsTimeout  time.Duration
 	metrics       *obs.Registry
 	traceCap      int
 	traceEvery    int
@@ -142,6 +144,23 @@ func WithWildcardCaching() Option {
 // 0 selects the default (4096 entries); negative disables the cache.
 func WithFlowDecisionCache(size int) Option {
 	return func(c *config) { c.flowCacheSize = size }
+}
+
+// WithFlushFanOut bounds how many switches a cookie-scoped policy flush
+// writes to concurrently (default 8). Flushes compile their flow-mods once
+// and fan the per-switch batched writes out on a bounded worker group, so
+// flush latency stays roughly flat in switch count instead of growing
+// linearly; 1 serializes the writes. The flush remains synchronous either
+// way: revocation returns only after every switch was written.
+func WithFlushFanOut(workers int) Option {
+	return func(c *config) { c.flushFanOut = workers }
+}
+
+// WithFlowStatsTimeout bounds how long a DFI-originated flow-stats read
+// (e.g. the quarantine PDP polling switch counters) waits for the
+// switch's multipart reply (default 10s).
+func WithFlowStatsTimeout(d time.Duration) Option {
+	return func(c *config) { c.statsTimeout = d }
 }
 
 // WithBus supplies an existing event bus instead of creating one.
@@ -285,6 +304,7 @@ func New(opts ...Option) (*System, error) {
 		WildcardCaching:     cfg.wildcardCache,
 		AllowIdleTimeoutSec: cfg.allowIdleSec,
 		DenyIdleTimeoutSec:  cfg.denyIdleSec,
+		FlushFanOut:         cfg.flushFanOut,
 		FlowCacheSize:       cfg.flowCacheSize,
 		Obs:                 s.metrics,
 		Trace:               s.traces,
@@ -294,11 +314,12 @@ func New(opts ...Option) (*System, error) {
 
 	var err error
 	s.proxy, err = proxy.New(proxy.Config{
-		PCP:            s.pcp,
-		DialController: cfg.dial,
-		Clock:          cfg.clock,
-		Latency:        cfg.proxyLat,
-		Obs:            s.metrics,
+		PCP:              s.pcp,
+		DialController:   cfg.dial,
+		Clock:            cfg.clock,
+		Latency:          cfg.proxyLat,
+		Obs:              s.metrics,
+		FlowStatsTimeout: cfg.statsTimeout,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dfi: %w", err)

@@ -1,0 +1,152 @@
+package pcp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/core/entity"
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/obs"
+	"github.com/dfi-sdn/dfi/internal/openflow"
+)
+
+// batchSwitch is a SwitchClient that also implements FlowModBatcher,
+// recording how the PCP delivered flow-mods (batched vs one at a time)
+// and how many switches were being written concurrently.
+type batchSwitch struct {
+	mu      sync.Mutex
+	batches [][]uint64 // cookies per WriteFlowMods call
+	singles int        // WriteFlowMod calls
+
+	delay time.Duration
+
+	// Shared across all switches in a test to observe fan-out overlap.
+	inflight    *atomic.Int32
+	maxInflight *atomic.Int32
+}
+
+func (s *batchSwitch) WriteFlowMod(*openflow.FlowMod) error {
+	s.mu.Lock()
+	s.singles++
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *batchSwitch) WriteFlowMods(fms []*openflow.FlowMod) error {
+	if s.inflight != nil {
+		n := s.inflight.Add(1)
+		for {
+			m := s.maxInflight.Load()
+			if n <= m || s.maxInflight.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		defer s.inflight.Add(-1)
+	}
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	cookies := make([]uint64, len(fms))
+	for i, fm := range fms {
+		cookies[i] = fm.Cookie
+	}
+	s.mu.Lock()
+	s.batches = append(s.batches, cookies)
+	s.mu.Unlock()
+	return nil
+}
+
+func newFlushEnv(t testing.TB, nSwitches int, fanOut int, delay time.Duration) (*PCP, []*batchSwitch) {
+	t.Helper()
+	p := New(Config{
+		Entity:      entity.NewManager(),
+		Policy:      policy.NewManager(),
+		FlushFanOut: fanOut,
+	})
+	var inflight, maxInflight atomic.Int32
+	sws := make([]*batchSwitch, nSwitches)
+	for i := range sws {
+		sws[i] = &batchSwitch{delay: delay, inflight: &inflight, maxInflight: &maxInflight}
+		p.AttachSwitch(uint64(i+1), sws[i])
+	}
+	return p, sws
+}
+
+// TestFlushPoliciesUsesBatcher: when a switch client supports batched
+// writes, the flush delivers all compiled deletes in one WriteFlowMods call
+// and never falls back to per-mod writes.
+func TestFlushPoliciesUsesBatcher(t *testing.T) {
+	p, sws := newFlushEnv(t, 3, 0, 0)
+	p.FlushPolicies(obs.SpanContext{}, []policy.RuleID{5, 9, 11})
+	for i, sw := range sws {
+		if sw.singles != 0 {
+			t.Fatalf("switch %d: %d per-mod writes, want 0 (batcher available)", i, sw.singles)
+		}
+		if len(sw.batches) != 1 {
+			t.Fatalf("switch %d: %d batch writes, want 1", i, len(sw.batches))
+		}
+		if got := sw.batches[0]; len(got) != 3 || got[0] != 5 || got[1] != 9 || got[2] != 11 {
+			t.Fatalf("switch %d: batch cookies = %v", i, got)
+		}
+	}
+}
+
+// TestFlushPoliciesSerialFanOut: FlushFanOut=1 degenerates to the serial
+// loop and still reaches every switch.
+func TestFlushPoliciesSerialFanOut(t *testing.T) {
+	p, sws := newFlushEnv(t, 4, 1, 0)
+	p.FlushPolicies(obs.SpanContext{}, []policy.RuleID{1})
+	for i, sw := range sws {
+		if len(sw.batches) != 1 {
+			t.Fatalf("switch %d not flushed: %d batches", i, len(sw.batches))
+		}
+	}
+	if max := sws[0].maxInflight.Load(); max > 1 {
+		t.Fatalf("serial flush observed %d concurrent writes", max)
+	}
+}
+
+// TestFlushPoliciesParallelFanOut: with the default worker bound, a flush
+// across many slow switches overlaps their writes while still reaching all
+// of them before returning (the flush is synchronous).
+func TestFlushPoliciesParallelFanOut(t *testing.T) {
+	p, sws := newFlushEnv(t, 32, 8, 2*time.Millisecond)
+	p.FlushPolicies(obs.SpanContext{}, []policy.RuleID{5, 9})
+	for i, sw := range sws {
+		if len(sw.batches) != 1 || len(sw.batches[0]) != 2 {
+			t.Fatalf("switch %d: batches = %v", i, sw.batches)
+		}
+	}
+	if max := sws[0].maxInflight.Load(); max < 2 {
+		t.Fatalf("parallel flush never overlapped (max inflight %d)", max)
+	}
+	if max := sws[0].maxInflight.Load(); max > 8 {
+		t.Fatalf("fan-out exceeded worker bound: %d", max)
+	}
+}
+
+// benchmarkFlushFanOut measures one synchronous FlushPolicies across
+// nSwitches switches whose batch write costs ~200µs (a realistic TCP
+// write+ack RTT), serial (FlushFanOut=1) vs the default bounded fan-out.
+// The paper's revocation latency (time-to-enforcement) is dominated by
+// this fan-out at scale.
+func benchmarkFlushFanOut(b *testing.B, nSwitches int) {
+	const perSwitch = 200 * time.Microsecond
+	ids := []policy.RuleID{5, 9, 11}
+	run := func(b *testing.B, fanOut int) {
+		p, _ := newFlushEnv(b, nSwitches, fanOut, perSwitch)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.FlushPolicies(obs.SpanContext{}, ids)
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) }) // default bound (8)
+}
+
+func BenchmarkFlushFanOut_1Switches(b *testing.B)  { benchmarkFlushFanOut(b, 1) }
+func BenchmarkFlushFanOut_8Switches(b *testing.B)  { benchmarkFlushFanOut(b, 8) }
+func BenchmarkFlushFanOut_32Switches(b *testing.B) { benchmarkFlushFanOut(b, 32) }

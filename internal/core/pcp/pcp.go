@@ -44,6 +44,15 @@ type FlowReader interface {
 	ReadFlows(req *openflow.FlowStatsRequest) ([]*openflow.FlowStatsEntry, error)
 }
 
+// FlowModBatcher is the optional batch write side of a SwitchClient:
+// installing several flow mods in one coalesced write (the proxy
+// implements it over its connection's write buffer). WriteFlowMod's
+// no-retain contract applies to every element. FlushPolicies prefers this
+// interface so a cookie-scoped flush reaches each switch in one syscall.
+type FlowModBatcher interface {
+	WriteFlowMods(fms []*openflow.FlowMod) error
+}
+
 // ErrNoFlowReader reports a switch attachment that cannot serve flow reads.
 var ErrNoFlowReader = errors.New("pcp: switch attachment does not support flow reads")
 
@@ -99,6 +108,12 @@ type Config struct {
 	// cookie-scoped flushes, not timeouts (default 300/30).
 	AllowIdleTimeoutSec uint16
 	DenyIdleTimeoutSec  uint16
+	// FlushFanOut bounds how many switches FlushPolicies writes to
+	// concurrently when flushing cookie-scoped rules (default 8). 1
+	// serializes the writes (the pre-fan-out behaviour); the flush is
+	// synchronous either way — it returns only after every switch was
+	// written, so time-to-enforcement spans stay accurate.
+	FlushFanOut int
 	// FlowCacheSize bounds the flow-decision cache, the LRU that lets a
 	// re-admitted flow skip the binding and policy queries while both the
 	// policy epoch and the entity (binding) epoch are unchanged (see
@@ -211,6 +226,9 @@ func New(cfg Config) *PCP {
 	}
 	if cfg.DenyIdleTimeoutSec == 0 {
 		cfg.DenyIdleTimeoutSec = 30
+	}
+	if cfg.FlushFanOut <= 0 {
+		cfg.FlushFanOut = 8
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = simclock.Real{}
@@ -813,9 +831,10 @@ func (p *PCP) FlushPolicies(sc obs.SpanContext, ids []policy.RuleID) {
 	}
 	p.mu.RUnlock()
 
-	// Compile one cookie-scoped delete per policy id up front, then write
-	// the batch switch by switch, so each switch's writes are attributable
-	// to one ("proxy","flow_mod_write") span.
+	// Compile one cookie-scoped delete per policy id up front; the fan-out
+	// workers share the slice read-only, so each switch's writes are
+	// attributable to one ("proxy","flow_mod_write") span and the compile
+	// cost is paid once instead of per switch.
 	fms := make([]*openflow.FlowMod, len(ids))
 	for i, id := range ids {
 		fms[i] = &openflow.FlowMod{
@@ -828,24 +847,32 @@ func (p *PCP) FlushPolicies(sc obs.SpanContext, ids []policy.RuleID) {
 			Match:      &openflow.Match{},
 		}
 	}
-	for i, c := range clients {
-		tSwitch := p.cfg.Spans.Now()
-		for _, fm := range fms {
-			_ = c.WriteFlowMod(fm)
+	// Fan the per-switch writes out on a bounded worker group. The flush
+	// stays synchronous — it returns only after every switch was written —
+	// so the policy mutation span measuring time-to-enforcement closes at
+	// the true enforcement point, and callers (revocation paths, tests)
+	// observe a completed flush on return.
+	if workers := min(p.cfg.FlushFanOut, len(clients)); workers <= 1 {
+		for i := range clients {
+			p.flushSwitch(span, dpids[i], clients[i], fms)
 		}
-		if p.cfg.Spans.Enabled() {
-			p.cfg.Spans.Commit(obs.Span{
-				Trace:     span.Trace,
-				ID:        p.cfg.Spans.Child(span).Span,
-				Parent:    span.Span,
-				Component: obs.CompProxy,
-				Stage:     "flow_mod_write",
-				Start:     tSwitch,
-				Duration:  p.cfg.Spans.Now().Sub(tSwitch),
-				DPID:      dpids[i],
-				Detail:    fmt.Sprintf("%d cookie-scoped deletes", len(fms)),
-			})
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					p.flushSwitch(span, dpids[i], clients[i], fms)
+				}
+			}()
 		}
+		for i := range clients {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
 	}
 	if p.cfg.Spans.Enabled() {
 		p.cfg.Spans.Commit(obs.Span{
@@ -866,6 +893,34 @@ func (p *PCP) FlushPolicies(sc obs.SpanContext, ids []policy.RuleID) {
 			Trace:       uint64(span.Trace),
 			PolicyEpoch: p.cfg.Policy.Epoch(),
 			Detail:      fmt.Sprintf("flushed derived flow rules for %d policy ids across %d switches", len(ids), len(clients)),
+		})
+	}
+}
+
+// flushSwitch writes the compiled cookie-scoped deletes to one switch —
+// in one coalesced write when the client supports batching — under its own
+// ("proxy","flow_mod_write") span. Safe to call from concurrent fan-out
+// workers: SpanStore commits are synchronized and span ids are atomic.
+func (p *PCP) flushSwitch(span obs.SpanContext, dpid uint64, c SwitchClient, fms []*openflow.FlowMod) {
+	tSwitch := p.cfg.Spans.Now()
+	if b, ok := c.(FlowModBatcher); ok {
+		_ = b.WriteFlowMods(fms)
+	} else {
+		for _, fm := range fms {
+			_ = c.WriteFlowMod(fm)
+		}
+	}
+	if p.cfg.Spans.Enabled() {
+		p.cfg.Spans.Commit(obs.Span{
+			Trace:     span.Trace,
+			ID:        p.cfg.Spans.Child(span).Span,
+			Parent:    span.Span,
+			Component: obs.CompProxy,
+			Stage:     "flow_mod_write",
+			Start:     tSwitch,
+			Duration:  p.cfg.Spans.Now().Sub(tSwitch),
+			DPID:      dpid,
+			Detail:    fmt.Sprintf("%d cookie-scoped deletes", len(fms)),
 		})
 	}
 }

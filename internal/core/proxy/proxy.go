@@ -42,6 +42,10 @@ type Config struct {
 	// so a directly-constructed proxy exposes its counters alongside the
 	// PCP's in one place.
 	Obs *obs.Registry
+	// FlowStatsTimeout bounds how long a DFI-originated flow-stats read
+	// (switchWriter.ReadFlows) waits for the switch's multipart reply
+	// before giving up (default 10s).
+	FlowStatsTimeout time.Duration
 }
 
 // Stats is a point-in-time snapshot of the proxy's counters, assembled from
@@ -75,6 +79,9 @@ func New(cfg Config) (*Proxy, error) {
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = simclock.Real{}
+	}
+	if cfg.FlowStatsTimeout <= 0 {
+		cfg.FlowStatsTimeout = 10 * time.Second
 	}
 	reg := cfg.Obs
 	if reg == nil {
@@ -124,9 +131,38 @@ func (w *switchWriter) WriteFlowMod(fm *openflow.FlowMod) error {
 	return err
 }
 
+// WriteFlowMods implements pcp.FlowModBatcher: every flow mod is encoded
+// into the switch connection's coalescing buffer and the batch reaches the
+// stream in one write, instead of one syscall per message.
+func (w *switchWriter) WriteFlowMods(fms []*openflow.FlowMod) error {
+	var firstErr error
+	for _, fm := range fms {
+		if _, err := w.sess.sw.Queue(fm); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := w.sess.sw.Flush(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// statsTimerPool recycles ReadFlows timeout timers, replacing the per-call
+// time.After allocation (whose timer lingers until it fires even after the
+// reply arrives). Timers are returned stopped and drained.
+var statsTimerPool = sync.Pool{
+	New: func() any {
+		t := time.NewTimer(time.Hour)
+		if !t.Stop() {
+			<-t.C
+		}
+		return t
+	},
+}
+
 // ReadFlows issues a DFI-originated flow-stats request to the switch and
 // waits for the reply, which the relay routes back here instead of to the
-// controller.
+// controller. The wait is bounded by Config.FlowStatsTimeout.
 func (w *switchWriter) ReadFlows(req *openflow.FlowStatsRequest) ([]*openflow.FlowStatsEntry, error) {
 	xid, ch := w.sess.registerPending()
 	defer w.sess.unregisterPending(xid)
@@ -137,13 +173,24 @@ func (w *switchWriter) ReadFlows(req *openflow.FlowStatsRequest) ([]*openflow.Fl
 	if err != nil {
 		return nil, err
 	}
+	t := statsTimerPool.Get().(*time.Timer)
+	t.Reset(w.sess.proxy.cfg.FlowStatsTimeout)
+	defer func() {
+		if !t.Stop() {
+			select { // drain a fired timer before pooling it
+			case <-t.C:
+			default:
+			}
+		}
+		statsTimerPool.Put(t)
+	}()
 	select {
 	case rep, ok := <-ch:
 		if !ok {
 			return nil, errSessionClosed
 		}
 		return rep.Flows, nil
-	case <-time.After(10 * time.Second):
+	case <-t.C:
 		return nil, errStatsTimeout
 	}
 }
@@ -252,16 +299,76 @@ func (s *session) takePending(xid uint32, rep *openflow.MultipartReply) bool {
 	return true
 }
 
+// The relay loops operate on raw frames: the hot message types are
+// rewritten in place and forwarded without a decode/encode round trip, and
+// forwards coalesce in the peer connection's write buffer, flushed when
+// this side's input runs dry (no already-buffered bytes left, i.e. the
+// next read would block). A burst of N messages thus crosses the proxy in
+// one write instead of N.
+
 func (s *session) relaySwitchToController() error {
+	var f openflow.Frame
 	for {
-		xid, msg, err := s.sw.Recv()
-		if err != nil {
+		if err := s.sw.RecvFrame(&f); err != nil {
 			return err
 		}
-		if err := s.handleFromSwitch(xid, msg); err != nil {
+		if err := s.handleFrameFromSwitch(&f); err != nil {
 			return err
+		}
+		if s.sw.InputBuffered() == 0 {
+			if err := s.ctl.Flush(); err != nil {
+				return err
+			}
 		}
 	}
+}
+
+// handleFrameFromSwitch applies the switch→controller rewrites on the raw
+// frame when possible, falling back to the decoded handler for message
+// types that need structural interpretation (features, multipart) or a
+// policy decision (table-0 packet-ins).
+//
+//dfi:hotpath
+func (s *session) handleFrameFromSwitch(f *openflow.Frame) error {
+	p := s.proxy
+	switch f.Type() {
+	case openflow.TypePacketIn:
+		if tid, ok := f.PacketInTableID(); ok && tid > 0 {
+			// A miss in table 1+ was already admitted by DFI's table-0
+			// rules: shift the table id in place and forward the bytes
+			// without decoding.
+			p.packetIns.Inc()
+			f.ShiftPacketInTable(-1)
+			if err := s.ctl.QueueFrame(f); err != nil {
+				return err
+			}
+			p.forwarded.Inc()
+			return nil
+		}
+		// Table-0 packet-ins carry a new flow: decode and run admission.
+
+	case openflow.TypeFlowRemoved:
+		if tid, ok := f.FlowRemovedTableID(); ok {
+			if tid == 0 {
+				return nil // DFI's own rule: consumed, never shown
+			}
+			f.ShiftFlowRemovedTable(-1)
+			return s.ctl.QueueFrame(f)
+		}
+
+	case openflow.TypeFeaturesReply, openflow.TypeMultipartReply:
+		// Table hiding, reply filtering and DFI-read routing need the
+		// decoded form.
+
+	default:
+		// Transparent passthrough, byte for byte.
+		return s.ctl.QueueFrame(f)
+	}
+	xid, msg, err := f.Decode()
+	if err != nil {
+		return err
+	}
+	return s.handleFromSwitch(xid, msg)
 }
 
 func (s *session) handleFromSwitch(xid uint32, msg openflow.Message) error {
@@ -388,15 +495,49 @@ func (s *session) handlePacketIn(xid uint32, pi *openflow.PacketIn) error {
 }
 
 func (s *session) relayControllerToSwitch() error {
+	var f openflow.Frame
 	for {
-		xid, msg, err := s.ctl.Recv()
-		if err != nil {
+		if err := s.ctl.RecvFrame(&f); err != nil {
 			return err
 		}
-		if err := s.handleFromController(xid, msg); err != nil {
+		if err := s.handleFrameFromController(&f); err != nil {
 			return err
+		}
+		if s.ctl.InputBuffered() == 0 {
+			if err := s.sw.Flush(); err != nil {
+				return err
+			}
 		}
 	}
+}
+
+// handleFrameFromController applies the controller→switch table-space
+// rewrites in place on the raw frame when possible; flow-stats requests
+// (and frames the in-place rewriter rejects as malformed) take the decoded
+// path.
+//
+//dfi:hotpath
+func (s *session) handleFrameFromController(f *openflow.Frame) error {
+	switch f.Type() {
+	case openflow.TypeFlowMod:
+		if f.ShiftFlowModTables(+1) {
+			return s.sw.QueueFrame(f)
+		}
+	case openflow.TypeTableMod:
+		if f.ShiftTableModTable(+1) {
+			return s.sw.QueueFrame(f)
+		}
+	case openflow.TypeMultipartReq:
+		// Flow/aggregate stats requests rewrite an inner table id the
+		// frame walker does not model.
+	default:
+		return s.sw.QueueFrame(f)
+	}
+	xid, msg, err := f.Decode()
+	if err != nil {
+		return err
+	}
+	return s.handleFromController(xid, msg)
 }
 
 func (s *session) handleFromController(xid uint32, msg openflow.Message) error {

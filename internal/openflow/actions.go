@@ -59,6 +59,33 @@ func marshalActions(actions []Action) []byte {
 	return b
 }
 
+// appendAction append-encodes one action onto dst. Known concrete types
+// encode in place without the Marshal allocation; unknown implementations
+// fall back to Marshal.
+func appendAction(dst []byte, a Action) []byte {
+	switch a := a.(type) {
+	case *ActionOutput:
+		n := len(dst)
+		dst = grow(dst, 16)
+		binary.BigEndian.PutUint16(dst[n:n+2], actionTypeOutput)
+		binary.BigEndian.PutUint16(dst[n+2:n+4], 16)
+		binary.BigEndian.PutUint32(dst[n+4:n+8], a.Port)
+		binary.BigEndian.PutUint16(dst[n+8:n+10], a.MaxLen)
+		return dst
+	case *ActionRaw:
+		return appendBytes(dst, a.Bytes)
+	default:
+		return append(dst, a.Marshal()...)
+	}
+}
+
+func appendActions(dst []byte, actions []Action) []byte {
+	for _, a := range actions {
+		dst = appendAction(dst, a)
+	}
+	return dst
+}
+
 // unmarshalActions parses a list of actions occupying exactly b.
 func unmarshalActions(b []byte) ([]Action, error) {
 	var actions []Action
@@ -183,6 +210,52 @@ func marshalInstructions(instrs []Instruction) []byte {
 		b = append(b, in.Marshal()...)
 	}
 	return b
+}
+
+// appendInstruction append-encodes one instruction onto dst; known concrete
+// types encode in place, unknown implementations fall back to Marshal.
+func appendInstruction(dst []byte, in Instruction) []byte {
+	switch in := in.(type) {
+	case *InstructionGotoTable:
+		n := len(dst)
+		dst = grow(dst, 8)
+		binary.BigEndian.PutUint16(dst[n:n+2], instrTypeGotoTable)
+		binary.BigEndian.PutUint16(dst[n+2:n+4], 8)
+		dst[n+4] = in.TableID
+		return dst
+	case *InstructionApplyActions:
+		return appendActionInstr(dst, instrTypeApplyActions, in.Actions)
+	case *InstructionWriteActions:
+		return appendActionInstr(dst, instrTypeWriteActions, in.Actions)
+	case *InstructionClearActions:
+		n := len(dst)
+		dst = grow(dst, 8)
+		binary.BigEndian.PutUint16(dst[n:n+2], instrTypeClearActions)
+		binary.BigEndian.PutUint16(dst[n+2:n+4], 8)
+		return dst
+	case *InstructionRaw:
+		return appendBytes(dst, in.Bytes)
+	default:
+		return append(dst, in.Marshal()...)
+	}
+}
+
+// appendActionInstr encodes an action-list instruction (apply/write),
+// patching the instruction length after the actions are appended.
+func appendActionInstr(dst []byte, itype uint16, actions []Action) []byte {
+	start := len(dst)
+	dst = grow(dst, 8) // header + 4 pad bytes, zeroed by grow
+	dst = appendActions(dst, actions)
+	binary.BigEndian.PutUint16(dst[start:start+2], itype)
+	binary.BigEndian.PutUint16(dst[start+2:start+4], uint16(len(dst)-start))
+	return dst
+}
+
+func appendInstructions(dst []byte, instrs []Instruction) []byte {
+	for _, in := range instrs {
+		dst = appendInstruction(dst, in)
+	}
+	return dst
 }
 
 // unmarshalInstructions parses a list of instructions occupying exactly b.

@@ -288,82 +288,105 @@ func oxmHeader(field uint8, length int) uint32 {
 	return uint32(oxmClassBasic)<<16 | uint32(field&0x7f)<<9 | uint32(length&0xff)
 }
 
-// Marshal serializes the match as an ofp_match (type OFPMT_OXM) including
-// trailing padding to 8 bytes.
-func (m *Match) Marshal() []byte {
-	var oxms []byte
-	putU32 := func(field uint8, v uint32) {
-		var b [8]byte
-		binary.BigEndian.PutUint32(b[0:4], oxmHeader(field, 4))
-		binary.BigEndian.PutUint32(b[4:8], v)
-		oxms = append(oxms, b[:]...)
-	}
-	putU16 := func(field uint8, v uint16) {
-		var b [6]byte
-		binary.BigEndian.PutUint32(b[0:4], oxmHeader(field, 2))
-		binary.BigEndian.PutUint16(b[4:6], v)
-		oxms = append(oxms, b[:]...)
-	}
-	putU8 := func(field uint8, v uint8) {
-		var b [5]byte
-		binary.BigEndian.PutUint32(b[0:4], oxmHeader(field, 1))
-		b[4] = v
-		oxms = append(oxms, b[:]...)
-	}
-	putMAC := func(field uint8, v netpkt.MAC) {
-		var b [10]byte
-		binary.BigEndian.PutUint32(b[0:4], oxmHeader(field, 6))
-		copy(b[4:10], v[:])
-		oxms = append(oxms, b[:]...)
-	}
+// emptyMatch is the all-wildcard ofp_match encoded for messages with a nil
+// Match. Shared so hot-path encoders never construct one per message.
+var emptyMatch = &Match{}
+
+// OXM append helpers: each extends dst through grow and writes the TLV in
+// place, so the annotated callers stay allocation-free on reused buffers.
+
+func appendOXMU32(dst []byte, field uint8, v uint32) []byte {
+	n := len(dst)
+	dst = grow(dst, 8)
+	binary.BigEndian.PutUint32(dst[n:n+4], oxmHeader(field, 4))
+	binary.BigEndian.PutUint32(dst[n+4:n+8], v)
+	return dst
+}
+
+func appendOXMU16(dst []byte, field uint8, v uint16) []byte {
+	n := len(dst)
+	dst = grow(dst, 6)
+	binary.BigEndian.PutUint32(dst[n:n+4], oxmHeader(field, 2))
+	binary.BigEndian.PutUint16(dst[n+4:n+6], v)
+	return dst
+}
+
+func appendOXMU8(dst []byte, field uint8, v uint8) []byte {
+	n := len(dst)
+	dst = grow(dst, 5)
+	binary.BigEndian.PutUint32(dst[n:n+4], oxmHeader(field, 1))
+	dst[n+4] = v
+	return dst
+}
+
+func appendOXMMAC(dst []byte, field uint8, v netpkt.MAC) []byte {
+	n := len(dst)
+	dst = grow(dst, 10)
+	binary.BigEndian.PutUint32(dst[n:n+4], oxmHeader(field, 6))
+	copy(dst[n+4:n+10], v[:])
+	return dst
+}
+
+// AppendTo append-encodes the match as an ofp_match (type OFPMT_OXM)
+// including trailing padding to 8 bytes, and returns the extended slice.
+// With a reused buffer it performs no allocation.
+//
+//dfi:hotpath
+func (m *Match) AppendTo(dst []byte) []byte {
+	start := len(dst)
+	dst = grow(dst, 4) // type + length, patched below
 	if m.InPort != nil {
-		putU32(oxmFieldInPort, *m.InPort)
+		dst = appendOXMU32(dst, oxmFieldInPort, *m.InPort)
 	}
 	if m.EthDst != nil {
-		putMAC(oxmFieldEthDst, *m.EthDst)
+		dst = appendOXMMAC(dst, oxmFieldEthDst, *m.EthDst)
 	}
 	if m.EthSrc != nil {
-		putMAC(oxmFieldEthSrc, *m.EthSrc)
+		dst = appendOXMMAC(dst, oxmFieldEthSrc, *m.EthSrc)
 	}
 	if m.EthType != nil {
-		putU16(oxmFieldEthType, *m.EthType)
+		dst = appendOXMU16(dst, oxmFieldEthType, *m.EthType)
 	}
 	if m.IPProto != nil {
-		putU8(oxmFieldIPProto, *m.IPProto)
+		dst = appendOXMU8(dst, oxmFieldIPProto, *m.IPProto)
 	}
 	if m.IPv4Src != nil {
-		putU32(oxmFieldIPv4Src, m.IPv4Src.Uint32())
+		dst = appendOXMU32(dst, oxmFieldIPv4Src, m.IPv4Src.Uint32())
 	}
 	if m.IPv4Dst != nil {
-		putU32(oxmFieldIPv4Dst, m.IPv4Dst.Uint32())
+		dst = appendOXMU32(dst, oxmFieldIPv4Dst, m.IPv4Dst.Uint32())
 	}
 	if m.TCPSrc != nil {
-		putU16(oxmFieldTCPSrc, *m.TCPSrc)
+		dst = appendOXMU16(dst, oxmFieldTCPSrc, *m.TCPSrc)
 	}
 	if m.TCPDst != nil {
-		putU16(oxmFieldTCPDst, *m.TCPDst)
+		dst = appendOXMU16(dst, oxmFieldTCPDst, *m.TCPDst)
 	}
 	if m.UDPSrc != nil {
-		putU16(oxmFieldUDPSrc, *m.UDPSrc)
+		dst = appendOXMU16(dst, oxmFieldUDPSrc, *m.UDPSrc)
 	}
 	if m.UDPDst != nil {
-		putU16(oxmFieldUDPDst, *m.UDPDst)
+		dst = appendOXMU16(dst, oxmFieldUDPDst, *m.UDPDst)
 	}
 	if m.ARPSPA != nil {
-		putU32(oxmFieldARPSPA, m.ARPSPA.Uint32())
+		dst = appendOXMU32(dst, oxmFieldARPSPA, m.ARPSPA.Uint32())
 	}
 	if m.ARPTPA != nil {
-		putU32(oxmFieldARPTPA, m.ARPTPA.Uint32())
+		dst = appendOXMU32(dst, oxmFieldARPTPA, m.ARPTPA.Uint32())
 	}
 
 	// ofp_match: type, length (covers type+length+oxms, excludes pad).
-	unpadded := 4 + len(oxms)
+	unpadded := len(dst) - start
+	binary.BigEndian.PutUint16(dst[start:start+2], 1) // OFPMT_OXM
+	binary.BigEndian.PutUint16(dst[start+2:start+4], uint16(unpadded))
 	padded := (unpadded + 7) / 8 * 8
-	b := make([]byte, padded)
-	binary.BigEndian.PutUint16(b[0:2], 1) // OFPMT_OXM
-	binary.BigEndian.PutUint16(b[2:4], uint16(unpadded))
-	copy(b[4:], oxms)
-	return b
+	return grow(dst, padded-unpadded) // grow zeroes the pad bytes
+}
+
+// Marshal serializes the match as an ofp_match (type OFPMT_OXM) including
+// trailing padding to 8 bytes. Hot paths use AppendTo with a reused buffer.
+func (m *Match) Marshal() []byte {
+	return m.AppendTo(nil)
 }
 
 // unmarshalMatch parses an ofp_match at the start of b, returning the match

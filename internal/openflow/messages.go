@@ -265,6 +265,31 @@ func (p *PacketIn) MarshalBody() ([]byte, error) {
 	return b, nil
 }
 
+// AppendBody implements BodyAppender: the packet-in body append-encodes
+// into dst without intermediate allocation, for the proxy relay path.
+//
+//dfi:hotpath
+func (p *PacketIn) AppendBody(dst []byte) ([]byte, error) {
+	n := len(dst)
+	dst = grow(dst, 16)
+	binary.BigEndian.PutUint32(dst[n:n+4], p.BufferID)
+	totalLen := p.TotalLen
+	if totalLen == 0 {
+		totalLen = uint16(len(p.Data))
+	}
+	binary.BigEndian.PutUint16(dst[n+4:n+6], totalLen)
+	dst[n+6] = p.Reason
+	dst[n+7] = p.TableID
+	binary.BigEndian.PutUint64(dst[n+8:n+16], p.Cookie)
+	match := p.Match
+	if match == nil {
+		match = emptyMatch
+	}
+	dst = match.AppendTo(dst)
+	dst = grow(dst, 2) // 2-byte pad before payload
+	return appendBytes(dst, p.Data), nil
+}
+
 // UnmarshalBody implements Message.
 func (p *PacketIn) UnmarshalBody(b []byte) error {
 	if len(b) < 16 {
@@ -320,6 +345,20 @@ func (p *PacketOut) MarshalBody() ([]byte, error) {
 	copy(b[16:], acts)
 	copy(b[16+len(acts):], p.Data)
 	return b, nil
+}
+
+// AppendBody implements BodyAppender: the packet-out body append-encodes
+// into dst without intermediate allocation, for the PCP release path.
+//
+//dfi:hotpath
+func (p *PacketOut) AppendBody(dst []byte) ([]byte, error) {
+	n := len(dst)
+	dst = grow(dst, 16) // fixed header; pad bytes zeroed by grow
+	binary.BigEndian.PutUint32(dst[n:n+4], p.BufferID)
+	binary.BigEndian.PutUint32(dst[n+4:n+8], p.InPort)
+	dst = appendActions(dst, p.Actions)
+	binary.BigEndian.PutUint16(dst[n+8:n+10], uint16(len(dst)-n-16))
+	return appendBytes(dst, p.Data), nil
 }
 
 // UnmarshalBody implements Message.
@@ -402,6 +441,33 @@ func (f *FlowMod) MarshalBody() ([]byte, error) {
 	copy(b[40:], mb)
 	copy(b[40+len(mb):], ib)
 	return b, nil
+}
+
+// AppendBody implements BodyAppender: the flow-mod body append-encodes
+// into dst without intermediate allocation. This is the PCP install and
+// flush fan-out encode path.
+//
+//dfi:hotpath
+func (f *FlowMod) AppendBody(dst []byte) ([]byte, error) {
+	n := len(dst)
+	dst = grow(dst, 40) // fixed header; pad bytes zeroed by grow
+	binary.BigEndian.PutUint64(dst[n:n+8], f.Cookie)
+	binary.BigEndian.PutUint64(dst[n+8:n+16], f.CookieMask)
+	dst[n+16] = f.TableID
+	dst[n+17] = f.Command
+	binary.BigEndian.PutUint16(dst[n+18:n+20], f.IdleTimeout)
+	binary.BigEndian.PutUint16(dst[n+20:n+22], f.HardTimeout)
+	binary.BigEndian.PutUint16(dst[n+22:n+24], f.Priority)
+	binary.BigEndian.PutUint32(dst[n+24:n+28], f.BufferID)
+	binary.BigEndian.PutUint32(dst[n+28:n+32], f.OutPort)
+	binary.BigEndian.PutUint32(dst[n+32:n+36], f.OutGroup)
+	binary.BigEndian.PutUint16(dst[n+36:n+38], f.Flags)
+	match := f.Match
+	if match == nil {
+		match = emptyMatch
+	}
+	dst = match.AppendTo(dst)
+	return appendInstructions(dst, f.Instructions), nil
 }
 
 // UnmarshalBody implements Message.

