@@ -1,0 +1,508 @@
+package pcp
+
+// This file is the delta flush: the incremental counterpart of
+// FlushPolicies' legacy delete-everything-by-cookie path. Each policy
+// mutation notifies the PCP, which recompiles the classifier incrementally
+// (classifier.CompileNext), turns the resulting rule delta into a minimal
+// flow-mod set — O(changed rules) per mutation, independent of the policy
+// size — and fans it out over the batched switch writers.
+//
+// Revocation correctness: compilation and emission run under deltaMu, so
+// for any revoked rule the classifier that no longer contains it is
+// published (p.compiled.Store) before its cookie-scoped deletes are
+// written. An admission racing the flush either sees the old classifier
+// (and may install a soon-deleted entry — the delete is ordered after the
+// publish, so it lands afterwards and removes it) or the new one; either
+// way no cached or installed allow outlives the flush that revokes it, the
+// same guarantee the legacy path provides.
+//
+// Per-switch write order is deletes before adds: the simulated switch
+// breaks priority ties by install order only within the linear (wild)
+// partition, while canonical exact entries always win their hash probe —
+// so a stale reactive deny pinned at the same priority must be gone before
+// a proactive allow covering it is installed.
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/core/policy/classifier"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/obs"
+	"github.com/dfi-sdn/dfi/internal/openflow"
+)
+
+// flushDelta advances the compiled classifier to the Policy Manager's
+// current epoch and emits the minimal flow-mod delta. Out-of-order flush
+// callbacks (the Manager notifies outside its lock) collapse: whichever
+// callback runs first compiles to the newest snapshot, and the stragglers
+// see an already-current classifier and write nothing.
+func (p *PCP) flushDelta(sc obs.SpanContext) {
+	p.deltaMu.Lock()
+	defer p.deltaMu.Unlock()
+
+	span := p.cfg.Spans.Child(sc)
+	tStart := p.cfg.Spans.Now()
+
+	snap := p.cfg.Policy.Snapshot()
+	prev := p.compiled.Load()
+	next, d := classifier.CompileNext(prev, snap)
+	if next != prev {
+		p.compiled.Store(next)
+	}
+	if d.Empty() {
+		return
+	}
+	p.metrics.deltaCompiles.Inc()
+	p.metrics.deltaAdded.Add(uint64(len(d.Added)))
+	p.metrics.deltaRemoved.Add(uint64(len(d.Removed)))
+	p.metrics.deltaChanged.Add(uint64(len(d.Changed)))
+
+	global, perDel, perAdd := p.compileDelta(next, &d)
+	switches := p.emitDelta(span, global, perDel, perAdd)
+
+	if p.cfg.Spans.Enabled() {
+		p.cfg.Spans.Commit(obs.Span{
+			Trace:     span.Trace,
+			ID:        span.Span,
+			Parent:    sc.Span,
+			Component: obs.CompPCP,
+			Stage:     "delta_compile",
+			Start:     tStart,
+			Duration:  p.cfg.Spans.Now().Sub(tStart),
+			Detail: fmt.Sprintf("epoch %d→%d: +%d -%d ~%d rules, %d global mods, %d switches",
+				d.From, d.To, len(d.Added), len(d.Removed), len(d.Changed), len(global), switches),
+		})
+	}
+	if p.cfg.Audit != nil {
+		_ = p.cfg.Audit.Append(obs.AuditRecord{
+			Kind:        "policy",
+			Op:          "flush",
+			Trace:       uint64(span.Trace),
+			PolicyEpoch: snap.Epoch(),
+			Detail: fmt.Sprintf("delta epoch %d→%d: %d added, %d removed, %d changed rules across %d switches",
+				d.From, d.To, len(d.Added), len(d.Removed), len(d.Changed), switches),
+		})
+	}
+}
+
+// compileDelta translates a rule delta into flow mods: global mods go to
+// every switch, per-switch mods only where a rule's DPID constraints (or a
+// proactive entry's location) scope it. Deletes and adds are kept apart so
+// emitDelta can order deletes first on every switch.
+func (p *PCP) compileDelta(c *classifier.Compiled, d *classifier.Delta) (global []*openflow.FlowMod, perDel, perAdd map[uint64][]*openflow.FlowMod) {
+	perDel = make(map[uint64][]*openflow.FlowMod)
+	perAdd = make(map[uint64][]*openflow.FlowMod)
+
+	// Removed and changed rules: one cookie-scoped delete evicts every
+	// reactive and proactive entry the rule ever produced, on any switch.
+	for _, r := range d.Removed {
+		global = append(global, cookieDelete(r.ID))
+		p.setProactiveFlows(r.ID, nil)
+	}
+	for _, r := range d.Changed {
+		global = append(global, cookieDelete(r.ID))
+	}
+
+	// Added and changed rules: match-scoped deletes evict installed entries
+	// — whatever cookie they carry — matching traffic the rule now decides,
+	// so no pre-existing entry (a reactive allow from a lower-priority
+	// rule, a default-deny exact) can mask the new rule; then proactive
+	// entries for the rule's concretizable bindings are installed.
+	fresh := make([]*policy.Rule, 0, len(d.Changed)+len(d.Added))
+	fresh = append(fresh, d.Changed...)
+	fresh = append(fresh, d.Added...)
+	freshIDs := make(map[policy.RuleID]bool, len(fresh))
+	for _, r := range fresh {
+		freshIDs[r.ID] = true
+		dpid, scoped, matches := p.deleteMatchesFor(r)
+		for _, m := range matches {
+			fm := matchDelete(m)
+			if scoped {
+				perDel[dpid] = append(perDel[dpid], fm)
+			} else {
+				global = append(global, fm)
+			}
+		}
+		flows := p.proactiveFlowsFor(c, r)
+		for _, pf := range flows {
+			perAdd[pf.dpid] = append(perAdd[pf.dpid], pf.fm)
+		}
+		p.setProactiveFlows(r.ID, flows)
+	}
+	if p.cfg.ProactivePush {
+		global = p.rederiveDisturbed(c, d, freshIDs, global, perDel, perAdd)
+	}
+	return global, perDel, perAdd
+}
+
+// rederiveDisturbed re-derives the proactive entries of allow rules the
+// delta disturbs without changing them, appending the resulting mods and
+// returning the extended global list. Two kinds of disturbance exist:
+//
+//   - Blocking changes. A deny entering the delta can newly block pushed
+//     allows (their entries must come out, or a stale allow would mask the
+//     deny in the dataplane); a deny leaving it — or any changed rule,
+//     whose previous shape is unknown — can unblock allows that were held
+//     back. Blocking is priority-bounded, so only allows at or below the
+//     highest disturbing priority are candidates; a deny add can only
+//     shrink coverage, so unless something may unblock, only rules with
+//     entries installed need a look.
+//
+//   - Collateral eviction. The fresh rules' match-scoped deletes are
+//     cookie-agnostic and (for identity-only rules) wide, so they can wipe
+//     other rules' installed proactive entries; those must be reinstalled
+//     even when their derivation is unchanged.
+//
+// The scan is O(rules with proactive entries) in the common case and
+// O(policy) only when a delta may unblock; either way the emitted flow mods
+// stay proportional to the entries that actually change.
+func (p *PCP) rederiveDisturbed(c *classifier.Compiled, d *classifier.Delta, freshIDs map[policy.RuleID]bool, global []*openflow.FlowMod, perDel, perAdd map[uint64][]*openflow.FlowMod) []*openflow.FlowMod {
+	blockers, unblock := false, false
+	maxPrio := 0
+	note := func(prio int) {
+		blockers = true
+		if prio > maxPrio {
+			maxPrio = prio
+		}
+	}
+	for _, q := range d.Added {
+		if q.Action == policy.ActionDeny {
+			note(q.Priority)
+		}
+	}
+	for _, q := range d.Removed {
+		if q.Action == policy.ActionDeny {
+			note(q.Priority)
+			unblock = true
+		}
+	}
+	if len(d.Changed) > 0 {
+		// The old side of a changed rule is gone; assume it could have
+		// blocked (or unblocked) at any priority.
+		blockers, unblock = true, true
+		maxPrio = int(^uint(0) >> 1)
+	}
+
+	// Installed entries a delete in this delta would evict force a
+	// reinstall regardless of derivation equality.
+	forced := make(map[policy.RuleID]bool)
+	p.proactiveMu.Lock()
+	for id, flows := range p.proactiveFlows {
+		if freshIDs[id] {
+			continue
+		}
+		for _, pf := range flows {
+			if deleteHits(pf, uint64(id), global) || deleteHits(pf, uint64(id), perDel[pf.dpid]) {
+				forced[id] = true
+				break
+			}
+		}
+	}
+	withEntries := make([]policy.RuleID, 0, len(p.proactiveFlows))
+	for id := range p.proactiveFlows {
+		withEntries = append(withEntries, id)
+	}
+	p.proactiveMu.Unlock()
+	if !blockers && len(forced) == 0 {
+		return global
+	}
+
+	var candidates []*policy.Rule
+	if unblock {
+		for _, a := range c.Snapshot().All() {
+			if a.Action != policy.ActionAllow || freshIDs[a.ID] {
+				continue
+			}
+			if forced[a.ID] || (blockers && a.Priority <= maxPrio) {
+				candidates = append(candidates, a)
+			}
+		}
+	} else {
+		for _, id := range withEntries {
+			a := c.Snapshot().Get(id)
+			if a == nil || a.Action != policy.ActionAllow || freshIDs[id] {
+				continue
+			}
+			if forced[id] || (blockers && a.Priority <= maxPrio) {
+				candidates = append(candidates, a)
+			}
+		}
+	}
+	for _, a := range candidates {
+		flows := p.proactiveFlowsFor(c, a)
+		old := p.getProactiveFlows(a.ID)
+		if !forced[a.ID] && flowsEqual(old, flows) {
+			continue
+		}
+		if len(old) == 0 && len(flows) == 0 {
+			continue
+		}
+		if len(old) > 0 {
+			global = append(global, cookieDelete(a.ID))
+		}
+		for _, pf := range flows {
+			perAdd[pf.dpid] = append(perAdd[pf.dpid], pf.fm)
+		}
+		p.setProactiveFlows(a.ID, flows)
+	}
+	return global
+}
+
+// deleteHits reports whether any delete in fms would evict the installed
+// entry pf (cookie id): a non-strict delete hits when its cookie window
+// includes the entry's cookie and its match covers the entry's.
+func deleteHits(pf proactiveFlow, cookie uint64, fms []*openflow.FlowMod) bool {
+	for _, fm := range fms {
+		if fm.Command != openflow.FlowModDelete {
+			continue
+		}
+		if fm.CookieMask != 0 && fm.Cookie&fm.CookieMask != cookie&fm.CookieMask {
+			continue
+		}
+		if fm.Match == nil || fm.Match.Covers(pf.fm.Match) {
+			return true
+		}
+	}
+	return false
+}
+
+// cookieDelete compiles the delete-everything-derived-from-one-policy-rule
+// flow mod (cookies carry the policy rule id).
+func cookieDelete(id policy.RuleID) *openflow.FlowMod {
+	return &openflow.FlowMod{
+		Cookie:     uint64(id),
+		CookieMask: ^uint64(0),
+		TableID:    0,
+		Command:    openflow.FlowModDelete,
+		OutPort:    openflow.PortAny,
+		OutGroup:   0xffffffff,
+		Match:      &openflow.Match{},
+	}
+}
+
+// matchDelete compiles a cookie-agnostic non-strict delete over one match.
+func matchDelete(m *openflow.Match) *openflow.FlowMod {
+	return &openflow.FlowMod{
+		TableID:  0,
+		Command:  openflow.FlowModDelete,
+		OutPort:  openflow.PortAny,
+		OutGroup: 0xffffffff,
+		Match:    m,
+	}
+}
+
+// deleteMatchesFor derives the match set whose non-strict deletes cover
+// every installed table-0 entry that could carry traffic rule r matches.
+// scoped reports whether the deletes apply to one switch only (the rule
+// constrains a DPID). An empty match set means the rule can match no flow
+// the PCP ever compiles state for (nothing to evict).
+//
+// Covers semantics are subsetting: a delete only reaches entries that pin
+// every field it pins, so fields are taken from the rule only when every
+// affected entry is guaranteed to pin them. Exact reactive entries pin the
+// packet's full identifier set; widened entries (WildcardCaching) pin only
+// in-port, MACs, EtherType and IP protocol — so with widening enabled the
+// deletes drop IP and L4 fields and evict coarser.
+func (p *PCP) deleteMatchesFor(r *policy.Rule) (dpid uint64, scoped bool, matches []*openflow.Match) {
+	if r.Src.DPID != nil {
+		dpid, scoped = *r.Src.DPID, true
+	}
+	if r.Dst.DPID != nil {
+		if scoped && *r.Dst.DPID != dpid {
+			// The admission view gives both endpoints the ingress switch's
+			// DPID; conflicting constraints match nothing.
+			return 0, false, nil
+		}
+		dpid, scoped = *r.Dst.DPID, true
+	}
+
+	base := openflow.Match{
+		InPort: r.Src.SwitchPort,
+		EthSrc: r.Src.MAC,
+		EthDst: r.Dst.MAC,
+	}
+	srcIP, dstIP := r.Src.IP, r.Dst.IP
+	srcPort, dstPort := r.Src.Port, r.Dst.Port
+	hasIP := srcIP != nil || dstIP != nil
+	hasL4 := srcPort != nil || dstPort != nil
+	if p.cfg.WildcardCaching {
+		// Widened entries would not be Covered by IP- or port-pinning
+		// deletes; keep the variant structure, drop the values.
+		srcIP, dstIP, srcPort, dstPort = nil, nil, nil, nil
+	}
+
+	ipv4 := func() []*openflow.Match {
+		m := base
+		m.EthType = openflow.U16(netpkt.EtherTypeIPv4)
+		m.IPv4Src, m.IPv4Dst = srcIP, dstIP
+		proto := r.Props.IPProto
+		if !hasL4 {
+			m.IPProto = proto
+			return []*openflow.Match{&m}
+		}
+		switch {
+		case proto != nil && *proto == netpkt.ProtoTCP:
+			m.IPProto = proto
+			m.TCPSrc, m.TCPDst = srcPort, dstPort
+			return []*openflow.Match{&m}
+		case proto != nil && *proto == netpkt.ProtoUDP:
+			m.IPProto = proto
+			m.UDPSrc, m.UDPDst = srcPort, dstPort
+			return []*openflow.Match{&m}
+		case proto != nil:
+			// Port constraints on a port-less protocol match nothing.
+			return nil
+		default:
+			tcp, udp := m, m
+			tcp.IPProto = openflow.U8(netpkt.ProtoTCP)
+			tcp.TCPSrc, tcp.TCPDst = srcPort, dstPort
+			udp.IPProto = openflow.U8(netpkt.ProtoUDP)
+			udp.UDPSrc, udp.UDPDst = srcPort, dstPort
+			return []*openflow.Match{&tcp, &udp}
+		}
+	}
+	arp := func() []*openflow.Match {
+		m := base
+		m.EthType = openflow.U16(netpkt.EtherTypeARP)
+		m.ARPSPA, m.ARPTPA = srcIP, dstIP
+		return []*openflow.Match{&m}
+	}
+
+	switch {
+	case r.Props.EtherType == nil:
+		switch {
+		case r.Props.IPProto != nil || hasL4:
+			// Only IPv4 traffic carries an IP protocol or L4 ports.
+			matches = ipv4()
+		case hasIP:
+			// IP constraints reach IPv4 and ARP (sender/target) traffic.
+			matches = append(ipv4(), arp()...)
+		default:
+			matches = []*openflow.Match{&base}
+		}
+	case *r.Props.EtherType == netpkt.EtherTypeIPv4:
+		matches = ipv4()
+	case *r.Props.EtherType == netpkt.EtherTypeARP:
+		if r.Props.IPProto == nil && !hasL4 {
+			matches = arp()
+		}
+	default:
+		if r.Props.IPProto == nil && !hasL4 && !hasIP {
+			m := base
+			m.EthType = openflow.U16(*r.Props.EtherType)
+			matches = []*openflow.Match{&m}
+		}
+	}
+	return dpid, scoped, matches
+}
+
+// emitDelta writes the delta to every attached switch — global mods plus
+// the switch's scoped mods, deletes always before adds — over the same
+// bounded fan-out FlushPolicies uses, and returns how many switches were
+// written. Switches with nothing to write are skipped.
+func (p *PCP) emitDelta(span obs.SpanContext, global []*openflow.FlowMod, perDel, perAdd map[uint64][]*openflow.FlowMod) int {
+	p.mu.RLock()
+	dpids := make([]uint64, 0, len(p.switches))
+	clients := make([]SwitchClient, 0, len(p.switches))
+	for dpid, c := range p.switches {
+		dpids = append(dpids, dpid)
+		clients = append(clients, c)
+	}
+	p.mu.RUnlock()
+
+	batches := make([][]*openflow.FlowMod, len(clients))
+	written := 0
+	for i, dpid := range dpids {
+		n := len(global) + len(perDel[dpid]) + len(perAdd[dpid])
+		if n == 0 {
+			continue
+		}
+		fms := make([]*openflow.FlowMod, 0, n)
+		fms = append(fms, global...)
+		fms = append(fms, perDel[dpid]...)
+		fms = append(fms, perAdd[dpid]...)
+		batches[i] = fms
+		written++
+		for _, fm := range fms {
+			if fm.Command == openflow.FlowModAdd {
+				p.metrics.deltaModAdds.Inc()
+			} else {
+				p.metrics.deltaModDeletes.Inc()
+			}
+		}
+	}
+	if written == 0 {
+		return 0
+	}
+	if workers := min(p.cfg.FlushFanOut, written); workers <= 1 {
+		for i := range clients {
+			if batches[i] != nil {
+				p.flushSwitch(span, dpids[i], clients[i], batches[i])
+			}
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					p.flushSwitch(span, dpids[i], clients[i], batches[i])
+				}
+			}()
+		}
+		for i := range clients {
+			if batches[i] != nil {
+				next <- i
+			}
+		}
+		close(next)
+		wg.Wait()
+	}
+	return written
+}
+
+// setProactiveFlows records a rule's current proactive derivation and
+// feeds the push/remove counters from the set-size delta.
+func (p *PCP) setProactiveFlows(id policy.RuleID, flows []proactiveFlow) {
+	p.proactiveMu.Lock()
+	old := len(p.proactiveFlows[id])
+	if len(flows) == 0 {
+		delete(p.proactiveFlows, id)
+	} else {
+		p.proactiveFlows[id] = flows
+	}
+	p.proactiveMu.Unlock()
+	if n := len(flows); n > old {
+		p.metrics.proactivePushed.Add(uint64(n - old))
+	} else if old > n {
+		p.metrics.proactiveRemoved.Add(uint64(old - n))
+	}
+}
+
+// getProactiveFlows returns the recorded derivation for one rule. The
+// slice is shared read-only: derivations are replaced wholesale, never
+// mutated in place.
+func (p *PCP) getProactiveFlows(id policy.RuleID) []proactiveFlow {
+	p.proactiveMu.Lock()
+	defer p.proactiveMu.Unlock()
+	return p.proactiveFlows[id]
+}
+
+// flowsEqual reports whether two derivations install the same entries.
+// Derivation is deterministic in (classifier, bindings), so an elementwise
+// compare suffices; priority and cookie are fixed per rule by construction.
+func flowsEqual(a, b []proactiveFlow) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].dpid != b[i].dpid || !a[i].fm.Match.Equal(b[i].fm.Match) {
+			return false
+		}
+	}
+	return true
+}

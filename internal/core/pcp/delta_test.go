@@ -1,0 +1,526 @@
+package pcp
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/dfi-sdn/dfi/internal/core/entity"
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/obs"
+	"github.com/dfi-sdn/dfi/internal/openflow"
+	"github.com/dfi-sdn/dfi/internal/switchsim"
+)
+
+// newModeEnv is newFlushEnv with the delta-compiler knobs exposed: PDPs
+// "low" (priority 10) and "high" (priority 20) are registered, switches
+// attach at dpids 1..n.
+func newModeEnv(t testing.TB, nSwitches int, mut func(*Config)) (*PCP, *policy.Manager, *entity.Manager, []*batchSwitch) {
+	t.Helper()
+	erm := entity.NewManager()
+	pm := policy.NewManager()
+	cfg := Config{Entity: erm, Policy: pm}
+	if mut != nil {
+		mut(&cfg)
+	}
+	p := New(cfg)
+	sws := make([]*batchSwitch, nSwitches)
+	for i := range sws {
+		sws[i] = &batchSwitch{}
+		p.AttachSwitch(uint64(i+1), sws[i])
+	}
+	for _, pdp := range []struct {
+		name string
+		prio int
+	}{{"low", 10}, {"high", 20}} {
+		if err := pm.RegisterPDP(pdp.name, pdp.prio); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p, pm, erm, sws
+}
+
+// modsWritten counts every flow mod delivered to a switch so far, batched
+// or not.
+func modsWritten(sw *batchSwitch) int {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	n := sw.singles
+	for _, b := range sw.batches {
+		n += len(b)
+	}
+	return n
+}
+
+// TestFlushPoliciesEmptyIdsNoWrites: the Policy Manager notifies the flush
+// hook on every mutation — including ones that invalidate nothing — and
+// the legacy path must write nothing for an empty id list instead of
+// fanning out empty batches.
+func TestFlushPoliciesEmptyIdsNoWrites(t *testing.T) {
+	p, pm, _, sws := newModeEnv(t, 3, nil)
+	p.FlushPolicies(obs.SpanContext{}, nil)
+	p.FlushPolicies(obs.SpanContext{}, []policy.RuleID{})
+	// A deny insert overlapping nothing flushes an empty id list end to end.
+	if _, err := pm.Insert(policy.Rule{PDP: "low", Action: policy.ActionDeny, Src: policy.EndpointSpec{Host: "h9"}}); err != nil {
+		t.Fatal(err)
+	}
+	for i, sw := range sws {
+		if n := modsWritten(sw); n != 0 {
+			t.Fatalf("switch %d: %d flow mods written for empty flushes, want 0", i, n)
+		}
+		sw.mu.Lock()
+		batches := len(sw.batches)
+		sw.mu.Unlock()
+		if batches != 0 {
+			t.Fatalf("switch %d: %d batch calls for empty flushes, want 0", i, batches)
+		}
+	}
+}
+
+// seedDenyRules inserts n distinct deny rules (one pinned source IP each)
+// under the "low" PDP.
+func seedDenyRules(t testing.TB, pm *policy.Manager, n int) []policy.RuleID {
+	t.Helper()
+	ids := make([]policy.RuleID, 0, n)
+	for i := 0; i < n; i++ {
+		ip := netpkt.IPv4FromUint32(0x0a010000 + uint32(i))
+		id, err := pm.Insert(policy.Rule{PDP: "low", Action: policy.ActionDeny, Src: policy.EndpointSpec{IP: &ip}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// TestDeltaFlushOChangedWrites is the headline O(changed) gate: mutating
+// one rule of a 1000-rule policy writes ~1000 flow mods per switch on the
+// legacy path and a small constant on the delta path.
+func TestDeltaFlushOChangedWrites(t *testing.T) {
+	const rules = 1000
+	mutate := func(pm *policy.Manager) {
+		// A match-all allow under "high" overlaps every deny (and the
+		// implicit default deny), the legacy worst case.
+		if _, err := pm.Insert(policy.Rule{PDP: "high", Action: policy.ActionAllow}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pLegacy, pmLegacy, _, swsLegacy := newModeEnv(t, 2, nil)
+	defer pLegacy.Stop()
+	seedDenyRules(t, pmLegacy, rules)
+	before := modsWritten(swsLegacy[0])
+	mutate(pmLegacy)
+	legacyMods := modsWritten(swsLegacy[0]) - before
+	if legacyMods < rules {
+		t.Fatalf("legacy flush wrote %d mods per switch, expected ≥ %d (delete per overlapped rule)", legacyMods, rules)
+	}
+
+	pDelta, pmDelta, _, swsDelta := newModeEnv(t, 2, func(c *Config) { c.DeltaCompilation = true })
+	defer pDelta.Stop()
+	seedDenyRules(t, pmDelta, rules)
+	before = modsWritten(swsDelta[0])
+	compiles := pDelta.Metrics().DeltaCompiles()
+	mutate(pmDelta)
+	deltaMods := modsWritten(swsDelta[0]) - before
+	if deltaMods == 0 {
+		t.Fatal("delta flush wrote nothing for an overlapping insert")
+	}
+	if deltaMods > 4 {
+		t.Fatalf("delta flush wrote %d mods per switch for a 1-rule mutation, want ≤ 4 (O(changed), not O(rules))", deltaMods)
+	}
+	if pDelta.Metrics().DeltaCompiles() != compiles+1 {
+		t.Fatalf("delta compiles = %d, want %d", pDelta.Metrics().DeltaCompiles(), compiles+1)
+	}
+	if deltaMods*100 > legacyMods {
+		t.Fatalf("delta mutation wrote %d mods vs legacy %d — not the claimed reduction", deltaMods, legacyMods)
+	}
+}
+
+// TestDeltaRevocationSingleCookieDelete: revoking one rule emits exactly
+// one cookie-scoped delete per switch, regardless of policy size.
+func TestDeltaRevocationSingleCookieDelete(t *testing.T) {
+	p, pm, _, sws := newModeEnv(t, 2, func(c *Config) { c.DeltaCompilation = true })
+	defer p.Stop()
+	ids := seedDenyRules(t, pm, 50)
+	before := modsWritten(sws[0])
+	if err := pm.Revoke(ids[17]); err != nil {
+		t.Fatal(err)
+	}
+	for i, sw := range sws {
+		if n := modsWritten(sw) - before; n != 1 {
+			t.Fatalf("switch %d: revocation wrote %d mods, want 1", i, n)
+		}
+		sw.mu.Lock()
+		last := sw.batches[len(sw.batches)-1]
+		sw.mu.Unlock()
+		if len(last) != 1 || last[0] != uint64(ids[17]) {
+			t.Fatalf("switch %d: revocation batch cookies = %v, want [%d]", i, last, ids[17])
+		}
+	}
+}
+
+// simClient adapts a simulated switch to the PCP's client interfaces.
+// ApplyFlowMod clones matches, so the PCP's no-retain contract holds.
+type simClient struct{ sw *switchsim.Switch }
+
+func (c simClient) WriteFlowMod(fm *openflow.FlowMod) error { return c.sw.ApplyFlowMod(fm) }
+
+func (c simClient) WriteFlowMods(fms []*openflow.FlowMod) error {
+	for _, fm := range fms {
+		if err := c.sw.ApplyFlowMod(fm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// oracle universe: three hosts on one switch, one user each.
+var (
+	oracleIPs  = []netpkt.IPv4{netpkt.MustParseIPv4("10.0.0.1"), netpkt.MustParseIPv4("10.0.0.2"), netpkt.MustParseIPv4("10.0.0.3")}
+	oracleMACs = []netpkt.MAC{{2, 0, 0, 0, 0, 1}, {2, 0, 0, 0, 0, 2}, {2, 0, 0, 0, 0, 3}}
+	oracleUsrs = []string{"alice", "bob", "carol"}
+	oracleHsts = []string{"h1", "h2", "h3"}
+)
+
+func bindOracleUniverse(erm *entity.Manager) {
+	for i := range oracleIPs {
+		erm.BindUserHost(oracleUsrs[i], oracleHsts[i])
+		erm.BindHostIP(oracleHsts[i], oracleIPs[i])
+		erm.BindIPMAC(oracleIPs[i], oracleMACs[i])
+		erm.BindMACLocation(oracleMACs[i], entity.Location{DPID: 1, Port: uint32(i + 1)})
+	}
+}
+
+// oracleRule builds a random rule over the oracle universe.
+func oracleRule(rng *rand.Rand) policy.Rule {
+	r := policy.Rule{PDP: []string{"low", "high"}[rng.Intn(2)], Action: policy.ActionAllow}
+	if rng.Intn(2) == 0 {
+		r.Action = policy.ActionDeny
+	}
+	spec := func() policy.EndpointSpec {
+		var e policy.EndpointSpec
+		i := rng.Intn(3)
+		switch rng.Intn(4) {
+		case 0:
+			e.User = oracleUsrs[i]
+		case 1:
+			e.Host = oracleHsts[i]
+		case 2:
+			e.IP = &oracleIPs[i]
+		case 3:
+			e.MAC = &oracleMACs[i]
+		}
+		if rng.Intn(4) == 0 {
+			port := uint16(rng.Intn(3) + 1)
+			e.Port = &port
+		}
+		return e
+	}
+	r.Src = spec()
+	r.Dst = spec()
+	if rng.Intn(3) == 0 {
+		proto := []uint8{netpkt.ProtoTCP, netpkt.ProtoUDP}[rng.Intn(2)]
+		r.Props.IPProto = &proto
+	}
+	return r
+}
+
+// oracleProbes enumerates data-plane probe frames over the universe: TCP
+// and UDP on the port grid plus ARP, between every endpoint pair, injected
+// at the source's bound port.
+type probe struct {
+	inPort uint32
+	frame  []byte
+}
+
+func oracleProbes() []probe {
+	var ps []probe
+	for i := range oracleIPs {
+		for j := range oracleIPs {
+			if i == j {
+				continue
+			}
+			in := uint32(i + 1)
+			for _, sp := range []uint16{1, 2, 3} {
+				for _, dp := range []uint16{1, 2, 3} {
+					ps = append(ps, probe{in, netpkt.BuildTCP(oracleMACs[i], oracleMACs[j], oracleIPs[i], oracleIPs[j],
+						&netpkt.TCPSegment{SrcPort: sp, DstPort: dp, Flags: netpkt.TCPSyn})})
+					ps = append(ps, probe{in, netpkt.BuildUDP(oracleMACs[i], oracleMACs[j], oracleIPs[i], oracleIPs[j],
+						&netpkt.UDPDatagram{SrcPort: sp, DstPort: dp})})
+				}
+			}
+			ps = append(ps, probe{in, netpkt.BuildARP(&netpkt.ARP{
+				Op: netpkt.ARPRequest, SenderMAC: oracleMACs[i], SenderIP: oracleIPs[i],
+				TargetMAC: oracleMACs[j], TargetIP: oracleIPs[j]})})
+		}
+	}
+	return ps
+}
+
+// TestDeltaStateEquivalenceOracle: a switch that lived through every
+// incremental delta (rule churn and binding churn) ends up in a state
+// data-plane-equivalent to a switch populated from scratch at the final
+// epoch — the delta stream neither leaks stale entries nor loses current
+// ones.
+func TestDeltaStateEquivalenceOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	incr := switchsim.NewSwitch(switchsim.Config{DPID: 1})
+	p, pm, erm, _ := newModeEnv(t, 0, func(c *Config) { c.ProactivePush = true })
+	defer p.Stop()
+	bindOracleUniverse(erm)
+	p.AttachSwitch(1, simClient{incr})
+
+	var live []policy.RuleID
+	for step := 0; step < 80; step++ {
+		switch {
+		case len(live) > 0 && rng.Intn(4) == 0:
+			i := rng.Intn(len(live))
+			if err := pm.Revoke(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		case rng.Intn(6) == 0:
+			// Binding churn: a user roams to another host, or a MAC moves.
+			i, j := rng.Intn(3), rng.Intn(3)
+			if rng.Intn(2) == 0 {
+				erm.UnbindUserHost(oracleUsrs[i], oracleHsts[i])
+				erm.BindUserHost(oracleUsrs[i], oracleHsts[j])
+				// Restore so later steps see the canonical universe.
+				erm.UnbindUserHost(oracleUsrs[i], oracleHsts[j])
+				erm.BindUserHost(oracleUsrs[i], oracleHsts[i])
+			} else {
+				erm.BindMACLocation(oracleMACs[i], entity.Location{DPID: 1, Port: uint32(j + 4)})
+				erm.BindMACLocation(oracleMACs[i], entity.Location{DPID: 1, Port: uint32(i + 1)})
+			}
+		default:
+			id, err := pm.Insert(oracleRule(rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, id)
+		}
+	}
+	// Guarantee the final state carries proactive coverage.
+	if _, err := pm.Insert(policy.Rule{PDP: "high", Action: policy.ActionAllow,
+		Src: policy.EndpointSpec{User: "alice"}, Dst: policy.EndpointSpec{Host: "h2"}}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Metrics().ProactivePushed() == 0 {
+		t.Fatal("mutation sequence never pushed a proactive entry; oracle exercises nothing")
+	}
+
+	fresh := switchsim.NewSwitch(switchsim.Config{DPID: 1})
+	p.AttachSwitch(1, simClient{fresh})
+
+	if fresh.FlowCount(0) == 0 {
+		t.Fatal("fresh switch population installed nothing")
+	}
+	for n, pr := range oracleProbes() {
+		io, it := incr.Evaluate(pr.inPort, pr.frame)
+		fo, ft := fresh.Evaluate(pr.inPort, pr.frame)
+		if io != fo || it != ft {
+			t.Fatalf("probe %d (in-port %d): incremental switch (%v, table %d) != fresh switch (%v, table %d)",
+				n, pr.inPort, io, it, fo, ft)
+		}
+	}
+}
+
+// TestDeltaUnblockRepushesAllow: removing the deny that blocked an allow's
+// proactive push re-derives and installs the allow's entries — the delta
+// stream converges to the same state a fresh compile would produce.
+func TestDeltaUnblockRepushesAllow(t *testing.T) {
+	sw := switchsim.NewSwitch(switchsim.Config{DPID: 1})
+	p, pm, erm, _ := newModeEnv(t, 0, func(c *Config) { c.ProactivePush = true })
+	defer p.Stop()
+	bindOracleUniverse(erm)
+	p.AttachSwitch(1, simClient{sw})
+
+	port := uint16(445)
+	denyID, err := pm.Insert(policy.Rule{PDP: "high", Action: policy.ActionDeny,
+		Src: policy.EndpointSpec{User: "alice"}, Dst: policy.EndpointSpec{Host: "h2", Port: &port}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.Insert(policy.Rule{PDP: "low", Action: policy.ActionAllow,
+		Src: policy.EndpointSpec{User: "alice"}, Dst: policy.EndpointSpec{Host: "h2"}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := sw.FlowCount(0); n != 0 {
+		t.Fatalf("allow pushed %d entries while blocked by a higher-priority deny", n)
+	}
+	if err := pm.Revoke(denyID); err != nil {
+		t.Fatal(err)
+	}
+	if n := sw.FlowCount(0); n == 0 {
+		t.Fatal("revoking the blocking deny did not re-push the allow's entries")
+	}
+	frame := netpkt.BuildTCP(oracleMACs[0], oracleMACs[1], oracleIPs[0], oracleIPs[1],
+		&netpkt.TCPSegment{SrcPort: 40000, DstPort: port, Flags: netpkt.TCPSyn})
+	if o, tbl := sw.Evaluate(1, frame); o != switchsim.OutcomeMiss || tbl != 1 {
+		t.Fatalf("covered flow evaluated to (%v, table %d), want goto-table-1", o, tbl)
+	}
+}
+
+// TestDenyAddEvictsPushedAllow: a deny arriving above a pushed allow pulls
+// the allow's entries out of the dataplane, even when its match-scoped
+// deletes (port-pinned here) could not cover the port-wildcarding entries.
+func TestDenyAddEvictsPushedAllow(t *testing.T) {
+	sw := switchsim.NewSwitch(switchsim.Config{DPID: 1})
+	p, pm, erm, _ := newModeEnv(t, 0, func(c *Config) { c.ProactivePush = true })
+	defer p.Stop()
+	bindOracleUniverse(erm)
+	p.AttachSwitch(1, simClient{sw})
+
+	if _, err := pm.Insert(policy.Rule{PDP: "low", Action: policy.ActionAllow,
+		Src: policy.EndpointSpec{User: "alice"}, Dst: policy.EndpointSpec{Host: "h2"}}); err != nil {
+		t.Fatal(err)
+	}
+	if sw.FlowCount(0) == 0 {
+		t.Fatal("allow rule installed no proactive entries")
+	}
+	port := uint16(445)
+	if _, err := pm.Insert(policy.Rule{PDP: "high", Action: policy.ActionDeny,
+		Src: policy.EndpointSpec{User: "alice"}, Dst: policy.EndpointSpec{Host: "h2", Port: &port}}); err != nil {
+		t.Fatal(err)
+	}
+	frame := netpkt.BuildTCP(oracleMACs[0], oracleMACs[1], oracleIPs[0], oracleIPs[1],
+		&netpkt.TCPSegment{SrcPort: 40000, DstPort: port, Flags: netpkt.TCPSyn})
+	if o, _ := sw.Evaluate(1, frame); o == switchsim.OutcomeForward {
+		t.Fatal("stale proactive allow still forwards traffic the new deny covers")
+	}
+	if o, tbl := sw.Evaluate(1, frame); o == switchsim.OutcomeMiss && tbl == 1 {
+		t.Fatal("stale proactive allow still sends port-445 traffic to table 1")
+	}
+}
+
+// TestConcurrentMutationsNoStaleAllow runs admissions, rule churn and
+// binding churn concurrently (meaningful under -race), then checks the
+// terminal invariant: after every rule is revoked, no flow forwards.
+func TestConcurrentMutationsNoStaleAllow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sw := switchsim.NewSwitch(switchsim.Config{DPID: 1})
+	p, pm, erm, _ := newModeEnv(t, 0, func(c *Config) { c.ProactivePush = true })
+	defer p.Stop()
+	bindOracleUniverse(erm)
+	p.AttachSwitch(1, simClient{sw})
+	// Table-1 forwarder: anything an allow entry passes through forwards,
+	// making a stale allow visible as OutcomeForward.
+	if err := sw.ApplyFlowMod(&openflow.FlowMod{
+		TableID: 1, Command: openflow.FlowModAdd, Priority: 1, BufferID: openflow.NoBuffer,
+		Match: &openflow.Match{},
+		Instructions: []openflow.Instruction{&openflow.InstructionApplyActions{
+			Actions: []openflow.Action{&openflow.ActionOutput{Port: 2}}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	probes := oracleProbes()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 150; i++ {
+				pr := probes[r.Intn(len(probes))]
+				p.Process(&Request{DPID: 1, PacketIn: packetInFor(pr.frame, pr.inPort)})
+			}
+		}(int64(w))
+	}
+	var live []policy.RuleID
+	for step := 0; step < 60; step++ {
+		if len(live) > 4 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(live))
+			if err := pm.Revoke(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+			continue
+		}
+		id, err := pm.Insert(oracleRule(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, id)
+	}
+	wg.Wait()
+
+	// Quiesced: revoke everything. No installed allow may survive.
+	for _, id := range live {
+		if err := pm.Revoke(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for n, pr := range probes {
+		if o, _ := sw.Evaluate(pr.inPort, pr.frame); o == switchsim.OutcomeForward {
+			t.Fatalf("probe %d still forwards after all rules were revoked (stale allow entry)", n)
+		}
+	}
+}
+
+// benchmarkDeltaFlush measures one policy flush over a 1000-rule policy
+// with `changed` mutated rules, legacy (cookie delete per overlapped rule)
+// vs delta (mods proportional to the change). The reported mods/op metric
+// is the O(changed)-vs-O(rules) claim itself: it counts the flow mods one
+// flush puts on the wire across all switches — the cost a hardware switch
+// pays per rule-table update — independent of how cheap the in-process
+// fake makes each write.
+func benchmarkDeltaFlush(b *testing.B, changed int) {
+	const rules = 1000
+	totalMods := func(sws []*batchSwitch) int {
+		n := 0
+		for _, sw := range sws {
+			n += modsWritten(sw)
+		}
+		return n
+	}
+	b.Run("legacy", func(b *testing.B) {
+		p, pm, _, sws := newModeEnv(b, 4, nil)
+		defer p.Stop()
+		ids := seedDenyRules(b, pm, rules)
+		pm.SetFlushFunc(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		before := totalMods(sws)
+		for i := 0; i < b.N; i++ {
+			// The legacy cost of a policy change invalidating the table: one
+			// delete per rule, every switch.
+			p.FlushPolicies(obs.SpanContext{}, ids)
+		}
+		b.ReportMetric(float64(totalMods(sws)-before)/float64(b.N), "mods/op")
+	})
+	b.Run("delta", func(b *testing.B) {
+		p, pm, _, sws := newModeEnv(b, 4, func(c *Config) { c.DeltaCompilation = true })
+		defer p.Stop()
+		ids := seedDenyRules(b, pm, rules)
+		pm.SetFlushFunc(nil)
+		p.FlushPolicies(obs.SpanContext{}, nil) // sync the classifier
+		b.ReportAllocs()
+		b.ResetTimer()
+		before := totalMods(sws)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			for k := 0; k < changed; k++ {
+				n := (i*changed + k) % len(ids)
+				if err := pm.Revoke(ids[n]); err != nil {
+					b.Fatal(err)
+				}
+				ip := netpkt.IPv4FromUint32(0x0a020000 + uint32(i*changed+k))
+				id, err := pm.Insert(policy.Rule{PDP: "low", Action: policy.ActionDeny, Src: policy.EndpointSpec{IP: &ip}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids[n] = id
+			}
+			b.StartTimer()
+			p.FlushPolicies(obs.SpanContext{}, nil)
+		}
+		b.ReportMetric(float64(totalMods(sws)-before)/float64(b.N), "mods/op")
+	})
+}
+
+func BenchmarkDeltaFlush_1ChangedOf1k(b *testing.B)   { benchmarkDeltaFlush(b, 1) }
+func BenchmarkDeltaFlush_10ChangedOf1k(b *testing.B)  { benchmarkDeltaFlush(b, 10) }
+func BenchmarkDeltaFlush_100ChangedOf1k(b *testing.B) { benchmarkDeltaFlush(b, 100) }

@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dfi-sdn/dfi/internal/core/entity"
 	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/core/policy/classifier"
 	"github.com/dfi-sdn/dfi/internal/netpkt"
 	"github.com/dfi-sdn/dfi/internal/obs"
 	"github.com/dfi-sdn/dfi/internal/openflow"
@@ -103,6 +105,23 @@ type Config struct {
 	// provably-safe widened flow rules instead of exact matches, reducing
 	// control-plane load (see wildcard.go for the safety argument).
 	WildcardCaching bool
+	// DeltaCompilation enables the incremental policy delta-compiler: the
+	// PCP maintains a tuple-space classifier compiled per policy epoch
+	// (internal/core/policy/classifier), serves admission queries from it,
+	// and turns each epoch-to-epoch rule delta into a minimal set of flow
+	// mods — O(changed rules), not O(rules) — instead of the legacy
+	// cookie-scoped delete list (see delta.go).
+	DeltaCompilation bool
+	// ProactivePush additionally pushes exact-match table-0 allow rules at
+	// rule-insert and binding-change time for entities whose identifier
+	// chains are fully bound, so steady-state traffic on those flows
+	// generates zero packet-ins (see proactive.go for the safety
+	// invariants). Implies DeltaCompilation.
+	ProactivePush bool
+	// ProactiveMaxFlows caps how many proactive flow entries one policy
+	// rule may expand into across all switches (default 128); rules whose
+	// binding fan-out exceeds the cap stay partially reactive.
+	ProactiveMaxFlows int
 	// AllowIdleTimeoutSec/DenyIdleTimeoutSec bound rule lifetime so
 	// tables do not grow without bound; policy changes are handled by
 	// cookie-scoped flushes, not timeouts (default 300/30).
@@ -156,6 +175,16 @@ type Metrics struct {
 	cacheMisses *obs.Counter
 	cacheStale  *obs.Counter
 	workersBusy *obs.Gauge
+
+	deltaCompiles    *obs.Counter
+	deltaAdded       *obs.Counter
+	deltaRemoved     *obs.Counter
+	deltaChanged     *obs.Counter
+	deltaModAdds     *obs.Counter
+	deltaModDeletes  *obs.Counter
+	proactivePushed  *obs.Counter
+	proactiveRemoved *obs.Counter
+	proactiveMisses  *obs.Counter
 }
 
 // Processed returns the number of requests fully processed.
@@ -185,6 +214,23 @@ func (m *Metrics) CacheStale() uint64 { return m.cacheStale.Value() }
 // WorkersBusy returns the number of workers currently processing a request.
 func (m *Metrics) WorkersBusy() int64 { return m.workersBusy.Value() }
 
+// DeltaCompiles returns how many non-empty epoch deltas were compiled.
+func (m *Metrics) DeltaCompiles() uint64 { return m.deltaCompiles.Value() }
+
+// DeltaFlowMods returns the flow mods emitted by delta flushes, split into
+// adds (proactive installs) and deletes.
+func (m *Metrics) DeltaFlowMods() (adds, deletes uint64) {
+	return m.deltaModAdds.Value(), m.deltaModDeletes.Value()
+}
+
+// ProactivePushed returns how many proactive table-0 entries were installed.
+func (m *Metrics) ProactivePushed() uint64 { return m.proactivePushed.Value() }
+
+// ProactiveMisses returns admissions whose deciding rule had proactive
+// entries installed — packet-ins that proactive coverage should have
+// absorbed (a miss means the flow fell outside the concretized entries).
+func (m *Metrics) ProactiveMisses() uint64 { return m.proactiveMisses.Value() }
+
 // PCP is the Policy Compilation Point.
 type PCP struct {
 	cfg     Config
@@ -204,6 +250,22 @@ type PCP struct {
 	mu       sync.RWMutex
 	switches map[uint64]SwitchClient
 	started  bool
+
+	// deltaMu serializes delta compilation, proactive recomputation and
+	// their flow-mod emission, so the causal order "classifier published →
+	// switch writes issued" holds per epoch and reordered flush callbacks
+	// collapse into no-ops (see delta.go). Never held while acquiring mu's
+	// write side; mu's read side is taken under it.
+	deltaMu  sync.Mutex
+	compiled atomic.Pointer[classifier.Compiled]
+
+	// proactiveFlows is the authoritative proactive derivation: the entry
+	// set each rule currently expands to (switches hold the dpid-scoped
+	// subsets). Kept so re-derivation can diff old against new sets — and
+	// skip emission when nothing changed — and so attach-time population
+	// and the proactive-miss metric know what is meant to be installed.
+	proactiveMu    sync.Mutex
+	proactiveFlows map[policy.RuleID][]proactiveFlow
 }
 
 // ErrNotRunning reports a Submit on a PCP that was not started.
@@ -230,6 +292,14 @@ func New(cfg Config) *PCP {
 	if cfg.FlushFanOut <= 0 {
 		cfg.FlushFanOut = 8
 	}
+	if cfg.ProactivePush {
+		// Proactive entries are keyed and revoked through the compiled
+		// classifier's delta stream.
+		cfg.DeltaCompilation = true
+	}
+	if cfg.ProactiveMaxFlows <= 0 {
+		cfg.ProactiveMaxFlows = 128
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = simclock.Real{}
 	}
@@ -247,6 +317,8 @@ func New(cfg Config) *PCP {
 		queue:       make(chan *Request, cfg.QueueDepth),
 		stop:        make(chan struct{}),
 		switches:    make(map[uint64]SwitchClient),
+
+		proactiveFlows: make(map[policy.RuleID][]proactiveFlow),
 	}
 	if cfg.FlowCacheSize >= 0 {
 		size := cfg.FlowCacheSize
@@ -283,6 +355,32 @@ func New(cfg Config) *PCP {
 	reg.GaugeFunc("dfi_pcp_queue_depth",
 		"Admission requests waiting in the bounded queue.",
 		func() float64 { return float64(len(p.queue)) })
+	p.metrics.deltaCompiles = reg.Counter("dfi_pcp_delta_compiles_total",
+		"Non-empty policy epoch deltas compiled (delta-compilation mode).")
+	deltaRules := reg.CounterVec("dfi_pcp_delta_rules_total",
+		"Rules in compiled epoch deltas, by kind of change.", "kind")
+	p.metrics.deltaAdded = deltaRules.With("added")
+	p.metrics.deltaRemoved = deltaRules.With("removed")
+	p.metrics.deltaChanged = deltaRules.With("changed")
+	deltaMods := reg.CounterVec("dfi_pcp_delta_flowmods_total",
+		"Flow mods emitted by delta flushes and proactive recomputation, by command.", "kind")
+	p.metrics.deltaModAdds = deltaMods.With("add")
+	p.metrics.deltaModDeletes = deltaMods.With("delete")
+	proactive := reg.CounterVec("dfi_pcp_proactive_rules_total",
+		"Proactive table-0 entries installed and removed.", "kind")
+	p.metrics.proactivePushed = proactive.With("pushed")
+	p.metrics.proactiveRemoved = proactive.With("removed")
+	p.metrics.proactiveMisses = reg.Counter("dfi_pcp_proactive_misses_total",
+		"Packet-in admissions decided by a rule that has proactive entries installed (coverage misses).")
+	if cfg.DeltaCompilation {
+		// Prime the classifier at the current epoch so the first mutation
+		// diffs against a real baseline instead of reporting every
+		// pre-existing rule as added.
+		p.compiled.Store(classifier.Compile(cfg.Policy.Snapshot()))
+	}
+	if cfg.ProactivePush {
+		cfg.Entity.SetChangeFunc(p.OnBindingChange)
+	}
 	cfg.Policy.SetFlushFunc(p.FlushPolicies)
 	return p
 }
@@ -317,11 +415,18 @@ func (p *PCP) Stop() {
 	p.mu.Unlock()
 }
 
-// AttachSwitch registers the write path for one switch's table 0.
+// AttachSwitch registers the write path for one switch's table 0. With
+// proactive push enabled, the current proactive entry set scoped to the
+// switch is installed in one batch before AttachSwitch returns, so an
+// attaching (or re-attaching) switch starts with its table-0 allow rules
+// resident.
 func (p *PCP) AttachSwitch(dpid uint64, client SwitchClient) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.switches[dpid] = client
+	p.mu.Unlock()
+	if p.cfg.ProactivePush {
+		p.populateSwitch(dpid, client)
+	}
 }
 
 // DetachSwitch removes a switch.
@@ -647,7 +752,7 @@ func (p *PCP) decide(req *Request, key netpkt.FlowKey, inPort uint32) (dec Decis
 	fv = flowView(key, inPort, req.DPID, srcRes, dstRes, p.cfg.Entity)
 
 	tPolicy := p.cfg.Clock.Now()
-	pd := p.cfg.Policy.Query(fv)
+	pd := p.queryPolicy(fv)
 	polDur = p.cfg.Clock.Now().Sub(tPolicy)
 	p.metrics.PolicyQuery.Add(polDur)
 
@@ -656,7 +761,32 @@ func (p *PCP) decide(req *Request, key netpkt.FlowKey, inPort uint32) (dec Decis
 		ruleID = pd.Rule.ID
 	}
 	dec = Decision{Allow: pd.Action == policy.ActionAllow, RuleID: ruleID}
+	if p.cfg.ProactivePush && dec.Allow {
+		// A packet-in decided by a rule with proactive entries installed is
+		// a coverage miss: the flow fell outside the concretized entries.
+		p.proactiveMu.Lock()
+		covered := len(p.proactiveFlows[ruleID]) > 0
+		p.proactiveMu.Unlock()
+		if covered {
+			p.metrics.proactiveMisses.Inc()
+		}
+	}
 	return dec, fv, pd.Epoch, entityEpoch, bindDur, polDur
+}
+
+// queryPolicy answers the policy query for one enriched flow. With delta
+// compilation on and the compiled classifier current, the lookup runs
+// against the tuple-space structure — no simulated store round-trip, no
+// linear bucket scans; otherwise (classifier trailing inside a flush
+// window, or the feature off) it falls back to the Manager's snapshot
+// query.
+func (p *PCP) queryPolicy(fv *policy.FlowView) policy.Decision {
+	if p.cfg.DeltaCompilation {
+		if c := p.compiled.Load(); c != nil && c.Epoch() == p.cfg.Policy.Epoch() {
+			return c.Lookup(fv)
+		}
+	}
+	return p.cfg.Policy.Query(fv)
 }
 
 // install compiles and installs the flow rule implementing dec for req's
@@ -815,10 +945,21 @@ func (p *PCP) CompileFlowMod(key netpkt.FlowKey, inPort uint32, dec Decision) *o
 
 // FlushPolicies removes from every attached switch the table-0 rules
 // derived from the given policy ids (cookie-scoped delete). The Policy
-// Manager invokes this on rule revocation and conflicting inserts,
-// passing the mutation's span context so the compilation and each
-// switch's flow-mod writes land in the same causal trace.
+// Manager invokes this on every mutation, passing the mutation's span
+// context so the compilation and each switch's flow-mod writes land in the
+// same causal trace. With delta compilation enabled the ids are ignored:
+// the epoch-to-epoch classifier diff derives the (strictly smaller) set of
+// flow mods itself (see flushDelta).
 func (p *PCP) FlushPolicies(sc obs.SpanContext, ids []policy.RuleID) {
+	if p.cfg.DeltaCompilation {
+		p.flushDelta(sc)
+		return
+	}
+	if len(ids) == 0 {
+		// A mutation that invalidates no derived flow rules (a
+		// non-overlapping insert) compiles no deletes and writes nothing.
+		return
+	}
 	span := p.cfg.Spans.Child(sc)
 	tStart := p.cfg.Spans.Now()
 
@@ -920,7 +1061,7 @@ func (p *PCP) flushSwitch(span obs.SpanContext, dpid uint64, c SwitchClient, fms
 			Start:     tSwitch,
 			Duration:  p.cfg.Spans.Now().Sub(tSwitch),
 			DPID:      dpid,
-			Detail:    fmt.Sprintf("%d cookie-scoped deletes", len(fms)),
+			Detail:    fmt.Sprintf("%d flow mods", len(fms)),
 		})
 	}
 }

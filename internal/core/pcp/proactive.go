@@ -1,0 +1,464 @@
+package pcp
+
+// This file is the proactive table-0 push (the P4Control-style end state:
+// enforcement resident in the dataplane). For allow rules whose endpoint
+// identifier chains are fully bound — the rule's user/host/IP/MAC
+// constraints resolve through the entity manager to concrete (IP, MAC,
+// switch location) tuples — the PCP installs exact-match table-0 entries
+// ahead of traffic, so the first packet of such a flow forwards in the
+// dataplane with zero packet-ins.
+//
+// Safety invariants:
+//
+//  1. An entry is pushed only when no rule that could win over it (higher
+//     priority, or equal priority with Deny's tie-break) may match any
+//     packet in the entry's match space (safeToPush). Identity attributes
+//     are evaluated against current bindings.
+//  2. Every binding mutation that could change that evaluation flows
+//     through OnBindingChange, which deletes and re-derives the entries of
+//     every allow rule reachable from the mutated identifiers (the
+//     classifier's reverse indexes make that set exact). A rule is only
+//     ever concretized through identifiers it is indexed under, so the
+//     closure covers all its entries.
+//  3. Entries carry the rule's id as their cookie, so revocation's
+//     cookie-scoped delete removes them exactly like reactive state; they
+//     have no idle timeout and live until revocation or re-derivation.
+//
+// Entries always pin both IPs (plus in-port and MACs): an entry that left
+// the IP space open could mask a higher-priority deny written over an IP
+// the safety check never saw. Non-IP traffic of MAC-only rules therefore
+// stays reactive.
+
+import (
+	"github.com/dfi-sdn/dfi/internal/core/entity"
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/core/policy/classifier"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/obs"
+	"github.com/dfi-sdn/dfi/internal/openflow"
+)
+
+// proactiveFlow is one compiled proactive entry and the switch it belongs
+// on.
+type proactiveFlow struct {
+	dpid uint64
+	fm   *openflow.FlowMod
+}
+
+// concreteEnd is one endpoint of a concretized flow space: the low-level
+// identifiers the entry pins plus the high-level identity (from current
+// bindings) the safety check evaluates against.
+type concreteEnd struct {
+	ip    netpkt.IPv4
+	mac   netpkt.MAC
+	host  string
+	users []string
+}
+
+// proactiveFlowsFor derives the proactive entries for one rule against
+// current bindings, capped at ProactiveMaxFlows. Callers hold deltaMu.
+func (p *PCP) proactiveFlowsFor(c *classifier.Compiled, r *policy.Rule) []proactiveFlow {
+	if !p.cfg.ProactivePush || r.Action != policy.ActionAllow {
+		return nil
+	}
+	if r.Dst.SwitchPort != nil {
+		// The destination's attachment port is not visible in the ingress
+		// view the entry stands in for; stay reactive.
+		return nil
+	}
+	if r.Src.DPID != nil && r.Dst.DPID != nil && *r.Src.DPID != *r.Dst.DPID {
+		return nil
+	}
+	srcs := p.concretize(&r.Src)
+	if len(srcs) == 0 {
+		return nil
+	}
+	dsts := p.concretize(&r.Dst)
+	if len(dsts) == 0 {
+		return nil
+	}
+	var flows []proactiveFlow
+	for i := range srcs {
+		src := &srcs[i]
+		for _, loc := range p.cfg.Entity.LocationsOf(src.mac) {
+			if r.Src.DPID != nil && *r.Src.DPID != loc.DPID {
+				continue
+			}
+			if r.Dst.DPID != nil && *r.Dst.DPID != loc.DPID {
+				continue
+			}
+			if r.Src.SwitchPort != nil && *r.Src.SwitchPort != loc.Port {
+				continue
+			}
+			for j := range dsts {
+				dst := &dsts[j]
+				if !p.safeToPush(c, r, src, dst, loc) {
+					continue
+				}
+				for _, m := range proactiveMatches(r, src, dst, loc.Port) {
+					if len(flows) >= p.cfg.ProactiveMaxFlows {
+						return flows
+					}
+					flows = append(flows, proactiveFlow{dpid: loc.DPID, fm: p.proactiveAdd(r, m)})
+				}
+			}
+		}
+	}
+	return flows
+}
+
+// concretize resolves one endpoint spec to the concrete endpoints it
+// currently names: rule IP → that IP; host → its IPs; user → the IPs of
+// the hosts the user is on; MAC → the IPs leased to it. Each candidate IP
+// must carry a MAC lease and satisfy every identity constraint the spec
+// states, mirroring how the admission view would evaluate.
+func (p *PCP) concretize(spec *policy.EndpointSpec) []concreteEnd {
+	erm := p.cfg.Entity
+	var ips []netpkt.IPv4
+	switch {
+	case spec.IP != nil:
+		ips = []netpkt.IPv4{*spec.IP}
+	case spec.Host != "":
+		ips = erm.IPsOf(spec.Host)
+	case spec.User != "":
+		for _, h := range erm.HostsOf(spec.User) {
+			ips = append(ips, erm.IPsOf(h)...)
+		}
+	case spec.MAC != nil:
+		ips = erm.IPsOfMAC(*spec.MAC)
+	default:
+		// No identifier to concretize from: the endpoint stays reactive.
+		return nil
+	}
+	var ends []concreteEnd
+	for _, ip := range ips {
+		mac, ok := erm.MACOf(ip)
+		if !ok {
+			continue
+		}
+		if spec.MAC != nil && *spec.MAC != mac {
+			continue
+		}
+		host, _ := erm.HostOf(ip)
+		if spec.Host != "" && spec.Host != host {
+			continue
+		}
+		users := erm.UsersOn(host)
+		if spec.User != "" && !containsStr(users, spec.User) {
+			continue
+		}
+		ends = append(ends, concreteEnd{ip: ip, mac: mac, host: host, users: users})
+	}
+	return ends
+}
+
+// safeToPush reports whether the concretized entry space for r can be
+// answered from the switch without consulting policy: no rule that could
+// win over r (higher priority, or equal priority with the opposite action
+// — Deny wins ties) may match any packet in the space.
+func (p *PCP) safeToPush(c *classifier.Compiled, r *policy.Rule, src, dst *concreteEnd, loc entity.Location) bool {
+	safe := true
+	c.RulesAtOrAbove(r.Priority, func(q *policy.Rule) bool {
+		if q.ID == r.ID || q.Action == r.Action {
+			return true
+		}
+		if mayMatchSpace(q, r, src, dst, loc) {
+			safe = false
+			return false
+		}
+		return true
+	})
+	return safe
+}
+
+// mayMatchSpace conservatively reports whether rule q could match some
+// packet inside the entry space (src/dst concretized, location fixed,
+// flow properties bounded by r's constraints). False only when one of q's
+// constraints provably excludes the whole space.
+func mayMatchSpace(q, r *policy.Rule, src, dst *concreteEnd, loc entity.Location) bool {
+	if q.Props.EtherType != nil {
+		et := *q.Props.EtherType
+		if et != netpkt.EtherTypeIPv4 && !(et == netpkt.EtherTypeARP && ruleCoversARP(r)) {
+			return false
+		}
+	}
+	if q.Props.IPProto != nil {
+		if r.Props.IPProto != nil && *q.Props.IPProto != *r.Props.IPProto {
+			return false
+		}
+		if r.Props.IPProto == nil && (r.Src.Port != nil || r.Dst.Port != nil) &&
+			*q.Props.IPProto != netpkt.ProtoTCP && *q.Props.IPProto != netpkt.ProtoUDP {
+			// r's port pins restrict the space to TCP/UDP.
+			return false
+		}
+	}
+	return endMayMatch(&q.Src, &r.Src, src, true, loc) &&
+		endMayMatch(&q.Dst, &r.Dst, dst, false, loc)
+}
+
+// endMayMatch is mayMatchSpace's per-endpoint test. Identity fields are
+// evaluated against the endpoint's current bindings (see the file comment
+// for why that is sound); dimensions the entry leaves open (L4 ports when
+// r does not pin them, the destination's switch port) count as matching.
+func endMayMatch(q, r *policy.EndpointSpec, e *concreteEnd, isSrc bool, loc entity.Location) bool {
+	if q.User != "" && !containsStr(e.users, q.User) {
+		return false
+	}
+	if q.Host != "" && q.Host != e.host {
+		return false
+	}
+	if q.IP != nil && *q.IP != e.ip {
+		return false
+	}
+	if q.MAC != nil && *q.MAC != e.mac {
+		return false
+	}
+	if q.Port != nil && r.Port != nil && *q.Port != *r.Port {
+		return false
+	}
+	if q.DPID != nil && *q.DPID != loc.DPID {
+		return false
+	}
+	if q.SwitchPort != nil && isSrc && *q.SwitchPort != loc.Port {
+		return false
+	}
+	return true
+}
+
+// ruleCoversARP reports whether r can match ARP traffic (the proactive
+// entry set then includes an ARP variant so address resolution between
+// the endpoints also bypasses admission).
+func ruleCoversARP(r *policy.Rule) bool {
+	if r.Props.IPProto != nil || r.Src.Port != nil || r.Dst.Port != nil {
+		return false
+	}
+	return r.Props.EtherType == nil || *r.Props.EtherType == netpkt.EtherTypeARP
+}
+
+// proactiveMatches builds the match variants of one (src, dst, in-port)
+// concretization: an IPv4 variant carrying r's protocol and port pins
+// (split into TCP and UDP when ports are pinned but the protocol is not)
+// plus an ARP variant when r covers ARP. Every variant pins in-port, both
+// MACs and both IPs.
+func proactiveMatches(r *policy.Rule, src, dst *concreteEnd, inPort uint32) []*openflow.Match {
+	base := openflow.Match{
+		InPort: openflow.U32(inPort),
+		EthSrc: openflow.MACPtr(src.mac),
+		EthDst: openflow.MACPtr(dst.mac),
+	}
+	var out []*openflow.Match
+	et := r.Props.EtherType
+	if et == nil || *et == netpkt.EtherTypeIPv4 {
+		m := base
+		m.EthType = openflow.U16(netpkt.EtherTypeIPv4)
+		m.IPv4Src = openflow.IPPtr(src.ip)
+		m.IPv4Dst = openflow.IPPtr(dst.ip)
+		proto := r.Props.IPProto
+		srcPort, dstPort := r.Src.Port, r.Dst.Port
+		switch {
+		case srcPort == nil && dstPort == nil:
+			m.IPProto = proto
+			out = append(out, &m)
+		case proto != nil && *proto == netpkt.ProtoTCP:
+			m.IPProto = proto
+			m.TCPSrc, m.TCPDst = srcPort, dstPort
+			out = append(out, &m)
+		case proto != nil && *proto == netpkt.ProtoUDP:
+			m.IPProto = proto
+			m.UDPSrc, m.UDPDst = srcPort, dstPort
+			out = append(out, &m)
+		case proto == nil:
+			tcp, udp := m, m
+			tcp.IPProto = openflow.U8(netpkt.ProtoTCP)
+			tcp.TCPSrc, tcp.TCPDst = srcPort, dstPort
+			udp.IPProto = openflow.U8(netpkt.ProtoUDP)
+			udp.UDPSrc, udp.UDPDst = srcPort, dstPort
+			out = append(out, &tcp, &udp)
+			// default: ports pinned on a port-less protocol match nothing.
+		}
+	}
+	if ruleCoversARP(r) {
+		m := base
+		m.EthType = openflow.U16(netpkt.EtherTypeARP)
+		m.ARPSPA = openflow.IPPtr(src.ip)
+		m.ARPTPA = openflow.IPPtr(dst.ip)
+		out = append(out, &m)
+	}
+	return out
+}
+
+// proactiveAdd compiles the table-0 add for one proactive match: cookie =
+// rule id (revocation symmetry with reactive entries), no idle timeout.
+func (p *PCP) proactiveAdd(r *policy.Rule, m *openflow.Match) *openflow.FlowMod {
+	return &openflow.FlowMod{
+		Cookie:       uint64(r.ID),
+		TableID:      0,
+		Command:      openflow.FlowModAdd,
+		Priority:     p.cfg.RulePriority,
+		BufferID:     openflow.NoBuffer,
+		OutPort:      openflow.PortAny,
+		OutGroup:     0xffffffff,
+		Match:        m,
+		Instructions: gotoTable1,
+	}
+}
+
+// OnBindingChange is the entity manager's change hook (registered in New
+// when proactive push is enabled): it deletes and re-derives the entries
+// of every allow rule whose identifier chains the mutation touches. It
+// runs after the entity manager released its lock and made the new epoch
+// visible, so re-derivation sees the new bindings; a concurrent change
+// serializes behind deltaMu and re-derives again, converging on the last
+// write.
+func (p *PCP) OnBindingChange(ch entity.Change) {
+	if !p.cfg.ProactivePush {
+		return
+	}
+	users, hosts, ips, macs := p.bindingClosure(ch)
+	p.deltaMu.Lock()
+	defer p.deltaMu.Unlock()
+	c := p.compiled.Load()
+	if c == nil {
+		return
+	}
+	rules := c.AllowRulesFor(users, hosts, ips, macs)
+	if len(rules) == 0 {
+		return
+	}
+	var global []*openflow.FlowMod
+	perAdd := make(map[uint64][]*openflow.FlowMod)
+	for _, r := range rules {
+		flows := p.proactiveFlowsFor(c, r)
+		if flowsEqual(p.getProactiveFlows(r.ID), flows) {
+			// The change did not alter this rule's concretization (e.g. a
+			// MAC re-observed at its known location); nothing to rewrite.
+			continue
+		}
+		// The cookie delete also evicts the rule's reactive entries —
+		// decisions derived under the old bindings may no longer hold.
+		global = append(global, cookieDelete(r.ID))
+		for _, pf := range flows {
+			perAdd[pf.dpid] = append(perAdd[pf.dpid], pf.fm)
+		}
+		p.setProactiveFlows(r.ID, flows)
+	}
+	if len(global) == 0 {
+		return
+	}
+	p.emitDelta(p.cfg.Spans.Child(obs.SpanContext{}), global, nil, perAdd)
+}
+
+// bindingClosure expands one binding change into the identifier set whose
+// rules need re-derivation: the mutated identifiers themselves, the IPs
+// reachable from the named hosts and MACs, and the hosts, MACs and users
+// reachable back from those IPs.
+func (p *PCP) bindingClosure(ch entity.Change) (users, hosts []string, ips []netpkt.IPv4, macs []netpkt.MAC) {
+	erm := p.cfg.Entity
+	if ch.User != "" {
+		users = append(users, ch.User)
+	}
+	if ch.Host != "" {
+		hosts = append(hosts, ch.Host)
+	}
+	if ch.PrevHost != "" && ch.PrevHost != ch.Host {
+		hosts = append(hosts, ch.PrevHost)
+	}
+	if ch.HasMAC {
+		macs = append(macs, ch.MAC)
+	}
+	if ch.HasPrevMAC && ch.PrevMAC != ch.MAC {
+		macs = append(macs, ch.PrevMAC)
+	}
+	if ch.HasIP {
+		ips = append(ips, ch.IP)
+	}
+	for _, mac := range macs {
+		for _, ip := range erm.IPsOfMAC(mac) {
+			ips = appendIP(ips, ip)
+		}
+	}
+	for _, h := range hosts {
+		for _, ip := range erm.IPsOf(h) {
+			ips = appendIP(ips, ip)
+		}
+	}
+	for _, ip := range ips {
+		if mac, ok := erm.MACOf(ip); ok {
+			macs = appendMAC(macs, mac)
+		}
+		if h, ok := erm.HostOf(ip); ok && h != "" {
+			hosts = appendStr(hosts, h)
+		}
+	}
+	for _, h := range hosts {
+		for _, u := range erm.UsersOn(h) {
+			users = appendStr(users, u)
+		}
+	}
+	return users, hosts, ips, macs
+}
+
+// populateSwitch installs the proactive entry set scoped to one switch in
+// one batch, called from AttachSwitch.
+func (p *PCP) populateSwitch(dpid uint64, client SwitchClient) {
+	p.deltaMu.Lock()
+	defer p.deltaMu.Unlock()
+	c := p.compiled.Load()
+	if c == nil {
+		return
+	}
+	var fms []*openflow.FlowMod
+	for _, r := range c.Snapshot().All() {
+		flows := p.proactiveFlowsFor(c, r)
+		if len(flows) == 0 {
+			continue
+		}
+		for _, pf := range flows {
+			if pf.dpid == dpid {
+				fms = append(fms, pf.fm)
+			}
+		}
+		// Refresh the recorded derivation: bindings may have drifted while
+		// no mutation touched this rule.
+		p.setProactiveFlows(r.ID, flows)
+	}
+	if len(fms) == 0 {
+		return
+	}
+	p.flushSwitch(p.cfg.Spans.Child(obs.SpanContext{}), dpid, client, fms)
+	p.metrics.deltaModAdds.Add(uint64(len(fms)))
+}
+
+func containsStr(have []string, want string) bool {
+	for _, s := range have {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func appendStr(have []string, s string) []string {
+	if containsStr(have, s) {
+		return have
+	}
+	return append(have, s)
+}
+
+func appendIP(have []netpkt.IPv4, ip netpkt.IPv4) []netpkt.IPv4 {
+	for _, h := range have {
+		if h == ip {
+			return have
+		}
+	}
+	return append(have, ip)
+}
+
+func appendMAC(have []netpkt.MAC, mac netpkt.MAC) []netpkt.MAC {
+	for _, h := range have {
+		if h == mac {
+			return have
+		}
+	}
+	return append(have, mac)
+}

@@ -1,0 +1,259 @@
+package pcp
+
+import (
+	"testing"
+
+	"github.com/dfi-sdn/dfi/internal/core/entity"
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/openflow"
+	"github.com/dfi-sdn/dfi/internal/switchsim"
+)
+
+// newProactiveEnv builds a proactive-push PCP over the oracle universe
+// with one simulated switch (dpid 1) attached, ports 1-3 (hosts) and 2000
+// (an uplink sink) wired, and a table-1 match-all forwarder so admitted
+// traffic visibly forwards.
+func newProactiveEnv(t testing.TB, mut func(*Config)) (*PCP, *policy.Manager, *entity.Manager, *switchsim.Switch) {
+	t.Helper()
+	sw := switchsim.NewSwitch(switchsim.Config{DPID: 1})
+	for _, port := range []uint32{1, 2, 3, 2000} {
+		if err := sw.AttachPort(port, func([]byte) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.ApplyFlowMod(&openflow.FlowMod{
+		TableID: 1, Command: openflow.FlowModAdd, Priority: 1, BufferID: openflow.NoBuffer,
+		Match: &openflow.Match{},
+		Instructions: []openflow.Instruction{&openflow.InstructionApplyActions{
+			Actions: []openflow.Action{&openflow.ActionOutput{Port: 2000}}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	erm := entity.NewManager()
+	pm := policy.NewManager()
+	cfg := Config{Entity: erm, Policy: pm, ProactivePush: true}
+	if mut != nil {
+		mut(&cfg)
+	}
+	p := New(cfg)
+	bindOracleUniverse(erm)
+	p.AttachSwitch(1, simClient{sw})
+	for _, pdp := range []struct {
+		name string
+		prio int
+	}{{"low", 10}, {"high", 20}} {
+		if err := pm.RegisterPDP(pdp.name, pdp.prio); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p, pm, erm, sw
+}
+
+func allowAliceToH2(t testing.TB, pm *policy.Manager) policy.RuleID {
+	t.Helper()
+	id, err := pm.Insert(policy.Rule{PDP: "high", Action: policy.ActionAllow,
+		Src: policy.EndpointSpec{User: "alice"}, Dst: policy.EndpointSpec{Host: "h2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func aliceToH2TCP() []byte {
+	return netpkt.BuildTCP(oracleMACs[0], oracleMACs[1], oracleIPs[0], oracleIPs[1],
+		&netpkt.TCPSegment{SrcPort: 40000, DstPort: 445, Flags: netpkt.TCPSyn})
+}
+
+// TestProactiveFirstPacketZeroPacketIns is the tentpole's dataplane claim:
+// once an allow rule's identifier chain is fully bound, the very first
+// packet of a covered flow forwards in the switch without any packet-in
+// (CtrlDrops counts packet-in attempts here — no controller is attached).
+func TestProactiveFirstPacketZeroPacketIns(t *testing.T) {
+	p, pm, _, sw := newProactiveEnv(t, nil)
+	defer p.Stop()
+	allowAliceToH2(t, pm)
+	if n := sw.FlowCount(0); n < 2 {
+		t.Fatalf("table 0 holds %d proactive entries, want ≥ 2 (IPv4 + ARP variants)", n)
+	}
+
+	sw.Inject(1, aliceToH2TCP())
+	c := sw.Counters()
+	if c.CtrlDrops != 0 || c.PacketIns != 0 {
+		t.Fatalf("first covered packet raised a packet-in (attempts=%d)", c.CtrlDrops+c.PacketIns)
+	}
+	if c.TxPackets != 1 {
+		t.Fatalf("first covered packet did not forward: tx=%d drops=%d", c.TxPackets, c.Drops)
+	}
+
+	// Unicast address resolution between the endpoints is covered too
+	// (broadcast requests carry the broadcast MAC and stay reactive, like
+	// any flow whose identifiers differ from the concretized entry).
+	sw.Inject(1, netpkt.BuildARP(&netpkt.ARP{
+		Op: netpkt.ARPReply, SenderMAC: oracleMACs[0], SenderIP: oracleIPs[0],
+		TargetMAC: oracleMACs[1], TargetIP: oracleIPs[1]}))
+	if c := sw.Counters(); c.CtrlDrops != 0 || c.PacketIns != 0 {
+		t.Fatal("ARP between covered endpoints raised a packet-in")
+	}
+
+	// An uncovered flow (carol → h2, no allow rule) still goes reactive.
+	sw.Inject(3, netpkt.BuildTCP(oracleMACs[2], oracleMACs[1], oracleIPs[2], oracleIPs[1],
+		&netpkt.TCPSegment{SrcPort: 40000, DstPort: 445, Flags: netpkt.TCPSyn}))
+	if c := sw.Counters(); c.CtrlDrops+c.PacketIns != 1 {
+		t.Fatalf("uncovered flow raised %d packet-in attempts, want 1", c.CtrlDrops+c.PacketIns)
+	}
+}
+
+// TestProactiveBindingChangeRederives: the entity change hook retargets a
+// rule's entries as its identifier chain rebinds — logout evicts, login on
+// another host re-pushes at the new attachment point.
+func TestProactiveBindingChangeRederives(t *testing.T) {
+	p, pm, erm, sw := newProactiveEnv(t, nil)
+	defer p.Stop()
+	allowAliceToH2(t, pm)
+	if o, tbl := sw.Evaluate(1, aliceToH2TCP()); o != switchsim.OutcomeForward && tbl != 1 {
+		t.Fatalf("covered flow not admitted: (%v, table %d)", o, tbl)
+	}
+
+	erm.UnbindUserHost("alice", "h1")
+	if n := sw.FlowCount(0); n != 0 {
+		t.Fatalf("alice logged out but %d entries remain", n)
+	}
+	if o, tbl := sw.Evaluate(1, aliceToH2TCP()); o != switchsim.OutcomeMiss || tbl != 0 {
+		t.Fatalf("stale coverage after logout: (%v, table %d)", o, tbl)
+	}
+
+	erm.BindUserHost("alice", "h3")
+	if sw.FlowCount(0) == 0 {
+		t.Fatal("alice logged in on h3 but no entries were re-pushed")
+	}
+	h3Frame := netpkt.BuildTCP(oracleMACs[2], oracleMACs[1], oracleIPs[2], oracleIPs[1],
+		&netpkt.TCPSegment{SrcPort: 40000, DstPort: 445, Flags: netpkt.TCPSyn})
+	if o, tbl := sw.Evaluate(3, h3Frame); !(o == switchsim.OutcomeForward || (o == switchsim.OutcomeMiss && tbl == 1)) {
+		t.Fatalf("re-pushed coverage does not admit h3 traffic: (%v, table %d)", o, tbl)
+	}
+	// The old attachment stays dark.
+	if o, tbl := sw.Evaluate(1, aliceToH2TCP()); o != switchsim.OutcomeMiss || tbl != 0 {
+		t.Fatalf("h1 entries survived the roam: (%v, table %d)", o, tbl)
+	}
+}
+
+// TestProactiveRevocationEvicts: revoking the rule removes every derived
+// entry; the flow's next packet is a table-0 miss (packet-in, then denied).
+func TestProactiveRevocationEvicts(t *testing.T) {
+	p, pm, _, sw := newProactiveEnv(t, nil)
+	defer p.Stop()
+	id := allowAliceToH2(t, pm)
+	// Drive one reactive install for the same rule as well: the covered
+	// packet arrives as a packet-in (as if raced ahead of the push).
+	p.Process(&Request{DPID: 1, PacketIn: packetInFor(aliceToH2TCP(), 1)})
+	before := sw.FlowCount(0)
+	if before < 3 {
+		t.Fatalf("expected proactive + reactive entries, got %d", before)
+	}
+	if err := pm.Revoke(id); err != nil {
+		t.Fatal(err)
+	}
+	if n := sw.FlowCount(0); n != 0 {
+		t.Fatalf("%d entries outlived the revocation", n)
+	}
+	if o, tbl := sw.Evaluate(1, aliceToH2TCP()); o != switchsim.OutcomeMiss || tbl != 0 {
+		t.Fatalf("revoked flow still decided in the dataplane: (%v, table %d)", o, tbl)
+	}
+	if removed := p.Metrics().ProactivePushed(); removed == 0 {
+		t.Fatal("proactive push metric never moved")
+	}
+}
+
+// TestProactiveAttachPopulates: a switch attaching after the policy was
+// loaded receives its scoped entry set before AttachSwitch returns.
+func TestProactiveAttachPopulates(t *testing.T) {
+	erm := entity.NewManager()
+	pm := policy.NewManager()
+	p := New(Config{Entity: erm, Policy: pm, ProactivePush: true})
+	defer p.Stop()
+	bindOracleUniverse(erm)
+	if err := pm.RegisterPDP("high", 20); err != nil {
+		t.Fatal(err)
+	}
+	allowAliceToH2(t, pm)
+
+	sw := switchsim.NewSwitch(switchsim.Config{DPID: 1})
+	p.AttachSwitch(1, simClient{sw})
+	if sw.FlowCount(0) == 0 {
+		t.Fatal("attach-time population installed nothing")
+	}
+	if o, tbl := sw.Evaluate(1, aliceToH2TCP()); o != switchsim.OutcomeMiss || tbl != 1 {
+		t.Fatalf("populated switch does not admit the covered flow: (%v, table %d)", o, tbl)
+	}
+	// A switch the rule has no bindings on stays empty.
+	other := switchsim.NewSwitch(switchsim.Config{DPID: 9})
+	p.AttachSwitch(9, simClient{other})
+	if n := other.FlowCount(0); n != 0 {
+		t.Fatalf("unrelated switch received %d entries", n)
+	}
+}
+
+// TestProactiveMaxFlowsCap: the per-rule expansion cap bounds table usage;
+// rules over the cap stay partially reactive instead of flooding table 0.
+func TestProactiveMaxFlowsCap(t *testing.T) {
+	p, pm, _, sw := newProactiveEnv(t, func(c *Config) { c.ProactiveMaxFlows = 1 })
+	defer p.Stop()
+	allowAliceToH2(t, pm)
+	if n := sw.FlowCount(0); n != 1 {
+		t.Fatalf("cap=1 but %d entries installed", n)
+	}
+}
+
+// TestProactiveMissMetric: a packet-in decided by a rule that has entries
+// installed counts as a coverage miss.
+func TestProactiveMissMetric(t *testing.T) {
+	p, pm, _, _ := newProactiveEnv(t, nil)
+	defer p.Stop()
+	allowAliceToH2(t, pm)
+	p.Process(&Request{DPID: 1, PacketIn: packetInFor(aliceToH2TCP(), 1)})
+	if n := p.Metrics().ProactiveMisses(); n != 1 {
+		t.Fatalf("proactive misses = %d, want 1", n)
+	}
+}
+
+// BenchmarkProactiveFirstPacket compares the first-packet cost of a flow
+// whose allow rule is proactively resident in table 0 (a dataplane
+// Evaluate, no packet-in) against the reactive path (packet-in through the
+// full admission pipeline).
+func BenchmarkProactiveFirstPacket(b *testing.B) {
+	b.Run("proactive", func(b *testing.B) {
+		p, pm, _, sw := newProactiveEnv(b, nil)
+		defer p.Stop()
+		allowAliceToH2(b, pm)
+		frame := aliceToH2TCP()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if o, tbl := sw.Evaluate(1, frame); o == switchsim.OutcomeMiss && tbl == 0 {
+				b.Fatal("flow not covered")
+			}
+		}
+	})
+	b.Run("reactive", func(b *testing.B) {
+		erm := entity.NewManager()
+		pm := policy.NewManager()
+		// No proactive push, no decision cache: every packet is a
+		// first packet taking the full enrich-and-query admission path.
+		p := New(Config{Entity: erm, Policy: pm, FlowCacheSize: -1})
+		defer p.Stop()
+		bindOracleUniverse(erm)
+		if err := pm.RegisterPDP("high", 20); err != nil {
+			b.Fatal(err)
+		}
+		allowAliceToH2(b, pm)
+		sw := switchsim.NewSwitch(switchsim.Config{DPID: 1})
+		p.AttachSwitch(1, simClient{sw})
+		req := &Request{DPID: 1, PacketIn: packetInFor(aliceToH2TCP(), 1)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Process(req)
+		}
+	})
+}

@@ -1,0 +1,559 @@
+// Package classifier compiles an epoch-versioned policy snapshot into a
+// compact classification structure and diffs successive compiled epochs.
+//
+// The structure is a priority-ordered tuple space (Srinivasan et al.'s
+// tuple-space search, the same organisation yanet2's ACL module compiles
+// rule sets into): every rule belongs to exactly one tuple — the set of
+// fields it constrains — and within a tuple all rules are exact values over
+// those fields, so one map probe per tuple replaces a linear scan. Levels
+// mirror the snapshot's priority buckets (highest first) and tuples reuse
+// the exact-match-map idea of the policy package's per-bucket index, taken
+// to its fixed point: the probe key is the rule's entire constrained field
+// set, so a probe hit IS a full match and needs no residual verification.
+//
+// Compilation is incremental: CompileNext diffs the previous compiled
+// epoch's snapshot against the new one (cheap — unchanged rules share
+// *Rule pointers across snapshots) and, for small deltas, builds the next
+// structure by copy-on-write of only the touched levels, tuples and index
+// entries, leaving everything else shared with the previous epoch. The
+// returned Delta is what the PCP turns into minimal flow-mod deltas.
+package classifier
+
+import (
+	"sort"
+
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+)
+
+// fieldMask identifies which fields a rule constrains (its tuple).
+type fieldMask uint32
+
+const (
+	maskEtherType fieldMask = 1 << iota
+	maskIPProto
+	maskSrcUser
+	maskSrcHost
+	maskSrcIP
+	maskSrcPort
+	maskSrcMAC
+	maskSrcSwitchPort
+	maskSrcDPID
+	maskDstUser
+	maskDstHost
+	maskDstIP
+	maskDstPort
+	maskDstMAC
+	maskDstSwitchPort
+	maskDstDPID
+)
+
+// tupleKey holds one exact value per constrainable field; slots outside a
+// tuple's mask stay zero, so two rules constraining the same fields to the
+// same values collide in one map slot (and are disambiguated by scan).
+type tupleKey struct {
+	etherType     uint16
+	ipProto       uint8
+	srcUser       string
+	srcHost       string
+	srcIP         netpkt.IPv4
+	srcPort       uint16
+	srcMAC        netpkt.MAC
+	srcSwitchPort uint32
+	srcDPID       uint64
+	dstUser       string
+	dstHost       string
+	dstIP         netpkt.IPv4
+	dstPort       uint16
+	dstMAC        netpkt.MAC
+	dstSwitchPort uint32
+	dstDPID       uint64
+}
+
+// ruleKey computes the tuple a rule belongs to and its probe key.
+func ruleKey(r *policy.Rule) (fieldMask, tupleKey) {
+	var m fieldMask
+	var k tupleKey
+	if r.Props.EtherType != nil {
+		m |= maskEtherType
+		k.etherType = *r.Props.EtherType
+	}
+	if r.Props.IPProto != nil {
+		m |= maskIPProto
+		k.ipProto = *r.Props.IPProto
+	}
+	if r.Src.User != "" {
+		m |= maskSrcUser
+		k.srcUser = r.Src.User
+	}
+	if r.Src.Host != "" {
+		m |= maskSrcHost
+		k.srcHost = r.Src.Host
+	}
+	if r.Src.IP != nil {
+		m |= maskSrcIP
+		k.srcIP = *r.Src.IP
+	}
+	if r.Src.Port != nil {
+		m |= maskSrcPort
+		k.srcPort = *r.Src.Port
+	}
+	if r.Src.MAC != nil {
+		m |= maskSrcMAC
+		k.srcMAC = *r.Src.MAC
+	}
+	if r.Src.SwitchPort != nil {
+		m |= maskSrcSwitchPort
+		k.srcSwitchPort = *r.Src.SwitchPort
+	}
+	if r.Src.DPID != nil {
+		m |= maskSrcDPID
+		k.srcDPID = *r.Src.DPID
+	}
+	if r.Dst.User != "" {
+		m |= maskDstUser
+		k.dstUser = r.Dst.User
+	}
+	if r.Dst.Host != "" {
+		m |= maskDstHost
+		k.dstHost = r.Dst.Host
+	}
+	if r.Dst.IP != nil {
+		m |= maskDstIP
+		k.dstIP = *r.Dst.IP
+	}
+	if r.Dst.Port != nil {
+		m |= maskDstPort
+		k.dstPort = *r.Dst.Port
+	}
+	if r.Dst.MAC != nil {
+		m |= maskDstMAC
+		k.dstMAC = *r.Dst.MAC
+	}
+	if r.Dst.SwitchPort != nil {
+		m |= maskDstSwitchPort
+		k.dstSwitchPort = *r.Dst.SwitchPort
+	}
+	if r.Dst.DPID != nil {
+		m |= maskDstDPID
+		k.dstDPID = *r.Dst.DPID
+	}
+	return m, k
+}
+
+// tuple holds every rule of one level constraining exactly the fields in
+// mask, keyed by their constrained values.
+type tuple struct {
+	mask  fieldMask
+	rules map[tupleKey][]*policy.Rule
+}
+
+// level groups the tuples of one priority.
+type level struct {
+	priority int
+	tuples   []*tuple
+}
+
+// Compiled is one policy snapshot compiled for tuple-space lookup, plus
+// reverse indexes from high-level identifiers to the Allow rules written
+// over them (what a binding change or a switch attachment must re-derive).
+// A Compiled is immutable once returned: successive epochs share untouched
+// levels, tuples and index slices with their predecessor.
+type Compiled struct {
+	snap   *policy.Snapshot
+	levels []*level // priority descending
+
+	// Allow rules by the identifier they name (either endpoint).
+	allowByUser map[string][]*policy.Rule
+	allowByHost map[string][]*policy.Rule
+	allowByIP   map[netpkt.IPv4][]*policy.Rule
+	allowByMAC  map[netpkt.MAC][]*policy.Rule
+}
+
+// Epoch returns the policy epoch this structure was compiled from.
+func (c *Compiled) Epoch() uint64 { return c.snap.Epoch() }
+
+// Snapshot returns the snapshot this structure was compiled from.
+func (c *Compiled) Snapshot() *policy.Snapshot { return c.snap }
+
+// Len returns the number of compiled rules.
+func (c *Compiled) Len() int { return c.snap.Len() }
+
+// Compile builds the classification structure for a snapshot from scratch.
+func Compile(snap *policy.Snapshot) *Compiled {
+	c := &Compiled{
+		snap:        snap,
+		allowByUser: make(map[string][]*policy.Rule),
+		allowByHost: make(map[string][]*policy.Rule),
+		allowByIP:   make(map[netpkt.IPv4][]*policy.Rule),
+		allowByMAC:  make(map[netpkt.MAC][]*policy.Rule),
+	}
+	for _, r := range snap.All() {
+		c.insert(r)
+	}
+	sort.Slice(c.levels, func(i, j int) bool { return c.levels[i].priority > c.levels[j].priority })
+	return c
+}
+
+// insert adds a rule to a Compiled under construction (every container
+// owned, no copy-on-write). Level order is restored by the caller.
+func (c *Compiled) insert(r *policy.Rule) {
+	lv := c.findLevel(r.Priority)
+	if lv == nil {
+		lv = &level{priority: r.Priority}
+		c.levels = append(c.levels, lv)
+	}
+	mask, key := ruleKey(r)
+	tp := lv.findTuple(mask)
+	if tp == nil {
+		tp = &tuple{mask: mask, rules: make(map[tupleKey][]*policy.Rule)}
+		lv.tuples = append(lv.tuples, tp)
+	}
+	tp.rules[key] = append(tp.rules[key], r)
+	c.indexRule(r)
+}
+
+func (c *Compiled) findLevel(priority int) *level {
+	for _, lv := range c.levels {
+		if lv.priority == priority {
+			return lv
+		}
+	}
+	return nil
+}
+
+func (lv *level) findTuple(mask fieldMask) *tuple {
+	for _, tp := range lv.tuples {
+		if tp.mask == mask {
+			return tp
+		}
+	}
+	return nil
+}
+
+// indexRule adds an Allow rule to the identifier reverse indexes.
+func (c *Compiled) indexRule(r *policy.Rule) {
+	if r.Action != policy.ActionAllow {
+		return
+	}
+	for _, u := range [2]string{r.Src.User, r.Dst.User} {
+		if u != "" {
+			c.allowByUser[u] = appendRule(c.allowByUser[u], r)
+		}
+	}
+	for _, h := range [2]string{r.Src.Host, r.Dst.Host} {
+		if h != "" {
+			c.allowByHost[h] = appendRule(c.allowByHost[h], r)
+		}
+	}
+	for _, ip := range [2]*netpkt.IPv4{r.Src.IP, r.Dst.IP} {
+		if ip != nil {
+			c.allowByIP[*ip] = appendRule(c.allowByIP[*ip], r)
+		}
+	}
+	for _, mac := range [2]*netpkt.MAC{r.Src.MAC, r.Dst.MAC} {
+		if mac != nil {
+			c.allowByMAC[*mac] = appendRule(c.allowByMAC[*mac], r)
+		}
+	}
+}
+
+// appendRule appends r to a fresh copy of rules (never mutating a slice a
+// previous epoch may share) unless it is already present.
+func appendRule(rules []*policy.Rule, r *policy.Rule) []*policy.Rule {
+	for _, have := range rules {
+		if have.ID == r.ID {
+			return rules
+		}
+	}
+	out := make([]*policy.Rule, len(rules), len(rules)+1)
+	copy(out, rules)
+	return append(out, r)
+}
+
+// withoutRule returns rules minus the rule with the given id, copying only
+// when the rule is present.
+func withoutRule(rules []*policy.Rule, id policy.RuleID) []*policy.Rule {
+	for i, have := range rules {
+		if have.ID == id {
+			out := make([]*policy.Rule, 0, len(rules)-1)
+			out = append(out, rules[:i]...)
+			return append(out, rules[i+1:]...)
+		}
+	}
+	return rules
+}
+
+// AllowRulesFor returns, ordered by id, every Allow rule written over any
+// of the given identifiers — the rules whose derived switch state a binding
+// change over those identifiers invalidates.
+func (c *Compiled) AllowRulesFor(users, hosts []string, ips []netpkt.IPv4, macs []netpkt.MAC) []*policy.Rule {
+	seen := make(map[policy.RuleID]*policy.Rule)
+	for _, u := range users {
+		for _, r := range c.allowByUser[u] {
+			seen[r.ID] = r
+		}
+	}
+	for _, h := range hosts {
+		for _, r := range c.allowByHost[h] {
+			seen[r.ID] = r
+		}
+	}
+	for _, ip := range ips {
+		for _, r := range c.allowByIP[ip] {
+			seen[r.ID] = r
+		}
+	}
+	for _, mac := range macs {
+		for _, r := range c.allowByMAC[mac] {
+			seen[r.ID] = r
+		}
+	}
+	out := make([]*policy.Rule, 0, len(seen))
+	for _, r := range seen {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RulesAtOrAbove visits every compiled rule whose priority is at least the
+// given one — the rules that can win over, or tie with, a rule at that
+// priority — stopping early when visit returns false. Visit order is
+// priority-descending; order within a level is unspecified.
+func (c *Compiled) RulesAtOrAbove(priority int, visit func(*policy.Rule) bool) {
+	for _, lv := range c.levels {
+		if lv.priority < priority {
+			return
+		}
+		for _, tp := range lv.tuples {
+			for _, rules := range tp.rules {
+				for _, r := range rules {
+					if !visit(r) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Lookup returns the decision for a flow against the compiled policy,
+// agreeing with Snapshot.Query on action, match and winning priority: the
+// highest-priority matching rule wins, Deny wins priority ties, no match is
+// the default Deny. It performs no locking and no allocation (the
+// TestCompiledLookupZeroAlloc gate).
+//
+//dfi:hotpath
+func (c *Compiled) Lookup(f *policy.FlowView) policy.Decision {
+	for _, lv := range c.levels {
+		if r := lv.match(f); r != nil {
+			return policy.Decision{Action: r.Action, Rule: r, Matched: true, Epoch: c.snap.Epoch()}
+		}
+	}
+	return policy.Decision{Action: policy.ActionDeny, Epoch: c.snap.Epoch()}
+}
+
+// match returns the level's winning rule for the flow: any matching Deny
+// wins immediately; among Allows the lowest id wins (deterministic, and
+// action-equivalent to the snapshot's probe order).
+//
+//dfi:hotpath
+func (lv *level) match(f *policy.FlowView) *policy.Rule {
+	var best *policy.Rule
+	for _, tp := range lv.tuples {
+		r := tp.match(f)
+		if r == nil {
+			continue
+		}
+		if r.Action == policy.ActionDeny {
+			return r
+		}
+		if best == nil || r.ID < best.ID {
+			best = r
+		}
+	}
+	return best
+}
+
+// match probes one tuple with the flow's values for the tuple's fields. A
+// probe hit is a full rule match by construction: the key equality covers
+// every field the rules in this tuple constrain. User-constrained tuples
+// probe once per user bound to the endpoint (membership semantics).
+//
+//dfi:hotpath
+func (tp *tuple) match(f *policy.FlowView) *policy.Rule {
+	k, ok := tp.keyFor(f)
+	if !ok {
+		return nil
+	}
+	srcUsers := tp.mask&maskSrcUser != 0
+	dstUsers := tp.mask&maskDstUser != 0
+	switch {
+	case !srcUsers && !dstUsers:
+		return tp.probe(k)
+	case srcUsers && !dstUsers:
+		var best *policy.Rule
+		for _, u := range f.Src.Users {
+			k.srcUser = u
+			r := tp.probe(k)
+			if r == nil {
+				continue
+			}
+			if r.Action == policy.ActionDeny {
+				return r
+			}
+			if best == nil || r.ID < best.ID {
+				best = r
+			}
+		}
+		return best
+	case !srcUsers && dstUsers:
+		var best *policy.Rule
+		for _, u := range f.Dst.Users {
+			k.dstUser = u
+			r := tp.probe(k)
+			if r == nil {
+				continue
+			}
+			if r.Action == policy.ActionDeny {
+				return r
+			}
+			if best == nil || r.ID < best.ID {
+				best = r
+			}
+		}
+		return best
+	default:
+		var best *policy.Rule
+		for _, su := range f.Src.Users {
+			k.srcUser = su
+			for _, du := range f.Dst.Users {
+				k.dstUser = du
+				r := tp.probe(k)
+				if r == nil {
+					continue
+				}
+				if r.Action == policy.ActionDeny {
+					return r
+				}
+				if best == nil || r.ID < best.ID {
+					best = r
+				}
+			}
+		}
+		return best
+	}
+}
+
+// probe scans one key slot: Deny wins, then lowest id.
+//
+//dfi:hotpath
+func (tp *tuple) probe(k tupleKey) *policy.Rule {
+	var best *policy.Rule
+	for _, r := range tp.rules[k] {
+		if r.Action == policy.ActionDeny {
+			return r
+		}
+		if best == nil || r.ID < best.ID {
+			best = r
+		}
+	}
+	return best
+}
+
+// keyFor builds the probe key holding the flow's values for the tuple's
+// non-user fields. It reports false when the flow lacks a field the tuple
+// constrains (such a flow cannot match any rule in the tuple).
+//
+//dfi:hotpath
+func (tp *tuple) keyFor(f *policy.FlowView) (tupleKey, bool) {
+	var k tupleKey
+	m := tp.mask
+	if m&maskEtherType != 0 {
+		k.etherType = f.EtherType
+	}
+	if m&maskIPProto != 0 {
+		if !f.HasIPProto {
+			return k, false
+		}
+		k.ipProto = f.IPProto
+	}
+	if m&maskSrcHost != 0 {
+		if f.Src.Host == "" {
+			return k, false
+		}
+		k.srcHost = f.Src.Host
+	}
+	if m&maskSrcIP != 0 {
+		if !f.Src.HasIP {
+			return k, false
+		}
+		k.srcIP = f.Src.IP
+	}
+	if m&maskSrcPort != 0 {
+		if !f.Src.HasPort {
+			return k, false
+		}
+		k.srcPort = f.Src.Port
+	}
+	if m&maskSrcMAC != 0 {
+		k.srcMAC = f.Src.MAC
+	}
+	if m&maskSrcSwitchPort != 0 {
+		if !f.Src.HasSwitchPort {
+			return k, false
+		}
+		k.srcSwitchPort = f.Src.SwitchPort
+	}
+	if m&maskSrcDPID != 0 {
+		if !f.Src.HasDPID {
+			return k, false
+		}
+		k.srcDPID = f.Src.DPID
+	}
+	if m&maskDstHost != 0 {
+		if f.Dst.Host == "" {
+			return k, false
+		}
+		k.dstHost = f.Dst.Host
+	}
+	if m&maskDstIP != 0 {
+		if !f.Dst.HasIP {
+			return k, false
+		}
+		k.dstIP = f.Dst.IP
+	}
+	if m&maskDstPort != 0 {
+		if !f.Dst.HasPort {
+			return k, false
+		}
+		k.dstPort = f.Dst.Port
+	}
+	if m&maskDstMAC != 0 {
+		k.dstMAC = f.Dst.MAC
+	}
+	if m&maskDstSwitchPort != 0 {
+		if !f.Dst.HasSwitchPort {
+			return k, false
+		}
+		k.dstSwitchPort = f.Dst.SwitchPort
+	}
+	if m&maskDstDPID != 0 {
+		if !f.Dst.HasDPID {
+			return k, false
+		}
+		k.dstDPID = f.Dst.DPID
+	}
+	if m&(maskSrcUser|maskDstUser) != 0 {
+		// User slots are filled by the caller's per-user probes; a flow
+		// with no bound users yields no probes and therefore no match.
+		if m&maskSrcUser != 0 && len(f.Src.Users) == 0 {
+			return k, false
+		}
+		if m&maskDstUser != 0 && len(f.Dst.Users) == 0 {
+			return k, false
+		}
+	}
+	return k, true
+}

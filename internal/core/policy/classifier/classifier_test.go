@@ -1,0 +1,324 @@
+package classifier_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/core/policy/classifier"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+)
+
+// The generators mirror the policy package's property tests: a small value
+// universe so rules collide, overlap and tie often.
+
+func randomSpec(rng *rand.Rand) policy.EndpointSpec {
+	var e policy.EndpointSpec
+	users := []string{"alice", "bob", "carol"}
+	hosts := []string{"h1", "h2", "h3"}
+	if rng.Intn(3) == 0 {
+		e.User = users[rng.Intn(len(users))]
+	}
+	if rng.Intn(3) == 0 {
+		e.Host = hosts[rng.Intn(len(hosts))]
+	}
+	if rng.Intn(3) == 0 {
+		ip := netpkt.IPv4FromUint32(0x0a000000 | uint32(rng.Intn(4)))
+		e.IP = &ip
+	}
+	if rng.Intn(3) == 0 {
+		port := uint16(rng.Intn(3) + 1)
+		e.Port = &port
+	}
+	if rng.Intn(3) == 0 {
+		mac := netpkt.MAC{2, 0, 0, 0, 0, byte(rng.Intn(3) + 1)}
+		e.MAC = &mac
+	}
+	if rng.Intn(4) == 0 {
+		sp := uint32(rng.Intn(3) + 1)
+		e.SwitchPort = &sp
+	}
+	if rng.Intn(4) == 0 {
+		d := uint64(rng.Intn(3) + 1)
+		e.DPID = &d
+	}
+	return e
+}
+
+func randomRule(rng *rand.Rand) policy.Rule {
+	r := policy.Rule{Action: policy.ActionAllow}
+	if rng.Intn(2) == 0 {
+		r.Action = policy.ActionDeny
+	}
+	if rng.Intn(3) == 0 {
+		et := netpkt.EtherTypeIPv4
+		r.Props.EtherType = &et
+		if rng.Intn(2) == 0 {
+			p := []uint8{netpkt.ProtoTCP, netpkt.ProtoUDP}[rng.Intn(2)]
+			r.Props.IPProto = &p
+		}
+	}
+	r.Src = randomSpec(rng)
+	r.Dst = randomSpec(rng)
+	return r
+}
+
+func randomFlow(rng *rand.Rand) *policy.FlowView {
+	users := [][]string{nil, {"alice"}, {"bob"}, {"alice", "carol"}}
+	hosts := []string{"", "h1", "h2", "h3"}
+	f := &policy.FlowView{
+		EtherType:  netpkt.EtherTypeIPv4,
+		HasIPProto: true,
+		IPProto:    []uint8{netpkt.ProtoTCP, netpkt.ProtoUDP}[rng.Intn(2)],
+	}
+	mk := func() policy.EndpointAttrs {
+		return policy.EndpointAttrs{
+			Users:         users[rng.Intn(len(users))],
+			Host:          hosts[rng.Intn(len(hosts))],
+			HasIP:         true,
+			IP:            netpkt.IPv4FromUint32(0x0a000000 | uint32(rng.Intn(4))),
+			HasPort:       true,
+			Port:          uint16(rng.Intn(3) + 1),
+			MAC:           netpkt.MAC{2, 0, 0, 0, 0, byte(rng.Intn(3) + 1)},
+			HasSwitchPort: true,
+			SwitchPort:    uint32(rng.Intn(3) + 1),
+			HasDPID:       true,
+			DPID:          uint64(rng.Intn(3) + 1),
+		}
+	}
+	f.Src = mk()
+	f.Dst = mk()
+	return f
+}
+
+func newManager(t testing.TB) *policy.Manager {
+	t.Helper()
+	m := policy.NewManager()
+	if err := m.RegisterPDP("p1", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterPDP("p2", 20); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// agree fails the test when compiled lookup and snapshot query diverge on a
+// flow. Rule identity may differ on equal-priority same-action ties (the
+// snapshot's probe order is unspecified), so agreement is on action,
+// matchedness and winning priority.
+func agree(t *testing.T, c *classifier.Compiled, snap *policy.Snapshot, f *policy.FlowView) {
+	t.Helper()
+	got := c.Lookup(f)
+	want := snap.Query(f)
+	if got.Action != want.Action || got.Matched != want.Matched {
+		t.Fatalf("lookup (%v, matched=%v) != query (%v, matched=%v) for %+v",
+			got.Action, got.Matched, want.Action, want.Matched, f)
+	}
+	if got.Matched && got.Rule.Priority != want.Rule.Priority {
+		t.Fatalf("lookup won at priority %d, query at %d, for %+v",
+			got.Rule.Priority, want.Rule.Priority, f)
+	}
+	if got.Epoch != want.Epoch {
+		t.Fatalf("lookup epoch %d != query epoch %d", got.Epoch, want.Epoch)
+	}
+}
+
+// TestPropertyLookupAgreesWithQuery: the compiled structure and the linear
+// snapshot scan are decision-equivalent over randomized rule sets.
+func TestPropertyLookupAgreesWithQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := newManager(t)
+	for i := 0; i < 60; i++ {
+		r := randomRule(rng)
+		r.PDP = []string{"p1", "p2"}[rng.Intn(2)]
+		if _, err := m.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := m.Snapshot()
+	c := classifier.Compile(snap)
+	if c.Epoch() != snap.Epoch() || c.Len() != snap.Len() {
+		t.Fatalf("compiled (epoch %d, len %d) != snapshot (epoch %d, len %d)",
+			c.Epoch(), c.Len(), snap.Epoch(), snap.Len())
+	}
+	matched := 0
+	for i := 0; i < 3000; i++ {
+		f := randomFlow(rng)
+		agree(t, c, snap, f)
+		if snap.Query(f).Matched {
+			matched++
+		}
+	}
+	if matched == 0 {
+		t.Fatal("no generated flow matched any rule; universe too sparse")
+	}
+}
+
+// TestPropertyCompileNextEquivalence: maintaining the structure through
+// CompileNext across a random insert/revoke sequence yields, at every
+// epoch, a structure decision-equivalent to compiling the snapshot from
+// scratch — and deltas applied to a rule-id set track the snapshot's.
+func TestPropertyCompileNextEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := newManager(t)
+	var cur *classifier.Compiled
+	present := make(map[policy.RuleID]bool)
+	var live []policy.RuleID
+
+	for step := 0; step < 150; step++ {
+		if len(live) == 0 || rng.Intn(5) < 3 {
+			r := randomRule(rng)
+			r.PDP = []string{"p1", "p2"}[rng.Intn(2)]
+			id, err := m.Insert(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, id)
+		} else {
+			i := rng.Intn(len(live))
+			if err := m.Revoke(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		snap := m.Snapshot()
+		next, d := classifier.CompileNext(cur, snap)
+		cur = next
+		if cur.Epoch() != snap.Epoch() {
+			t.Fatalf("step %d: compiled epoch %d, want %d", step, cur.Epoch(), snap.Epoch())
+		}
+		for _, r := range d.Removed {
+			delete(present, r.ID)
+		}
+		for _, r := range d.Added {
+			present[r.ID] = true
+		}
+		for _, r := range d.Changed {
+			if !present[r.ID] {
+				t.Fatalf("step %d: delta changed rule %d not present", step, r.ID)
+			}
+		}
+		if len(present) != snap.Len() {
+			t.Fatalf("step %d: delta-tracked %d rules, snapshot has %d", step, len(present), snap.Len())
+		}
+		for id := range present {
+			if snap.Get(id) == nil {
+				t.Fatalf("step %d: delta-tracked rule %d missing from snapshot", step, id)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			agree(t, cur, snap, randomFlow(rng))
+		}
+		// And against a from-scratch compile of the same snapshot.
+		if step%10 == 0 {
+			fresh := classifier.Compile(snap)
+			for i := 0; i < 100; i++ {
+				f := randomFlow(rng)
+				a, b := cur.Lookup(f), fresh.Lookup(f)
+				if a.Action != b.Action || a.Matched != b.Matched {
+					t.Fatalf("step %d: incremental and fresh compile diverge on %+v", step, f)
+				}
+			}
+		}
+	}
+}
+
+// TestCompileNextOutOfOrder: a CompileNext against an older (or identical)
+// snapshot returns the existing structure unchanged with an empty delta,
+// so reordered flush notifications collapse into no-ops.
+func TestCompileNextOutOfOrder(t *testing.T) {
+	m := newManager(t)
+	if _, err := m.Insert(policy.Rule{PDP: "p1", Action: policy.ActionAllow, Src: policy.EndpointSpec{Host: "h1"}}); err != nil {
+		t.Fatal(err)
+	}
+	old := m.Snapshot()
+	if _, err := m.Insert(policy.Rule{PDP: "p2", Action: policy.ActionDeny, Src: policy.EndpointSpec{Host: "h2"}}); err != nil {
+		t.Fatal(err)
+	}
+	cur, d := classifier.CompileNext(nil, m.Snapshot())
+	if len(d.Added) != 2 {
+		t.Fatalf("initial compile reported %d added rules, want 2", len(d.Added))
+	}
+	next, d := classifier.CompileNext(cur, old)
+	if next != cur {
+		t.Fatal("out-of-order CompileNext rebuilt the structure")
+	}
+	if !d.Empty() {
+		t.Fatalf("out-of-order CompileNext produced a non-empty delta: %+v", d)
+	}
+	next, d = classifier.CompileNext(cur, m.Snapshot())
+	if next != cur || !d.Empty() {
+		t.Fatal("same-epoch CompileNext was not a no-op")
+	}
+}
+
+// TestAllowRulesFor: the reverse indexes resolve identifiers to exactly
+// the Allow rules written over them, across epochs.
+func TestAllowRulesFor(t *testing.T) {
+	m := newManager(t)
+	ip := netpkt.IPv4FromUint32(0x0a000001)
+	mac := netpkt.MAC{2, 0, 0, 0, 0, 1}
+	idHost, err := m.Insert(policy.Rule{PDP: "p1", Action: policy.ActionAllow, Src: policy.EndpointSpec{Host: "h1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idUser, err := m.Insert(policy.Rule{PDP: "p1", Action: policy.ActionAllow, Dst: policy.EndpointSpec{User: "alice"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Insert(policy.Rule{PDP: "p2", Action: policy.ActionDeny, Src: policy.EndpointSpec{IP: &ip}}); err != nil {
+		t.Fatal(err) // Deny rules are never indexed.
+	}
+	idMAC, err := m.Insert(policy.Rule{PDP: "p2", Action: policy.ActionAllow, Src: policy.EndpointSpec{MAC: &mac}, Dst: policy.EndpointSpec{IP: &ip}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := classifier.CompileNext(nil, m.Snapshot())
+
+	got := c.AllowRulesFor([]string{"alice"}, []string{"h1"}, nil, nil)
+	if len(got) != 2 || got[0].ID != idHost || got[1].ID != idUser {
+		t.Fatalf("AllowRulesFor(alice,h1) = %v", got)
+	}
+	got = c.AllowRulesFor(nil, nil, []netpkt.IPv4{ip}, []netpkt.MAC{mac})
+	if len(got) != 1 || got[0].ID != idMAC {
+		t.Fatalf("AllowRulesFor(ip,mac) = %v", got)
+	}
+	if err := m.Revoke(idHost); err != nil {
+		t.Fatal(err)
+	}
+	c, _ = classifier.CompileNext(c, m.Snapshot())
+	got = c.AllowRulesFor(nil, []string{"h1"}, nil, nil)
+	if len(got) != 0 {
+		t.Fatalf("revoked rule still indexed: %v", got)
+	}
+}
+
+// TestRulesAtOrAbove: visits exactly the rules that can win over (or tie
+// with) the given priority, highest level first.
+func TestRulesAtOrAbove(t *testing.T) {
+	m := newManager(t)
+	if _, err := m.Insert(policy.Rule{PDP: "p1", Action: policy.ActionAllow, Src: policy.EndpointSpec{Host: "h1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Insert(policy.Rule{PDP: "p2", Action: policy.ActionDeny, Src: policy.EndpointSpec{Host: "h2"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Insert(policy.Rule{PDP: "p2", Action: policy.ActionDeny, Src: policy.EndpointSpec{Host: "h3"}}); err != nil {
+		t.Fatal(err)
+	}
+	c := classifier.Compile(m.Snapshot())
+	var prios []int
+	c.RulesAtOrAbove(20, func(r *policy.Rule) bool {
+		prios = append(prios, r.Priority)
+		return true
+	})
+	if len(prios) != 2 || prios[0] != 20 || prios[1] != 20 {
+		t.Fatalf("RulesAtOrAbove(20) visited priorities %v, want [20 20]", prios)
+	}
+	n := 0
+	c.RulesAtOrAbove(10, func(*policy.Rule) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop visited %d rules, want 2", n)
+	}
+}

@@ -1,0 +1,305 @@
+package classifier
+
+import (
+	"sort"
+
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+)
+
+// Delta is the rule-level difference between two compiled epochs. Changed
+// holds the new version of rules whose id survived but whose definition
+// (priority, action, properties or endpoints) differs; the old versions are
+// reachable through the previous epoch's snapshot. Slices are ordered by
+// rule id.
+type Delta struct {
+	// From is the previous compiled epoch (0 when compiling from nothing).
+	From uint64
+	// To is the epoch compiled to.
+	To uint64
+
+	Added   []*policy.Rule
+	Removed []*policy.Rule
+	Changed []*policy.Rule
+}
+
+// Empty reports a delta with no rule changes.
+func (d *Delta) Empty() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0 && len(d.Changed) == 0
+}
+
+// Size returns the number of rules the delta touches.
+func (d *Delta) Size() int { return len(d.Added) + len(d.Removed) + len(d.Changed) }
+
+// incrementalDivisor bounds how large a delta (relative to the rule count)
+// is still applied copy-on-write: deltas touching at least 1/4 of the rules
+// rebuild from scratch, which is cheaper than copying most of the structure
+// piecemeal.
+const incrementalDivisor = 4
+
+// CompileNext compiles the structure for snap, reusing prev where possible,
+// and returns the rule-level delta between the two epochs. A nil prev
+// compiles from scratch and reports every rule as Added. When prev is
+// already at (or past) snap's epoch the delta is empty and prev is returned
+// unchanged — callers serialize CompileNext per consumer, so out-of-order
+// flush notifications collapse into no-ops.
+//
+// The diff is cheap by construction: snapshots share *Rule pointers for
+// rules untouched by a mutation, so pointer equality settles the common
+// case and deep comparison runs only for re-inserted ids.
+func CompileNext(prev *Compiled, snap *policy.Snapshot) (*Compiled, Delta) {
+	if prev == nil {
+		all := snap.All()
+		d := Delta{To: snap.Epoch(), Added: make([]*policy.Rule, len(all))}
+		copy(d.Added, all)
+		return Compile(snap), d
+	}
+	d := Delta{From: prev.snap.Epoch(), To: snap.Epoch()}
+	if prev.snap.Epoch() >= snap.Epoch() {
+		d.To = prev.snap.Epoch()
+		return prev, d
+	}
+	for _, r := range snap.All() {
+		old := prev.snap.Get(r.ID)
+		switch {
+		case old == nil:
+			d.Added = append(d.Added, r)
+		case old == r:
+			// Shared pointer: unchanged.
+		case !ruleEqual(old, r):
+			d.Changed = append(d.Changed, r)
+		}
+	}
+	for _, old := range prev.snap.All() {
+		if snap.Get(old.ID) == nil {
+			d.Removed = append(d.Removed, old)
+		}
+	}
+	if d.Empty() {
+		// Epoch advanced without a rule change (cannot happen through the
+		// Manager today); republish the same structure at the new snapshot.
+		next := *prev
+		next.snap = snap
+		return &next, d
+	}
+	if d.Size()*incrementalDivisor >= snap.Len() {
+		return Compile(snap), d
+	}
+	return applyDelta(prev, snap, &d), d
+}
+
+// ruleEqual compares the rule definition fields a compiled structure (or a
+// switch's derived state) depends on.
+func ruleEqual(a, b *policy.Rule) bool {
+	if a.Priority != b.Priority || a.Action != b.Action || a.PDP != b.PDP {
+		return false
+	}
+	if !ptrEq(a.Props.EtherType, b.Props.EtherType) || !ptrEq(a.Props.IPProto, b.Props.IPProto) {
+		return false
+	}
+	return specEqual(&a.Src, &b.Src) && specEqual(&a.Dst, &b.Dst)
+}
+
+func specEqual(a, b *policy.EndpointSpec) bool {
+	return a.User == b.User && a.Host == b.Host &&
+		ptrEq(a.IP, b.IP) && ptrEq(a.Port, b.Port) && ptrEq(a.MAC, b.MAC) &&
+		ptrEq(a.SwitchPort, b.SwitchPort) && ptrEq(a.DPID, b.DPID)
+}
+
+func ptrEq[T comparable](a, b *T) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return *a == *b
+}
+
+// applyDelta builds the structure for snap by copy-on-write over prev:
+// only the levels, tuples, key slots and index entries the delta touches
+// are copied; everything else is shared. prev stays valid for concurrent
+// readers throughout.
+func applyDelta(prev *Compiled, snap *policy.Snapshot, d *Delta) *Compiled {
+	next := &Compiled{
+		snap:        snap,
+		levels:      make([]*level, len(prev.levels)),
+		allowByUser: cloneIndex(prev.allowByUser),
+		allowByHost: cloneIndex(prev.allowByHost),
+		allowByIP:   cloneIndex(prev.allowByIP),
+		allowByMAC:  cloneIndex(prev.allowByMAC),
+	}
+	copy(next.levels, prev.levels)
+	owned := ownedSet{levels: map[*level]bool{}, tuples: map[*tuple]bool{}}
+
+	for _, r := range d.Removed {
+		next.remove(&owned, r)
+	}
+	for _, r := range d.Changed {
+		next.remove(&owned, prev.snap.Get(r.ID))
+	}
+	for _, r := range d.Changed {
+		next.add(&owned, r)
+	}
+	for _, r := range d.Added {
+		next.add(&owned, r)
+	}
+	return next
+}
+
+func cloneIndex[K comparable](m map[K][]*policy.Rule) map[K][]*policy.Rule {
+	out := make(map[K][]*policy.Rule, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// ownedSet tracks which containers the new epoch already owns (freshly
+// copied or created), so repeated touches mutate in place.
+type ownedSet struct {
+	levels map[*level]bool
+	tuples map[*tuple]bool
+}
+
+// ownLevel returns an owned level for the priority, copying the shared one
+// on first touch, creating one if absent (keeping priority-descending
+// order), or nil if absent and !create.
+func (c *Compiled) ownLevel(o *ownedSet, priority int, create bool) *level {
+	for i, lv := range c.levels {
+		if lv.priority != priority {
+			continue
+		}
+		if o.levels[lv] {
+			return lv
+		}
+		cp := &level{priority: priority, tuples: make([]*tuple, len(lv.tuples))}
+		copy(cp.tuples, lv.tuples)
+		c.levels[i] = cp
+		o.levels[cp] = true
+		return cp
+	}
+	if !create {
+		return nil
+	}
+	lv := &level{priority: priority}
+	o.levels[lv] = true
+	i := sort.Search(len(c.levels), func(i int) bool { return c.levels[i].priority < priority })
+	c.levels = append(c.levels, nil)
+	copy(c.levels[i+1:], c.levels[i:])
+	c.levels[i] = lv
+	return lv
+}
+
+// ownTuple is ownLevel's per-tuple counterpart within an owned level.
+func ownTuple(o *ownedSet, lv *level, mask fieldMask, create bool) *tuple {
+	for i, tp := range lv.tuples {
+		if tp.mask != mask {
+			continue
+		}
+		if o.tuples[tp] {
+			return tp
+		}
+		cp := &tuple{mask: mask, rules: make(map[tupleKey][]*policy.Rule, len(tp.rules))}
+		for k, v := range tp.rules {
+			cp.rules[k] = v
+		}
+		lv.tuples[i] = cp
+		o.tuples[cp] = true
+		return cp
+	}
+	if !create {
+		return nil
+	}
+	tp := &tuple{mask: mask, rules: make(map[tupleKey][]*policy.Rule)}
+	o.tuples[tp] = true
+	lv.tuples = append(lv.tuples, tp)
+	return tp
+}
+
+// remove deletes one rule version from the structure, pruning emptied key
+// slots, tuples and levels.
+func (c *Compiled) remove(o *ownedSet, r *policy.Rule) {
+	if r == nil {
+		return
+	}
+	lv := c.ownLevel(o, r.Priority, false)
+	if lv != nil {
+		mask, key := ruleKey(r)
+		if tp := ownTuple(o, lv, mask, false); tp != nil {
+			if slot := withoutRule(tp.rules[key], r.ID); len(slot) > 0 {
+				tp.rules[key] = slot
+			} else {
+				delete(tp.rules, key)
+			}
+			if len(tp.rules) == 0 {
+				lv.removeTuple(tp)
+			}
+		}
+		if len(lv.tuples) == 0 {
+			c.removeLevel(lv)
+		}
+	}
+	c.unindexRule(r)
+}
+
+// add inserts one rule version copy-on-write.
+func (c *Compiled) add(o *ownedSet, r *policy.Rule) {
+	lv := c.ownLevel(o, r.Priority, true)
+	mask, key := ruleKey(r)
+	tp := ownTuple(o, lv, mask, true)
+	tp.rules[key] = appendRule(tp.rules[key], r)
+	c.indexRule(r)
+}
+
+func (lv *level) removeTuple(tp *tuple) {
+	for i, have := range lv.tuples {
+		if have == tp {
+			lv.tuples = append(lv.tuples[:i], lv.tuples[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Compiled) removeLevel(lv *level) {
+	for i, have := range c.levels {
+		if have == lv {
+			c.levels = append(c.levels[:i], c.levels[i+1:]...)
+			return
+		}
+	}
+}
+
+// unindexRule removes an Allow rule from the identifier reverse indexes.
+// The index maps are already this epoch's own (cloned wholesale in
+// applyDelta); the slices are copied per entry by withoutRule.
+func (c *Compiled) unindexRule(r *policy.Rule) {
+	if r.Action != policy.ActionAllow {
+		return
+	}
+	for _, u := range [2]string{r.Src.User, r.Dst.User} {
+		if u != "" {
+			dropIndexed(c.allowByUser, u, r.ID)
+		}
+	}
+	for _, h := range [2]string{r.Src.Host, r.Dst.Host} {
+		if h != "" {
+			dropIndexed(c.allowByHost, h, r.ID)
+		}
+	}
+	for _, ip := range [2]*netpkt.IPv4{r.Src.IP, r.Dst.IP} {
+		if ip != nil {
+			dropIndexed(c.allowByIP, *ip, r.ID)
+		}
+	}
+	for _, mac := range [2]*netpkt.MAC{r.Src.MAC, r.Dst.MAC} {
+		if mac != nil {
+			dropIndexed(c.allowByMAC, *mac, r.ID)
+		}
+	}
+}
+
+func dropIndexed[K comparable](m map[K][]*policy.Rule, k K, id policy.RuleID) {
+	if slot := withoutRule(m[k], id); len(slot) > 0 {
+		m[k] = slot
+	} else {
+		delete(m, k)
+	}
+}

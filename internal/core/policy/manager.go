@@ -30,12 +30,15 @@ type Decision struct {
 	Epoch uint64
 }
 
-// FlushFunc is notified with the ids of policy rules whose derived flow
-// rules must be removed from the switches (paper §III-B: on conflicting
-// insert and on revocation). The PCP registers one of these. sc is the
-// span context of the mutation that triggered the flush (zero when the
-// mutation was untraced), so flush compilation and the resulting flow-mod
-// writes join the mutation's causal trace.
+// FlushFunc is notified after every policy mutation with the ids of policy
+// rules whose derived flow rules must be removed from the switches (paper
+// §III-B: on conflicting insert and on revocation). The ids slice may be
+// empty — an insert that conflicts with nothing still advances the epoch,
+// and delta-compiling consumers need to observe every epoch. The PCP
+// registers one of these. sc is the span context of the mutation that
+// triggered the flush (zero when the mutation was untraced), so flush
+// compilation and the resulting flow-mod writes join the mutation's causal
+// trace.
 type FlushFunc func(sc obs.SpanContext, ids []RuleID)
 
 // Errors callers can match.
@@ -225,7 +228,7 @@ func (m *Manager) InsertCtx(sc obs.SpanContext, r Rule) (RuleID, error) {
 	fn := m.onFlush
 	m.mu.Unlock()
 
-	if fn != nil && len(flush) > 0 {
+	if fn != nil {
 		sort.Slice(flush, func(i, j int) bool { return flush[i] < flush[j] })
 		fn(span, flush)
 	}

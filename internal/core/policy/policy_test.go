@@ -292,21 +292,25 @@ func TestNonOverlappingInsertNoFlush(t *testing.T) {
 		t.Fatal(err)
 	}
 	var mu sync.Mutex
-	var flushes int
-	m.SetFlushFunc(func(obs.SpanContext, []RuleID) {
+	var notified [][]RuleID
+	m.SetFlushFunc(func(_ obs.SpanContext, ids []RuleID) {
 		mu.Lock()
 		defer mu.Unlock()
-		flushes++
+		notified = append(notified, append([]RuleID(nil), ids...))
 	})
 	// Different host: no overlap with the Allow; Deny does not flush
-	// default-deny either.
+	// default-deny either. Every insert still notifies (epoch observers
+	// depend on it), but with zero rule ids — no flush work.
 	if _, err := m.Insert(Rule{PDP: "high", Action: ActionDeny, Src: EndpointSpec{Host: "zzz"}}); err != nil {
 		t.Fatal(err)
 	}
 	mu.Lock()
 	defer mu.Unlock()
-	if flushes != 0 {
-		t.Fatalf("flushes = %d, want 0", flushes)
+	if len(notified) != 1 {
+		t.Fatalf("notifications = %d, want 1", len(notified))
+	}
+	if len(notified[0]) != 0 {
+		t.Fatalf("flush ids = %v, want none", notified[0])
 	}
 }
 

@@ -1,0 +1,73 @@
+package proxy
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/bufpipe"
+	"github.com/dfi-sdn/dfi/internal/core/entity"
+	"github.com/dfi-sdn/dfi/internal/core/pcp"
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/switchsim"
+)
+
+// TestProactivePushThroughProxy: with ProactivePush enabled, inserting an
+// allow rule installs exact-match table-0 entries through the proxy's switch
+// session — before any packet is seen — so the first covered packet is
+// forwarded by goto-table without a DFI admission. A reconnecting switch is
+// repopulated at handshake, and revocation evicts the pushed entries.
+func TestProactivePushThroughProxy(t *testing.T) {
+	s := newStackCfg(t, func(c *pcp.Config) { c.ProactivePush = true })
+	registerHosts(t, s)
+	s.erm.BindMACLocation(macA, entity.Location{DPID: 7, Port: 1})
+	s.erm.BindMACLocation(macB, entity.Location{DPID: 7, Port: 2})
+	if err := s.pm.RegisterPDP("test", 50); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.pm.Insert(policy.Rule{
+		PDP: "test", Action: policy.ActionAllow,
+		Src: policy.EndpointSpec{Host: "host-a"},
+		Dst: policy.EndpointSpec{Host: "host-b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The insert alone pushed table-0 entries via the proxy-attached writer.
+	waitCond(t, func() bool {
+		return s.pcp.Metrics().ProactivePushed() >= 1 && s.sw.FlowCount(0) >= 1
+	}, "proactive entries installed through the proxy")
+
+	chB := s.attach(t, 2)
+	s.attach(t, 1)
+	s.sw.Inject(1, frameAB(1000))
+	expectFrame(t, chB)
+	// The covered first packet rode the proactive goto-table rule: the miss
+	// happened in the controller's table, not DFI's, so no admission ran.
+	if got := s.pcp.Metrics().Processed(); got != 0 {
+		t.Fatalf("covered flow caused %d DFI admissions, want 0", got)
+	}
+
+	// A reconnecting switch is repopulated during the handshake, with no
+	// traffic needed.
+	s.closeSwitchConn()
+	time.Sleep(50 * time.Millisecond)
+	sw2 := switchsim.NewSwitch(switchsim.Config{DPID: 7})
+	swEnd, prxEnd := bufpipe.New()
+	go func() { _ = sw2.ServeControl(swEnd) }()
+	go func() { _ = s.prx.ServeSwitch(prxEnd) }()
+	t.Cleanup(func() {
+		swEnd.Close()
+		prxEnd.Close()
+	})
+	if !sw2.WaitConfigured(5 * time.Second) {
+		t.Fatal("reconnected switch never configured")
+	}
+	waitCond(t, func() bool { return sw2.FlowCount(0) >= 1 }, "reconnected switch repopulated at attach")
+
+	// Revocation evicts every pushed entry.
+	if err := s.pm.Revoke(id); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, func() bool { return sw2.FlowCount(0) == 0 }, "revocation evicted proactive entries")
+}

@@ -54,8 +54,9 @@ type Span struct {
 	Parent uint64
 	// Component and Stage say who did what: ("bus","publish"),
 	// ("entity","binding_update"), ("policy","revoke"),
-	// ("pcp","flush_compile"), ("proxy","flow_mod_write"),
-	// ("pcp","admission") and its child stages, ...
+	// ("pcp","flush_compile"), ("pcp","delta_compile"),
+	// ("proxy","flow_mod_write"), ("pcp","admission") and its child
+	// stages, ...
 	Component string
 	Stage     string
 	// Start and Duration time the work on the store's clock.
