@@ -2,15 +2,18 @@ package dfi_test
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"testing"
 
 	"github.com/dfi-sdn/dfi/internal/core/entity"
 	"github.com/dfi-sdn/dfi/internal/core/pcp"
+	"github.com/dfi-sdn/dfi/internal/core/policy"
 	"github.com/dfi-sdn/dfi/internal/core/policy/classifier"
 	"github.com/dfi-sdn/dfi/internal/netpkt"
 	"github.com/dfi-sdn/dfi/internal/obs"
 	"github.com/dfi-sdn/dfi/internal/openflow"
+	"github.com/dfi-sdn/dfi/internal/policytext/compile"
 )
 
 // TestAdmissionHotPathZeroAlloc is the CI gate behind the 0 B/op claim of
@@ -154,5 +157,51 @@ func TestCompiledLookupZeroAlloc(t *testing.T) {
 		}
 	}); allocs != 0 {
 		t.Fatalf("compiled lookup allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestAdmissionZeroAllocWithLanguagePolicy re-runs the cache-hit zero-alloc
+// gate with the 1000-rule policy produced by the policytext compiler
+// instead of hand-inserted rules: lowering through groups must yield plain
+// manager rules whose admission path stays 0 B/op.
+func TestAdmissionZeroAllocWithLanguagePolicy(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	pm := policy.NewManager()
+	eng := compile.NewEngine(pm, nil)
+	var src bytes.Buffer
+	src.WriteString("group quarantined {\n")
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&src, "  host q%d\n", i)
+	}
+	src.WriteString("}\n\npdp lang priority 30\ndeny from group quarantined\nallow from user alice\n")
+	if _, err := eng.SetSource(src.String()); err != nil {
+		t.Fatal(err)
+	}
+	if pm.Len() != 1001 {
+		t.Fatalf("compiled policy has %d rules", pm.Len())
+	}
+	erm := entity.NewManager()
+	erm.BindIPMAC(netpkt.MustParseIPv4("10.0.0.1"), netpkt.MustParseMAC("02:00:00:00:00:01"))
+	erm.BindHostIP("h1", netpkt.MustParseIPv4("10.0.0.1"))
+	erm.BindUserHost("alice", "h1")
+	p := pcp.New(pcp.Config{
+		Entity: erm,
+		Policy: pm,
+		Trace:  obs.NewTraceRing(8, 0),
+		Spans:  obs.NewSpanStore(64, nil),
+	})
+	p.AttachSwitch(1, nopSwitch{})
+	req := &pcp.Request{DPID: 1, PacketIn: &openflow.PacketIn{
+		BufferID: openflow.NoBuffer,
+		Reason:   openflow.PacketInReasonNoMatch,
+		Match:    &openflow.Match{InPort: openflow.U32(3)},
+		Data:     benchFrame(),
+	}}
+	p.Process(req) // prime the decision cache
+
+	if allocs := testing.AllocsPerRun(200, func() { p.Process(req) }); allocs != 0 {
+		t.Fatalf("cache-hit admission over language-compiled policy allocates %.1f objects/op, want 0", allocs)
 	}
 }

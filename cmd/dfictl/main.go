@@ -3,8 +3,14 @@
 // Usage:
 //
 //	dfictl [-admin http://127.0.0.1:8181] rules
+//	dfictl policy show                  # running policy document
+//	dfictl policy show -compiled        # lowered rules with provenance
+//	dfictl policy validate corp.pol     # offline parse+compile check
+//	dfictl policy diff corp.pol         # rule delta applying it would cause
+//	dfictl policy apply -dry-run corp.pol
+//	dfictl policy apply corp.pol        # atomic document replace
 //	dfictl pdp register ops 50
-//	dfictl allow -pdp ops -src-user alice -dst-host mail
+//	dfictl allow -pdp ops -src-user alice -dst-host mail   # low-level escape hatch
 //	dfictl deny  -pdp ops -src-host kiosk
 //	dfictl revoke 7
 //	dfictl bind user-host alice alice-laptop
@@ -15,6 +21,9 @@
 //	dfictl spans 42         # every span of trace 42
 //	dfictl audit 50         # recent audit records
 //	dfictl audit verify     # walk the on-disk hash chain
+//
+// The allow/deny/revoke commands mutate single manager rules imperatively
+// and bypass the policy document; prefer the dfictl policy workflow.
 package main
 
 import (
@@ -22,10 +31,11 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"github.com/dfi-sdn/dfi/internal/admin"
-	"github.com/dfi-sdn/dfi/internal/core/policy"
 	"github.com/dfi-sdn/dfi/internal/policytext"
+	"github.com/dfi-sdn/dfi/internal/policytext/compile"
 )
 
 func main() {
@@ -39,7 +49,7 @@ func main() {
 
 func run(client *admin.Client, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: dfictl rules|allow|deny|revoke|pdp|bind|apply|switches|flows|stats|metrics|trace|spans|audit")
+		return fmt.Errorf("usage: dfictl policy|rules|allow|deny|revoke|pdp|bind|switches|flows|stats|metrics|trace|spans|audit")
 	}
 	switch args[0] {
 	case "rules":
@@ -83,11 +93,11 @@ func run(client *admin.Client, args []string) error {
 	case "bind", "unbind":
 		return bindCmd(client, args)
 
+	case "policy":
+		return policyCmd(client, args[1:])
+
 	case "apply":
-		if len(args) != 2 {
-			return fmt.Errorf("usage: dfictl apply <policy-file>")
-		}
-		return applyPolicyFile(client, args[1])
+		return fmt.Errorf("the apply command was replaced by the document workflow: dfictl policy apply <policy-file>")
 
 	case "switches":
 		dpids, err := client.Switches()
@@ -282,56 +292,139 @@ func run(client *admin.Client, args []string) error {
 	}
 }
 
-// applyPolicyFile parses a policy file (see internal/policytext) and pushes
-// its PDPs and rules through the admin API.
-func applyPolicyFile(client *admin.Client, path string) error {
+// policyCmd implements the declarative document workflow: show the
+// running document, validate/diff a proposed file and apply it atomically.
+func policyCmd(client *admin.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: dfictl policy show|apply|diff|validate")
+	}
+	switch args[0] {
+	case "show":
+		if len(args) == 2 && args[1] == "-compiled" {
+			compiled, err := client.CompiledPolicy()
+			if err != nil {
+				return err
+			}
+			if len(compiled) == 0 {
+				fmt.Println("no compiled rules (empty policy document)")
+				return nil
+			}
+			for _, cr := range compiled {
+				fmt.Printf("#%-5d p%-5d %-6s %-12s src=%s dst=%s  <- %s\n",
+					cr.ID, cr.Priority, cr.Action, cr.PDP,
+					endpointString(cr.Src), endpointString(cr.Dst), cr.Origin)
+			}
+			return nil
+		}
+		if len(args) != 1 {
+			return fmt.Errorf("usage: dfictl policy show [-compiled]")
+		}
+		src, err := client.Policy()
+		if err != nil {
+			return err
+		}
+		fmt.Print(src)
+		return nil
+
+	case "apply":
+		fs := flag.NewFlagSet("policy apply", flag.ContinueOnError)
+		dryRun := fs.Bool("dry-run", false, "validate and print the rule delta without applying")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: dfictl policy apply [-dry-run] <policy-file>")
+		}
+		src, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		delta, err := client.ApplyPolicy(string(src), *dryRun)
+		if err != nil {
+			return err
+		}
+		printDelta(delta)
+		if *dryRun {
+			fmt.Println("dry run: nothing applied")
+		} else {
+			fmt.Printf("applied %s: %d rule(s) inserted, %d revoked\n",
+				fs.Arg(0), len(delta.Insert), len(delta.Revoke))
+		}
+		return nil
+
+	case "diff":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: dfictl policy diff <policy-file>")
+		}
+		src, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		delta, err := client.DiffPolicy(string(src))
+		if err != nil {
+			return err
+		}
+		printDelta(delta)
+		return nil
+
+	case "validate":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: dfictl policy validate <policy-file>")
+		}
+		return validatePolicyFile(args[1])
+
+	default:
+		return fmt.Errorf("unknown policy subcommand %q (want show|apply|diff|validate)", args[0])
+	}
+}
+
+// validatePolicyFile parses and compiles a policy file locally, printing
+// every error (with its 1-based line number) rather than stopping at the
+// first.
+func validatePolicyFile(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	doc, err := policytext.Parse(f)
 	f.Close()
+	if err == nil {
+		_, err = compile.Lower(doc, time.Now())
+	}
 	if err != nil {
-		return err
-	}
-	for _, decl := range doc.PDPs {
-		if err := client.RegisterPDP(decl.Name, decl.Priority); err != nil {
-			return fmt.Errorf("pdp %s: %w", decl.Name, err)
+		for _, pe := range policytext.AsErrorList(err) {
+			fmt.Fprintf(os.Stderr, "%s:%d: %s\n", path, pe.Line, pe.Msg)
 		}
+		return fmt.Errorf("%s: %d error(s)", path, len(policytext.AsErrorList(err)))
 	}
-	inserted := 0
-	for _, r := range doc.Rules {
-		j := admin.RuleJSON{PDP: r.PDP, Action: "deny"}
-		if r.Action == policy.ActionAllow {
-			j.Action = "allow"
-		}
-		j.Props = admin.PropsJSON{EtherType: r.Props.EtherType, IPProto: r.Props.IPProto}
-		j.Src = endpointToJSON(r.Src)
-		j.Dst = endpointToJSON(r.Dst)
-		if _, err := client.InsertRule(j); err != nil {
-			return fmt.Errorf("rule %s: %w", policytext.FormatRule(r), err)
-		}
-		inserted++
-	}
-	fmt.Printf("applied %d PDPs and %d rules from %s\n", len(doc.PDPs), inserted, path)
+	stmts := len(doc.Rules)
+	fmt.Printf("%s: ok (%d pdp(s), %d group(s), %d role(s), %d template(s), %d rule statement(s))\n",
+		path, len(doc.PDPs), len(doc.Groups), len(doc.Roles), len(doc.Templates), stmts)
 	return nil
 }
 
-func endpointToJSON(e policy.EndpointSpec) admin.EndpointJSON {
-	j := admin.EndpointJSON{
-		User:       e.User,
-		Host:       e.Host,
-		Port:       e.Port,
-		SwitchPort: e.SwitchPort,
-		DPID:       e.DPID,
+func printDelta(d admin.PolicyDeltaJSON) {
+	if len(d.Insert) == 0 && len(d.Revoke) == 0 {
+		fmt.Println("no rule changes")
+		return
 	}
-	if e.IP != nil {
-		j.IP = e.IP.String()
+	for _, r := range d.Revoke {
+		fmt.Printf("- %s\n", deltaRuleString(r))
 	}
-	if e.MAC != nil {
-		j.MAC = e.MAC.String()
+	for _, r := range d.Insert {
+		fmt.Printf("+ %s\n", deltaRuleString(r))
 	}
-	return j
+}
+
+func deltaRuleString(r admin.RuleJSON) string {
+	s := fmt.Sprintf("%-6s %-12s src=%s dst=%s", r.Action, r.PDP, endpointString(r.Src), endpointString(r.Dst))
+	if r.ID != 0 {
+		s = fmt.Sprintf("#%-5d %s", r.ID, s)
+	}
+	if r.Origin != "" {
+		s += "  <- " + r.Origin
+	}
+	return s
 }
 
 func insertRule(client *admin.Client, action string, args []string) error {

@@ -4,6 +4,7 @@ import (
 	"io"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -107,5 +108,92 @@ func TestMetricsAndTraceSubcommands(t *testing.T) {
 	}
 	if err := run(client, []string{"trace", "banana"}); err == nil {
 		t.Fatal("bad trace count accepted")
+	}
+}
+
+const testPolicy = `group eng { user alice; user bob }
+
+pdp corp priority 50
+allow proto tcp from group eng to host mail port 143
+deny from host lobby-kiosk
+`
+
+func writePolicyFile(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "corp.pol")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPolicyWorkflow(t *testing.T) {
+	sys, client := newTestClient(t)
+	path := writePolicyFile(t, testPolicy)
+
+	// validate is fully offline.
+	out := capture(t, func() error { return run(client, []string{"policy", "validate", path}) })
+	if !strings.Contains(out, "ok (1 pdp(s), 1 group(s)") {
+		t.Fatalf("validate output = %q", out)
+	}
+
+	// apply -dry-run prints the delta but changes nothing.
+	out = capture(t, func() error { return run(client, []string{"policy", "apply", "-dry-run", path}) })
+	if !strings.Contains(out, "dry run: nothing applied") || strings.Count(out, "+ ") != 3 {
+		t.Fatalf("dry-run output = %q", out)
+	}
+	if sys.Policy().Len() != 0 {
+		t.Fatal("dry run installed rules")
+	}
+
+	// Real apply.
+	out = capture(t, func() error { return run(client, []string{"policy", "apply", path}) })
+	if !strings.Contains(out, "3 rule(s) inserted, 0 revoked") {
+		t.Fatalf("apply output = %q", out)
+	}
+	if sys.Policy().Len() != 3 {
+		t.Fatalf("manager has %d rules", sys.Policy().Len())
+	}
+
+	// show prints the canonical document.
+	out = capture(t, func() error { return run(client, []string{"policy", "show"}) })
+	if !strings.Contains(out, "group eng") || !strings.Contains(out, "pdp corp priority 50") {
+		t.Fatalf("show output = %q", out)
+	}
+
+	// show -compiled carries provenance.
+	out = capture(t, func() error { return run(client, []string{"policy", "show", "-compiled"}) })
+	if strings.Count(out, "<- line") != 3 || !strings.Contains(out, "group eng") {
+		t.Fatalf("show -compiled output = %q", out)
+	}
+
+	// diff against a grown document previews one insert.
+	grown := writePolicyFile(t, testPolicy+"deny to ip 10.0.0.66\n")
+	out = capture(t, func() error { return run(client, []string{"policy", "diff", grown}) })
+	if strings.Count(out, "\n") != 1 || !strings.HasPrefix(out, "+ ") ||
+		!strings.Contains(out, "10.0.0.66") {
+		t.Fatalf("diff output = %q", out)
+	}
+	// Re-diff of the unchanged document is a no-op.
+	out = capture(t, func() error { return run(client, []string{"policy", "diff", path}) })
+	if !strings.Contains(out, "no rule changes") {
+		t.Fatalf("no-op diff output = %q", out)
+	}
+}
+
+func TestPolicyValidateReportsEveryError(t *testing.T) {
+	_, client := newTestClient(t)
+	path := writePolicyFile(t, "pdp p priority banana\nallow from group ghosts\n")
+	err := run(client, []string{"policy", "validate", path})
+	if err == nil || !strings.Contains(err.Error(), "2 error(s)") {
+		t.Fatalf("validate error = %v", err)
+	}
+}
+
+func TestLegacyApplyPointsAtPolicyWorkflow(t *testing.T) {
+	_, client := newTestClient(t)
+	err := run(client, []string{"apply", "whatever.pol"})
+	if err == nil || !strings.Contains(err.Error(), "dfictl policy apply") {
+		t.Fatalf("legacy apply error = %v", err)
 	}
 }

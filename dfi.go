@@ -36,6 +36,7 @@ import (
 	"github.com/dfi-sdn/dfi/internal/core/policy"
 	"github.com/dfi-sdn/dfi/internal/core/proxy"
 	"github.com/dfi-sdn/dfi/internal/obs"
+	"github.com/dfi-sdn/dfi/internal/policytext/compile"
 	"github.com/dfi-sdn/dfi/internal/sensors"
 	"github.com/dfi-sdn/dfi/internal/simclock"
 	"github.com/dfi-sdn/dfi/internal/store"
@@ -69,6 +70,8 @@ type config struct {
 	spanCap       int
 	auditPath     string
 	auditMaxBytes int64
+	policySource  string
+	policySet     bool
 }
 
 // Option configures a System.
@@ -189,6 +192,22 @@ func WithFlowStatsTimeout(d time.Duration) Option {
 	return func(c *config) { c.statsTimeout = d }
 }
 
+// WithPolicySource loads an initial policy document (the policytext
+// language: groups, roles, temporal windows, templates) at assembly time.
+// The source is compiled and applied atomically by the System's policy
+// engine before New returns; parse or compile errors fail New. The
+// document can later be fetched, diffed and replaced at runtime through
+// PolicyEngine, the /v1/policy admin API or dfictl policy. Temporal
+// windows are driven by the System clock when it implements
+// simclock.Scheduler (simclock.Real and *simclock.Simulated both do);
+// otherwise they fall back to wall-clock timers.
+func WithPolicySource(src string) Option {
+	return func(c *config) {
+		c.policySource = src
+		c.policySet = true
+	}
+}
+
 // WithBus supplies an existing event bus instead of creating one.
 func WithBus(b *bus.Bus) Option {
 	return func(c *config) { c.externalBus = b }
@@ -254,6 +273,7 @@ type System struct {
 	policy   *policy.Manager
 	entity   *entity.Manager
 	pcp      *pcp.PCP
+	engine   *compile.Engine
 	proxy    *proxy.Proxy
 	metrics  *obs.Registry
 	traces   *obs.TraceRing
@@ -341,6 +361,21 @@ func New(opts ...Option) (*System, error) {
 		Audit:               s.audit,
 	})
 
+	// The policy engine compiles the high-level policy language down to
+	// manager rules; it hangs off the same manager the PCP flushes from, so
+	// engine deltas ride the compiled flush path. Created unconditionally:
+	// the /v1/policy API is available even without an initial source.
+	sched, ok := cfg.clock.(simclock.Scheduler)
+	if !ok {
+		sched = simclock.Real{}
+	}
+	s.engine = compile.NewEngine(s.policy, sched)
+	if cfg.policySet {
+		if _, err := s.engine.SetSource(cfg.policySource); err != nil {
+			return nil, fmt.Errorf("dfi: policy source: %w", err)
+		}
+	}
+
 	var err error
 	s.proxy, err = proxy.New(proxy.Config{
 		PCP:              s.pcp,
@@ -413,6 +448,13 @@ func (s *System) Entity() *entity.Manager { return s.entity }
 
 // PCP returns the Policy Compilation Point.
 func (s *System) PCP() *pcp.PCP { return s.pcp }
+
+// PolicyEngine returns the policy-language engine: the incremental
+// compiler that keeps the Policy Manager in sync with the loaded
+// policytext document (group membership churn, template instantiation,
+// temporal windows). Always non-nil; with no source loaded it holds an
+// empty document.
+func (s *System) PolicyEngine() *compile.Engine { return s.engine }
 
 // Proxy returns the interposition proxy (for statistics).
 func (s *System) Proxy() *proxy.Proxy { return s.proxy }

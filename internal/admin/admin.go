@@ -31,6 +31,10 @@ type ErrorJSON struct {
 type ErrorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Lines carries the 1-based source line numbers of policy-document
+	// parse/compile failures (validation_failed responses from the
+	// /v1/policy endpoints); empty elsewhere.
+	Lines []int `json:"lines,omitempty"`
 }
 
 // Error codes used in the envelope.
@@ -53,6 +57,9 @@ type RuleJSON struct {
 	Props    PropsJSON    `json:"props,omitempty"`
 	Src      EndpointJSON `json:"src,omitempty"`
 	Dst      EndpointJSON `json:"dst,omitempty"`
+	// Origin is the rule's provenance tag (set for rules compiled from a
+	// policy document, e.g. "line 4" or "template quarantine(h7)").
+	Origin string `json:"origin,omitempty"`
 }
 
 // PropsJSON is the wire form of flow properties.
@@ -264,6 +271,7 @@ func fromRule(r policy.Rule) RuleJSON {
 		Props:    PropsJSON{EtherType: r.Props.EtherType, IPProto: r.Props.IPProto},
 		Src:      fromEndpoint(r.Src),
 		Dst:      fromEndpoint(r.Dst),
+		Origin:   r.Origin,
 	}
 	if r.Action == policy.ActionAllow {
 		j.Action = "allow"
@@ -320,6 +328,13 @@ func Handler(sys *dfi.System, opts ...HandlerOption) http.Handler {
 		mux.HandleFunc(strings.Replace(pattern, "/v1/", "/", 1), h)
 	}
 
+	registerPolicy(handle, sys)
+
+	// The per-rule endpoints below are the imperative low-level escape
+	// hatch: they mutate single manager rules directly, bypassing the
+	// policy-language document. Prefer the declarative /v1/policy document
+	// API; rules inserted here are not reflected in GET /v1/policy and are
+	// revoked by nothing short of DELETE /v1/rules/{id}.
 	handle("GET /v1/rules", func(w http.ResponseWriter, _ *http.Request) {
 		rules := sys.Policy().Rules()
 		out := make([]RuleJSON, 0, len(rules))

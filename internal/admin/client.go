@@ -42,6 +42,43 @@ func (c *Client) RevokeRule(id uint64) error {
 	return c.do(http.MethodDelete, fmt.Sprintf("/v1/rules/%d", id), nil, nil)
 }
 
+// Policy fetches the running policy document (canonical policytext
+// source, including runtime group-membership changes).
+func (c *Client) Policy() (string, error) {
+	var out PolicyDocJSON
+	if err := c.do(http.MethodGet, "/v1/policy", nil, &out); err != nil {
+		return "", err
+	}
+	return out.Source, nil
+}
+
+// ApplyPolicy atomically replaces the policy document with src, returning
+// the rule delta the apply produced. With dryRun the document is only
+// validated and diffed: the returned delta is what an apply would do, and
+// nothing changes on the server.
+func (c *Client) ApplyPolicy(src string, dryRun bool) (PolicyDeltaJSON, error) {
+	path := "/v1/policy"
+	if dryRun {
+		path += "?dryRun=1"
+	}
+	var out PolicyDeltaJSON
+	return out, c.do(http.MethodPut, path, PolicyDocJSON{Source: src}, &out)
+}
+
+// DiffPolicy previews the rule delta that applying src would produce,
+// without applying it.
+func (c *Client) DiffPolicy(src string) (PolicyDeltaJSON, error) {
+	var out PolicyDeltaJSON
+	return out, c.do(http.MethodPost, "/v1/policy/diff", PolicyDocJSON{Source: src}, &out)
+}
+
+// CompiledPolicy lists the lowered rules the policy document compiled to,
+// each with provenance back to its source statement.
+func (c *Client) CompiledPolicy() ([]CompiledRuleJSON, error) {
+	var out []CompiledRuleJSON
+	return out, c.do(http.MethodGet, "/v1/policy/compiled", nil, &out)
+}
+
 // RegisterPDP registers a PDP name with its priority.
 func (c *Client) RegisterPDP(name string, priority int) error {
 	return c.do(http.MethodPost, "/v1/pdps", map[string]any{"name": name, "priority": priority}, nil)

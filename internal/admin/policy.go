@@ -1,0 +1,145 @@
+package admin
+
+import (
+	"encoding/json"
+	"net/http"
+
+	dfi "github.com/dfi-sdn/dfi"
+	"github.com/dfi-sdn/dfi/internal/policytext"
+	"github.com/dfi-sdn/dfi/internal/policytext/compile"
+)
+
+// PolicyDocJSON carries a policy document in the policytext language.
+// GET /v1/policy returns the running document in canonical form
+// (including runtime group-membership changes); PUT /v1/policy applies a
+// new one atomically.
+type PolicyDocJSON struct {
+	Source string `json:"source"`
+}
+
+// PolicyDeltaJSON is the rule delta a document apply produced — or, for
+// a dry run or POST /v1/policy/diff, would produce. Inserted rules carry
+// assigned IDs only when the apply was real.
+type PolicyDeltaJSON struct {
+	DryRun bool       `json:"dryRun,omitempty"`
+	Insert []RuleJSON `json:"insert"`
+	Revoke []RuleJSON `json:"revoke"`
+}
+
+// ProvenanceJSON records where a compiled rule came from in the source
+// document. Line is 1-based.
+type ProvenanceJSON struct {
+	Line     int    `json:"line"`
+	Stmt     string `json:"stmt"`
+	Template string `json:"template,omitempty"`
+	Via      string `json:"via,omitempty"`
+}
+
+// CompiledRuleJSON is one lowered rule with provenance, served by
+// GET /v1/policy/compiled.
+type CompiledRuleJSON struct {
+	RuleJSON
+	Provenance ProvenanceJSON `json:"provenance"`
+}
+
+// registerPolicy mounts the declarative policy-document endpoints. The
+// per-rule /v1/rules endpoints remain the imperative low-level escape
+// hatch; these operate on whole documents and return rule deltas.
+func registerPolicy(handle func(string, http.HandlerFunc), sys *dfi.System) {
+	eng := sys.PolicyEngine()
+
+	handle("GET /v1/policy", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, PolicyDocJSON{Source: eng.Source()})
+	})
+
+	handle("PUT /v1/policy", func(w http.ResponseWriter, r *http.Request) {
+		var j PolicyDocJSON
+		if err := json.NewDecoder(r.Body).Decode(&j); err != nil {
+			httpError(w, http.StatusBadRequest, CodeBadRequest, err)
+			return
+		}
+		dry := isDryRun(r)
+		var (
+			d   compile.Delta
+			err error
+		)
+		if dry {
+			d, err = eng.Diff(j.Source)
+		} else {
+			d, err = eng.SetSource(j.Source)
+		}
+		if err != nil {
+			httpPolicyError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, fromDelta(d, dry))
+	})
+
+	handle("POST /v1/policy/diff", func(w http.ResponseWriter, r *http.Request) {
+		var j PolicyDocJSON
+		if err := json.NewDecoder(r.Body).Decode(&j); err != nil {
+			httpError(w, http.StatusBadRequest, CodeBadRequest, err)
+			return
+		}
+		d, err := eng.Diff(j.Source)
+		if err != nil {
+			httpPolicyError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, fromDelta(d, true))
+	})
+
+	handle("GET /v1/policy/compiled", func(w http.ResponseWriter, _ *http.Request) {
+		compiled := eng.Compiled()
+		out := make([]CompiledRuleJSON, 0, len(compiled))
+		for _, cr := range compiled {
+			out = append(out, CompiledRuleJSON{
+				RuleJSON: fromRule(cr.Rule),
+				Provenance: ProvenanceJSON{
+					Line:     cr.Prov.Line,
+					Stmt:     cr.Prov.Stmt,
+					Template: cr.Prov.Template,
+					Via:      cr.Prov.Via,
+				},
+			})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+}
+
+func isDryRun(r *http.Request) bool {
+	switch r.URL.Query().Get("dryRun") {
+	case "", "0", "false":
+		return false
+	default:
+		return true
+	}
+}
+
+func fromDelta(d compile.Delta, dry bool) PolicyDeltaJSON {
+	out := PolicyDeltaJSON{DryRun: dry, Insert: []RuleJSON{}, Revoke: []RuleJSON{}}
+	for _, r := range d.Insert {
+		out.Insert = append(out.Insert, fromRule(r))
+	}
+	for _, r := range d.Revoke {
+		out.Revoke = append(out.Revoke, fromRule(r))
+	}
+	return out
+}
+
+// httpPolicyError maps a parse/compile failure to the uniform 422
+// envelope, carrying each error's 1-based source line in lines.
+func httpPolicyError(w http.ResponseWriter, err error) {
+	list := policytext.AsErrorList(err)
+	var lines []int
+	for _, l := range list.Lines() {
+		if l > 0 {
+			lines = append(lines, l)
+		}
+	}
+	writeJSON(w, http.StatusUnprocessableEntity, ErrorJSON{Error: ErrorBody{
+		Code:    CodeValidation,
+		Message: err.Error(),
+		Lines:   lines,
+	}})
+}

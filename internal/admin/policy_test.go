@@ -1,0 +1,155 @@
+package admin
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+const policyDoc = `group eng { user alice; user bob }
+
+pdp corp priority 50
+allow proto tcp from group eng to host mail port 143
+deny from host lobby-kiosk
+`
+
+func TestPolicyApplyShowDiffRoundTrip(t *testing.T) {
+	sys, client := newTestServer(t)
+
+	// Dry run first: delta is reported, nothing is applied.
+	d, err := client.ApplyPolicy(policyDoc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.DryRun || len(d.Insert) != 3 || len(d.Revoke) != 0 {
+		t.Fatalf("dry-run delta = %+v", d)
+	}
+	for _, r := range d.Insert {
+		if r.ID != 0 {
+			t.Fatalf("dry-run insert carries ID: %+v", r)
+		}
+	}
+	if src, err := client.Policy(); err != nil || strings.Contains(src, "eng") {
+		t.Fatalf("dry run applied the document: %q, %v", src, err)
+	}
+	if sys.Policy().Len() != 0 {
+		t.Fatal("dry run installed rules")
+	}
+
+	// Real apply.
+	d, err = client.ApplyPolicy(policyDoc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DryRun || len(d.Insert) != 3 {
+		t.Fatalf("apply delta = %+v", d)
+	}
+	for _, r := range d.Insert {
+		if r.ID == 0 {
+			t.Fatalf("applied insert without ID: %+v", r)
+		}
+		if r.Origin == "" {
+			t.Fatalf("applied insert without origin: %+v", r)
+		}
+	}
+	if sys.Policy().Len() != 3 {
+		t.Fatalf("manager has %d rules", sys.Policy().Len())
+	}
+
+	// Show: canonical source round-trips through a second apply as a no-op.
+	src, err := client.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "group eng") || !strings.Contains(src, "pdp corp priority 50") {
+		t.Fatalf("source = %q", src)
+	}
+	if d, err = client.ApplyPolicy(src, false); err != nil || len(d.Insert)+len(d.Revoke) != 0 {
+		t.Fatalf("canonical re-apply not a no-op: %+v, %v", d, err)
+	}
+
+	// Diff against a modified document.
+	d, err = client.DiffPolicy(policyDoc + "deny to ip 10.0.0.66\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.DryRun || len(d.Insert) != 1 || len(d.Revoke) != 0 {
+		t.Fatalf("diff delta = %+v", d)
+	}
+	if sys.Policy().Len() != 3 {
+		t.Fatal("diff mutated the manager")
+	}
+
+	// Compiled view carries provenance.
+	compiled, err := client.CompiledPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compiled) != 3 {
+		t.Fatalf("compiled = %d rules", len(compiled))
+	}
+	groupExpansions := 0
+	for _, cr := range compiled {
+		if cr.Provenance.Line < 1 || cr.Provenance.Stmt == "" {
+			t.Fatalf("compiled rule without provenance: %+v", cr)
+		}
+		if strings.Contains(cr.Provenance.Via, "group eng") {
+			groupExpansions++
+		}
+	}
+	if groupExpansions != 2 {
+		t.Fatalf("group expansions = %d, want 2 (alice, bob)", groupExpansions)
+	}
+}
+
+func TestPolicyValidationErrorEnvelope(t *testing.T) {
+	_, client := newTestServer(t)
+
+	body, _ := json.Marshal(PolicyDocJSON{Source: "pdp p priority banana\nallow from group ghosts\n"})
+	req, err := http.NewRequest(http.MethodPut, client.base+"/v1/policy", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
+	}
+	var envelope ErrorJSON
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Error.Code != CodeValidation || envelope.Error.Message == "" {
+		t.Fatalf("envelope = %+v", envelope)
+	}
+	// Both errors reported, each with its 1-based line.
+	if len(envelope.Error.Lines) < 2 || envelope.Error.Lines[0] != 1 {
+		t.Fatalf("lines = %v", envelope.Error.Lines)
+	}
+
+	// The client surfaces the envelope message.
+	if _, err := client.ApplyPolicy("frobnicate", false); err == nil ||
+		!strings.Contains(err.Error(), "validation_failed") {
+		t.Fatalf("client error = %v", err)
+	}
+}
+
+func TestPolicyApplyIsAtomicOverHTTP(t *testing.T) {
+	sys, client := newTestServer(t)
+	if _, err := client.ApplyPolicy(policyDoc, false); err != nil {
+		t.Fatal(err)
+	}
+	epoch := sys.Policy().Epoch()
+	if _, err := client.ApplyPolicy(policyDoc+"allow from group ghosts\n", false); err == nil {
+		t.Fatal("bad document accepted")
+	}
+	if sys.Policy().Epoch() != epoch || sys.Policy().Len() != 3 {
+		t.Fatal("failed apply mutated the manager")
+	}
+}

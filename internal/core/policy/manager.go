@@ -341,6 +341,17 @@ func (m *Manager) auditMutation(span obs.SpanContext, op string, ruleID uint64, 
 	})
 }
 
+// PDPPriority returns the registered priority of a PDP, reporting whether
+// the PDP exists. The policy-language engine uses it to make document
+// re-application idempotent: a pdp declaration matching an existing
+// registration is a no-op, a mismatching one is a compile error.
+func (m *Manager) PDPPriority(name string) (int, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prio, ok := m.pdps[name]
+	return prio, ok
+}
+
 // Query returns the decision for a flow: the highest-priority matching rule
 // wins; among equal-priority matches with conflicting actions, Deny wins
 // (erring on the side of stopping unauthorized flows); with no match the

@@ -116,7 +116,11 @@ func (e EndpointSpec) String() string {
 
 // Rule is one policy rule emitted by a PDP.
 type Rule struct {
-	// ID is assigned by the Policy Manager at insert.
+	// ID is assigned by the Policy Manager at insert. Compiled policy
+	// sources keep ids stable across recompiles: a lowered rule whose
+	// definition is unchanged is left in place rather than revoked and
+	// re-inserted, so its derived flow rules (cookie-tagged with the id)
+	// survive the recompile untouched.
 	ID RuleID
 	// PDP names the emitting Policy Decision Point; the rule inherits
 	// that PDP's priority.
@@ -126,6 +130,12 @@ type Rule struct {
 	Props    FlowProperties
 	Src      EndpointSpec
 	Dst      EndpointSpec
+	// Origin is an optional provenance tag set by whoever emitted the
+	// rule — the policy-language compiler records the source line and the
+	// group member or template instance that produced the rule. It is
+	// metadata only: matching, overlap checks and the delta compiler's
+	// rule identity ignore it.
+	Origin string
 }
 
 // String renders the rule in the paper's tuple notation.

@@ -1,0 +1,217 @@
+package compile
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/policytext"
+)
+
+func mustParse(t *testing.T, src string) *policytext.Document {
+	t.Helper()
+	doc, err := policytext.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// ruleText is a rule's identity for comparisons, independent of ID/Origin.
+func ruleText(r policy.Rule) string {
+	return r.PDP + "|" + r.Action.String() + "|" + policytext.FormatRule(r)
+}
+
+func sortedTexts(rs []policy.Rule) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = ruleText(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func compiledTexts(crs []CompiledRule) []string {
+	out := make([]string, len(crs))
+	for i, cr := range crs {
+		out[i] = ruleText(cr.Rule)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var noon = time.Date(2026, 1, 5, 12, 0, 0, 0, time.UTC) // a Monday
+
+func TestLowerGroupCrossProduct(t *testing.T) {
+	doc := mustParse(t, `
+group eng { user alice; user bob }
+group servers { host web; host db }
+pdp p priority 10
+allow from group eng to group servers
+`)
+	crs, err := Lower(doc, noon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crs) != 4 {
+		t.Fatalf("rules = %d, want 4 (2x2 cross product): %v", len(crs), compiledTexts(crs))
+	}
+	seen := map[string]bool{}
+	for _, cr := range crs {
+		seen[cr.Rule.Src.User+"->"+cr.Rule.Dst.Host] = true
+		if cr.Prov.Line == 0 || cr.Prov.Stmt == "" {
+			t.Fatalf("missing provenance: %+v", cr.Prov)
+		}
+		if !strings.Contains(cr.Prov.Via, "group eng") || !strings.Contains(cr.Prov.Via, "group servers") {
+			t.Fatalf("via = %q", cr.Prov.Via)
+		}
+		if cr.Rule.Origin == "" || !strings.Contains(cr.Rule.Origin, "line ") {
+			t.Fatalf("origin = %q", cr.Rule.Origin)
+		}
+	}
+	for _, want := range []string{"alice->web", "alice->db", "bob->web", "bob->db"} {
+		if !seen[want] {
+			t.Fatalf("missing expansion %s (have %v)", want, seen)
+		}
+	}
+}
+
+func TestLowerNestedGroupsAndRoles(t *testing.T) {
+	doc := mustParse(t, `
+group eng { user alice; group contractors }
+group contractors { user carol }
+role mail { host mailserver port 143 }
+pdp p priority 10
+allow proto tcp from group eng to role mail
+`)
+	crs, err := Lower(doc, noon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crs) != 2 {
+		t.Fatalf("rules = %d, want 2 (alice, carol)", len(crs))
+	}
+	for _, cr := range crs {
+		if cr.Rule.Dst.Host != "mailserver" || cr.Rule.Dst.Port == nil || *cr.Rule.Dst.Port != 143 {
+			t.Fatalf("role not merged: %+v", cr.Rule.Dst)
+		}
+	}
+}
+
+func TestLowerEmptyGroupProducesNoRules(t *testing.T) {
+	doc := mustParse(t, `
+group nobody { }
+pdp p priority 10
+deny from group nobody
+allow from host a
+`)
+	crs, err := Lower(doc, noon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crs) != 1 || crs[0].Rule.Src.Host != "a" {
+		t.Fatalf("rules = %v", compiledTexts(crs))
+	}
+}
+
+func TestLowerDuplicateStatementsUnify(t *testing.T) {
+	doc := mustParse(t, `
+pdp p priority 10
+allow from host a
+allow from host a
+`)
+	crs, err := Lower(doc, noon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crs) != 1 {
+		t.Fatalf("rules = %d, want 1", len(crs))
+	}
+}
+
+func TestLowerWindowGating(t *testing.T) {
+	doc := mustParse(t, `
+pdp p priority 10
+allow from host a between 09:00-17:00
+allow from host b between 22:00-06:00
+allow from host c days sat-sun
+allow from host d
+`)
+	crs, err := Lower(doc, noon) // Monday 12:00
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hosts []string
+	for _, cr := range crs {
+		hosts = append(hosts, cr.Rule.Src.Host)
+	}
+	sort.Strings(hosts)
+	if strings.Join(hosts, ",") != "a,d" {
+		t.Fatalf("active at Monday noon = %v, want [a d]", hosts)
+	}
+}
+
+func TestLowerValidatesInactiveWindows(t *testing.T) {
+	// The statement's window is closed at noon, but its unknown group must
+	// still be an error: activation later must never surprise-fail.
+	doc := mustParse(t, `
+pdp p priority 10
+allow from group ghosts between 02:00-03:00
+`)
+	if _, err := Lower(doc, noon); err == nil {
+		t.Fatal("unknown group in inactive statement accepted")
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	tests := []struct {
+		name, src, want string
+	}{
+		{"unknown group", "pdp p priority 1\nallow from group ghosts", "unknown group"},
+		{"unknown role", "pdp p priority 1\nallow from role ghost", "unknown role"},
+		{"cycle", "group a { group b }\ngroup b { group a }\npdp p priority 1\nallow from group a", "cycle"},
+		{"unreferenced cycle", "group a { group b }\ngroup b { group a }\npdp p priority 1\nallow from host h", "cycle"},
+		{"unknown nested", "group a { group ghosts }\npdp p priority 1\nallow from host h", "unknown group"},
+		{"role conflict", "role r { host x }\npdp p priority 1\nallow from host y role r", "already set"},
+		{"member conflict", "group g { host x }\npdp p priority 1\nallow from host y group g", "already set"},
+	}
+	for _, tt := range tests {
+		doc, err := policytext.Parse(strings.NewReader(tt.src))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tt.name, err)
+		}
+		_, err = Lower(doc, noon)
+		if err == nil || !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("%s: error = %v, want containing %q", tt.name, err, tt.want)
+		}
+		if err != nil && len(policytext.AsErrorList(err)) == 0 {
+			t.Errorf("%s: error is not an ErrorList: %v", tt.name, err)
+		}
+	}
+}
+
+func TestLowerReportsAllStatementErrors(t *testing.T) {
+	doc := mustParse(t, `
+pdp p priority 1
+allow from group ghosts
+deny to role phantom
+`)
+	_, err := Lower(doc, noon)
+	list := policytext.AsErrorList(err)
+	if len(list) != 2 {
+		t.Fatalf("errors = %v, want both statements reported", err)
+	}
+}
+
+func TestProvenanceString(t *testing.T) {
+	p := Provenance{Line: 7, Stmt: "allow from host a"}
+	if p.String() != "line 7" {
+		t.Fatalf("prov = %q", p.String())
+	}
+	p = Provenance{Line: 3, Template: "quarantine(h7)", Via: "src group g member \"user a\""}
+	if got := p.String(); got != `template quarantine(h7) via src group g member "user a"` {
+		t.Fatalf("prov = %q", got)
+	}
+}

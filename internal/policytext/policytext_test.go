@@ -1,11 +1,11 @@
 package policytext
 
 import (
-	"errors"
 	"math/rand"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/dfi-sdn/dfi/internal/core/policy"
 	"github.com/dfi-sdn/dfi/internal/netpkt"
@@ -43,22 +43,22 @@ func TestParseSample(t *testing.T) {
 	if r.Props.IPProto == nil || *r.Props.IPProto != netpkt.ProtoTCP {
 		t.Fatalf("rule[0] proto = %+v", r.Props)
 	}
-	if r.Src.User != "alice" || r.Dst.Host != "mail" {
+	if r.Src.Spec.User != "alice" || r.Dst.Spec.Host != "mail" {
 		t.Fatalf("rule[0] endpoints = %+v", r)
 	}
-	if r.Dst.Port == nil || *r.Dst.Port != 143 {
-		t.Fatalf("rule[0] port = %+v", r.Dst.Port)
+	if r.Dst.Spec.Port == nil || *r.Dst.Spec.Port != 143 {
+		t.Fatalf("rule[0] port = %+v", r.Dst.Spec.Port)
 	}
 
-	if doc.Rules[1].PDP != "corp" || doc.Rules[1].Src.Host != "lobby-kiosk" {
+	if doc.Rules[1].PDP != "corp" || doc.Rules[1].Src.Spec.Host != "lobby-kiosk" {
 		t.Fatalf("rule[1] = %+v", doc.Rules[1])
 	}
 	r = doc.Rules[2]
 	if r.PDP != "security" || r.Action != policy.ActionDeny {
 		t.Fatalf("rule[2] = %+v", r)
 	}
-	if r.Dst.IP == nil || r.Dst.IP.String() != "10.0.0.66" {
-		t.Fatalf("rule[2] ip = %+v", r.Dst.IP)
+	if r.Dst.Spec.IP == nil || r.Dst.Spec.IP.String() != "10.0.0.66" {
+		t.Fatalf("rule[2] ip = %+v", r.Dst.Spec.IP)
 	}
 }
 
@@ -70,7 +70,7 @@ allow from user u host h ip 10.0.0.1 port 80 mac 02:00:00:00:00:01 switchport 3 
 	if err != nil {
 		t.Fatal(err)
 	}
-	src := doc.Rules[0].Src
+	src := doc.Rules[0].Src.Spec
 	if src.User != "u" || src.Host != "h" || src.IP == nil || src.Port == nil ||
 		src.MAC == nil || src.SwitchPort == nil || src.DPID == nil {
 		t.Fatalf("src = %+v", src)
@@ -103,6 +103,104 @@ allow proto arp from host a
 	}
 }
 
+func TestParseGroupsRolesTemplates(t *testing.T) {
+	doc, err := Parse(strings.NewReader(`
+group eng {
+  user alice
+  user bob; group contractors
+}
+group contractors { user carol }
+role mail { host mailserver port 143 }
+pdp corp priority 50
+template quarantine(h) {
+  deny from host $h
+  deny to host $h
+}
+allow proto tcp from group eng to role mail between 09:00-17:00 days mon-fri
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, ok := doc.Group("eng")
+	if !ok || len(eng.Members) != 3 {
+		t.Fatalf("group eng = %+v", eng)
+	}
+	if eng.Members[2].Group != "contractors" {
+		t.Fatalf("nested member = %+v", eng.Members[2])
+	}
+	mail, ok := doc.Role("mail")
+	if !ok || mail.Spec.Host != "mailserver" || mail.Spec.Port == nil || *mail.Spec.Port != 143 {
+		t.Fatalf("role mail = %+v", mail)
+	}
+	q, ok := doc.Template("quarantine")
+	if !ok || len(q.Params) != 1 || q.Params[0] != "h" || len(q.Body) != 2 || q.PDP != "corp" {
+		t.Fatalf("template = %+v", q)
+	}
+	r := doc.Rules[0]
+	if r.Src.Group != "eng" || r.Dst.Role != "mail" {
+		t.Fatalf("rule refs = %+v", r)
+	}
+	if !r.Window.HasTime || r.Window.StartMin != 9*60 || r.Window.EndMin != 17*60 {
+		t.Fatalf("window = %+v", r.Window)
+	}
+	// mon-fri = Monday..Friday bits.
+	var want uint8
+	for d := time.Monday; d <= time.Friday; d++ {
+		want |= 1 << uint(d)
+	}
+	if r.Window.Days != want {
+		t.Fatalf("days = %07b, want %07b", r.Window.Days, want)
+	}
+}
+
+func TestParseInlineTemplateAndGroup(t *testing.T) {
+	doc, err := Parse(strings.NewReader(`
+group eng { user alice; user bob }
+pdp p priority 1
+template quarantine(h) { deny from host $h }
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, _ := doc.Group("eng"); len(g.Members) != 2 {
+		t.Fatalf("group = %+v", g)
+	}
+	if q, _ := doc.Template("quarantine"); len(q.Body) != 1 {
+		t.Fatalf("template = %+v", q)
+	}
+}
+
+func TestParseReportsAllErrors(t *testing.T) {
+	_, err := Parse(strings.NewReader(`
+pdp p priority banana
+allow proto quic from host a
+deny from ip 999.9.9.9
+allow from host good
+`))
+	if err == nil {
+		t.Fatal("want errors")
+	}
+	list, ok := err.(ErrorList)
+	if !ok {
+		t.Fatalf("error %T is not an ErrorList", err)
+	}
+	// Line 3's allow also fails ("allow before any pdp" is avoided because
+	// pdp failed — so we get: bad priority (2), no-pdp allow (3), no-pdp
+	// deny (4), no-pdp allow (5)). The essential property: more than one
+	// error, each with its 1-based line.
+	if len(list) < 3 {
+		t.Fatalf("errors = %v", list)
+	}
+	if got := list.Lines(); got[0] != 2 {
+		t.Fatalf("first error line = %d, want 2 (%v)", got[0], list)
+	}
+	for _, l := range list.Lines() {
+		if l < 1 {
+			t.Fatalf("non-1-based line in %v", list)
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	tests := []struct {
 		name string
@@ -120,6 +218,17 @@ func TestParseErrors(t *testing.T) {
 		{name: "empty endpoint", give: "pdp p priority 1\nallow from", line: 2},
 		{name: "duplicate field", give: "pdp p priority 1\nallow from host a host b", line: 2},
 		{name: "dangling token", give: "pdp p priority 1\nallow shrug", line: 2},
+		{name: "unclosed group", give: "group g {\nuser a", line: 1},
+		{name: "unexpected close", give: "}", line: 1},
+		{name: "dup names", give: "group g { user a }\nrole g { host h }", line: 2},
+		{name: "group and role ref", give: "pdp p priority 1\nallow from group g role r", line: 2},
+		{name: "bad time range", give: "pdp p priority 1\nallow from host a between 9am-5pm", line: 2},
+		{name: "empty time range", give: "pdp p priority 1\nallow from host a between 09:00-09:00", line: 2},
+		{name: "bad days", give: "pdp p priority 1\nallow from host a days whenever", line: 2},
+		{name: "template no params", give: "pdp p priority 1\ntemplate t() { deny from host x }", line: 2},
+		{name: "template bad body", give: "pdp p priority 1\ntemplate t(h) { frobnicate $h }", line: 2},
+		{name: "template undeclared param", give: "pdp p priority 1\ntemplate t(h) { deny from host $x }", line: 2},
+		{name: "template before pdp", give: "template t(h) { deny from host $h }", line: 1},
 	}
 	for _, tt := range tests {
 		_, err := Parse(strings.NewReader(tt.give))
@@ -127,13 +236,13 @@ func TestParseErrors(t *testing.T) {
 			t.Errorf("%s: parse accepted %q", tt.name, tt.give)
 			continue
 		}
-		var pe *ParseError
-		if !errors.As(err, &pe) {
-			t.Errorf("%s: error %v is not a ParseError", tt.name, err)
+		list := AsErrorList(err)
+		if len(list) == 0 {
+			t.Errorf("%s: error %v carries no ParseErrors", tt.name, err)
 			continue
 		}
-		if pe.Line != tt.line {
-			t.Errorf("%s: error on line %d, want %d (%v)", tt.name, pe.Line, tt.line, err)
+		if list[0].Line != tt.line {
+			t.Errorf("%s: error on line %d, want %d (%v)", tt.name, list[0].Line, tt.line, err)
 		}
 	}
 }
@@ -153,48 +262,118 @@ allow from host a  # another
 	}
 }
 
-func TestApply(t *testing.T) {
-	doc, err := Parse(strings.NewReader(sample))
-	if err != nil {
-		t.Fatal(err)
+func TestParseMember(t *testing.T) {
+	m, err := ParseMember("user alice")
+	if err != nil || m.Spec.User != "alice" || m.Group != "" {
+		t.Fatalf("member = %+v, err = %v", m, err)
 	}
-	pm := policy.NewManager()
-	ids, err := Apply(pm, doc)
-	if err != nil {
-		t.Fatal(err)
+	if m.String() != "user alice" {
+		t.Fatalf("string = %q", m.String())
 	}
-	if len(ids) != 3 || pm.Len() != 3 {
-		t.Fatalf("applied %d rules, stored %d", len(ids), pm.Len())
+	m, err = ParseMember("group contractors")
+	if err != nil || m.Group != "contractors" {
+		t.Fatalf("member = %+v, err = %v", m, err)
 	}
-	// Priorities flow from the pdp declarations.
-	r, ok := pm.Get(ids[2])
-	if !ok || r.Priority != 900 {
-		t.Fatalf("rule = %+v", r)
+	if _, err := ParseMember("banana split"); err == nil {
+		t.Fatal("bad member accepted")
 	}
-	// The security deny outranks any corp allow for the blocked IP.
-	ip := netpkt.MustParseIPv4("10.0.0.66")
-	d := pm.Query(&policy.FlowView{
-		EtherType: netpkt.EtherTypeIPv4,
-		Src:       policy.EndpointAttrs{Users: []string{"alice"}},
-		Dst:       policy.EndpointAttrs{Host: "mail", HasIP: true, IP: ip},
-	})
-	if d.Action != policy.ActionDeny {
-		t.Fatalf("decision = %+v", d)
+	if _, err := ParseMember(""); err == nil {
+		t.Fatal("empty member accepted")
 	}
 }
 
-func TestApplyDuplicatePriorityFails(t *testing.T) {
-	doc, err := Parse(strings.NewReader("pdp a priority 1\npdp b priority 1"))
-	if err != nil {
-		t.Fatal(err)
+func TestWindowActive(t *testing.T) {
+	// Monday 2026-01-05.
+	monday := time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+	bizHours := Window{HasTime: true, StartMin: 9 * 60, EndMin: 17 * 60}
+	if bizHours.Active(monday.Add(8 * time.Hour)) {
+		t.Fatal("8am active")
 	}
-	if _, err := Apply(policy.NewManager(), doc); err == nil {
-		t.Fatal("duplicate priorities accepted")
+	if !bizHours.Active(monday.Add(9 * time.Hour)) {
+		t.Fatal("9am inactive")
+	}
+	if bizHours.Active(monday.Add(17 * time.Hour)) {
+		t.Fatal("5pm active (end is exclusive)")
+	}
+
+	night := Window{HasTime: true, StartMin: 22 * 60, EndMin: 6 * 60}
+	if !night.Active(monday.Add(23 * time.Hour)) {
+		t.Fatal("11pm inactive for wrapped window")
+	}
+	if !night.Active(monday.Add(3 * time.Hour)) {
+		t.Fatal("3am inactive for wrapped window")
+	}
+	if night.Active(monday.Add(12 * time.Hour)) {
+		t.Fatal("noon active for wrapped window")
+	}
+
+	var weekdays uint8
+	for d := time.Monday; d <= time.Friday; d++ {
+		weekdays |= 1 << uint(d)
+	}
+	wd := Window{Days: weekdays}
+	if !wd.Active(monday) {
+		t.Fatal("monday inactive")
+	}
+	if wd.Active(monday.AddDate(0, 0, 5)) {
+		t.Fatal("saturday active")
+	}
+}
+
+func TestWindowNextTransition(t *testing.T) {
+	monday := time.Date(2026, 1, 5, 8, 0, 0, 0, time.UTC)
+	w := Window{HasTime: true, StartMin: 9 * 60, EndMin: 17 * 60}
+	at, ok := w.NextTransition(monday)
+	if !ok || !at.Equal(monday.Add(time.Hour)) {
+		t.Fatalf("transition = %v ok=%v, want 09:00", at, ok)
+	}
+	at, ok = w.NextTransition(at)
+	if !ok || at.Hour() != 17 {
+		t.Fatalf("second transition = %v ok=%v, want 17:00", at, ok)
+	}
+
+	// Every-day no-time window never transitions.
+	if _, ok := (Window{Days: 0x7f}).NextTransition(monday); ok {
+		t.Fatal("constant window transitions")
+	}
+	if _, ok := (Window{}).NextTransition(monday); ok {
+		t.Fatal("zero window transitions")
+	}
+
+	// Weekend-only day window transitions at Saturday midnight.
+	we := Window{Days: (1 << uint(time.Saturday)) | (1 << uint(time.Sunday))}
+	at, ok = we.NextTransition(monday)
+	if !ok || at.Weekday() != time.Saturday || at.Hour() != 0 {
+		t.Fatalf("weekend transition = %v ok=%v", at, ok)
+	}
+}
+
+func TestDaysStringRoundTrip(t *testing.T) {
+	for mask := uint8(1); mask < 0x80; mask++ {
+		s := daysString(mask)
+		got, n, err := parseDays(tokenize(s), 0)
+		if err != nil || n == 0 {
+			t.Fatalf("mask %07b: parse %q: %v", mask, s, err)
+		}
+		if got != mask {
+			t.Fatalf("mask %07b -> %q -> %07b", mask, s, got)
+		}
 	}
 }
 
 func TestFormatRoundTrip(t *testing.T) {
-	doc, err := Parse(strings.NewReader(sample))
+	const full = `
+group eng { user alice; user bob; group contractors }
+group contractors { user carol }
+role mail { host mailserver port 143 }
+pdp corp priority 50
+template quarantine(h) { deny from host $h; deny to host $h }
+allow proto tcp from group eng to role mail between 09:00-17:00 days mon-fri
+deny from host lobby-kiosk
+pdp security priority 900
+deny to ip 10.0.0.66 between 22:00-06:00
+`
+	doc, err := Parse(strings.NewReader(full))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,14 +382,21 @@ func TestFormatRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("re-parse of %q: %v", text, err)
 	}
-	if len(doc2.Rules) != len(doc.Rules) || len(doc2.PDPs) != len(doc.PDPs) {
+	if len(doc2.Rules) != len(doc.Rules) || len(doc2.PDPs) != len(doc.PDPs) ||
+		len(doc2.Groups) != len(doc.Groups) || len(doc2.Roles) != len(doc.Roles) ||
+		len(doc2.Templates) != len(doc.Templates) {
 		t.Fatalf("round trip lost statements:\n%s", text)
 	}
 	for i := range doc.Rules {
-		if FormatRule(doc.Rules[i]) != FormatRule(doc2.Rules[i]) {
+		if FormatStmt(doc.Rules[i]) != FormatStmt(doc2.Rules[i]) {
 			t.Fatalf("rule %d differs after round trip:\n%s\nvs\n%s",
-				i, FormatRule(doc.Rules[i]), FormatRule(doc2.Rules[i]))
+				i, FormatStmt(doc.Rules[i]), FormatStmt(doc2.Rules[i]))
 		}
+	}
+	// Canonical form is a fixed point: formatting the re-parse changes
+	// nothing.
+	if text2 := Format(doc2); text2 != text {
+		t.Fatalf("Format not canonical:\n%s\nvs\n%s", text, text2)
 	}
 }
 
@@ -249,7 +435,7 @@ func TestPropertyFormatParseRoundTrip(t *testing.T) {
 		return e
 	}
 	protos := []string{"", "tcp", "udp", "icmp", "ip", "arp"}
-	for i := 0; i < 2000; i++ {
+	for i := 0; i < 1000; i++ {
 		r := policy.Rule{PDP: "p", Action: policy.ActionAllow}
 		if rng.Intn(2) == 0 {
 			r.Action = policy.ActionDeny
@@ -272,10 +458,59 @@ func TestPropertyFormatParseRoundTrip(t *testing.T) {
 		if len(doc.Rules) != 1 {
 			t.Fatalf("round trip produced %d rules from %q", len(doc.Rules), text)
 		}
-		got := doc.Rules[0]
-		got.PDP = r.PDP
+		got := policy.Rule{Action: doc.Rules[0].Action, Props: doc.Rules[0].Props,
+			Src: doc.Rules[0].Src.Spec, Dst: doc.Rules[0].Dst.Spec}
 		if FormatRule(got) != FormatRule(r) {
 			t.Fatalf("round trip changed rule:\n%s\nvs\n%s", FormatRule(r), FormatRule(got))
+		}
+	}
+}
+
+// TestPropertyStmtRoundTrip: rule statements with group/role references
+// and windows survive FormatStmt → ParseRuleStmt unchanged.
+func TestPropertyStmtRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		var s RuleStmt
+		s.Action = policy.ActionAllow
+		if rng.Intn(2) == 0 {
+			s.Action = policy.ActionDeny
+		}
+		switch rng.Intn(3) {
+		case 0:
+			s.Src.Group = "g" + strconv.Itoa(rng.Intn(3))
+		case 1:
+			s.Src.Role = "r" + strconv.Itoa(rng.Intn(3))
+		default:
+			s.Src.Spec.Host = "h" + strconv.Itoa(rng.Intn(3))
+		}
+		if rng.Intn(2) == 0 {
+			s.Dst.Group = "g" + strconv.Itoa(rng.Intn(3))
+			if rng.Intn(2) == 0 {
+				port := uint16(rng.Intn(65535) + 1)
+				s.Dst.Spec.Port = &port
+			}
+		} else {
+			s.Dst.Spec.Host = "d" + strconv.Itoa(rng.Intn(3))
+		}
+		if rng.Intn(2) == 0 {
+			s.Window.HasTime = true
+			s.Window.StartMin = rng.Intn(24 * 60)
+			s.Window.EndMin = rng.Intn(24 * 60)
+			if s.Window.EndMin == s.Window.StartMin {
+				s.Window.EndMin = (s.Window.StartMin + 60) % (24 * 60)
+			}
+		}
+		if rng.Intn(2) == 0 {
+			s.Window.Days = uint8(rng.Intn(127) + 1)
+		}
+		text := FormatStmt(s)
+		got, perr := ParseRuleStmt(tokenize(text), 0)
+		if perr != nil {
+			t.Fatalf("re-parse of %q: %v", text, perr)
+		}
+		if FormatStmt(got) != text {
+			t.Fatalf("round trip changed statement:\n%s\nvs\n%s", text, FormatStmt(got))
 		}
 	}
 }

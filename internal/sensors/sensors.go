@@ -8,11 +8,13 @@ package sensors
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/dfi-sdn/dfi/internal/bus"
 	"github.com/dfi-sdn/dfi/internal/core/entity"
 	"github.com/dfi-sdn/dfi/internal/netpkt"
 	"github.com/dfi-sdn/dfi/internal/obs"
+	"github.com/dfi-sdn/dfi/internal/policytext/compile"
 )
 
 // Bus topics for sensor events.
@@ -245,6 +247,36 @@ func AttachEntityManagerTraced(b *bus.Bus, em *entity.Manager, spans *obs.SpanSt
 	subs = append(subs, auth)
 
 	return cancel, nil
+}
+
+// AttachQuarantineTemplate bridges compromise events to a policy-language
+// template: each CompromiseEvent instantiates template(host) on the
+// engine (a deny set compiled incrementally into the rule base) and each
+// Cleared event retracts that instance. Instantiation failures — e.g. the
+// loaded document carries no such template — are counted by the returned
+// errs function rather than dropping the subscription. The cancel
+// function detaches the bridge.
+func AttachQuarantineTemplate(b *bus.Bus, eng *compile.Engine, template string) (cancel func(), errs func() uint64, err error) {
+	var failed atomic.Uint64
+	sub, err := b.Subscribe(TopicCompromise, func(ev bus.Event) {
+		ce, ok := ev.Payload.(CompromiseEvent)
+		if !ok {
+			return
+		}
+		var ierr error
+		if ce.Cleared {
+			_, ierr = eng.Retract(template, ce.Host)
+		} else {
+			_, ierr = eng.Instantiate(template, ce.Host)
+		}
+		if ierr != nil {
+			failed.Add(1)
+		}
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("attach quarantine template: %w", err)
+	}
+	return sub.Cancel, failed.Load, nil
 }
 
 // RegisterWireTypes registers every sensor event type with a bus codec so

@@ -7,7 +7,9 @@ import (
 
 	"github.com/dfi-sdn/dfi/internal/bus"
 	"github.com/dfi-sdn/dfi/internal/core/entity"
+	"github.com/dfi-sdn/dfi/internal/core/policy"
 	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/policytext/compile"
 )
 
 var (
@@ -223,5 +225,65 @@ func TestAttachEntityManagerEndToEnd(t *testing.T) {
 	time.Sleep(20 * time.Millisecond)
 	if _, ok := em.HostOf(ipA); ok {
 		t.Fatal("binding applied after cancel")
+	}
+}
+
+func TestAttachQuarantineTemplate(t *testing.T) {
+	b := bus.New()
+	pm := policy.NewManager()
+	eng := compile.NewEngine(pm, nil)
+	if _, err := eng.SetSource(`
+pdp quarantine priority 900
+template quarantine(h) { deny from host $h; deny to host $h }
+`); err != nil {
+		t.Fatal(err)
+	}
+	cancel, errCount, err := AttachQuarantineTemplate(b, eng, "quarantine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	publish := func(host string, cleared bool) {
+		t.Helper()
+		if err := b.Publish(bus.Event{Topic: TopicCompromise,
+			Payload: CompromiseEvent{Host: host, Cleared: cleared}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	publish("h7", false)
+	waitFor(t, func() bool { return pm.Len() == 2 }, "quarantine rules installed")
+	if got := eng.Instances(); len(got) != 1 || got[0] != "quarantine(h7)" {
+		t.Fatalf("instances = %v", got)
+	}
+
+	// A second compromise of the same host is idempotent.
+	publish("h7", false)
+	publish("h9", false)
+	waitFor(t, func() bool { return pm.Len() == 4 }, "second host quarantined")
+
+	publish("h7", true)
+	waitFor(t, func() bool { return pm.Len() == 2 }, "cleared host released")
+	if got := eng.Instances(); len(got) != 1 || got[0] != "quarantine(h9)" {
+		t.Fatalf("instances = %v", got)
+	}
+	if errCount() != 0 {
+		t.Fatalf("errors = %d", errCount())
+	}
+
+	// An engine without the template counts failures instead of crashing.
+	if _, err := eng.SetSource("pdp quarantine priority 900\n"); err != nil {
+		t.Fatal(err)
+	}
+	publish("h11", false)
+	waitFor(t, func() bool { return errCount() == 1 }, "missing template counted")
+
+	// After cancel, events stop flowing.
+	cancel()
+	publish("h12", false)
+	time.Sleep(20 * time.Millisecond)
+	if errCount() != 1 {
+		t.Fatal("event processed after cancel")
 	}
 }

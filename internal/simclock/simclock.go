@@ -20,16 +20,36 @@ type Clock interface {
 	Sleep(d time.Duration)
 }
 
+// Scheduler is a Clock that can also run callbacks at future instants.
+// Components that react to the passage of time — temporal policy windows
+// activating, leases expiring — take a Scheduler so tests can drive them
+// deterministically with a Simulated clock while production uses Real.
+type Scheduler interface {
+	Clock
+	// AfterFunc arranges for fn to run once d has elapsed on this clock
+	// and returns a cancel function. Cancel is best-effort: it guarantees
+	// fn will not start after cancel returns, but fn may already be
+	// running concurrently with the cancel call.
+	AfterFunc(d time.Duration, fn func()) (cancel func())
+}
+
 // Real is a Clock backed by the wall clock.
 type Real struct{}
 
 var _ Clock = Real{}
+var _ Scheduler = Real{}
 
 // Now implements Clock.
 func (Real) Now() time.Time { return time.Now() }
 
 // Sleep implements Clock.
 func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// AfterFunc implements Scheduler on the wall clock.
+func (Real) AfterFunc(d time.Duration, fn func()) (cancel func()) {
+	t := time.AfterFunc(d, fn)
+	return func() { t.Stop() }
+}
 
 // Simulated is a deterministic discrete-event Clock. Goroutines that
 // participate in simulated time must be started with Go and may only block
@@ -115,6 +135,31 @@ func (s *Simulated) ScheduleAfter(d time.Duration, fn func()) {
 	defer s.mu.Unlock()
 	heap.Push(&s.queue, &entry{at: s.now.Add(d), seq: s.seq, fn: fn})
 	s.seq++
+}
+
+var _ Scheduler = (*Simulated)(nil)
+
+// AfterFunc implements Scheduler in virtual time: fn runs as a
+// participating goroutine when the driver reaches now+d, unless cancelled
+// first.
+func (s *Simulated) AfterFunc(d time.Duration, fn func()) (cancel func()) {
+	var (
+		mu        sync.Mutex
+		cancelled bool
+	)
+	s.ScheduleAfter(d, func() {
+		mu.Lock()
+		dead := cancelled
+		mu.Unlock()
+		if !dead {
+			fn()
+		}
+	})
+	return func() {
+		mu.Lock()
+		cancelled = true
+		mu.Unlock()
+	}
 }
 
 // RunUntil drives the simulation until virtual time would pass deadline or

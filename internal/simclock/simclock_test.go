@@ -211,3 +211,52 @@ func TestManyGoroutinesDeterministic(t *testing.T) {
 		t.Fatalf("non-deterministic: %v vs %v", first, second)
 	}
 }
+
+func TestSimulatedAfterFunc(t *testing.T) {
+	epoch := time.Unix(0, 0)
+	s := NewSimulated(epoch)
+	var fired []time.Time
+	s.AfterFunc(5*time.Second, func() { fired = append(fired, s.Now()) })
+	cancelled := s.AfterFunc(3*time.Second, func() { t.Error("cancelled timer fired") })
+	cancelled()
+	end := s.Run()
+	if len(fired) != 1 || !fired[0].Equal(epoch.Add(5*time.Second)) {
+		t.Fatalf("fired = %v", fired)
+	}
+	if !end.Equal(epoch.Add(5 * time.Second)) {
+		t.Fatalf("end = %v", end)
+	}
+}
+
+func TestSimulatedAfterFuncReschedulesFromCallback(t *testing.T) {
+	epoch := time.Unix(0, 0)
+	s := NewSimulated(epoch)
+	var fires int
+	var tick func()
+	tick = func() {
+		fires++
+		if fires < 3 {
+			s.AfterFunc(time.Minute, tick)
+		}
+	}
+	s.AfterFunc(time.Minute, tick)
+	end := s.Run()
+	if fires != 3 {
+		t.Fatalf("fires = %d", fires)
+	}
+	if !end.Equal(epoch.Add(3 * time.Minute)) {
+		t.Fatalf("end = %v", end)
+	}
+}
+
+func TestRealAfterFunc(t *testing.T) {
+	done := make(chan struct{})
+	Real{}.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	cancel := Real{}.AfterFunc(time.Hour, func() { t.Error("cancelled timer fired") })
+	cancel()
+}

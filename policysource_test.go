@@ -1,0 +1,87 @@
+package dfi_test
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	dfi "github.com/dfi-sdn/dfi"
+	"github.com/dfi-sdn/dfi/internal/bufpipe"
+	"github.com/dfi-sdn/dfi/internal/controller"
+	"github.com/dfi-sdn/dfi/internal/simclock"
+)
+
+func dialBufController() (io.ReadWriteCloser, error) {
+	a, b := bufpipe.New()
+	ctl := controller.New(controller.Config{})
+	go func() { _ = ctl.Serve(b) }()
+	return a, nil
+}
+
+func TestWithPolicySource(t *testing.T) {
+	sys, err := dfi.New(
+		dfi.WithControllerDialer(dialBufController),
+		dfi.WithPolicySource(`
+group eng { user alice; user bob }
+pdp corp priority 50
+allow proto tcp from group eng to host mail port 143
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.Policy().Len() != 2 {
+		t.Fatalf("policy has %d rules, want 2", sys.Policy().Len())
+	}
+	if src := sys.PolicyEngine().Source(); !strings.Contains(src, "group eng") {
+		t.Fatalf("engine source = %q", src)
+	}
+	// The engine stays live for runtime transformation.
+	d, err := sys.PolicyEngine().AddMember("eng", "user carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Insert) != 1 || sys.Policy().Len() != 3 {
+		t.Fatalf("membership add delta = %+v, len = %d", d, sys.Policy().Len())
+	}
+}
+
+func TestWithPolicySourceRejectsBadDocument(t *testing.T) {
+	_, err := dfi.New(
+		dfi.WithControllerDialer(dialBufController),
+		dfi.WithPolicySource("allow from group ghosts\n"))
+	if err == nil || !strings.Contains(err.Error(), "policy source") {
+		t.Fatalf("New error = %v", err)
+	}
+}
+
+// TestWithPolicySourceTemporalUsesSystemClock: when the system clock is a
+// simclock Scheduler, temporal windows in the policy document follow
+// virtual time.
+func TestWithPolicySourceTemporalUsesSystemClock(t *testing.T) {
+	epoch := time.Date(2026, 1, 5, 8, 0, 0, 0, time.UTC) // Monday 08:00
+	sim := simclock.NewSimulated(epoch)
+	sys, err := dfi.New(
+		dfi.WithControllerDialer(dialBufController),
+		dfi.WithClock(sim),
+		dfi.WithPolicySource(`
+pdp corp priority 50
+allow from host office between 09:00-17:00
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.Policy().Len() != 0 {
+		t.Fatal("window active before 09:00")
+	}
+	sim.RunUntil(epoch.Add(2 * time.Hour)) // 10:00
+	if sys.Policy().Len() != 1 {
+		t.Fatal("window not opened at 10:00 virtual time")
+	}
+	sim.RunUntil(epoch.Add(11 * time.Hour)) // 19:00
+	if sys.Policy().Len() != 0 {
+		t.Fatal("window not closed at 19:00 virtual time")
+	}
+}

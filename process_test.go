@@ -13,7 +13,7 @@ import (
 
 // TestProcessesEndToEnd builds the real binaries and runs the deployment
 // the README documents: controllerd ← dfid ← cbench, administered with
-// dfictl (including a policy file via `dfictl apply`).
+// dfictl (including a policy document via `dfictl policy apply`).
 func TestProcessesEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and spawns processes")
@@ -63,8 +63,11 @@ func TestProcessesEndToEnd(t *testing.T) {
 	if err := os.WriteFile(policyPath, []byte(policyText), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if out := dfictl("apply", policyPath); !strings.Contains(out, "applied 1 PDPs and 1 rules") {
+	if out := dfictl("policy", "apply", policyPath); !strings.Contains(out, "1 rule(s) inserted, 0 revoked") {
 		t.Fatalf("apply output: %s", out)
+	}
+	if out := dfictl("policy", "show"); !strings.Contains(out, "pdp corp priority 60") {
+		t.Fatalf("policy show output: %s", out)
 	}
 
 	// cbench drives real packet-ins through dfid to the controller.
