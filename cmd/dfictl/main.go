@@ -31,11 +31,13 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/dfi-sdn/dfi/internal/admin"
 	"github.com/dfi-sdn/dfi/internal/policytext"
 	"github.com/dfi-sdn/dfi/internal/policytext/compile"
+	"github.com/dfi-sdn/dfi/internal/policytext/compile/verify"
 )
 
 func main() {
@@ -368,23 +370,68 @@ func policyCmd(client *admin.Client, args []string) error {
 		return nil
 
 	case "validate":
-		if len(args) != 2 {
-			return fmt.Errorf("usage: dfictl policy validate <policy-file>")
+		fs := flag.NewFlagSet("policy validate", flag.ContinueOnError)
+		lint := fs.Bool("lint", false, "also run the policy verifier; error-severity findings fail validation")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
 		}
-		return validatePolicyFile(args[1])
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: dfictl policy validate [-lint] <policy-file>")
+		}
+		doc, err := validatePolicyFile(fs.Arg(0))
+		if err != nil || !*lint {
+			return err
+		}
+		return lintDoc(fs.Arg(0), doc)
+
+	case "lint":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: dfictl policy lint <policy-file>...")
+		}
+		var failed []string
+		for _, path := range args[1:] {
+			doc, err := validatePolicyFile(path)
+			if err == nil {
+				err = lintDoc(path, doc)
+			}
+			if err != nil {
+				failed = append(failed, path)
+			}
+		}
+		if len(failed) > 0 {
+			return fmt.Errorf("lint failed: %s", strings.Join(failed, ", "))
+		}
+		return nil
 
 	default:
-		return fmt.Errorf("unknown policy subcommand %q (want show|apply|diff|validate)", args[0])
+		return fmt.Errorf("unknown policy subcommand %q (want show|apply|diff|validate|lint)", args[0])
 	}
+}
+
+// lintDoc runs the policy verifier over an already-compiled document and
+// prints dfilint-style diagnostics. Warnings print and pass; any
+// error-severity finding fails.
+func lintDoc(path string, doc *policytext.Document) error {
+	nerr := 0
+	for _, f := range verify.Document(doc) {
+		fmt.Fprintf(os.Stderr, "%s:%d: [%s] %s: %s\n", path, f.Line, f.Check, f.Severity, f.Message)
+		if f.Severity == verify.SevError {
+			nerr++
+		}
+	}
+	if nerr > 0 {
+		return fmt.Errorf("%s: %d error-severity finding(s)", path, nerr)
+	}
+	return nil
 }
 
 // validatePolicyFile parses and compiles a policy file locally, printing
 // every error (with its 1-based line number) rather than stopping at the
-// first.
-func validatePolicyFile(path string) error {
+// first. On success it returns the parsed document for further analysis.
+func validatePolicyFile(path string) (*policytext.Document, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	doc, err := policytext.Parse(f)
 	f.Close()
@@ -395,24 +442,29 @@ func validatePolicyFile(path string) error {
 		for _, pe := range policytext.AsErrorList(err) {
 			fmt.Fprintf(os.Stderr, "%s:%d: %s\n", path, pe.Line, pe.Msg)
 		}
-		return fmt.Errorf("%s: %d error(s)", path, len(policytext.AsErrorList(err)))
+		return nil, fmt.Errorf("%s: %d error(s)", path, len(policytext.AsErrorList(err)))
 	}
 	stmts := len(doc.Rules)
 	fmt.Printf("%s: ok (%d pdp(s), %d group(s), %d role(s), %d template(s), %d rule statement(s))\n",
 		path, len(doc.PDPs), len(doc.Groups), len(doc.Roles), len(doc.Templates), stmts)
-	return nil
+	return doc, nil
 }
 
 func printDelta(d admin.PolicyDeltaJSON) {
 	if len(d.Insert) == 0 && len(d.Revoke) == 0 {
 		fmt.Println("no rule changes")
-		return
 	}
 	for _, r := range d.Revoke {
 		fmt.Printf("- %s\n", deltaRuleString(r))
 	}
 	for _, r := range d.Insert {
 		fmt.Printf("+ %s\n", deltaRuleString(r))
+	}
+	for _, f := range d.Findings {
+		fmt.Printf("! line %d: [%s] %s: %s\n", f.Line, f.Check, f.Severity, f.Message)
+	}
+	for _, w := range d.Widening {
+		fmt.Printf("~ line %d: allow-set widening: %s (%s)\n", w.Line, w.Rule, w.Message)
 	}
 }
 

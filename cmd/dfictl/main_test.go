@@ -197,3 +197,47 @@ func TestLegacyApplyPointsAtPolicyWorkflow(t *testing.T) {
 		t.Fatalf("legacy apply error = %v", err)
 	}
 }
+
+const shadowedPolicy = "pdp admin priority 100\nallow from host web\npdp corp priority 10\ndeny from host web to host db\n"
+
+// TestPolicyLint: lint is fully offline; error-severity findings exit
+// non-zero, clean and warning-only documents pass.
+func TestPolicyLint(t *testing.T) {
+	_, client := newTestClient(t)
+
+	clean := writePolicyFile(t, "pdp corp priority 50\nallow from host web to host db\n")
+	if err := run(client, []string{"policy", "lint", clean}); err != nil {
+		t.Fatalf("clean lint failed: %v", err)
+	}
+
+	warn := writePolicyFile(t, "pdp corp priority 10\ndeny to host db\nallow from host web to host db\n")
+	if err := run(client, []string{"policy", "lint", warn}); err != nil {
+		t.Fatalf("warning-only lint failed: %v", err)
+	}
+
+	bad := writePolicyFile(t, shadowedPolicy)
+	err := run(client, []string{"policy", "lint", bad})
+	if err == nil || !strings.Contains(err.Error(), "lint failed") {
+		t.Fatalf("lint error = %v", err)
+	}
+
+	// Several files: one bad file fails the whole run, naming it.
+	err = run(client, []string{"policy", "lint", clean, bad})
+	if err == nil || !strings.Contains(err.Error(), bad) {
+		t.Fatalf("multi-file lint error = %v", err)
+	}
+}
+
+// TestPolicyValidateLintFlag: -lint layers verifier findings onto
+// validation; without it the shadowed document still validates.
+func TestPolicyValidateLintFlag(t *testing.T) {
+	_, client := newTestClient(t)
+	bad := writePolicyFile(t, shadowedPolicy)
+	if err := run(client, []string{"policy", "validate", bad}); err != nil {
+		t.Fatalf("plain validate rejected compilable document: %v", err)
+	}
+	err := run(client, []string{"policy", "validate", "-lint", bad})
+	if err == nil || !strings.Contains(err.Error(), "error-severity") {
+		t.Fatalf("validate -lint error = %v", err)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"github.com/dfi-sdn/dfi/internal/core/proxy"
 	"github.com/dfi-sdn/dfi/internal/obs"
 	"github.com/dfi-sdn/dfi/internal/policytext/compile"
+	"github.com/dfi-sdn/dfi/internal/policytext/compile/verify"
 	"github.com/dfi-sdn/dfi/internal/sensors"
 	"github.com/dfi-sdn/dfi/internal/simclock"
 	"github.com/dfi-sdn/dfi/internal/store"
@@ -370,6 +371,11 @@ func New(opts ...Option) (*System, error) {
 		sched = simclock.Real{}
 	}
 	s.engine = compile.NewEngine(s.policy, sched)
+	// Every document apply is gated by the static policy verifier:
+	// error-severity findings (an inert deny shadowed by a broader allow, a
+	// window that can never fire) reject the document atomically; warnings
+	// surface through the admin API and dfictl.
+	s.engine.SetCheck(verify.Check)
 	if cfg.policySet {
 		if _, err := s.engine.SetSource(cfg.policySource); err != nil {
 			return nil, fmt.Errorf("dfi: policy source: %w", err)

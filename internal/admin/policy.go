@@ -3,10 +3,12 @@ package admin
 import (
 	"encoding/json"
 	"net/http"
+	"strings"
 
 	dfi "github.com/dfi-sdn/dfi"
 	"github.com/dfi-sdn/dfi/internal/policytext"
 	"github.com/dfi-sdn/dfi/internal/policytext/compile"
+	"github.com/dfi-sdn/dfi/internal/policytext/compile/verify"
 )
 
 // PolicyDocJSON carries a policy document in the policytext language.
@@ -19,11 +21,17 @@ type PolicyDocJSON struct {
 
 // PolicyDeltaJSON is the rule delta a document apply produced — or, for
 // a dry run or POST /v1/policy/diff, would produce. Inserted rules carry
-// assigned IDs only when the apply was real.
+// assigned IDs only when the apply was real. Findings are the policy
+// verifier's diagnostics over the proposed document (a dry run reports
+// error-severity findings here; a real apply can only carry warnings,
+// since errors reject with 422); Widening is the allow-set growth versus
+// the currently-running document.
 type PolicyDeltaJSON struct {
-	DryRun bool       `json:"dryRun,omitempty"`
-	Insert []RuleJSON `json:"insert"`
-	Revoke []RuleJSON `json:"revoke"`
+	DryRun   bool              `json:"dryRun,omitempty"`
+	Insert   []RuleJSON        `json:"insert"`
+	Revoke   []RuleJSON        `json:"revoke"`
+	Findings []verify.Finding  `json:"findings,omitempty"`
+	Widening []verify.Widening `json:"widening,omitempty"`
 }
 
 // ProvenanceJSON records where a compiled rule came from in the source
@@ -59,6 +67,7 @@ func registerPolicy(handle func(string, http.HandlerFunc), sys *dfi.System) {
 			return
 		}
 		dry := isDryRun(r)
+		prevSrc := eng.Source()
 		var (
 			d   compile.Delta
 			err error
@@ -72,7 +81,7 @@ func registerPolicy(handle func(string, http.HandlerFunc), sys *dfi.System) {
 			httpPolicyError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, fromDelta(d, dry))
+		writeJSON(w, http.StatusOK, annotate(fromDelta(d, dry), prevSrc, j.Source))
 	})
 
 	handle("POST /v1/policy/diff", func(w http.ResponseWriter, r *http.Request) {
@@ -81,12 +90,13 @@ func registerPolicy(handle func(string, http.HandlerFunc), sys *dfi.System) {
 			httpError(w, http.StatusBadRequest, CodeBadRequest, err)
 			return
 		}
+		prevSrc := eng.Source()
 		d, err := eng.Diff(j.Source)
 		if err != nil {
 			httpPolicyError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, fromDelta(d, true))
+		writeJSON(w, http.StatusOK, annotate(fromDelta(d, true), prevSrc, j.Source))
 	})
 
 	handle("GET /v1/policy/compiled", func(w http.ResponseWriter, _ *http.Request) {
@@ -114,6 +124,22 @@ func isDryRun(r *http.Request) bool {
 	default:
 		return true
 	}
+}
+
+// annotate attaches the verifier's findings for the proposed document and
+// the allow-set widening versus the previously-running one. The delta
+// itself already compiled, so parse failures here are impossible; the
+// guards keep the endpoint total anyway.
+func annotate(out PolicyDeltaJSON, prevSrc, nextSrc string) PolicyDeltaJSON {
+	next, err := policytext.Parse(strings.NewReader(nextSrc))
+	if err != nil {
+		return out
+	}
+	out.Findings = verify.Document(next)
+	if prev, err := policytext.Parse(strings.NewReader(prevSrc)); err == nil {
+		out.Widening = verify.VerifyTransition(prev, next)
+	}
+	return out
 }
 
 func fromDelta(d compile.Delta, dry bool) PolicyDeltaJSON {

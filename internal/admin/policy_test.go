@@ -153,3 +153,73 @@ func TestPolicyApplyIsAtomicOverHTTP(t *testing.T) {
 		t.Fatal("failed apply mutated the manager")
 	}
 }
+
+// TestPolicyVerifierGateAndAnnotations: a document with an error-severity
+// finding (a deny silently shadowed by a higher-priority allow) is
+// rejected by the real apply with the finding's line in the 422 envelope
+// and no manager mutation; the same document dry-runs successfully with
+// the findings attached; and a diff that widens the allow set reports the
+// widening.
+func TestPolicyVerifierGateAndAnnotations(t *testing.T) {
+	sys, client := newTestServer(t)
+	shadowed := "pdp admin priority 100\nallow from host web\npdp corp priority 10\ndeny from host web to host db\n"
+
+	// Real apply: blocked, atomically.
+	body, _ := json.Marshal(PolicyDocJSON{Source: shadowed})
+	req, err := http.NewRequest(http.MethodPut, client.base+"/v1/policy", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
+	}
+	var envelope ErrorJSON
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Error.Code != CodeValidation || !strings.Contains(envelope.Error.Message, "[shadow]") {
+		t.Fatalf("envelope = %+v", envelope)
+	}
+	if len(envelope.Error.Lines) != 1 || envelope.Error.Lines[0] != 4 {
+		t.Fatalf("lines = %v, want [4]", envelope.Error.Lines)
+	}
+	if sys.Policy().Len() != 0 {
+		t.Fatal("rejected apply mutated the manager")
+	}
+
+	// Dry run: allowed through, findings attached.
+	d, err := client.ApplyPolicy(shadowed, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Findings) != 1 || d.Findings[0].Check != "shadow" ||
+		string(d.Findings[0].Severity) != "error" || d.Findings[0].Line != 4 {
+		t.Fatalf("dry-run findings = %+v", d.Findings)
+	}
+	if sys.Policy().Len() != 0 {
+		t.Fatal("dry run installed rules")
+	}
+
+	// Widening: a new uncovered allow shows up in the diff annotations.
+	if _, err := client.ApplyPolicy(policyDoc, false); err != nil {
+		t.Fatal(err)
+	}
+	d, err = client.DiffPolicy(policyDoc + "allow from host web to host db\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Widening) != 1 || d.Widening[0].Line != 6 ||
+		!strings.Contains(d.Widening[0].Message, "no previous allow") {
+		t.Fatalf("widening = %+v", d.Widening)
+	}
+	// The running document against itself widens nothing.
+	if d, err = client.DiffPolicy(policyDoc); err != nil || len(d.Widening) != 0 || len(d.Findings) != 0 {
+		t.Fatalf("self-diff annotated: %+v, %v", d, err)
+	}
+}

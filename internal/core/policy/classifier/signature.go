@@ -1,0 +1,90 @@
+package classifier
+
+import (
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/netpkt"
+)
+
+// Mask is the exported name of a rule's tuple: the set of fields it
+// constrains. The policy verifier uses masks to reason about match-set
+// containment — with exact-value fields only, rule A's match set contains
+// rule B's iff A constrains a subset of B's fields (Mask.SubsetOf) and B's
+// values projected onto A's fields (Project) equal A's probe key.
+type Mask = fieldMask
+
+// Key is the exported name of a tuple probe key: one exact value per
+// constrained field, zero elsewhere.
+type Key = tupleKey
+
+// Signature returns the tuple a rule belongs to and its probe key — the
+// rule's complete match identity under the exact-value field model.
+func Signature(r *policy.Rule) (Mask, Key) {
+	return ruleKey(r)
+}
+
+// SubsetOf reports whether every field in m is also in o.
+func (m fieldMask) SubsetOf(o fieldMask) bool {
+	return m&^o == 0
+}
+
+// Project returns r's values restricted to the fields in onto, reporting
+// false when r does not constrain every field of onto. A true result with
+// key equal to another rule's probe key over the same mask means that rule
+// matches every flow r matches (field-wise containment).
+func Project(r *policy.Rule, onto Mask) (Key, bool) {
+	m, k := ruleKey(r)
+	if !onto.SubsetOf(m) {
+		return Key{}, false
+	}
+	// Zero the slots r constrains beyond onto so the projected key compares
+	// equal to keys built from rules constraining exactly the onto fields.
+	if m&maskEtherType != 0 && onto&maskEtherType == 0 {
+		k.etherType = 0
+	}
+	if m&maskIPProto != 0 && onto&maskIPProto == 0 {
+		k.ipProto = 0
+	}
+	if m&maskSrcUser != 0 && onto&maskSrcUser == 0 {
+		k.srcUser = ""
+	}
+	if m&maskSrcHost != 0 && onto&maskSrcHost == 0 {
+		k.srcHost = ""
+	}
+	if m&maskSrcIP != 0 && onto&maskSrcIP == 0 {
+		k.srcIP = netpkt.IPv4{}
+	}
+	if m&maskSrcPort != 0 && onto&maskSrcPort == 0 {
+		k.srcPort = 0
+	}
+	if m&maskSrcMAC != 0 && onto&maskSrcMAC == 0 {
+		k.srcMAC = netpkt.MAC{}
+	}
+	if m&maskSrcSwitchPort != 0 && onto&maskSrcSwitchPort == 0 {
+		k.srcSwitchPort = 0
+	}
+	if m&maskSrcDPID != 0 && onto&maskSrcDPID == 0 {
+		k.srcDPID = 0
+	}
+	if m&maskDstUser != 0 && onto&maskDstUser == 0 {
+		k.dstUser = ""
+	}
+	if m&maskDstHost != 0 && onto&maskDstHost == 0 {
+		k.dstHost = ""
+	}
+	if m&maskDstIP != 0 && onto&maskDstIP == 0 {
+		k.dstIP = netpkt.IPv4{}
+	}
+	if m&maskDstPort != 0 && onto&maskDstPort == 0 {
+		k.dstPort = 0
+	}
+	if m&maskDstMAC != 0 && onto&maskDstMAC == 0 {
+		k.dstMAC = netpkt.MAC{}
+	}
+	if m&maskDstSwitchPort != 0 && onto&maskDstSwitchPort == 0 {
+		k.dstSwitchPort = 0
+	}
+	if m&maskDstDPID != 0 && onto&maskDstDPID == 0 {
+		k.dstDPID = 0
+	}
+	return k, true
+}

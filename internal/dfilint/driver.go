@@ -60,6 +60,8 @@ func NewAnalyzers() []Analyzer {
 		newLockHeld(),
 		newMetricName(),
 		newErrEnvelope(),
+		newSpanCtx(),
+		newPooledBuf(),
 	}
 }
 

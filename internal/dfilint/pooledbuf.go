@@ -1,0 +1,216 @@
+package dfilint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pooledBuf flags sync.Pool scratch buffers that escape the function that
+// got them. The zero-alloc codec path leans on pooled buffers with a hard
+// aliasing contract: a buffer obtained from a pool belongs to the caller
+// only until Put returns it; any alias that survives — returned to a
+// caller, stored in a struct field or map, sent on a channel, handed to a
+// goroutine — is a use-after-recycle data race the moment another
+// goroutine Gets the same buffer.
+//
+// The analysis is per function: pool.Get() results (through the usual
+// .(*[]byte) assertion) seed a taint set; aliases extend it through
+// dereference, slicing, indexing, address-of, type assertion, composite
+// literals, and the built-in append. Results of ordinary calls are NOT
+// tainted — encode helpers like AppendMessage follow the convention of
+// returning a grown buffer whose ownership the caller re-establishes by
+// writing it back through the pooled pointer (*bp = b[:0]), so treating
+// their results as fresh keeps the analyzer quiet on the codec itself
+// while still catching direct leaks. Escapes are reported at the return,
+// assignment, send or go statement; the Put call itself is exempt.
+type pooledBuf struct{}
+
+func newPooledBuf() *pooledBuf { return &pooledBuf{} }
+
+func (*pooledBuf) Name() string { return "pooledbuf" }
+
+func (*pooledBuf) Doc() string {
+	return "flags sync.Pool scratch buffers escaping the function that obtained them"
+}
+
+func (a *pooledBuf) Run(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s := &poolScan{pass: pass, info: pass.Pkg.Info, tainted: map[types.Object]bool{}}
+			s.walk(fd.Body)
+		}
+	}
+}
+
+type poolScan struct {
+	pass    *Pass
+	info    *types.Info
+	tainted map[types.Object]bool
+}
+
+// walk traverses in source order so Get assignments taint before later
+// statements are checked for escapes.
+func (s *poolScan) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			s.assign(x)
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if s.taintedExpr(res) {
+					s.pass.Report(x.Pos(), "pooled buffer escapes via return; copy the bytes or drop the pool")
+					break
+				}
+			}
+		case *ast.SendStmt:
+			if s.taintedExpr(x.Value) {
+				s.pass.Report(x.Arrow, "pooled buffer sent on a channel outlives its Put; copy the bytes first")
+			}
+		case *ast.GoStmt:
+			for _, arg := range x.Call.Args {
+				if s.taintedExpr(arg) {
+					s.pass.Report(x.Pos(), "pooled buffer handed to a goroutine may outlive its Put; copy the bytes first")
+					break
+				}
+			}
+		case *ast.DeferStmt:
+			// defer pool.Put(bp) is the canonical release; other deferred
+			// calls run before the frame dies and cannot retain past it.
+			return false
+		}
+		return true
+	})
+}
+
+// assign seeds taint from pool.Get results, propagates it through alias
+// assignments, and reports taint stored into anything that survives the
+// frame (struct fields, map/slice elements, package variables).
+func (s *poolScan) assign(x *ast.AssignStmt) {
+	for i, lhs := range x.Lhs {
+		rhs := pairedRHS(x, i)
+		if rhs == nil {
+			continue
+		}
+		fromGet := isPoolGet(s.info, rhs)
+		if !fromGet && !s.taintedExpr(rhs) {
+			// An untainted right-hand side clears a previously tainted
+			// local: buf = encode(...) re-establishes fresh ownership.
+			if id, ok := lhs.(*ast.Ident); ok && x.Tok.String() == "=" {
+				if obj := s.info.ObjectOf(id); obj != nil {
+					delete(s.tainted, obj)
+				}
+			}
+			continue
+		}
+		switch target := lhs.(type) {
+		case *ast.Ident:
+			if obj := s.info.ObjectOf(target); obj != nil {
+				s.tainted[obj] = true
+			}
+		case *ast.SelectorExpr:
+			s.pass.Report(x.Pos(), "pooled buffer retained in %s outlives its Put; copy the bytes instead", types.ExprString(target))
+		case *ast.IndexExpr:
+			s.pass.Report(x.Pos(), "pooled buffer stored into %s outlives its Put; copy the bytes instead", types.ExprString(target))
+		case *ast.StarExpr:
+			// Writing back through the pooled pointer (*bp = b[:0]) is the
+			// contract's release idiom, not an escape.
+		}
+	}
+}
+
+// pairedRHS returns the right-hand side feeding Lhs[i], or nil when a
+// single multi-value call feeds several targets (call results are
+// untainted by convention, so there is nothing to track).
+func pairedRHS(x *ast.AssignStmt, i int) ast.Expr {
+	if len(x.Rhs) == len(x.Lhs) {
+		return x.Rhs[i]
+	}
+	if len(x.Rhs) == 1 && i == 0 {
+		return x.Rhs[0]
+	}
+	return nil
+}
+
+// taintedExpr reports whether e aliases pooled memory under the
+// propagation rules in the package comment.
+func (s *poolScan) taintedExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := s.info.ObjectOf(x)
+		return obj != nil && s.tainted[obj]
+	case *ast.ParenExpr:
+		return s.taintedExpr(x.X)
+	case *ast.StarExpr:
+		return s.taintedExpr(x.X)
+	case *ast.UnaryExpr:
+		return s.taintedExpr(x.X)
+	case *ast.SliceExpr:
+		return s.taintedExpr(x.X)
+	case *ast.IndexExpr:
+		return s.taintedExpr(x.X)
+	case *ast.TypeAssertExpr:
+		return s.taintedExpr(x.X)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if s.taintedExpr(elt) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		// Only the built-in append keeps its first argument's identity;
+		// every other call result is fresh by convention.
+		if id, ok := x.Fun.(*ast.Ident); ok && len(x.Args) > 0 {
+			if _, isBuiltin := s.info.ObjectOf(id).(*types.Builtin); isBuiltin && id.Name == "append" {
+				return s.taintedExpr(x.Args[0])
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// isPoolGet matches pool.Get() and pool.Get().(*T): a no-argument Get
+// whose receiver is a sync.Pool.
+func isPoolGet(info *types.Info, e ast.Expr) bool {
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ta.X
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return false
+	}
+	fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv != nil && isSyncPool(recv.Type())
+}
+
+// isSyncPool reports whether t (possibly a pointer) is sync.Pool.
+func isSyncPool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}

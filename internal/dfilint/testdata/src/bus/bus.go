@@ -1,0 +1,19 @@
+// Package bus is a fixture stand-in for the real event bus: the spanctx
+// analyzer keys on the package name, the Event type name and its Trace
+// field, and the Publish method name.
+package bus
+
+import "fixture/obs"
+
+// Event mirrors the real bus event's propagation surface.
+type Event struct {
+	Topic   string
+	Payload any
+	Trace   obs.SpanContext
+}
+
+// Bus mirrors the real bus's publish surface.
+type Bus struct{}
+
+// Publish delivers ev.
+func (b *Bus) Publish(ev Event) error { return nil }

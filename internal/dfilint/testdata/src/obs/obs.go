@@ -14,3 +14,10 @@ func (r *Registry) Gauge(name, help string) int { return 0 }
 
 // HistogramVec registers a labelled histogram family.
 func (r *Registry) HistogramVec(name, help, label string, bounds []float64) int { return 0 }
+
+// SpanContext mirrors the real propagation handle; the spanctx analyzer
+// keys on the package and type name.
+type SpanContext struct {
+	Trace uint64
+	Span  uint64
+}

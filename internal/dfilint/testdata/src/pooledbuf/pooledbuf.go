@@ -1,0 +1,100 @@
+// Package pooledbuf exercises the pooledbuf analyzer: sync.Pool scratch
+// buffers must not outlive the function that got them.
+package pooledbuf
+
+import "sync"
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64)
+		return &b
+	},
+}
+
+type frame struct {
+	payload []byte
+}
+
+var retained [][]byte
+
+// Encode is the codec idiom the analyzer must stay quiet on: encode into
+// the pooled buffer, write the result back through the pooled pointer,
+// and return only derived scalars.
+func Encode(n int) int {
+	bp := bufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, byte(n))
+	size := len(b)
+	*bp = b[:0]
+	bufPool.Put(bp)
+	return size
+}
+
+// FreshReturn re-establishes ownership: the helper's result is a fresh
+// buffer by convention, so returning it is fine.
+func FreshReturn() []byte {
+	bp := bufPool.Get().(*[]byte)
+	out := encodeInto((*bp)[:0])
+	out = copyOut(out)
+	bufPool.Put(bp)
+	return out
+}
+
+// LeakReturn hands the pooled backing array to the caller.
+func LeakReturn() []byte {
+	bp := bufPool.Get().(*[]byte)
+	b := append((*bp)[:0], 1, 2, 3)
+	bufPool.Put(bp)
+	return b // want "escapes via return"
+}
+
+// LeakField retains the pooled buffer in a struct that outlives the call.
+func LeakField(f *frame) {
+	bp := bufPool.Get().(*[]byte)
+	f.payload = *bp // want "retained in f.payload"
+	bufPool.Put(bp)
+}
+
+// LeakIndex parks the pooled buffer in a package-level slice.
+func LeakIndex() {
+	bp := bufPool.Get().(*[]byte)
+	retained[0] = (*bp)[:0] // want "stored into retained"
+	bufPool.Put(bp)
+}
+
+// LeakSend publishes the pooled buffer to another goroutine.
+func LeakSend(ch chan []byte) {
+	bp := bufPool.Get().(*[]byte)
+	ch <- *bp // want "sent on a channel"
+	bufPool.Put(bp)
+}
+
+// LeakGo races the pooled buffer against its own recycling.
+func LeakGo(sink func([]byte)) {
+	bp := bufPool.Get().(*[]byte)
+	go sink(*bp) // want "handed to a goroutine"
+	bufPool.Put(bp)
+}
+
+// DeferPut is the read-path idiom: deferred Put, no escape.
+func DeferPut() int {
+	bp := bufPool.Get().(*[]byte)
+	defer bufPool.Put(bp)
+	body := (*bp)[:0]
+	return len(body)
+}
+
+// Suppressed acknowledges a deliberate leak (a test helper, say).
+func Suppressed() []byte {
+	bp := bufPool.Get().(*[]byte)
+	//dfi:ignore pooledbuf
+	return *bp
+}
+
+func encodeInto(b []byte) []byte { return append(b, 0xff) }
+
+func copyOut(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

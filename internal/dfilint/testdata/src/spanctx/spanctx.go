@@ -1,0 +1,69 @@
+// Package spanctx exercises the spanctx analyzer: functions receiving a
+// bus.Event or obs.SpanContext must thread it into Publish and *Ctx calls.
+package spanctx
+
+import (
+	"fixture/bus"
+	"fixture/obs"
+)
+
+// Store mirrors a component with traced entry points.
+type Store struct{}
+
+// InsertCtx records v under the caller's span.
+func (s *Store) InsertCtx(sc obs.SpanContext, v int) {}
+
+// RevokeAllCtx drops everything under the caller's span.
+func (s *Store) RevokeAllCtx(sc obs.SpanContext) {}
+
+// Forward keeps the received event's chain on the republication.
+func Forward(b *bus.Bus, ev bus.Event) {
+	b.Publish(bus.Event{Topic: "fwd", Trace: ev.Trace})
+}
+
+// Drops republishes with a fresh zero trace, severing the chain.
+func Drops(b *bus.Bus, ev bus.Event) {
+	b.Publish(bus.Event{Topic: "fwd"}) // want "drops the span context"
+}
+
+// Threads passes the received context straight through.
+func Threads(s *Store, sc obs.SpanContext) {
+	s.InsertCtx(sc, 1)
+}
+
+// ZeroCtx re-roots instead of propagating.
+func ZeroCtx(s *Store, sc obs.SpanContext) {
+	s.InsertCtx(obs.SpanContext{}, 1) // want "drops the span context"
+}
+
+// Derived propagates through a local derived from the event.
+func Derived(b *bus.Bus, s *Store, ev bus.Event) {
+	sc := ev.Trace
+	s.InsertCtx(sc, 2)
+	next := bus.Event{Topic: "next", Trace: sc}
+	b.Publish(next)
+}
+
+// HalfThreaded flags only the call that drops, not its traced sibling.
+func HalfThreaded(s *Store, sc obs.SpanContext) {
+	s.InsertCtx(sc, 3)
+	s.RevokeAllCtx(obs.SpanContext{}) // want "drops the span context"
+}
+
+// InClosure holds the obligation inside literals that capture the event.
+func InClosure(b *bus.Bus, ev bus.Event) func() {
+	return func() {
+		b.Publish(bus.Event{Topic: "late"}) // want "drops the span context"
+	}
+}
+
+// NoCarrier has no event or context parameter; fresh roots are fine.
+func NoCarrier(b *bus.Bus) {
+	b.Publish(bus.Event{Topic: "root"})
+}
+
+// Suppressed acknowledges a deliberate re-root.
+func Suppressed(b *bus.Bus, ev bus.Event) {
+	//dfi:ignore spanctx
+	b.Publish(bus.Event{Topic: "reroot"})
+}

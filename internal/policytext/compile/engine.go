@@ -26,6 +26,7 @@ type Engine struct {
 	sched simclock.Scheduler
 
 	mu        sync.Mutex
+	check     SourceCheck
 	doc       *policytext.Document
 	stmts     map[string]*runtimeStmt // by statement key
 	order     []string                // statement keys, document order
@@ -113,6 +114,24 @@ func (e *Engine) Instances() []string {
 	return keys
 }
 
+// SourceCheck is a semantic gate run by SetSource after a document parses
+// but before any rule is touched. A non-nil error (typically a
+// policytext.ErrorList with per-finding lines) rejects the document
+// atomically, exactly like a compile error. The check must be a pure
+// function of the document: it runs outside the engine lock (so it may
+// safely call back into the engine) and therefore before the compile-time
+// checks that consult runtime state.
+type SourceCheck func(doc *policytext.Document) error
+
+// SetCheck installs the semantic gate applied by SetSource. The system
+// wires the policy verifier here; Diff is deliberately ungated so dry runs
+// and diffs still compute deltas for documents the gate would reject.
+func (e *Engine) SetCheck(check SourceCheck) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.check = check
+}
+
 // SetSource parses, validates and applies a full policy document
 // atomically: on any parse or compile error (returned as a
 // policytext.ErrorList) nothing is changed. On success only the delta
@@ -121,6 +140,18 @@ func (e *Engine) Instances() []string {
 // document (instances whose template vanished or no longer compiles are
 // dropped).
 func (e *Engine) SetSource(src string) (Delta, error) {
+	e.mu.Lock()
+	check := e.check
+	e.mu.Unlock()
+	if check != nil {
+		doc, err := policytext.Parse(strings.NewReader(src))
+		if err != nil {
+			return Delta{}, err
+		}
+		if err := check(doc); err != nil {
+			return Delta{}, err
+		}
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	p, err := e.plan(src)

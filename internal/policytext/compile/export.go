@@ -1,0 +1,35 @@
+package compile
+
+import "github.com/dfi-sdn/dfi/internal/policytext"
+
+// LowerStmt expands one statement into its lowered rules regardless of the
+// statement's temporal window (Lower gates on Window.Active; static
+// analysis wants the rules a window will contribute when it opens). The
+// tmplInstance tag flows into provenance exactly as during a template
+// instantiation.
+func LowerStmt(doc *policytext.Document, rs policytext.RuleStmt, tmplInstance string) ([]CompiledRule, error) {
+	crs, err := lowerStmt(doc, rs, tmplInstance)
+	if err != nil {
+		return nil, policytext.ErrorList{err}
+	}
+	return crs, nil
+}
+
+// GroupLeaves flattens a group declaration to its transitive literal
+// members. Unknown nested groups and membership cycles are errors, as in
+// Lower.
+func GroupLeaves(doc *policytext.Document, name string) ([]policytext.Member, error) {
+	leaves, err := groupLeaves(doc, name, nil, 0)
+	if err != nil {
+		return nil, policytext.ErrorList{err}
+	}
+	return leaves, nil
+}
+
+// InstantiateTemplate substitutes args into a template body and returns
+// the parsed rule statements, exactly as Engine.Instantiate would lower
+// them. Static analysis uses it with placeholder arguments to inspect
+// template bodies that have no live instances yet.
+func InstantiateTemplate(doc *policytext.Document, name string, args []string) ([]policytext.RuleStmt, error) {
+	return instantiateStmts(doc, name, args)
+}

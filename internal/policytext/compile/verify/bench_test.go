@@ -1,0 +1,58 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/policytext"
+)
+
+// bigDoc builds an n-rule document shaped like a real deployment: many
+// distinct endpoint rules across a few priority tiers, a sprinkle of
+// windows, and one broad deny per tier.
+func bigDoc(n int) string {
+	var b strings.Builder
+	b.WriteString("pdp edge priority 10\n")
+	for i := 0; i < n/2; i++ {
+		fmt.Fprintf(&b, "allow proto tcp from host h%d to host s%d\n", i, i%40)
+	}
+	b.WriteString("pdp campus priority 50\n")
+	for i := 0; i < n/2; i++ {
+		if i%7 == 0 {
+			fmt.Fprintf(&b, "deny from host h%d to host vault between 22:00-06:00\n", i)
+			continue
+		}
+		fmt.Fprintf(&b, "allow from user u%d to host s%d\n", i, i%40)
+	}
+	return b.String()
+}
+
+// BenchmarkVerify1k is the acceptance gate: full verification of a
+// 1000-rule document must stay under 100ms per pass.
+func BenchmarkVerify1k(b *testing.B) {
+	doc, err := policytext.Parse(strings.NewReader(bigDoc(1000)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Document(doc)
+	}
+}
+
+// TestVerify1kUnder100ms pins the acceptance budget in the regular test
+// run (generous wall-clock bound; the benchmark gives the real number).
+func TestVerify1kUnder100ms(t *testing.T) {
+	doc, err := policytext.Parse(strings.NewReader(bigDoc(1000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Document(doc) // warm path once
+	start := time.Now()
+	Document(doc)
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("1k-rule verification took %v, budget 100ms", d)
+	}
+}

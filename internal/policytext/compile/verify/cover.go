@@ -1,0 +1,399 @@
+package verify
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/core/policy/classifier"
+	"github.com/dfi-sdn/dfi/internal/policytext"
+	"github.com/dfi-sdn/dfi/internal/policytext/compile"
+)
+
+// weekMinutes is the granularity of temporal reasoning: one bit per
+// minute of the week (Sunday 00:00 first, matching time.Weekday).
+const weekMinutes = 7 * 24 * 60
+
+// weekBits is a window's activation set over one week. Window semantics
+// repeat weekly, so containment over one week is containment forever.
+type weekBits [(weekMinutes + 63) / 64]uint64
+
+func (b *weekBits) set(i int) { b[i/64] |= 1 << uint(i%64) }
+
+// contains reports o ⊆ b.
+func (b *weekBits) contains(o *weekBits) bool {
+	for i := range o {
+		if o[i]&^b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *weekBits) or(o *weekBits) {
+	for i := range o {
+		b[i] |= o[i]
+	}
+}
+
+func (b *weekBits) intersects(o *weekBits) bool {
+	for i := range o {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *weekBits) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// windowBits expands a Window into its weekly activation set, mirroring
+// Window.Active exactly: Days bit 0 is Sunday and 0 means every day; a
+// clock interval is [StartMin, EndMin) wrapping midnight when
+// StartMin > EndMin, and empty when equal.
+func windowBits(w policytext.Window) *weekBits {
+	var b weekBits
+	setRange := func(day, from, to int) { // [from, to) minutes of day
+		for m := from; m < to; m++ {
+			b.set(day*1440 + m)
+		}
+	}
+	for day := 0; day < 7; day++ {
+		if w.Days != 0 && w.Days&(1<<uint(day)) == 0 {
+			continue
+		}
+		switch {
+		case !w.HasTime:
+			setRange(day, 0, 1440)
+		case w.StartMin < w.EndMin:
+			setRange(day, w.StartMin, w.EndMin)
+		case w.StartMin > w.EndMin:
+			setRange(day, w.StartMin, 1440)
+			setRange(day, 0, w.EndMin)
+		}
+	}
+	return &b
+}
+
+// windowCache memoizes windowBits per distinct Window value.
+type windowCache struct {
+	bits map[policytext.Window]*weekBits
+	full *weekBits
+}
+
+func newWindowCache() *windowCache {
+	return &windowCache{bits: map[policytext.Window]*weekBits{}, full: windowBits(policytext.Window{})}
+}
+
+func (c *windowCache) get(w policytext.Window) *weekBits {
+	if b, ok := c.bits[w]; ok {
+		return b
+	}
+	b := windowBits(w)
+	c.bits[w] = b
+	return b
+}
+
+// vrule is one lowered rule under analysis.
+type vrule struct {
+	rule   policy.Rule
+	action policy.Action
+	prio   int
+	line   int
+	stmt   string
+	tmpl   string
+	via    string
+	window policytext.Window
+	bits   *weekBits
+	mask   classifier.Mask
+	key    classifier.Key
+}
+
+// lowerAll expands every statement window-ungated, plus every template
+// body instantiated with placeholder arguments ($param stays a literal
+// value), so template rules participate in coverage analysis before any
+// instance exists. Statements and templates that fail to lower are
+// skipped: Lower owns reporting those as compile errors.
+func lowerAll(doc *policytext.Document, wc *windowCache) []*vrule {
+	prio := map[string]int{}
+	for _, p := range doc.PDPs {
+		prio[p.Name] = p.Priority
+	}
+	var out []*vrule
+	add := func(rs policytext.RuleStmt, tmpl string) {
+		crs, err := compile.LowerStmt(doc, rs, tmpl)
+		if err != nil {
+			return
+		}
+		for _, cr := range crs {
+			r := cr.Rule
+			r.Priority = prio[r.PDP]
+			v := &vrule{
+				rule:   r,
+				action: r.Action,
+				prio:   r.Priority,
+				line:   cr.Prov.Line,
+				stmt:   cr.Prov.Stmt,
+				tmpl:   tmpl,
+				via:    cr.Prov.Via,
+				window: rs.Window,
+				bits:   wc.get(rs.Window),
+			}
+			v.mask, v.key = classifier.Signature(&v.rule)
+			out = append(out, v)
+		}
+	}
+	for _, rs := range doc.Rules {
+		add(rs, "")
+	}
+	for _, t := range doc.Templates {
+		args := make([]string, len(t.Params))
+		for i, p := range t.Params {
+			args[i] = "$" + p
+		}
+		stmts, err := compile.InstantiateTemplate(doc, t.Name, args)
+		if err != nil {
+			continue // parameter position incompatible with placeholders
+		}
+		tag := compile.InstanceKey(t.Name, args)
+		for _, rs := range stmts {
+			add(rs, tag)
+		}
+	}
+	return out
+}
+
+// covererIndex groups rules by (mask, key) so finding every rule whose
+// match set contains a given rule's is one Project + one map probe per
+// distinct mask, instead of a quadratic pairwise scan.
+type covererIndex struct {
+	masks  []classifier.Mask
+	byMask map[classifier.Mask]map[classifier.Key][]*vrule
+}
+
+func buildIndex(rules []*vrule) *covererIndex {
+	ix := &covererIndex{byMask: map[classifier.Mask]map[classifier.Key][]*vrule{}}
+	for _, v := range rules {
+		slot := ix.byMask[v.mask]
+		if slot == nil {
+			slot = map[classifier.Key][]*vrule{}
+			ix.byMask[v.mask] = slot
+			ix.masks = append(ix.masks, v.mask)
+		}
+		slot[v.key] = append(slot[v.key], v)
+	}
+	return ix
+}
+
+// coverersOf returns every other rule whose match set contains v's:
+// rules over a field subset of v's mask whose probe key equals v's
+// values projected onto that subset.
+func (ix *covererIndex) coverersOf(v *vrule) []*vrule {
+	var out []*vrule
+	for _, m := range ix.masks {
+		if !m.SubsetOf(v.mask) {
+			continue
+		}
+		k, ok := classifier.Project(&v.rule, m)
+		if !ok {
+			continue
+		}
+		for _, a := range ix.byMask[m][k] {
+			if a != v {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// sameMatchSet reports whether two rules match exactly the same flows at
+// the same times.
+func sameMatchSet(a, b *vrule) bool {
+	return a.mask == b.mask && a.key == b.key && *a.bits == *b.bits
+}
+
+// coverage runs the shadow / conflict / redundancy analysis.
+func coverage(rules []*vrule) []Finding {
+	ix := buildIndex(rules)
+	var fs []Finding
+	for _, b := range rules {
+		covs := ix.coverersOf(b)
+		if len(covs) == 0 {
+			continue
+		}
+		var higher, equalDeny, equalSame []*vrule
+		for _, a := range covs {
+			switch {
+			case a.prio > b.prio:
+				higher = append(higher, a)
+			case a.prio == b.prio && a.action == b.action:
+				equalSame = append(equalSame, a)
+			case a.prio == b.prio && a.action == policy.ActionDeny && b.action == policy.ActionAllow:
+				equalDeny = append(equalDeny, a)
+			}
+		}
+		if f, dead := shadowFinding(b, higher); dead {
+			fs = append(fs, f)
+			continue // a dead rule's conflicts/redundancy are moot
+		}
+		if b.action == policy.ActionAllow {
+			if f, hit := conflictFinding(b, equalDeny); hit {
+				fs = append(fs, f)
+				continue
+			}
+		}
+		if f, hit := redundantFinding(b, equalSame); hit {
+			fs = append(fs, f)
+		}
+	}
+	return fs
+}
+
+// shadowFinding reports b dead when the union of its higher-priority
+// coverers' windows contains b's own window: whenever b is active and a
+// flow matches it, some coverer matches too and outranks it.
+func shadowFinding(b *vrule, higher []*vrule) (Finding, bool) {
+	if len(higher) == 0 {
+		return Finding{}, false
+	}
+	var union weekBits
+	for _, a := range higher {
+		union.or(a.bits)
+	}
+	if !union.contains(b.bits) {
+		return Finding{}, false
+	}
+	// The dangerous direction: a deny whose coverage includes an allow is
+	// silently inert — traffic it names flows anyway.
+	sev := SevWarn
+	rep := higher[0]
+	for _, a := range higher {
+		if a.action != b.action && a.bits.intersects(b.bits) {
+			rep = a
+			if b.action == policy.ActionDeny && a.action == policy.ActionAllow {
+				sev = SevError
+			}
+			break
+		}
+	}
+	check := CheckShadow
+	verb := "never matched"
+	if !b.window.IsZero() {
+		check = CheckDeadWindow
+		verb = "permanently shadowed inside its window"
+	}
+	msg := fmt.Sprintf("%s rule is %s: covered by higher-priority %s %q (line %d, priority %d > %d)",
+		b.action, verb, rep.action, rep.stmt, rep.line, rep.prio, b.prio)
+	if len(higher) > 1 {
+		msg += fmt.Sprintf(" and %d more", len(higher)-1)
+	}
+	return finding(check, sev, b, rep.line, msg), true
+}
+
+// conflictFinding reports an allow that equal-priority denies fully
+// cover: deny wins priority ties, so the allow never wins. Fail-closed,
+// hence warn.
+func conflictFinding(b *vrule, equalDeny []*vrule) (Finding, bool) {
+	if len(equalDeny) == 0 {
+		return Finding{}, false
+	}
+	var union weekBits
+	for _, a := range equalDeny {
+		union.or(a.bits)
+	}
+	if !union.contains(b.bits) {
+		return Finding{}, false
+	}
+	rep := equalDeny[0]
+	msg := fmt.Sprintf("allow can never win: overlapping deny %q at equal priority %d (line %d) wins ties",
+		rep.stmt, b.prio, rep.line)
+	return finding(CheckConflict, SevWarn, b, rep.line, msg), true
+}
+
+// redundantFinding reports a rule individually implied by a same-action,
+// equal-priority superset. Identical pairs tie-break to flag the later
+// occurrence only.
+func redundantFinding(b *vrule, equalSame []*vrule) (Finding, bool) {
+	for _, a := range equalSame {
+		if !a.bits.contains(b.bits) {
+			continue
+		}
+		if sameMatchSet(a, b) && a.line >= b.line {
+			continue // report the duplicate at the later line only
+		}
+		rel := "duplicates"
+		if !sameMatchSet(a, b) {
+			rel = "is implied by broader"
+		}
+		msg := fmt.Sprintf("rule %s same-action %s %q at equal priority (line %d)",
+			rel, a.action, a.stmt, a.line)
+		return finding(CheckRedundant, SevWarn, b, a.line, msg), true
+	}
+	return Finding{}, false
+}
+
+// windows runs the per-statement temporal checks that need no coverage
+// analysis: windows that never activate (unconstructible from text, but
+// documents can be built programmatically) and windows that constrain
+// nothing.
+func windows(doc *policytext.Document, wc *windowCache) []Finding {
+	var fs []Finding
+	check := func(rs policytext.RuleStmt, tmpl string) {
+		if rs.Window.IsZero() {
+			return
+		}
+		b := wc.get(rs.Window)
+		switch {
+		case b.count() == 0:
+			fs = append(fs, Finding{
+				Check: CheckDeadWindow, Severity: SevError, Line: rs.Line,
+				Stmt: policytext.FormatStmt(rs), Template: tmpl,
+				Message: fmt.Sprintf("temporal window %q can never be active", rs.Window),
+			})
+		case wc.full.contains(b) && b.contains(wc.full):
+			fs = append(fs, Finding{
+				Check: CheckDeadWindow, Severity: SevWarn, Line: rs.Line,
+				Stmt: policytext.FormatStmt(rs), Template: tmpl,
+				Message: fmt.Sprintf("temporal clause %q has no effect: the window spans the entire week", rs.Window),
+			})
+		}
+	}
+	for _, rs := range doc.Rules {
+		check(rs, "")
+	}
+	for _, t := range doc.Templates {
+		args := make([]string, len(t.Params))
+		for i, p := range t.Params {
+			args[i] = "$" + p
+		}
+		stmts, err := compile.InstantiateTemplate(doc, t.Name, args)
+		if err != nil {
+			continue
+		}
+		tag := compile.InstanceKey(t.Name, args)
+		for _, rs := range stmts {
+			check(rs, tag)
+		}
+	}
+	return fs
+}
+
+func finding(check string, sev Severity, b *vrule, otherLine int, msg string) Finding {
+	return Finding{
+		Check:     check,
+		Severity:  sev,
+		Line:      b.line,
+		Stmt:      b.stmt,
+		Template:  b.tmpl,
+		Via:       b.via,
+		OtherLine: otherLine,
+		Message:   msg,
+	}
+}

@@ -1,0 +1,94 @@
+package verify
+
+import (
+	"fmt"
+
+	"github.com/dfi-sdn/dfi/internal/policytext"
+	"github.com/dfi-sdn/dfi/internal/policytext/compile"
+)
+
+// structural runs the declaration-level lint: empty groups, unused
+// groups and roles, and template parameters that no body line consumes
+// (instances differing only in such a parameter lower to duplicate keys
+// and silently unify).
+func structural(doc *policytext.Document) []Finding {
+	groupRefs := map[string]bool{}
+	roleRefs := map[string]bool{}
+	for _, rs := range doc.Rules {
+		for _, ref := range []policytext.EndpointRef{rs.Src, rs.Dst} {
+			if ref.Group != "" {
+				groupRefs[ref.Group] = true
+			}
+			if ref.Role != "" {
+				roleRefs[ref.Role] = true
+			}
+		}
+	}
+	for _, g := range doc.Groups {
+		for _, m := range g.Members {
+			if m.Group != "" {
+				groupRefs[m.Group] = true
+			}
+		}
+	}
+	// Template bodies are raw tokens; a conservative adjacent-pair scan
+	// ("group X" / "role X") marks declarations as used. False "used" is
+	// harmless (a finding suppressed), false "unused" is not possible.
+	for _, t := range doc.Templates {
+		for _, line := range t.Body {
+			for i := 0; i+1 < len(line.Tokens); i++ {
+				switch line.Tokens[i] {
+				case "group":
+					groupRefs[line.Tokens[i+1]] = true
+				case "role":
+					roleRefs[line.Tokens[i+1]] = true
+				}
+			}
+		}
+	}
+
+	var fs []Finding
+	for _, g := range doc.Groups {
+		leaves, err := compile.GroupLeaves(doc, g.Name)
+		if err == nil && len(leaves) == 0 {
+			msg := fmt.Sprintf("group %q has no members", g.Name)
+			if groupRefs[g.Name] {
+				msg += "; rules referencing it match no flows until members arrive"
+			}
+			fs = append(fs, Finding{
+				Check: CheckStructural, Severity: SevWarn, Line: g.Line, Message: msg,
+			})
+		}
+		if !groupRefs[g.Name] {
+			fs = append(fs, Finding{
+				Check: CheckStructural, Severity: SevWarn, Line: g.Line,
+				Message: fmt.Sprintf("group %q is declared but never referenced", g.Name),
+			})
+		}
+	}
+	for _, r := range doc.Roles {
+		if !roleRefs[r.Name] {
+			fs = append(fs, Finding{
+				Check: CheckStructural, Severity: SevWarn, Line: r.Line,
+				Message: fmt.Sprintf("role %q is declared but never referenced", r.Name),
+			})
+		}
+	}
+	for _, t := range doc.Templates {
+		used := map[string]bool{}
+		for _, line := range t.Body {
+			for _, tok := range line.Tokens {
+				used[tok] = true
+			}
+		}
+		for _, p := range t.Params {
+			if !used["$"+p] {
+				fs = append(fs, Finding{
+					Check: CheckStructural, Severity: SevWarn, Line: t.Line,
+					Message: fmt.Sprintf("template %q parameter %q is unused: instances differing only in it lower to duplicate rules", t.Name, p),
+				})
+			}
+		}
+	}
+	return fs
+}

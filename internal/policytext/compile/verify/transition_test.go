@@ -1,0 +1,86 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVerifyTransitionExact: the crafted two-epoch pair. prev allows web
+// traffic into db but denies the kiosk at a higher priority; next keeps
+// the allow, drops the deny and adds a brand-new allow. Exactly two
+// widenings must surface: the kiosk flows the dropped deny used to block,
+// and the new allow's reachability.
+func TestVerifyTransitionExact(t *testing.T) {
+	prev := mustParse(t, `
+pdp admin priority 100
+deny from host kiosk
+pdp corp priority 10
+allow from host kiosk to host db
+allow from host web to host db
+`)
+	next := mustParse(t, `
+pdp corp priority 10
+allow from host kiosk to host db
+allow from host web to host db
+allow from host web to host mail
+`)
+	ws := VerifyTransition(prev, next)
+	if len(ws) != 2 {
+		t.Fatalf("widenings = %+v, want 2", ws)
+	}
+	// Line 3 of next: kiosk->db was covered by the same allow in prev but
+	// blocked by the admin deny (line 3 of prev), which is gone.
+	if ws[0].Line != 3 || ws[0].PrevLine != 3 || !strings.Contains(ws[0].Message, "deny") {
+		t.Fatalf("widening[0] = %+v", ws[0])
+	}
+	// Line 5 of next: web->mail is new reachability.
+	if ws[1].Line != 5 || ws[1].PrevLine != 0 ||
+		!strings.Contains(ws[1].Message, "no previous allow") {
+		t.Fatalf("widening[1] = %+v", ws[1])
+	}
+}
+
+// TestVerifyTransitionNoWidening: identical documents, narrowing edits
+// and retained denies produce nothing.
+func TestVerifyTransitionNoWidening(t *testing.T) {
+	a := `
+pdp admin priority 100
+deny from host kiosk
+pdp corp priority 10
+allow from host web to host db
+`
+	tests := []struct{ name, prev, next string }{
+		{"identical", a, a},
+		{"narrowing", a, `
+pdp admin priority 100
+deny from host kiosk
+pdp corp priority 10
+allow proto tcp from host web to host db
+`},
+		{"drop-allow", a, `
+pdp admin priority 100
+deny from host kiosk
+pdp corp priority 10
+`},
+	}
+	for _, tt := range tests {
+		if ws := VerifyTransition(mustParse(t, tt.prev), mustParse(t, tt.next)); len(ws) != 0 {
+			t.Errorf("%s: widenings = %+v, want none", tt.name, ws)
+		}
+	}
+}
+
+// TestVerifyTransitionWindowWidening: extending an allow's window is a
+// widening even when the rule text otherwise matches.
+func TestVerifyTransitionWindowWidening(t *testing.T) {
+	prev := mustParse(t, "pdp p priority 10\nallow from host web to host db between 09:00-17:00\n")
+	next := mustParse(t, "pdp p priority 10\nallow from host web to host db\n")
+	ws := VerifyTransition(prev, next)
+	if len(ws) != 1 || ws[0].Line != 2 {
+		t.Fatalf("widenings = %+v, want the window extension flagged", ws)
+	}
+	// The reverse (shrinking the window) widens nothing.
+	if ws := VerifyTransition(next, prev); len(ws) != 0 {
+		t.Fatalf("narrowing flagged: %+v", ws)
+	}
+}
