@@ -7,6 +7,13 @@
 //	dfi-bench -experiment table1         # one experiment
 //	dfi-bench -experiment fig4 -quick    # reduced sweep for a fast look
 //	dfi-bench -experiment table1 -native # this implementation's raw speed
+//
+// Campus-scale scenario telemetry (BENCH_scenarios.json trajectories):
+//
+//	dfi-bench -scenario all -quick -json                 # every hostile workload, CI scale
+//	dfi-bench -scenario revocation-storm -json           # one scenario, full scale
+//	dfi-bench -scenario all -quick -json -baseline BENCH_scenarios.json
+//	                                                     # fail on SLO regression
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"time"
 
 	"github.com/dfi-sdn/dfi/internal/experiments"
+	"github.com/dfi-sdn/dfi/internal/scenario"
 )
 
 func main() {
@@ -27,8 +35,18 @@ func main() {
 		native     = flag.Bool("native", false, "disable the paper-calibrated latency profile and measure this implementation's raw speed")
 		quick      = flag.Bool("quick", false, "reduced sample counts and sweeps")
 		outDir     = flag.String("o", "", "also write machine-readable .tsv files to this directory")
+		scenName   = flag.String("scenario", "", "run a campus-scale scenario instead of a paper experiment: "+strings.Join(scenario.Names(), "|")+"|all")
+		jsonOut    = flag.Bool("json", false, "with -scenario: emit BENCH_scenarios.json (to -o dir or the working directory) and print it")
+		baseline   = flag.String("baseline", "", "with -scenario: committed BENCH_scenarios.json to gate against; any SLO that passed there must still pass")
 	)
 	flag.Parse()
+	if *scenName != "" {
+		if err := runScenarios(*scenName, *seed, *quick, *jsonOut, *outDir, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "dfi-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*experiment, *seed, !*native, *quick, *outDir); err != nil {
 		fmt.Fprintln(os.Stderr, "dfi-bench:", err)
 		os.Exit(1)

@@ -16,6 +16,7 @@
 //	dfictl bind user-host alice alice-laptop
 //	dfictl stats
 //	dfictl metrics
+//	dfictl slo              # service-level-objective verdicts
 //	dfictl trace 20
 //	dfictl spans            # recent spans
 //	dfictl spans 42         # every span of trace 42
@@ -27,6 +28,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -51,7 +53,7 @@ func main() {
 
 func run(client *admin.Client, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: dfictl policy|rules|allow|deny|revoke|pdp|bind|switches|flows|stats|metrics|trace|spans|audit")
+		return fmt.Errorf("usage: dfictl policy|rules|allow|deny|revoke|pdp|bind|switches|flows|stats|metrics|slo|trace|spans|audit")
 	}
 	switch args[0] {
 	case "rules":
@@ -159,6 +161,47 @@ func run(client *admin.Client, args []string) error {
 			return err
 		}
 		fmt.Print(text)
+		return nil
+
+	case "slo":
+		if len(args) > 1 {
+			return fmt.Errorf("usage: dfictl slo")
+		}
+		rep, err := client.SLO()
+		if err != nil {
+			return err
+		}
+		if len(rep.Statuses) == 0 {
+			fmt.Println("no objectives configured")
+			return nil
+		}
+		health := "HEALTHY"
+		if !rep.Healthy {
+			health = "VIOLATED"
+		}
+		fmt.Printf("slo %s (%d objective(s), evaluated %s)\n",
+			health, len(rep.Statuses), rep.Evaluated.Format(time.RFC3339))
+		for _, st := range rep.Statuses {
+			verdict := "ok"
+			if !st.OK {
+				verdict = "VIOLATED"
+			}
+			line := fmt.Sprintf("%-16s %-8s %-10s value=%-12g max=%-12g burn=%.2f window=%s",
+				st.Name, verdict, st.Kind, st.Value, st.Threshold, st.Burn, st.Window)
+			if st.Kind == "quantile" {
+				line += fmt.Sprintf(" q=%g", st.Quantile)
+			}
+			if st.Breaches > 0 {
+				line += fmt.Sprintf(" breaches=%d", st.Breaches)
+			}
+			if st.Since != "" {
+				line += " since=" + st.Since
+			}
+			fmt.Println(line + "  " + st.Metric)
+		}
+		if !rep.Healthy {
+			return errors.New("slo: one or more objectives violated")
+		}
 		return nil
 
 	case "trace":

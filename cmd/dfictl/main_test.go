@@ -111,6 +111,61 @@ func TestMetricsAndTraceSubcommands(t *testing.T) {
 	}
 }
 
+// TestSLOSubcommand round-trips dfictl slo against live admin servers:
+// one without the engine (enveloped 404) and one with the default
+// objectives under real mutation traffic.
+func TestSLOSubcommand(t *testing.T) {
+	// A server assembled without WithSLO answers the enveloped not_found.
+	_, bare := newTestClient(t)
+	if err := run(bare, []string{"slo"}); err == nil || !strings.Contains(err.Error(), "not_found") {
+		t.Fatalf("slo against bare server = %v, want not_found envelope", err)
+	}
+
+	sys, err := dfi.New(
+		dfi.WithControllerDialer(func() (io.ReadWriteCloser, error) {
+			a, b := bufpipe.New()
+			ctl := controller.New(controller.Config{})
+			go func() { _ = ctl.Serve(b) }()
+			return a, nil
+		}),
+		dfi.WithSLO(),
+		dfi.WithSLOInterval(-1), // evaluate at read time only
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	srv := httptest.NewServer(admin.Handler(sys))
+	t.Cleanup(srv.Close)
+	client := admin.NewClient(srv.URL)
+
+	// Drive a few mutations so the TTE histogram has observations.
+	if err := run(client, []string{"pdp", "register", "ops", "50"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		capture(t, func() error {
+			return run(client, []string{"allow", "-pdp", "ops", "-src-user", "alice", "-dst-host", "mail"})
+		})
+	}
+
+	out := capture(t, func() error { return run(client, []string{"slo"}) })
+	for _, want := range []string{"slo HEALTHY", "tte-p99", "admission-p99", "packetin-rate", "audit-failures"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("slo output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The typed client decodes the same report.
+	rep, err := client.SLO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy || len(rep.Statuses) != 4 {
+		t.Fatalf("client.SLO() = %+v", rep)
+	}
+}
+
 const testPolicy = `group eng { user alice; user bob }
 
 pdp corp priority 50

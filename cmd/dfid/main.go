@@ -50,6 +50,7 @@ func main() {
 		auditLog      = flag.String("audit-log", "", "path of the hash-chained enforcement audit log (empty to disable)")
 		auditMaxBytes = flag.Int64("audit-max-bytes", 0, "audit log rotation threshold in bytes (0 = 64 MiB default)")
 		pprofOn       = flag.Bool("pprof", false, "expose /debug/pprof on the admin API")
+		sloInterval   = flag.Duration("slo-interval", 0, "evaluate the default service-level objectives at this interval and serve GET /v1/slo (0 disables the engine; negative evaluates at read time only)")
 
 		tlsCert = flag.String("tls-cert", "", "PEM certificate for accepting switches over TLS")
 		tlsKey  = flag.String("tls-key", "", "PEM key for -tls-cert")
@@ -68,7 +69,8 @@ func main() {
 		policyWatch: *policyWatch, quarantineTmpl: *quarantine,
 		queueDepth: *queueDepth, workers: *workers,
 		auditLog: *auditLog, auditMaxBytes: *auditMaxBytes, pprof: *pprofOn,
-		tlsCert: *tlsCert, tlsKey: *tlsKey, tlsCA: *tlsCA,
+		sloInterval: *sloInterval,
+		tlsCert:     *tlsCert, tlsKey: *tlsKey, tlsCA: *tlsCA,
 		ctlCA: *ctlCA, ctlCert: *ctlCert, ctlKey: *ctlKey, ctlTLSName: *ctlTLSName,
 	}
 	if err := run(cfg); err != nil {
@@ -87,6 +89,7 @@ type daemonConfig struct {
 	auditLog                       string
 	auditMaxBytes                  int64
 	pprof                          bool
+	sloInterval                    time.Duration
 	tlsCert, tlsKey, tlsCA         string
 	ctlCA, ctlCert, ctlKey         string
 	ctlTLSName                     string
@@ -153,6 +156,9 @@ func run(cfg daemonConfig) error {
 	}
 	if cfg.auditLog != "" {
 		sysOpts = append(sysOpts, dfi.WithAuditLog(cfg.auditLog, cfg.auditMaxBytes))
+	}
+	if cfg.sloInterval != 0 {
+		sysOpts = append(sysOpts, dfi.WithSLO(), dfi.WithSLOInterval(cfg.sloInterval))
 	}
 	sys, err := dfi.New(sysOpts...)
 	if err != nil {

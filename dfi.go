@@ -36,6 +36,7 @@ import (
 	"github.com/dfi-sdn/dfi/internal/core/policy"
 	"github.com/dfi-sdn/dfi/internal/core/proxy"
 	"github.com/dfi-sdn/dfi/internal/obs"
+	"github.com/dfi-sdn/dfi/internal/obs/slo"
 	"github.com/dfi-sdn/dfi/internal/policytext/compile"
 	"github.com/dfi-sdn/dfi/internal/policytext/compile/verify"
 	"github.com/dfi-sdn/dfi/internal/sensors"
@@ -73,6 +74,9 @@ type config struct {
 	auditMaxBytes int64
 	policySource  string
 	policySet     bool
+	sloEnabled    bool
+	sloInterval   time.Duration
+	sloObjectives []slo.Objective
 }
 
 // Option configures a System.
@@ -209,6 +213,55 @@ func WithPolicySource(src string) Option {
 	}
 }
 
+// WithSLO attaches the service-level-objective engine: sliding-window
+// objectives over the System's live instruments, evaluated periodically on
+// the System clock and surfaced via GET /v1/slo and dfictl slo. With no
+// objectives the engine installs the defaults — policy time-to-enforcement
+// p99, admission-latency p99, packet-in rate and audit append failures.
+// Evaluation reads atomic counters and histogram bucket snapshots only;
+// the admission hot path is untouched.
+func WithSLO(objectives ...slo.Objective) Option {
+	return func(c *config) {
+		c.sloEnabled = true
+		c.sloObjectives = objectives
+	}
+}
+
+// WithSLOInterval overrides the periodic evaluation interval (default 10s;
+// <=0 disables the ticker, leaving evaluation to /v1/slo reads).
+func WithSLOInterval(d time.Duration) Option {
+	return func(c *config) {
+		c.sloEnabled = true
+		c.sloInterval = d
+	}
+}
+
+// DefaultSLOObjectives builds the stock objective set over reg's
+// instruments: mutation time-to-enforcement p99 ≤ 100ms, admission total
+// stage p99 ≤ 25ms, packet-in admission rate ≤ 10k/s (a flood signal) —
+// each over a one-minute window — and zero audit append failures over five
+// minutes (auditFailures may be nil when no audit log is configured).
+func DefaultSLOObjectives(reg *obs.Registry, auditFailures func() uint64) []slo.Objective {
+	// Lookups, not registrations: the Policy Manager and PCP own these
+	// families and have already registered them by assembly time.
+	tte := reg.FindHistogram("dfi_policy_mutation_tte_seconds")
+	stages := reg.FindHistogramVec("dfi_pcp_stage_seconds")
+	processed := reg.FindCounter("dfi_pcp_processed_total")
+	if auditFailures == nil {
+		auditFailures = func() uint64 { return 0 }
+	}
+	return []slo.Objective{
+		slo.Quantile("tte-p99", "dfi_policy_mutation_tte_seconds",
+			tte, 0.99, 100*time.Millisecond, time.Minute),
+		slo.Quantile("admission-p99", `dfi_pcp_stage_seconds{stage="total"}`,
+			stages.With("total"), 0.99, 25*time.Millisecond, time.Minute),
+		slo.Rate("packetin-rate", "dfi_pcp_processed_total",
+			processed.Value, 10000, time.Minute),
+		slo.ZeroIncrease("audit-failures", "dfi_audit_append_failures_total",
+			auditFailures, 5*time.Minute),
+	}
+}
+
 // WithBus supplies an existing event bus instead of creating one.
 func WithBus(b *bus.Bus) Option {
 	return func(c *config) { c.externalBus = b }
@@ -280,6 +333,7 @@ type System struct {
 	traces   *obs.TraceRing
 	spans    *obs.SpanStore
 	audit    *obs.AuditLog
+	slo      *slo.Engine
 	detachFn func()
 }
 
@@ -379,6 +433,21 @@ func New(opts ...Option) (*System, error) {
 	if cfg.policySet {
 		if _, err := s.engine.SetSource(cfg.policySource); err != nil {
 			return nil, fmt.Errorf("dfi: policy source: %w", err)
+		}
+	}
+
+	if cfg.sloEnabled {
+		objectives := cfg.sloObjectives
+		if len(objectives) == 0 {
+			objectives = DefaultSLOObjectives(s.metrics, s.audit.Failures)
+		}
+		s.slo = slo.New(cfg.clock, s.metrics, objectives...)
+		interval := cfg.sloInterval
+		if interval == 0 {
+			interval = 10 * time.Second
+		}
+		if interval > 0 {
+			s.slo.Run(sched, interval)
 		}
 	}
 
@@ -487,6 +556,10 @@ func (s *System) Spans() *obs.SpanStore { return s.spans }
 // enabled it (every obs.AuditLog method is nil-safe).
 func (s *System) Audit() *obs.AuditLog { return s.audit }
 
+// SLO returns the service-level-objective engine, nil unless WithSLO
+// enabled it (every slo.Engine method is nil-safe).
+func (s *System) SLO() *slo.Engine { return s.slo }
+
 // EventBus returns the sensor event bus.
 func (s *System) EventBus() *bus.Bus { return s.bus }
 
@@ -494,6 +567,7 @@ func (s *System) EventBus() *bus.Bus { return s.bus }
 // the audit log. Open switch connections terminate when their streams
 // close.
 func (s *System) Close() {
+	s.slo.Close()
 	s.pcp.Stop()
 	if s.detachFn != nil {
 		s.detachFn()

@@ -541,6 +541,16 @@ func Handler(sys *dfi.System, opts ...HandlerOption) http.Handler {
 		writeJSON(w, http.StatusOK, out)
 	})
 
+	handle("GET /v1/slo", func(w http.ResponseWriter, _ *http.Request) {
+		engine := sys.SLO()
+		if engine == nil {
+			httpError(w, http.StatusNotFound, CodeNotFound,
+				errors.New("admin: slo engine disabled"))
+			return
+		}
+		writeJSON(w, http.StatusOK, engine.Evaluate())
+	})
+
 	handle("GET /v1/audit", func(w http.ResponseWriter, r *http.Request) {
 		audit := sys.Audit()
 		if audit == nil {

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"github.com/dfi-sdn/dfi/internal/obs"
+	"github.com/dfi-sdn/dfi/internal/obs/slo"
 )
 
 // Client talks to a dfid admin endpoint.
@@ -141,6 +142,13 @@ func (c *Client) Audit(n int) ([]obs.AuditRecord, error) {
 func (c *Client) AuditVerify() (AuditVerifyJSON, error) {
 	var out AuditVerifyJSON
 	return out, c.do(http.MethodGet, "/v1/audit/verify", nil, &out)
+}
+
+// SLO reads the server's current service-level-objective report. A server
+// without WithSLO answers an enveloped not_found, surfaced as an error.
+func (c *Client) SLO() (slo.Report, error) {
+	var out slo.Report
+	return out, c.do(http.MethodGet, "/v1/slo", nil, &out)
 }
 
 // Metrics reads the Prometheus text exposition of every registered

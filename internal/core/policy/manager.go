@@ -75,6 +75,12 @@ type Manager struct {
 	// dfi_pcp_stage_seconds{stage="policy_query"}.
 	snapshotRebuilds *obs.Counter
 	queries          *obs.Counter
+	// tte records wall-clock time-to-enforcement per mutation (mutation
+	// entry through the synchronous flush). It deliberately uses the wall
+	// clock rather than m.clock: under a simulated clock the span duration
+	// collapses to zero, while the physical cost of rebuilding the snapshot
+	// and flushing switches is exactly what the SLO engine gates on.
+	tte *obs.Histogram
 
 	// spans (WithTracing) emits a ("policy", op) span per mutation; audit
 	// (WithAuditLog) appends a chained record per mutation. Both are
@@ -113,6 +119,9 @@ func WithObserver(reg *obs.Registry) ManagerOption {
 			"Copy-on-write policy snapshot publications (one per insert/revoke batch).")
 		pm.queries = reg.Counter("dfi_policy_queries_total",
 			"Per-flow policy queries served.")
+		pm.tte = reg.Histogram("dfi_policy_mutation_tte_seconds",
+			"Wall-clock time-to-enforcement per policy mutation: entry through snapshot publication and synchronous switch flush.",
+			nil)
 		reg.GaugeFunc("dfi_policy_rules",
 			"Rules in the current policy snapshot.",
 			func() float64 { return float64(pm.Len()) })
@@ -199,6 +208,7 @@ func (m *Manager) Insert(r Rule) (RuleID, error) {
 func (m *Manager) InsertCtx(sc obs.SpanContext, r Rule) (RuleID, error) {
 	span := m.spans.Child(sc)
 	start := m.spans.Now()
+	wall := time.Now()
 
 	m.mu.Lock()
 	prio, ok := m.pdps[r.PDP]
@@ -232,6 +242,7 @@ func (m *Manager) InsertCtx(sc obs.SpanContext, r Rule) (RuleID, error) {
 		sort.Slice(flush, func(i, j int) bool { return flush[i] < flush[j] })
 		fn(span, flush)
 	}
+	m.tte.Observe(time.Since(wall))
 	m.commitSpan(sc, span, start, "insert", uint64(stored.ID), stored.String())
 	m.auditMutation(span, "insert", uint64(stored.ID), stored.PDP, stored.String())
 	return stored.ID, nil
@@ -248,6 +259,7 @@ func (m *Manager) Revoke(id RuleID) error {
 func (m *Manager) RevokeCtx(sc obs.SpanContext, id RuleID) error {
 	span := m.spans.Child(sc)
 	start := m.spans.Now()
+	wall := time.Now()
 
 	m.mu.Lock()
 	r, ok := m.rules[id]
@@ -263,6 +275,7 @@ func (m *Manager) RevokeCtx(sc obs.SpanContext, id RuleID) error {
 	if fn != nil {
 		fn(span, []RuleID{id})
 	}
+	m.tte.Observe(time.Since(wall))
 	m.commitSpan(sc, span, start, "revoke", uint64(id), r.String())
 	m.auditMutation(span, "revoke", uint64(id), r.PDP, r.String())
 	return nil
@@ -278,6 +291,7 @@ func (m *Manager) RevokeAll(pdp string) int {
 func (m *Manager) RevokeAllCtx(sc obs.SpanContext, pdp string) int {
 	span := m.spans.Child(sc)
 	start := m.spans.Now()
+	wall := time.Now()
 
 	m.mu.Lock()
 	var ids []RuleID
@@ -302,6 +316,7 @@ func (m *Manager) RevokeAllCtx(sc obs.SpanContext, pdp string) int {
 	if fn != nil {
 		fn(span, ids)
 	}
+	m.tte.Observe(time.Since(wall))
 	m.commitSpan(sc, span, start, "revoke_all", 0, fmt.Sprintf("pdp=%s revoked=%d", pdp, len(ids)))
 	m.auditMutation(span, "revoke_all", 0, pdp, fmt.Sprintf("revoked %d rules", len(ids)))
 	return len(ids)

@@ -117,7 +117,10 @@ func (d *DurationStats) String() string {
 }
 
 // Percentile computes the p-th percentile (0–100) of samples using linear
-// interpolation. The input is not modified.
+// interpolation. The input is not modified. Out-of-range p clamps to the
+// min/max sample, NaN reads as 0, and an empty input returns zero; the
+// interpolation indices are clamped so floating-point error near p=100 can
+// never step past the last sample.
 func Percentile(samples []time.Duration, p float64) time.Duration {
 	if len(samples) == 0 {
 		return 0
@@ -125,7 +128,7 @@ func Percentile(samples []time.Duration, p float64) time.Duration {
 	sorted := make([]time.Duration, len(samples))
 	copy(sorted, samples)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	if p <= 0 {
+	if math.IsNaN(p) || p <= 0 {
 		return sorted[0]
 	}
 	if p >= 100 {
@@ -134,8 +137,14 @@ func Percentile(samples []time.Duration, p float64) time.Duration {
 	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
-	if lo == hi {
-		return sorted[lo]
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(sorted)-1 {
+		hi = len(sorted) - 1
+	}
+	if lo >= hi {
+		return sorted[hi]
 	}
 	frac := rank - float64(lo)
 	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))

@@ -135,3 +135,33 @@ func TestPercentile(t *testing.T) {
 		t.Error("Percentile mutated its input")
 	}
 }
+
+// TestPercentileEdges pins the hardened edge behavior: NaN reads as 0,
+// single samples answer every p, and values of p infinitesimally below 100
+// can never index past the last sample.
+func TestPercentileEdges(t *testing.T) {
+	samples := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond}
+	if got := Percentile(samples, math.NaN()); got != 1*time.Millisecond {
+		t.Errorf("Percentile(NaN) = %v, want min", got)
+	}
+	single := []time.Duration{7 * time.Millisecond}
+	for _, p := range []float64{0, 33.3, 50, 99.999, 100} {
+		if got := Percentile(single, p); got != 7*time.Millisecond {
+			t.Errorf("Percentile(single, %v) = %v", p, got)
+		}
+	}
+	// A p value just under 100 must interpolate within range, not panic or
+	// overshoot, even for large sample counts where rank is near len-1.
+	big := make([]time.Duration, 100_000)
+	for i := range big {
+		big[i] = time.Duration(i) * time.Microsecond
+	}
+	next := math.Nextafter(100, 0)
+	got := Percentile(big, next)
+	if got < big[len(big)-2] || got > big[len(big)-1] {
+		t.Errorf("Percentile(big, %v) = %v, out of [%v,%v]", next, got, big[len(big)-2], big[len(big)-1])
+	}
+	if got := Percentile(big, 100); got != big[len(big)-1] {
+		t.Errorf("Percentile(big, 100) = %v, want max", got)
+	}
+}

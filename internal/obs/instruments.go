@@ -222,6 +222,126 @@ func (h *Histogram) String() string {
 		float64(h.StdDev())/float64(time.Millisecond))
 }
 
+// Quantile estimates the q-th quantile (0–1) from the bucket counts using
+// linear interpolation within the containing bucket. Observations that fell
+// in the +Inf overflow bucket are attributed to the last finite bound, so
+// the estimate is a lower bound there. Returns zero when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.Snapshot().Quantile(q)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram's bucket counts.
+// Snapshots from the same family can be subtracted to obtain the histogram
+// of an interval, which is how sliding-window SLO evaluation reads latency
+// tails without resetting the live instrument.
+type HistogramSnapshot struct {
+	bounds  []float64 // shared with the source histogram; read-only
+	buckets []uint64
+	inf     uint64
+	count   uint64
+	sumNs   int64
+}
+
+// Snapshot copies the current bucket counts. Concurrent Observe calls may
+// land between bucket reads; the snapshot is still internally monotone
+// (cumulative counts never decrease), which is all quantile extraction
+// needs.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		bounds:  h.bounds,
+		buckets: make([]uint64, len(h.buckets)),
+		inf:     h.inf.Load(),
+		count:   h.count.Load(),
+		sumNs:   h.sumNs.Load(),
+	}
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Count returns the snapshot's observation count.
+func (s HistogramSnapshot) Count() uint64 { return s.count }
+
+// Sum returns the snapshot's total observed duration.
+func (s HistogramSnapshot) Sum() time.Duration { return time.Duration(s.sumNs) }
+
+// Sub returns the interval histogram s − prev. Counters only grow, so a
+// stale prev from the same instrument always subtracts cleanly; buckets
+// that would go negative (snapshots from different instruments) clamp to
+// zero.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		bounds:  s.bounds,
+		buckets: make([]uint64, len(s.buckets)),
+		inf:     sub64(s.inf, prev.inf),
+		count:   sub64(s.count, prev.count),
+		sumNs:   s.sumNs - prev.sumNs,
+	}
+	for i := range s.buckets {
+		var p uint64
+		if i < len(prev.buckets) {
+			p = prev.buckets[i]
+		}
+		out.buckets[i] = sub64(s.buckets[i], p)
+	}
+	return out
+}
+
+func sub64(a, b uint64) uint64 {
+	if b > a {
+		return 0
+	}
+	return a - b
+}
+
+// Quantile estimates the q-th quantile (0–1) of the snapshot by linear
+// interpolation inside the containing bucket (lower edge 0 for the first
+// bucket). Observations in the +Inf bucket report the last finite bound.
+// q outside [0,1] clamps; an empty snapshot returns zero.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.count == 0 || len(s.bounds) == 0 {
+		return 0
+	}
+	switch {
+	case math.IsNaN(q), q < 0:
+		q = 0
+	case q > 1:
+		q = 1
+	}
+	rank := q * float64(s.count)
+	if rank < 1 {
+		rank = 1 // the quantile is at least the first observation
+	}
+	var cum float64
+	lower := 0.0
+	for i, b := range s.bounds {
+		c := float64(s.buckets[i])
+		if cum+c >= rank && c > 0 {
+			frac := (rank - cum) / c
+			sec := lower + frac*(b-lower)
+			return time.Duration(sec * float64(time.Second))
+		}
+		cum += c
+		lower = b
+	}
+	// Rank falls in the +Inf bucket: report the last finite bound.
+	return time.Duration(s.bounds[len(s.bounds)-1] * float64(time.Second))
+}
+
+// quantileExports are the quantiles appended to the text exposition for
+// every histogram family, matching the SLO engine's reporting points.
+var quantileExports = []struct {
+	label string
+	q     float64
+}{{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}}
+
 func (h *Histogram) kind() Kind { return KindHistogram }
 
 func (h *Histogram) expose(w io.Writer, name string) error {
@@ -255,8 +375,20 @@ func (h *Histogram) exposeLabeled(w io.Writer, name, extraLabel string) error {
 		name, labels, formatFloat(float64(h.sumNs.Load())/float64(time.Second))); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.count.Load())
-	return err
+	if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.count.Load()); err != nil {
+		return err
+	}
+	// Quantile gauge lines ride after the classic series so existing
+	// bucket/sum/count consumers see byte-identical output.
+	snap := h.Snapshot()
+	for _, qe := range quantileExports {
+		sec := float64(snap.Quantile(qe.q)) / float64(time.Second)
+		if _, err := fmt.Fprintf(w, "%s_quantile{%s%sq=%q} %s\n",
+			name, extraLabel, sep, qe.label, formatFloat(sec)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // formatFloat renders a float the way Prometheus expects: shortest

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/harness"
+)
+
+// bucketIndex returns which DefBuckets bucket d falls in (len(DefBuckets)
+// for +Inf), so tests can assert two values agree at bucket resolution.
+func bucketIndex(d time.Duration) int {
+	for i, b := range DefBuckets {
+		if float64(d)/float64(time.Second) <= b {
+			return i
+		}
+	}
+	return len(DefBuckets)
+}
+
+// TestHistogramQuantileOracle drives the bucketed quantile estimate against
+// harness.Percentile over the exact sample set. A log-bucketed histogram
+// can only answer at bucket resolution, so the estimate must land in the
+// oracle's bucket or an adjacent one (boundary samples straddle).
+func TestHistogramQuantileOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := newHistogram(nil)
+	samples := make([]time.Duration, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over the instrument's native range, 1µs–0.5s.
+		exp := rng.Float64() * 5.7 // 10^0 .. 10^5.7 µs
+		d := time.Duration(mathPow10(exp) * float64(time.Microsecond))
+		samples = append(samples, d)
+		h.Observe(d)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		oracle := harness.Percentile(samples, q*100)
+		got := h.Quantile(q)
+		bo, bg := bucketIndex(oracle), bucketIndex(got)
+		if bg < bo-1 || bg > bo+1 {
+			t.Errorf("Quantile(%v) = %v (bucket %d), oracle %v (bucket %d)", q, got, bg, oracle, bo)
+		}
+	}
+}
+
+func mathPow10(exp float64) float64 {
+	v := 1.0
+	for exp >= 1 {
+		v *= 10
+		exp--
+	}
+	if exp > 0 {
+		// linear blend is close enough for sample generation
+		v *= 1 + 9*exp
+	}
+	return v
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile != 0")
+	}
+	h := newHistogram(nil)
+	if h.Quantile(0.99) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	h.Observe(3 * time.Millisecond)
+	// One sample answers every q, including out-of-range q, at its bucket.
+	want := bucketIndex(3 * time.Millisecond)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := bucketIndex(h.Quantile(q)); got != want {
+			t.Errorf("Quantile(%v) bucket = %d, want %d", q, got, want)
+		}
+	}
+	// Observations beyond the last bound report the last finite bound.
+	over := newHistogram(nil)
+	over.Observe(5 * time.Second)
+	last := time.Duration(DefBuckets[len(DefBuckets)-1] * float64(time.Second))
+	if got := over.Quantile(0.5); got != last {
+		t.Errorf("overflow quantile = %v, want %v", got, last)
+	}
+}
+
+// TestHistogramSnapshotSub verifies interval extraction: the difference of
+// two snapshots sees only the observations between them.
+func TestHistogramSnapshotSub(t *testing.T) {
+	h := newHistogram(nil)
+	for i := 0; i < 100; i++ {
+		h.Observe(2 * time.Microsecond)
+	}
+	prev := h.Snapshot()
+	for i := 0; i < 50; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	cur := h.Snapshot()
+	iv := cur.Sub(prev)
+	if iv.Count() != 50 {
+		t.Fatalf("interval count = %d, want 50", iv.Count())
+	}
+	if got, want := bucketIndex(iv.Quantile(0.5)), bucketIndex(100*time.Millisecond); got != want {
+		t.Errorf("interval p50 bucket = %d, want %d", got, want)
+	}
+	if got := iv.Sum(); got != 50*100*time.Millisecond {
+		t.Errorf("interval sum = %v", got)
+	}
+	// Subtracting a snapshot from itself is empty.
+	if z := cur.Sub(cur); z.Count() != 0 || z.Quantile(0.5) != 0 {
+		t.Errorf("self-sub not empty: count=%d", z.Count())
+	}
+}
+
+// TestExpositionQuantileLines checks the appended _quantile gauge lines for
+// plain and labeled histograms, and that the classic series still renders.
+func TestExpositionQuantileLines(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dfi_test_latency_seconds", "test", nil)
+	h.Observe(2 * time.Millisecond)
+	hv := r.HistogramVec("dfi_test_stage_seconds", "test", "stage", nil)
+	hv.With("total").Observe(4 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`dfi_test_latency_seconds_bucket{le="+Inf"} 1`,
+		`dfi_test_latency_seconds_count 1`,
+		`dfi_test_latency_seconds_quantile{q="0.5"} `,
+		`dfi_test_latency_seconds_quantile{q="0.95"} `,
+		`dfi_test_latency_seconds_quantile{q="0.99"} `,
+		`dfi_test_stage_seconds_bucket{stage="total",le="+Inf"} 1`,
+		`dfi_test_stage_seconds_quantile{stage="total",q="0.99"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Quantile lines must follow _count, preserving the classic prefix.
+	if strings.Index(out, "dfi_test_latency_seconds_count") >
+		strings.Index(out, `dfi_test_latency_seconds_quantile`) {
+		t.Error("quantile line precedes _count")
+	}
+}

@@ -132,6 +132,46 @@ func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *His
 	}).(*HistogramVec)
 }
 
+// find returns the metric registered under name, nil when absent.
+func (r *Registry) find(name string) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byName[name]; ok {
+		return e.m
+	}
+	return nil
+}
+
+// FindCounter returns the counter registered under name, or nil when the
+// name is unregistered or belongs to another instrument type. Lookups let
+// a consumer (the SLO engine, a scenario harness) read a component's
+// instrument without owning a registration site.
+func (r *Registry) FindCounter(name string) *Counter {
+	c, _ := r.find(name).(*Counter)
+	return c
+}
+
+// FindHistogram returns the histogram registered under name, or nil (see
+// FindCounter).
+func (r *Registry) FindHistogram(name string) *Histogram {
+	h, _ := r.find(name).(*Histogram)
+	return h
+}
+
+// FindCounterVec returns the counter family registered under name, or nil
+// (see FindCounter).
+func (r *Registry) FindCounterVec(name string) *CounterVec {
+	v, _ := r.find(name).(*CounterVec)
+	return v
+}
+
+// FindHistogramVec returns the histogram family registered under name, or
+// nil (see FindCounter).
+func (r *Registry) FindHistogramVec(name string) *HistogramVec {
+	v, _ := r.find(name).(*HistogramVec)
+	return v
+}
+
 // WritePrometheus renders every registered family in Prometheus text
 // exposition format (version 0.0.4), in registration order.
 func (r *Registry) WritePrometheus(w io.Writer) error {

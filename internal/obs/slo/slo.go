@@ -1,0 +1,314 @@
+// Package slo evaluates service-level objectives over the live instruments
+// in an obs.Registry. Enforcement is treated as a measurable service-level
+// property (PEPS's framing): time-to-enforcement and admission latency are
+// tracked as sliding-window quantile objectives, packet-in load as a rate
+// objective, and audit durability as a zero-failure objective.
+//
+// The engine never touches the admission hot path: objectives read atomic
+// counters and histogram bucket snapshots at evaluation time only, so
+// attaching an Engine to a running System costs nothing per packet.
+package slo
+
+import (
+	"sync"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/obs"
+	"github.com/dfi-sdn/dfi/internal/simclock"
+)
+
+// Kind classifies how an objective turns raw instrument readings into a
+// pass/fail verdict.
+type Kind string
+
+// Objective kinds.
+const (
+	// KindQuantile gates a histogram quantile (seconds) under a maximum.
+	KindQuantile Kind = "quantile"
+	// KindRate gates a counter's increase per second under a maximum.
+	KindRate Kind = "rate"
+	// KindZero requires a counter not to increase at all in the window.
+	KindZero Kind = "zero"
+)
+
+// Objective is one service-level objective over a single instrument.
+// Construct with Quantile, Rate or ZeroIncrease.
+type Objective struct {
+	// Name identifies the objective in reports ("tte-p99").
+	Name string
+	// Metric names the backing instrument family, for display.
+	Metric string
+	// Kind selects the evaluation rule.
+	Kind Kind
+	// Q is the quantile for KindQuantile (0–1).
+	Q float64
+	// Threshold is the pass bound: seconds for KindQuantile, events/sec
+	// for KindRate, absolute increase for KindZero (normally 0).
+	Threshold float64
+	// Window is the sliding evaluation window. Samples older than Window
+	// are discarded (one is retained as the interval baseline).
+	Window time.Duration
+
+	hist    func() obs.HistogramSnapshot // KindQuantile
+	counter func() uint64                // KindRate, KindZero
+}
+
+// Quantile builds an objective gating h's q-th quantile (over the sliding
+// window) at or under max.
+func Quantile(name, metric string, h *obs.Histogram, q float64, max time.Duration, window time.Duration) Objective {
+	return Objective{
+		Name: name, Metric: metric, Kind: KindQuantile, Q: q,
+		Threshold: max.Seconds(), Window: window,
+		hist: h.Snapshot,
+	}
+}
+
+// Rate builds an objective gating the increase of the counter read by src
+// at or under maxPerSec, averaged over the sliding window.
+func Rate(name, metric string, src func() uint64, maxPerSec float64, window time.Duration) Objective {
+	return Objective{
+		Name: name, Metric: metric, Kind: KindRate,
+		Threshold: maxPerSec, Window: window,
+		counter: src,
+	}
+}
+
+// ZeroIncrease builds an objective requiring the counter read by src not to
+// increase within the window — the shape of "no audit append may fail".
+func ZeroIncrease(name, metric string, src func() uint64, window time.Duration) Objective {
+	return Objective{
+		Name: name, Metric: metric, Kind: KindZero,
+		Threshold: 0, Window: window,
+		counter: src,
+	}
+}
+
+// sample is one timestamped instrument reading.
+type sample struct {
+	at      time.Time
+	hist    obs.HistogramSnapshot
+	counter uint64
+}
+
+// state is an Objective plus its sliding window and violation bookkeeping.
+type state struct {
+	Objective
+	window   []sample // ascending by at; window[0] is the interval baseline
+	breaches uint64
+	badSince time.Time // zero while passing
+}
+
+// Status is the externally visible verdict for one objective, shaped for
+// the /v1/slo JSON body.
+type Status struct {
+	Name      string  `json:"name"`
+	Metric    string  `json:"metric"`
+	Kind      string  `json:"kind"`
+	Quantile  float64 `json:"quantile,omitempty"`
+	Window    string  `json:"window"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Unit      string  `json:"unit"`
+	OK        bool    `json:"ok"`
+	// Burn is Value/Threshold — >1 means the objective is burning. For
+	// zero-threshold objectives it is the raw increase.
+	Burn     float64 `json:"burn"`
+	Breaches uint64  `json:"breaches"`
+	// Since is when the current violation began (RFC3339), empty while ok.
+	Since string `json:"since,omitempty"`
+}
+
+// Report is the full evaluation result.
+type Report struct {
+	Evaluated time.Time `json:"evaluated"`
+	Healthy   bool      `json:"healthy"`
+	Statuses  []Status  `json:"objectives"`
+}
+
+// Engine evaluates a fixed set of objectives against a Clock. Evaluate may
+// be called from a ticker (Run), a scrape handler and tests concurrently.
+type Engine struct {
+	clock simclock.Clock
+
+	mu     sync.Mutex
+	states []*state
+
+	runMu  sync.Mutex
+	cancel func()
+	gen    uint64
+}
+
+// New builds an engine over the given objectives. A nil clock selects the
+// wall clock. When reg is non-nil the engine registers dfi_slo_violations,
+// a gauge of currently failing objectives (it re-evaluates at scrape).
+func New(clock simclock.Clock, reg *obs.Registry, objectives ...Objective) *Engine {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	e := &Engine{clock: clock}
+	for _, o := range objectives {
+		e.states = append(e.states, &state{Objective: o})
+	}
+	if reg != nil {
+		reg.GaugeFunc("dfi_slo_violations",
+			"Objectives currently violating their SLO (re-evaluated at scrape).",
+			func() float64 {
+				n := 0
+				for _, st := range e.Evaluate().Statuses {
+					if !st.OK {
+						n++
+					}
+				}
+				return float64(n)
+			})
+	}
+	return e
+}
+
+// Objectives returns the configured objective count.
+func (e *Engine) Objectives() int {
+	if e == nil {
+		return 0
+	}
+	return len(e.states)
+}
+
+// Evaluate takes a fresh reading of every instrument, slides each window
+// forward and returns the verdicts. Nil-safe (empty report).
+func (e *Engine) Evaluate() Report {
+	if e == nil {
+		return Report{Healthy: true}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.clock.Now()
+	rep := Report{Evaluated: now, Healthy: true}
+	for _, st := range e.states {
+		s := st.read(now)
+		st.window = append(st.window, s)
+		st.trim(now)
+		status := st.evaluate(now)
+		if !status.OK {
+			rep.Healthy = false
+		}
+		rep.Statuses = append(rep.Statuses, status)
+	}
+	return rep
+}
+
+// read samples the objective's instrument.
+func (st *state) read(now time.Time) sample {
+	s := sample{at: now}
+	switch st.Kind {
+	case KindQuantile:
+		s.hist = st.hist()
+	default:
+		s.counter = st.counter()
+	}
+	return s
+}
+
+// trim drops samples that fell out of the window, always retaining the most
+// recent sample at or before the window start as the interval baseline (so
+// a freshly started engine compares against its first reading rather than
+// an empty origin).
+func (st *state) trim(now time.Time) {
+	cut := now.Add(-st.Window)
+	i := 0
+	for i < len(st.window)-1 && !st.window[i+1].at.After(cut) {
+		i++
+	}
+	st.window = st.window[i:]
+}
+
+// evaluate computes the objective's current value against its baseline.
+func (st *state) evaluate(now time.Time) Status {
+	base, cur := st.window[0], st.window[len(st.window)-1]
+	status := Status{
+		Name:      st.Name,
+		Metric:    st.Metric,
+		Kind:      string(st.Kind),
+		Quantile:  st.Q,
+		Window:    st.Window.String(),
+		Threshold: st.Threshold,
+	}
+	switch st.Kind {
+	case KindQuantile:
+		iv := cur.hist.Sub(base.hist)
+		if iv.Count() == 0 {
+			// No traffic in the window: vacuously healthy.
+			status.Value = 0
+		} else {
+			status.Value = iv.Quantile(st.Q).Seconds()
+		}
+		status.Unit = "seconds"
+	case KindRate:
+		elapsed := cur.at.Sub(base.at).Seconds()
+		if elapsed > 0 {
+			status.Value = float64(cur.counter-base.counter) / elapsed
+		}
+		status.Unit = "per_second"
+	case KindZero:
+		status.Value = float64(cur.counter - base.counter)
+		status.Unit = "events"
+	}
+	status.OK = status.Value <= status.Threshold
+	if status.Threshold > 0 {
+		status.Burn = status.Value / status.Threshold
+	} else {
+		status.Burn = status.Value
+	}
+	if status.OK {
+		st.badSince = time.Time{}
+	} else {
+		st.breaches++
+		if st.badSince.IsZero() {
+			st.badSince = now
+		}
+		status.Since = st.badSince.UTC().Format(time.RFC3339Nano)
+	}
+	status.Breaches = st.breaches
+	return status
+}
+
+// Run evaluates every interval on sched until Close. Calling Run again
+// replaces the previous ticker; the generation counter keeps a late firing
+// from a replaced ticker from re-arming itself.
+func (e *Engine) Run(sched simclock.Scheduler, interval time.Duration) {
+	if e == nil || interval <= 0 {
+		return
+	}
+	e.runMu.Lock()
+	prev := e.cancel
+	e.gen++ // invalidate a previous Run's in-flight tick
+	gen := e.gen
+	var tick func()
+	tick = func() {
+		e.Evaluate()
+		e.runMu.Lock()
+		if e.gen == gen {
+			e.cancel = sched.AfterFunc(interval, tick)
+		}
+		e.runMu.Unlock()
+	}
+	e.cancel = sched.AfterFunc(interval, tick)
+	e.runMu.Unlock()
+	if prev != nil {
+		prev()
+	}
+}
+
+// Close stops a Run loop. Safe without Run and on nil.
+func (e *Engine) Close() {
+	if e == nil {
+		return
+	}
+	e.runMu.Lock()
+	e.gen++ // invalidate any in-flight tick's re-arm
+	cancel := e.cancel
+	e.cancel = nil
+	e.runMu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"github.com/dfi-sdn/dfi/internal/core/pdp"
 	"github.com/dfi-sdn/dfi/internal/core/policy"
 	"github.com/dfi-sdn/dfi/internal/netpkt"
+	"github.com/dfi-sdn/dfi/internal/obs"
 	"github.com/dfi-sdn/dfi/internal/openflow"
 	"github.com/dfi-sdn/dfi/internal/sensors"
 	"github.com/dfi-sdn/dfi/internal/services"
@@ -88,6 +89,11 @@ type Config struct {
 	// "could provide additional time for an incident response team to be
 	// notified and isolate infected hosts".
 	QuarantineDelay time.Duration
+	// Metrics, when non-nil, is the registry the testbed's Policy Manager
+	// and PCP register their instruments with, so scenario harnesses can
+	// read time-to-enforcement and admission-latency histograms out of a
+	// testbed run. Nil leaves both uninstrumented (the historical default).
+	Metrics *obs.Registry
 }
 
 const (
@@ -168,7 +174,11 @@ func New(cfg Config) (*Testbed, error) {
 		scripts:  make(map[string][]Interval),
 	}
 	tb.erm = entity.NewManager()
-	tb.pm = policy.NewManager()
+	var pmOpts []policy.ManagerOption
+	if cfg.Metrics != nil {
+		pmOpts = append(pmOpts, policy.WithObserver(cfg.Metrics))
+	}
+	tb.pm = policy.NewManager(pmOpts...)
 	// Authoritative services feed the ERM directly (the simulation's
 	// synchronous stand-in for the bus-attached sensors).
 	tb.dns = services.NewDNSServer(func(h string, ip netpkt.IPv4, removed bool) {
@@ -190,6 +200,7 @@ func New(cfg Config) (*Testbed, error) {
 		Entity: tb.erm,
 		Policy: tb.pm,
 		Clock:  tb.clock,
+		Obs:    cfg.Metrics,
 	})
 
 	if err := tb.buildTopology(); err != nil {
