@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/relaybench"
+)
+
+// RelaySchemaVersion identifies the BENCH_relay.json document layout.
+const RelaySchemaVersion = "dfi.bench.relay/v1"
+
+// relayDoc is the connection-scale relay comparison document.
+type relayDoc struct {
+	Schema string              `json:"schema"`
+	GitRev string              `json:"git_rev"`
+	Quick  bool                `json:"quick"`
+	Points []*relaybench.Point `json:"points"`
+}
+
+// runRelayPoint is the child-process entry: one measurement in a fresh
+// process (so RSS and goroutine counts are not polluted by earlier
+// points), result as JSON on stdout.
+func runRelayPoint(spec string, quick bool) error {
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("relay point %q, want mode:conns", spec)
+	}
+	conns, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return fmt.Errorf("relay point %q: %w", spec, err)
+	}
+	dur := 2 * time.Second
+	if quick {
+		dur = 500 * time.Millisecond
+	}
+	pt, err := relaybench.Run(relaybench.Config{
+		Mode:     parts[0],
+		Conns:    conns,
+		Duration: dur,
+		Churn:    true,
+	})
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(os.Stdout).Encode(pt)
+}
+
+// runRelay is the parent driver: the goroutine-vs-evloop matrix, one
+// re-exec per point, rendered as a table and optionally written to
+// BENCH_relay.json.
+func runRelay(conns int, quick, jsonOut bool, outDir string) error {
+	scales := []int{100, 1000, 10000}
+	if quick {
+		scales = []int{50, 200}
+	}
+	if conns > 0 {
+		scales = []int{conns}
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("relay: resolve self for re-exec: %w", err)
+	}
+	// Containers without CAP_SYS_RESOURCE cap the per-process fd count;
+	// clamp oversized scales to what one measurement process can hold and
+	// label the point with the count that actually ran.
+	maxConns := relaybench.MaxConns()
+	clamped := scales[:0]
+	for _, n := range scales {
+		if n > maxConns {
+			n = maxConns / 100 * 100
+			fmt.Fprintf(os.Stderr, "relay: fd limit caps this host at %d conns; clamping oversized scale to %d\n",
+				maxConns, n)
+		}
+		if len(clamped) == 0 || clamped[len(clamped)-1] != n {
+			clamped = append(clamped, n)
+		}
+	}
+	scales = clamped
+
+	doc := relayDoc{Schema: RelaySchemaVersion, GitRev: gitRev(), Quick: quick}
+	for _, n := range scales {
+		for _, mode := range []string{relaybench.ModeGoroutine, relaybench.ModeEvloop} {
+			args := []string{"-relay-point", mode + ":" + strconv.Itoa(n)}
+			if quick {
+				args = append(args, "-quick")
+			}
+			cmd := exec.Command(self, args...)
+			cmd.Stderr = os.Stderr
+			out, err := cmd.Output()
+			if err != nil {
+				return fmt.Errorf("relay point %s:%d: %w", mode, n, err)
+			}
+			var pt relaybench.Point
+			if err := json.Unmarshal(out, &pt); err != nil {
+				return fmt.Errorf("relay point %s:%d: %w", mode, n, err)
+			}
+			doc.Points = append(doc.Points, &pt)
+			fmt.Printf("relay %-10s conns=%-6d p50=%8.0fµs p99=%8.0fµs rss=%6.1fMB goroutines=%-6d echoes=%d churn=%d\n",
+				pt.Mode, pt.Conns, pt.P50Micros, pt.P99Micros,
+				float64(pt.RSSBytes)/(1<<20), pt.Goroutines, pt.Echoes, pt.ChurnCycles)
+		}
+	}
+
+	if err := gateRelay(doc.Points); err != nil {
+		return err
+	}
+	if jsonOut {
+		blob, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		path := filepath.Join(outDir, "BENCH_relay.json")
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", path)
+	}
+	return nil
+}
+
+// gateRelay enforces the structural claims of the event-loop refactor on
+// every (conns) pair that ran in both modes. Latency ratios vary too much
+// across CI hosts to gate hard; goroutine count does not.
+func gateRelay(points []*relaybench.Point) error {
+	byScale := map[int]map[string]*relaybench.Point{}
+	for _, pt := range points {
+		if byScale[pt.Conns] == nil {
+			byScale[pt.Conns] = map[string]*relaybench.Point{}
+		}
+		byScale[pt.Conns][pt.Mode] = pt
+	}
+	var violations []string
+	for conns, modes := range byScale {
+		ev, gr := modes[relaybench.ModeEvloop], modes[relaybench.ModeGoroutine]
+		if ev == nil || gr == nil {
+			continue
+		}
+		if ev.Fallback {
+			// No poller on this platform: the pump fallback is still
+			// 1 goroutine/conn, the O(workers) claim does not apply.
+			continue
+		}
+		// The evloop proxy must hold conns sessions without per-connection
+		// goroutines: everything left is harness + runtime, bounded well
+		// below one goroutine per two connections at any measured scale.
+		if limit := conns/2 + 64; ev.Goroutines > limit {
+			violations = append(violations, fmt.Sprintf(
+				"evloop at %d conns used %d goroutines (limit %d): per-connection goroutines crept back in",
+				conns, ev.Goroutines, limit))
+		}
+		if gr.Goroutines < conns {
+			violations = append(violations, fmt.Sprintf(
+				"goroutine mode at %d conns reports only %d goroutines: harness no longer measures what it claims",
+				conns, gr.Goroutines))
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("relay structural gate failed:\n  %s", strings.Join(violations, "\n  "))
+	}
+	return nil
+}

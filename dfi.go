@@ -65,6 +65,7 @@ type config struct {
 	flowCacheSize int
 	flushFanOut   int
 	statsTimeout  time.Duration
+	evloopWorkers int
 	metrics       *obs.Registry
 	traceCap      int
 	traceEvery    int
@@ -195,6 +196,23 @@ func WithFlushFanOut(workers int) Option {
 // switch's multipart reply (default 10s).
 func WithFlowStatsTimeout(d time.Duration) Option {
 	return func(c *config) { c.statsTimeout = d }
+}
+
+// WithEventLoop relays switch connections on a pool of that many
+// event-loop workers instead of two blocking goroutines per switch:
+// readiness-driven non-blocking reads feed per-connection frame state
+// machines, so goroutine count stays O(workers) at 10k-connection scale.
+// workers <= 0 selects the engine default. Streams that are not
+// socket-backed (in-memory pipes) and non-linux platforms transparently
+// fall back to one pump goroutine per connection with identical relay
+// semantics. Default off.
+func WithEventLoop(workers int) Option {
+	return func(c *config) {
+		if workers <= 0 {
+			workers = proxy.DefaultEventLoopWorkers
+		}
+		c.evloopWorkers = workers
+	}
 }
 
 // WithPolicySource loads an initial policy document (the policytext
@@ -459,6 +477,7 @@ func New(opts ...Option) (*System, error) {
 		Latency:          cfg.proxyLat,
 		Obs:              s.metrics,
 		FlowStatsTimeout: cfg.statsTimeout,
+		EventLoopWorkers: cfg.evloopWorkers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dfi: %w", err)
@@ -515,6 +534,15 @@ func (s *System) ServeSwitch(conn io.ReadWriteCloser) error {
 	return s.proxy.ServeSwitch(conn)
 }
 
+// HandleSwitch interposes DFI on one switch connection without blocking
+// the caller: it returns once the connection is registered and invokes
+// done (if non-nil) when the session ends. With WithEventLoop the
+// connection consumes no goroutines while it lives; otherwise it holds
+// the two relay goroutines ServeSwitch would.
+func (s *System) HandleSwitch(conn io.ReadWriteCloser, done func(error)) error {
+	return s.proxy.HandleSwitch(conn, done)
+}
+
 // Policy returns the Policy Manager (for PDPs and administration).
 func (s *System) Policy() *policy.Manager { return s.policy }
 
@@ -563,11 +591,13 @@ func (s *System) SLO() *slo.Engine { return s.slo }
 // EventBus returns the sensor event bus.
 func (s *System) EventBus() *bus.Bus { return s.bus }
 
-// Close stops the PCP workers, detaches sensor subscriptions and closes
-// the audit log. Open switch connections terminate when their streams
-// close.
+// Close stops the PCP workers, detaches sensor subscriptions, shuts down
+// the proxy's event-loop engine (closing its relayed connections) and
+// closes the audit log. Goroutine-mode switch connections terminate when
+// their streams close.
 func (s *System) Close() {
 	s.slo.Close()
+	s.proxy.Close()
 	s.pcp.Stop()
 	if s.detachFn != nil {
 		s.detachFn()

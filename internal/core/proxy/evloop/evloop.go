@@ -1,0 +1,604 @@
+// Package evloop multiplexes many relay connections onto a small pool of
+// event-loop workers, replacing the proxy's two-blocking-goroutines-per-
+// switch relay model (ROADMAP item 3). Each worker owns an epoll instance
+// (internal/netpoll) and drives per-connection state machines: non-blocking
+// reads feed a partial-frame accumulator (openflow.Accumulator), complete
+// frames invoke the caller's Handler (the proxy's in-place rewrite path),
+// and writes queue on a per-connection pending buffer flushed on write
+// readiness — so neither a slow peer nor a burst ever blocks a worker.
+//
+// Backpressure is per connection: when an endpoint's pending-write buffer
+// crosses the high-water mark, read interest on its peer (the producer) is
+// dropped until the buffer drains below the low-water mark. The kernel's
+// receive window then pushes back on the far sender, exactly as the old
+// blocking relay did implicitly — but without a goroutine parked per
+// direction.
+//
+// Streams that are not fd-backed (in-memory pipes, TLS wrappers) and every
+// stream on non-linux platforms take the portable fallback: one pump
+// goroutine per connection performing blocking reads through the same
+// accumulator and handler. One goroutine per connection instead of two,
+// and the frame path is byte-identical to the poller mode.
+package evloop
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/netpoll"
+	"github.com/dfi-sdn/dfi/internal/obs"
+	"github.com/dfi-sdn/dfi/internal/openflow"
+)
+
+const (
+	// DefaultWorkers is the event-loop pool size when Config.Workers <= 0.
+	DefaultWorkers = 4
+	// highWater pauses the producing peer when an endpoint's pending-write
+	// buffer grows past this many bytes.
+	highWater = 1 << 20
+	// lowWater resumes the producing peer once the pending-write buffer
+	// drains below this level.
+	lowWater = 64 << 10
+	// maxPending fails a connection whose consumer is so slow that pending
+	// writes (which PCP flushes can grow even with the peer paused) exceed
+	// this bound.
+	maxPending = 64 << 20
+	// readChunk is each worker's shared read scratch size.
+	readChunk = 64 << 10
+)
+
+// errSlowConsumer fails a connection whose pending writes exceeded
+// maxPending.
+var errSlowConsumer = errors.New("evloop: pending writes exceeded limit (slow consumer)")
+
+// errEngineClosed rejects registrations after Close.
+var errEngineClosed = errors.New("evloop: engine closed")
+
+// Handler consumes one connection's relay events. Methods are invoked from
+// the connection's worker (poller mode) or pump goroutine (fallback mode),
+// never concurrently for one endpoint.
+type Handler interface {
+	// OnFrame receives each complete frame, in stream order. The frame
+	// aliases loop-owned memory: valid only for the duration of the call.
+	OnFrame(f *openflow.Frame) error
+	// OnIdle fires when a read burst is exhausted (the next read would
+	// block): the relay's flush point for coalesced peer writes.
+	OnIdle() error
+	// OnClose fires exactly once when the connection tears down; err is
+	// the cause (io.EOF for an orderly peer close).
+	OnClose(err error)
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers is the event-loop pool size (default DefaultWorkers).
+	Workers int
+	// Obs receives the engine's instruments (nil disables).
+	Obs *obs.Registry
+}
+
+// Engine is a pool of event-loop workers.
+type Engine struct {
+	workers []*worker
+	next    atomic.Uint32
+	closed  atomic.Bool
+
+	startOnce sync.Once
+	cfg       Config
+
+	readyEvents *obs.Counter
+	frames      *obs.Counter
+	workersG    *obs.Gauge
+	busyVec     *obs.CounterVec
+}
+
+// New builds an engine; workers start lazily on the first registration, so
+// an unused engine costs nothing.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	e := &Engine{cfg: cfg}
+	if reg := cfg.Obs; reg != nil {
+		e.workersG = reg.Gauge("dfi_proxy_evloop_workers",
+			"Event-loop relay workers serving multiplexed switch connections.")
+		e.readyEvents = reg.Counter("dfi_proxy_evloop_ready_events_total",
+			"Readiness events dispatched to event-loop relay workers.")
+		e.frames = reg.Counter("dfi_proxy_evloop_frames_total",
+			"OpenFlow frames assembled by the event-loop relay (both modes).")
+		e.busyVec = reg.CounterVec("dfi_proxy_evloop_worker_busy_nanos_total",
+			"Nanoseconds each event-loop worker spent processing readiness batches (saturation = rate/1e9).",
+			"worker")
+	}
+	return e
+}
+
+// Workers returns the configured pool size.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// start brings the worker pool up on first use. When the platform has no
+// poller (netpoll.ErrUnsupported) the pool stays empty and every endpoint
+// takes the pump fallback.
+func (e *Engine) start() {
+	e.startOnce.Do(func() {
+		workers := make([]*worker, 0, e.cfg.Workers)
+		for i := 0; i < e.cfg.Workers; i++ {
+			p, err := netpoll.New()
+			if err != nil {
+				for _, w := range workers {
+					w.poller.Close()
+				}
+				return
+			}
+			workers = append(workers, &worker{
+				eng:     e,
+				id:      i,
+				poller:  p,
+				conns:   make(map[uint32]*Endpoint),
+				rbuf:    make([]byte, readChunk),
+				events:  make([]netpoll.Event, 128),
+				stopped: make(chan struct{}),
+				busy:    e.busyVec.With(strconv.Itoa(i)),
+			})
+		}
+		e.workers = workers
+		for _, w := range e.workers {
+			go w.loop()
+		}
+		e.workersG.Set(int64(len(e.workers)))
+	})
+}
+
+// Pair registers a relay connection pair on one worker, linking the two
+// endpoints for backpressure: when a's pending writes back up, reads on b
+// pause, and vice versa. Handlers run on the shared worker (or pump
+// goroutines in fallback mode). No events are delivered until the caller
+// invokes Start on each endpoint, so handler state referencing the
+// endpoints can be wired up in between. Closing either endpoint leaves the
+// other registered; callers tear both down from their OnClose hooks.
+func (e *Engine) Pair(a, b io.ReadWriteCloser, ha, hb Handler) (*Endpoint, *Endpoint, error) {
+	if e.closed.Load() {
+		return nil, nil, errEngineClosed
+	}
+	e.start()
+	w := e.pickWorker()
+	epA := e.register(w, a, ha)
+	epB := e.register(w, b, hb)
+	epA.peer.Store(epB)
+	epB.peer.Store(epA)
+	return epA, epB, nil
+}
+
+// Serve registers a single connection with no backpressure peer (harness
+// sinks, tests). The caller must Start the endpoint.
+func (e *Engine) Serve(conn io.ReadWriteCloser, h Handler) (*Endpoint, error) {
+	if e.closed.Load() {
+		return nil, errEngineClosed
+	}
+	e.start()
+	return e.register(e.pickWorker(), conn, h), nil
+}
+
+func (e *Engine) pickWorker() *worker {
+	if len(e.workers) == 0 {
+		return nil
+	}
+	return e.workers[int(e.next.Add(1))%len(e.workers)]
+}
+
+// register builds an endpoint, choosing poller mode when the stream is
+// fd-backed and a poller exists, pump fallback otherwise. No events are
+// delivered and no pump runs until Start, so Pair can link peers first.
+func (e *Engine) register(w *worker, conn io.ReadWriteCloser, h Handler) *Endpoint {
+	ep := &Endpoint{eng: e, conn: conn, h: h, fd: -1}
+	ep.emitFn = func(f *openflow.Frame) error {
+		e.frames.Inc()
+		return h.OnFrame(f)
+	}
+	if w == nil {
+		return ep
+	}
+	fd, ok := netpoll.FD(conn)
+	if !ok {
+		return ep
+	}
+	_ = syscall.SetNonblock(fd, true)
+	ep.fd = fd
+	ep.w = w
+	w.mu.Lock()
+	w.nextTok++
+	ep.token = w.nextTok
+	w.conns[ep.token] = ep
+	w.mu.Unlock()
+	return ep
+}
+
+// Close stops every worker, tears down every registered endpoint and
+// releases the pollers. Idempotent.
+func (e *Engine) Close() {
+	if !e.closed.CompareAndSwap(false, true) {
+		return
+	}
+	e.startOnce.Do(func() {}) // block late starts
+	for _, w := range e.workers {
+		w.stop.Store(true)
+		w.poller.Wake()
+	}
+	for _, w := range e.workers {
+		<-w.stopped
+	}
+	for _, w := range e.workers {
+		w.mu.Lock()
+		eps := make([]*Endpoint, 0, len(w.conns))
+		for _, ep := range w.conns {
+			eps = append(eps, ep)
+		}
+		w.mu.Unlock()
+		for _, ep := range eps {
+			ep.teardown(net.ErrClosed)
+		}
+		w.poller.Close()
+	}
+}
+
+// worker is one event loop: an epoll poller plus the connections assigned
+// to it. Endpoint teardown for poller-mode connections always executes on
+// the worker goroutine (or after it stops), so raw-fd closes never race
+// the worker's reads.
+type worker struct {
+	eng    *Engine
+	id     int
+	poller *netpoll.Poller
+
+	mu      sync.Mutex
+	conns   map[uint32]*Endpoint
+	nextTok uint32
+	closing []*Endpoint // teardowns requested from other goroutines
+
+	rbuf    []byte
+	events  []netpoll.Event
+	busy    *obs.Counter
+	stop    atomic.Bool
+	stopped chan struct{}
+}
+
+func (w *worker) loop() {
+	defer close(w.stopped)
+	for {
+		n, err := w.poller.Wait(w.events)
+		if w.stop.Load() || err != nil {
+			return
+		}
+		t0 := time.Now()
+		w.drainClosing()
+		for i := 0; i < n; i++ {
+			ev := w.events[i]
+			w.mu.Lock()
+			ep := w.conns[ev.Token]
+			w.mu.Unlock()
+			if ep == nil {
+				continue
+			}
+			w.eng.readyEvents.Inc()
+			if ev.Writable {
+				if werr := ep.flushPending(); werr != nil {
+					ep.teardown(werr)
+					continue
+				}
+			}
+			if ev.Readable || ev.Hangup {
+				w.readable(ep, ev.Hangup)
+			}
+		}
+		w.busy.Add(uint64(time.Since(t0)))
+	}
+}
+
+// drainClosing executes teardowns requested from other goroutines, so
+// raw-fd closes always run on the owning loop (no close/read races).
+func (w *worker) drainClosing() {
+	w.mu.Lock()
+	closing := w.closing
+	w.closing = nil
+	w.mu.Unlock()
+	for _, ep := range closing {
+		ep.teardown(net.ErrClosed)
+	}
+}
+
+// readable drains the endpoint's socket: every chunk feeds the frame
+// accumulator, and when the socket runs dry the handler's OnIdle flushes
+// coalesced output. hangup forces teardown even if reads are paused for
+// backpressure, since the connection is going away regardless.
+func (w *worker) readable(ep *Endpoint, hangup bool) {
+	for !ep.readPaused.Load() {
+		n, err := syscall.Read(ep.fd, w.rbuf)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err == syscall.EAGAIN {
+			break
+		}
+		if err != nil {
+			ep.teardown(err)
+			return
+		}
+		if n == 0 {
+			ep.teardown(io.EOF)
+			return
+		}
+		if ferr := ep.acc.Feed(w.rbuf[:n], ep.emitFn); ferr != nil {
+			ep.teardown(ferr)
+			return
+		}
+		if n < len(w.rbuf) {
+			break // socket likely drained; level-trigger re-fires otherwise
+		}
+	}
+	if err := ep.h.OnIdle(); err != nil {
+		ep.teardown(err)
+		return
+	}
+	if hangup && ep.readPaused.Load() {
+		ep.teardown(io.EOF)
+	}
+}
+
+// Endpoint is one registered connection.
+type Endpoint struct {
+	eng   *Engine
+	w     *worker // nil in fallback mode
+	conn  io.ReadWriteCloser
+	fd    int // -1 in fallback mode
+	token uint32
+	h     Handler
+	peer  atomic.Pointer[Endpoint]
+	acc   openflow.Accumulator
+
+	emitFn func(*openflow.Frame) error
+
+	readPaused atomic.Bool
+	wArmed     atomic.Bool
+	detached   atomic.Bool
+
+	// imu serializes interest-mask updates so the last Mod always reflects
+	// the latest readPaused/wArmed values (each caller stores its flag
+	// before entering the critical section, so the final Mod in lock order
+	// observes every prior store).
+	imu sync.Mutex
+
+	wmu       sync.Mutex
+	wbuf      []byte // pending writes; wbuf[whead:] is still unwritten
+	whead     int
+	closed    bool
+	closeOnce sync.Once
+
+	startOnce sync.Once
+}
+
+// Start begins event delivery: read-interest registration for poller
+// endpoints, the pump launch for fallback endpoints. Anything the caller
+// wrote before Start is visible to the handler (the pump's go statement
+// and the worker mutex around registration both publish it).
+func (ep *Endpoint) Start() {
+	ep.startOnce.Do(func() {
+		if ep.fd < 0 {
+			go ep.pump()
+			return
+		}
+		w := ep.w
+		w.mu.Lock()
+		err := w.poller.Add(ep.fd, ep.token, true, false)
+		w.mu.Unlock()
+		if err != nil {
+			ep.Close()
+		}
+	})
+}
+
+// FallbackMode reports whether the endpoint runs on a pump goroutine
+// instead of a poller worker.
+func (ep *Endpoint) FallbackMode() bool { return ep.fd < 0 }
+
+// pump is the portable fallback loop: blocking reads through the same
+// accumulator and handler the poller mode uses. One goroutine per
+// connection (writes happen inline), half the old relay's cost.
+func (ep *Endpoint) pump() {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := ep.conn.Read(buf)
+		if n > 0 {
+			if ferr := ep.acc.Feed(buf[:n], ep.emitFn); ferr != nil {
+				ep.teardown(ferr)
+				return
+			}
+			if ferr := ep.h.OnIdle(); ferr != nil {
+				ep.teardown(ferr)
+				return
+			}
+		}
+		if err != nil {
+			ep.teardown(err)
+			return
+		}
+	}
+}
+
+// Write implements io.Writer without ever blocking a worker: bytes go
+// straight to the socket while it accepts them and queue on the pending
+// buffer otherwise, with write readiness armed to drain the rest. Safe for
+// concurrent use (the relay worker and PCP flush writers share it).
+// Fallback endpoints write through to the underlying stream.
+//
+//dfi:hotpath
+func (ep *Endpoint) Write(p []byte) (int, error) {
+	if ep.fd < 0 {
+		return ep.conn.Write(p)
+	}
+	ep.wmu.Lock()
+	defer ep.wmu.Unlock()
+	if ep.closed {
+		return 0, net.ErrClosed
+	}
+	total := len(p)
+	if ep.whead == len(ep.wbuf) {
+		// Nothing pending: write through.
+		ep.wbuf = ep.wbuf[:0]
+		ep.whead = 0
+		for len(p) > 0 {
+			n, err := syscall.Write(ep.fd, p)
+			if n > 0 {
+				p = p[n:]
+				continue
+			}
+			if err == syscall.EINTR {
+				continue
+			}
+			if err == syscall.EAGAIN {
+				break
+			}
+			if err != nil {
+				return total - len(p), err
+			}
+		}
+		if len(p) == 0 {
+			return total, nil
+		}
+	}
+	if len(ep.wbuf)-ep.whead+len(p) > maxPending {
+		return 0, errSlowConsumer
+	}
+	// Spill path: only reached when the socket returned EAGAIN, so the
+	// amortized growth here is backpressure handling, not steady state.
+	ep.wbuf = append(ep.wbuf, p...) //dfi:ignore hotpathalloc
+	if !ep.wArmed.Load() {
+		ep.wArmed.Store(true)
+		ep.updateInterest()
+	}
+	if peer := ep.peer.Load(); peer != nil && peer.fd >= 0 &&
+		len(ep.wbuf)-ep.whead >= highWater && !peer.readPaused.Load() {
+		peer.readPaused.Store(true)
+		peer.updateInterest()
+	}
+	return total, nil
+}
+
+// Pending returns the bytes queued for write but not yet on the wire.
+func (ep *Endpoint) Pending() int {
+	if ep.fd < 0 {
+		return 0
+	}
+	ep.wmu.Lock()
+	defer ep.wmu.Unlock()
+	return len(ep.wbuf) - ep.whead
+}
+
+// flushPending drains queued bytes on write readiness (runs on the
+// worker). When the buffer empties, write interest disarms and a paused
+// peer resumes.
+func (ep *Endpoint) flushPending() error {
+	ep.wmu.Lock()
+	defer ep.wmu.Unlock()
+	if ep.closed {
+		return nil
+	}
+	for ep.whead < len(ep.wbuf) {
+		n, err := syscall.Write(ep.fd, ep.wbuf[ep.whead:])
+		if n > 0 {
+			ep.whead += n
+			continue
+		}
+		if err == syscall.EINTR {
+			continue
+		}
+		if err == syscall.EAGAIN {
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	pending := len(ep.wbuf) - ep.whead
+	if pending == 0 {
+		ep.wbuf = ep.wbuf[:0]
+		ep.whead = 0
+		ep.wArmed.Store(false)
+		ep.updateInterest()
+	}
+	if peer := ep.peer.Load(); peer != nil && pending < lowWater && peer.readPaused.Load() {
+		peer.readPaused.Store(false)
+		peer.updateInterest()
+	}
+	return nil
+}
+
+// updateInterest pushes the endpoint's current interest mask to the
+// poller. Serialized by imu so the last Mod reflects the latest flags.
+func (ep *Endpoint) updateInterest() {
+	if ep.fd < 0 || ep.detached.Load() {
+		return
+	}
+	ep.imu.Lock()
+	defer ep.imu.Unlock()
+	if ep.detached.Load() {
+		return
+	}
+	_ = ep.w.poller.Mod(ep.fd, ep.token, !ep.readPaused.Load(), ep.wArmed.Load())
+}
+
+// Close tears the endpoint down with net.ErrClosed. Poller endpoints
+// defer the raw-fd close to their worker (avoiding close/read races);
+// fallback endpoints close inline. Idempotent, safe from any goroutine.
+func (ep *Endpoint) Close() error {
+	if ep.fd < 0 {
+		ep.teardown(net.ErrClosed)
+		return nil
+	}
+	w := ep.w
+	w.mu.Lock()
+	if w.stop.Load() {
+		// Worker already stopped (engine closing): safe to tear down here.
+		w.mu.Unlock()
+		ep.teardown(net.ErrClosed)
+		return nil
+	}
+	w.closing = append(w.closing, ep)
+	w.mu.Unlock()
+	w.poller.Wake()
+	return nil
+}
+
+// teardown finishes the endpoint exactly once: unregister from the
+// poller, close the stream, deliver OnClose. For poller endpoints it must
+// run on the worker (or after the worker stopped).
+func (ep *Endpoint) teardown(err error) {
+	ep.closeOnce.Do(func() {
+		ep.detached.Store(true)
+		if ep.fd >= 0 {
+			w := ep.w
+			_ = w.poller.Del(ep.fd)
+			w.mu.Lock()
+			delete(w.conns, ep.token)
+			w.mu.Unlock()
+		}
+		ep.wmu.Lock()
+		ep.closed = true
+		ep.wbuf = nil
+		ep.whead = 0
+		ep.wmu.Unlock()
+		// A paused peer must not stay paused forever because its
+		// backpressure source died.
+		if peer := ep.peer.Load(); peer != nil && peer.readPaused.Load() {
+			peer.readPaused.Store(false)
+			peer.updateInterest()
+		}
+		_ = ep.conn.Close()
+		ep.h.OnClose(err)
+	})
+}

@@ -1,0 +1,494 @@
+package proxy
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/bufpipe"
+	"github.com/dfi-sdn/dfi/internal/controller"
+	"github.com/dfi-sdn/dfi/internal/core/entity"
+	"github.com/dfi-sdn/dfi/internal/core/pcp"
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/openflow"
+	"github.com/dfi-sdn/dfi/internal/switchsim"
+)
+
+// tcpPair returns two connected TCP endpoints on the loopback interface,
+// so event-loop tests exercise real fd-backed poller endpoints.
+func tcpPair(t testing.TB) (net.Conn, net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- accepted{c, err}
+	}()
+	dialed, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := <-ch
+	if a.err != nil {
+		dialed.Close()
+		t.Fatal(a.err)
+	}
+	t.Cleanup(func() {
+		dialed.Close()
+		a.c.Close()
+	})
+	return dialed, a.c
+}
+
+// drainUntilIdle reads from r until no bytes arrive for the idle window,
+// returning everything collected. The reader goroutine unblocks when the
+// stream closes at test cleanup.
+func drainUntilIdle(r io.Reader, idle time.Duration) []byte {
+	chunks := make(chan []byte)
+	go func() {
+		defer close(chunks)
+		for {
+			buf := make([]byte, 32<<10)
+			n, err := r.Read(buf)
+			if n > 0 {
+				chunks <- buf[:n]
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	var out []byte
+	timer := time.NewTimer(idle)
+	defer timer.Stop()
+	for {
+		select {
+		case c, ok := <-chunks:
+			if !ok {
+				return out
+			}
+			out = append(out, c...)
+			timer.Reset(idle)
+		case <-timer.C:
+			return out
+		}
+	}
+}
+
+// parityCorpusFromSwitch builds the switch→controller wire stream: every
+// rewrite class except table-0 packet-ins (whose admission outcome depends
+// on async PCP scheduling, not relay mechanics).
+func parityCorpusFromSwitch(t *testing.T) []byte {
+	t.Helper()
+	msgs := []struct {
+		xid uint32
+		m   openflow.Message
+	}{
+		{1, &openflow.Hello{}},
+		{2, &openflow.FeaturesReply{DatapathID: 0x77, NumTables: 8, NumBuffers: 256}},
+		{3, &openflow.EchoRequest{Data: []byte("ping")}},
+		{4, &openflow.PacketIn{
+			BufferID: openflow.NoBuffer,
+			Reason:   openflow.PacketInReasonNoMatch,
+			TableID:  2,
+			Match:    &openflow.Match{InPort: openflow.U32(1)},
+			Data:     bytes.Repeat([]byte{0xaa}, 120),
+		}},
+		{5, &openflow.FlowRemoved{Cookie: 1, TableID: 0, Match: &openflow.Match{}}},
+		{6, &openflow.FlowRemoved{Cookie: 2, TableID: 3, Match: &openflow.Match{}}},
+		{7, &openflow.EchoReply{}},
+	}
+	var out []byte
+	for _, e := range msgs {
+		b, err := openflow.Encode(e.xid, e.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b...)
+	}
+	return out
+}
+
+// parityCorpusFromController builds the controller→switch wire stream.
+func parityCorpusFromController(t *testing.T) []byte {
+	t.Helper()
+	msgs := []struct {
+		xid uint32
+		m   openflow.Message
+	}{
+		{11, &openflow.Hello{}},
+		{12, relayFlowMod()},
+		{13, &openflow.TableMod{TableID: 1}},
+		{14, &openflow.MultipartRequest{
+			PartType: openflow.MultipartFlow,
+			Flow:     &openflow.FlowStatsRequest{TableID: 2},
+		}},
+		{15, &openflow.EchoReply{Data: []byte("pong")}},
+	}
+	var out []byte
+	for _, e := range msgs {
+		b, err := openflow.Encode(e.xid, e.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b...)
+	}
+	return out
+}
+
+// runRelayCorpus pushes both corpora through one proxied connection in
+// the given relay mode and returns the bytes that reached each far end.
+func runRelayCorpus(t *testing.T, evloopWorkers int, tcp bool) (ctlOut, swOut []byte) {
+	t.Helper()
+	p := pcp.New(pcp.Config{Entity: entity.NewManager(), Policy: policy.NewManager()})
+
+	// In goroutine mode HandleSwitch dials asynchronously, so the far end
+	// of the controller leg arrives over a channel.
+	ctlFarCh := make(chan io.ReadWriteCloser, 1)
+	prx, err := New(Config{
+		PCP:              p,
+		EventLoopWorkers: evloopWorkers,
+		DialController: func() (io.ReadWriteCloser, error) {
+			var a, b io.ReadWriteCloser
+			if tcp {
+				a, b = tcpPair(t)
+			} else {
+				a, b = bufpipe.New()
+			}
+			ctlFarCh <- b
+			return a, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(prx.Close)
+
+	var swNear, swFar io.ReadWriteCloser
+	if tcp {
+		swNear, swFar = tcpPair(t)
+	} else {
+		swNear, swFar = bufpipe.New()
+	}
+	done := make(chan error, 1)
+	if err := prx.HandleSwitch(swNear, func(err error) { done <- err }); err != nil {
+		t.Fatal(err)
+	}
+	var ctlFar io.ReadWriteCloser
+	select {
+	case ctlFar = <-ctlFarCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("proxy never dialed the controller")
+	}
+
+	if _, err := swFar.Write(parityCorpusFromSwitch(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctlFar.Write(parityCorpusFromController(t)); err != nil {
+		t.Fatal(err)
+	}
+	ctlOut = drainUntilIdle(ctlFar, 250*time.Millisecond)
+	swOut = drainUntilIdle(swFar, 250*time.Millisecond)
+
+	swFar.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("session ended with %v, want orderly close", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("session done callback never fired")
+	}
+	return ctlOut, swOut
+}
+
+// TestEvloopRelayParity pins the event-loop relay's output to the
+// goroutine relay's, byte for byte, in both endpoint modes: fallback
+// pumps (bufpipe streams) and — on platforms with a poller — fd-backed
+// epoll endpoints (TCP streams).
+func TestEvloopRelayParity(t *testing.T) {
+	wantCtl, wantSw := runRelayCorpus(t, 0, false)
+	if len(wantCtl) == 0 || len(wantSw) == 0 {
+		t.Fatal("goroutine relay produced no output; corpus broken")
+	}
+
+	for _, tc := range []struct {
+		name string
+		tcp  bool
+	}{
+		{"fallback-pumps", false},
+		{"poller-tcp", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			gotCtl, gotSw := runRelayCorpus(t, 2, tc.tcp)
+			if !bytes.Equal(gotCtl, wantCtl) {
+				t.Errorf("controller-side bytes diverge:\n evloop %x\n  goroutine %x", gotCtl, wantCtl)
+			}
+			if !bytes.Equal(gotSw, wantSw) {
+				t.Errorf("switch-side bytes diverge:\n evloop %x\n  goroutine %x", gotSw, wantSw)
+			}
+		})
+	}
+}
+
+// TestEvloopMalformedFrameFailsConnection: a garbage header from the
+// switch must tear the session down with a real (non-orderly) error and
+// count it on the switch side of dfi_proxy_relay_errors_total.
+func TestEvloopMalformedFrameFailsConnection(t *testing.T) {
+	p := pcp.New(pcp.Config{Entity: entity.NewManager(), Policy: policy.NewManager()})
+	prx, err := New(Config{
+		PCP:              p,
+		EventLoopWorkers: 1,
+		DialController: func() (io.ReadWriteCloser, error) {
+			a, _ := bufpipe.New()
+			return a, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(prx.Close)
+
+	swNear, swFar := tcpPair(t)
+	done := make(chan error, 1)
+	if err := prx.HandleSwitch(swNear, func(err error) { done <- err }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := swFar.Write([]byte{0x99, 0, 0, 8, 0, 0, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("malformed frame reported as orderly close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("session never failed on malformed frame")
+	}
+	if got := prx.relayErrSwitch.Value(); got != 1 {
+		t.Fatalf("dfi_proxy_relay_errors_total{side=switch} = %d, want 1", got)
+	}
+	if prx.conns.Value() != 0 {
+		t.Fatalf("dfi_proxy_connections = %d after teardown, want 0", prx.conns.Value())
+	}
+}
+
+// TestOrderlyCloseClassification pins the shutdown error classifier: EOF,
+// closed pipes and net.ErrClosed (in both value and textual form) are
+// orderly; anything else is a real failure.
+func TestOrderlyCloseClassification(t *testing.T) {
+	for _, err := range []error{
+		nil,
+		io.EOF,
+		io.ErrClosedPipe,
+		net.ErrClosed,
+		fmt.Errorf("read tcp 127.0.0.1:1->127.0.0.1:2: %w", net.ErrClosed),
+		errors.New("accept tcp [::]:6653: use of closed network connection"),
+	} {
+		if !orderlyClose(err) {
+			t.Errorf("orderlyClose(%v) = false, want true", err)
+		}
+	}
+	for _, err := range []error{
+		errors.New("connection reset by peer"),
+		io.ErrUnexpectedEOF,
+		errors.New("openflow: bad message length 4"),
+	} {
+		if orderlyClose(err) {
+			t.Errorf("orderlyClose(%v) = true, want false", err)
+		}
+	}
+}
+
+// TestEvloopChurnUnderPolicyMutations is the accept/close churn hammer:
+// switch connections flap (TCP switch legs on poller workers, bufpipe
+// controller legs on fallback pumps — the mixed-pair teardown path) while
+// policy mutations continuously flush rules to whatever switches are
+// attached. Run under -race this is the engine's lifecycle soak; the
+// structural assertions are that every session's done callback fires, the
+// connection gauge returns to zero and the goroutine count returns to
+// O(workers), not O(connections served).
+func TestEvloopChurnUnderPolicyMutations(t *testing.T) {
+	pm := policy.NewManager()
+	erm := entity.NewManager()
+	p := pcp.New(pcp.Config{Entity: erm, Policy: pm, Workers: 2})
+	p.Start()
+	t.Cleanup(p.Stop)
+	if err := pm.RegisterPDP("churn", 50); err != nil {
+		t.Fatal(err)
+	}
+
+	ctl := controller.New(controller.Config{})
+	prx, err := New(Config{
+		PCP:              p,
+		EventLoopWorkers: 2,
+		DialController: func() (io.ReadWriteCloser, error) {
+			a, b := bufpipe.New()
+			go func() { _ = ctl.Serve(b) }()
+			return a, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rounds, flock := 8, 16
+	if testing.Short() {
+		rounds, flock = 3, 8
+	}
+	if raceEnabled {
+		rounds = 4
+	}
+
+	baseline := runtime.NumGoroutine()
+
+	// Policy mutation storm: insert/revoke continuously so cookie-scoped
+	// flushes hit attached switches while their connections flap.
+	stopMut := make(chan struct{})
+	var mutWG sync.WaitGroup
+	mutWG.Add(1)
+	go func() {
+		defer mutWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopMut:
+				return
+			default:
+			}
+			id, err := pm.Insert(policy.Rule{PDP: "churn", Action: policy.ActionAllow})
+			if err == nil {
+				_ = pm.Revoke(id)
+			}
+		}
+	}()
+
+	var sessions sync.WaitGroup
+	var served atomic.Int64
+	for r := 0; r < rounds; r++ {
+		var round sync.WaitGroup
+		for i := 0; i < flock; i++ {
+			dpid := uint64(r*flock + i + 1)
+			swConn, prxConn := tcpPair(t)
+			sw := switchsim.NewSwitch(switchsim.Config{DPID: dpid})
+			round.Add(1)
+			go func() {
+				defer round.Done()
+				_ = sw.ServeControl(swConn)
+			}()
+			sessions.Add(1)
+			if err := prx.HandleSwitch(prxConn, func(error) {
+				served.Add(1)
+				sessions.Done()
+			}); err != nil {
+				t.Error(err)
+				sessions.Done()
+			}
+			go func() {
+				// Let the handshake make progress, then flap.
+				if !sw.WaitConfigured(2 * time.Second) {
+					t.Log("switch", dpid, "never configured before flap")
+				}
+				swConn.Close()
+			}()
+		}
+		round.Wait()
+	}
+
+	waitDone := make(chan struct{})
+	go func() {
+		sessions.Wait()
+		close(waitDone)
+	}()
+	select {
+	case <-waitDone:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("only %d sessions completed", served.Load())
+	}
+	close(stopMut)
+	mutWG.Wait()
+
+	if got, want := served.Load(), int64(rounds*flock); got != want {
+		t.Fatalf("done callbacks fired %d times, want %d", got, want)
+	}
+	if prx.conns.Value() != 0 {
+		t.Fatalf("dfi_proxy_connections = %d after churn, want 0", prx.conns.Value())
+	}
+
+	prx.Close()
+	// Goroutine count must return to O(workers + harness), not O(sessions).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+20 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after churn: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestEvloopFramePathZeroAlloc gates the event-loop relay's steady-state
+// forward path: accumulator feed → in-place rewrite → coalesced queue →
+// flush, through the real evSide handlers, must not allocate.
+func TestEvloopFramePathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	p := pcp.New(pcp.Config{Entity: entity.NewManager(), Policy: policy.NewManager()})
+	prx, err := New(Config{PCP: p, DialController: func() (io.ReadWriteCloser, error) {
+		a, _ := bufpipe.New()
+		return a, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := &evSession{p: prx}
+	es.sess = &session{
+		proxy: prx,
+		sw:    openflow.NewWriterConn(nopWriter{}),
+		ctl:   openflow.NewWriterConn(nopWriter{}),
+	}
+	h := &evSide{es: es, fromSwitch: false}
+	var acc openflow.Accumulator
+	emit := func(f *openflow.Frame) error { return h.OnFrame(f) }
+
+	wire, err := openflow.Encode(9, relayFlowMod())
+	if err != nil {
+		t.Fatal(err)
+	}
+	forward := func() {
+		if err := acc.Feed(wire, emit); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.OnIdle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	forward() // prime the write buffer
+	if allocs := testing.AllocsPerRun(200, forward); allocs != 0 {
+		t.Fatalf("evloop frame path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// nopWriter swallows writes (alloc-gate and parity sink).
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -15,11 +15,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/dfi-sdn/dfi/internal/core/pcp"
+	"github.com/dfi-sdn/dfi/internal/core/proxy/evloop"
 	"github.com/dfi-sdn/dfi/internal/obs"
 	"github.com/dfi-sdn/dfi/internal/openflow"
 	"github.com/dfi-sdn/dfi/internal/simclock"
@@ -46,7 +49,15 @@ type Config struct {
 	// (switchWriter.ReadFlows) waits for the switch's multipart reply
 	// before giving up (default 10s).
 	FlowStatsTimeout time.Duration
+	// EventLoopWorkers > 0 relays connections on a pool of that many
+	// event-loop workers instead of two blocking goroutines per switch
+	// (ROADMAP item 3). Zero keeps the goroutine-per-connection relay.
+	EventLoopWorkers int
 }
+
+// DefaultEventLoopWorkers is the event-loop pool size selected when the
+// relay is enabled without an explicit worker count.
+const DefaultEventLoopWorkers = evloop.DefaultWorkers
 
 // Stats is a point-in-time snapshot of the proxy's counters, assembled from
 // the obs registry (the registry is the source of truth; this struct is a
@@ -62,11 +73,16 @@ type Stats struct {
 type Proxy struct {
 	cfg      Config
 	overhead *obs.Histogram
+	engine   *evloop.Engine // nil unless EventLoopWorkers > 0
 
 	packetIns *obs.Counter
 	denied    *obs.Counter
 	dropped   *obs.Counter
 	forwarded *obs.Counter
+	conns     *obs.Gauge
+
+	relayErrSwitch     *obs.Counter
+	relayErrController *obs.Counter
 }
 
 // New returns a Proxy.
@@ -87,7 +103,10 @@ func New(cfg Config) (*Proxy, error) {
 	if reg == nil {
 		reg = cfg.PCP.Registry()
 	}
-	return &Proxy{
+	relayErrs := reg.CounterVec("dfi_proxy_relay_errors_total",
+		"Relay legs that ended with a real failure (orderly closes excluded), by side.",
+		"side")
+	p := &Proxy{
 		cfg: cfg,
 		packetIns: reg.Counter("dfi_proxy_packet_ins_total",
 			"Packet-ins intercepted from switches."),
@@ -99,7 +118,38 @@ func New(cfg Config) (*Proxy, error) {
 			"Packet-ins forwarded to the controller."),
 		overhead: reg.Histogram("dfi_proxy_forward_seconds",
 			"Proxy-side forwarding overhead per admission-checked packet-in (paper Table II \"Proxy\").", nil),
-	}, nil
+		conns: reg.Gauge("dfi_proxy_connections",
+			"Switch connections currently relayed by the proxy."),
+		relayErrSwitch:     relayErrs.With("switch"),
+		relayErrController: relayErrs.With("controller"),
+	}
+	if cfg.EventLoopWorkers > 0 {
+		p.engine = evloop.New(evloop.Config{Workers: cfg.EventLoopWorkers, Obs: reg})
+	}
+	return p, nil
+}
+
+// Close releases the proxy's event-loop engine (if any), tearing down
+// every relayed connection. A proxy without an engine has nothing to
+// release.
+func (p *Proxy) Close() {
+	if p.engine != nil {
+		p.engine.Close()
+	}
+}
+
+// orderlyClose reports whether a relay leg's terminal error is an orderly
+// shutdown rather than a real failure: EOF from the peer, our own side
+// closing the stream (pipe or net.Conn), or the pre-Go-1.16 textual form
+// of net.ErrClosed that some wrapped streams still surface.
+func orderlyClose(err error) bool {
+	if err == nil {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	return strings.Contains(err.Error(), "use of closed network connection")
 }
 
 // Stats returns a snapshot of aggregate statistics.
@@ -202,8 +252,46 @@ var (
 
 // ServeSwitch handles one switch connection: it dials the controller,
 // relays messages in both directions applying DFI's rewrites, and blocks
-// until either side closes. The caller runs one goroutine per switch.
+// until either side closes. With the event-loop engine enabled it is a
+// thin registration shim over HandleSwitch — the calling goroutine parks
+// on a channel instead of running a relay loop.
 func (p *Proxy) ServeSwitch(swStream io.ReadWriteCloser) error {
+	if p.engine == nil {
+		return p.serveSwitchBlocking(swStream)
+	}
+	done := make(chan error, 1)
+	if err := p.handleSwitchEvloop(swStream, func(err error) { done <- err }); err != nil {
+		return err
+	}
+	return <-done
+}
+
+// HandleSwitch serves one switch connection without blocking the caller:
+// it returns once the connection is registered (or the controller dial
+// fails) and invokes done exactly once when the session ends (nil for an
+// orderly close). In event-loop mode the connection's lifetime holds no
+// goroutines; in goroutine mode it holds the two relay legs.
+func (p *Proxy) HandleSwitch(swStream io.ReadWriteCloser, done func(error)) error {
+	if done == nil {
+		done = func(error) {}
+	}
+	if p.engine != nil {
+		return p.handleSwitchEvloop(swStream, done)
+	}
+	go func() { done(p.serveSwitchBlocking(swStream)) }()
+	return nil
+}
+
+// relayResult tags a relay leg's terminal error with its side for the
+// failure counter.
+type relayResult struct {
+	side *obs.Counter
+	err  error
+}
+
+// serveSwitchBlocking is the goroutine-per-connection relay: two blocking
+// loops, one per direction, torn down together when either ends.
+func (p *Proxy) serveSwitchBlocking(swStream io.ReadWriteCloser) error {
 	ctlStream, err := p.cfg.DialController()
 	if err != nil {
 		swStream.Close()
@@ -217,6 +305,7 @@ func (p *Proxy) ServeSwitch(swStream io.ReadWriteCloser) error {
 		sw:    sw,
 		ctl:   ctl,
 	}
+	p.conns.Inc()
 	defer func() {
 		swStream.Close()
 		ctlStream.Close()
@@ -224,29 +313,35 @@ func (p *Proxy) ServeSwitch(swStream io.ReadWriteCloser) error {
 			p.cfg.PCP.DetachSwitch(dpid)
 		}
 		sess.wg.Wait()
+		p.conns.Dec()
 	}()
 
-	errc := make(chan error, 2)
+	errc := make(chan relayResult, 2)
 	var relayWG sync.WaitGroup
 	relayWG.Add(2)
 	go func() {
 		defer relayWG.Done()
-		errc <- sess.relaySwitchToController()
+		errc <- relayResult{p.relayErrSwitch, sess.relaySwitchToController()}
 	}()
 	go func() {
 		defer relayWG.Done()
-		errc <- sess.relayControllerToSwitch()
+		errc <- relayResult{p.relayErrController, sess.relayControllerToSwitch()}
 	}()
-	err = <-errc
+	first := <-errc
 	// Unblock the other relay.
 	swStream.Close()
 	ctlStream.Close()
 	relayWG.Wait()
-	<-errc
-	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
+	second := <-errc
+	for _, r := range [2]relayResult{first, second} {
+		if !orderlyClose(r.err) {
+			r.side.Inc()
+		}
+	}
+	if orderlyClose(first.err) {
 		return nil
 	}
-	return err
+	return first.err
 }
 
 // session is the per-switch-connection relay state.

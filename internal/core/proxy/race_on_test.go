@@ -1,0 +1,7 @@
+//go:build race
+
+package proxy
+
+// raceEnabled mirrors the race build tag for tests whose assertions (e.g.
+// allocation counts) only hold without race instrumentation.
+const raceEnabled = true

@@ -1,0 +1,124 @@
+package proxy
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"github.com/dfi-sdn/dfi/internal/core/proxy/evloop"
+	"github.com/dfi-sdn/dfi/internal/openflow"
+)
+
+// handleSwitchEvloop serves one switch connection on the event-loop
+// engine: both legs register as endpoints on one worker, the session's
+// frame handlers run as state-machine callbacks, and no goroutines are
+// held for the connection's lifetime (poller mode). Returns after
+// registration; done fires when the session ends.
+func (p *Proxy) handleSwitchEvloop(swStream io.ReadWriteCloser, done func(error)) error {
+	ctlStream, err := p.cfg.DialController()
+	if err != nil {
+		swStream.Close()
+		return fmt.Errorf("proxy: dial controller: %w", err)
+	}
+	es := &evSession{p: p, done: done}
+	es.sess = &session{proxy: p}
+	swEp, ctlEp, err := p.engine.Pair(swStream, ctlStream,
+		&evSide{es: es, fromSwitch: true},
+		&evSide{es: es, fromSwitch: false})
+	if err != nil {
+		swStream.Close()
+		ctlStream.Close()
+		return err
+	}
+	es.swEp, es.ctlEp = swEp, ctlEp
+	// The session writes through the endpoints' non-blocking writers; no
+	// read buffers are allocated (reads happen in the workers' shared
+	// accumulators).
+	es.sess.sw = openflow.NewWriterConn(swEp)
+	es.sess.ctl = openflow.NewWriterConn(ctlEp)
+	p.conns.Inc()
+	swEp.Start()
+	ctlEp.Start()
+	return nil
+}
+
+// evSession is the event-loop counterpart of ServeSwitch's stack frame:
+// the state shared by a relay pair's two handlers.
+type evSession struct {
+	p     *Proxy
+	sess  *session
+	swEp  *evloop.Endpoint
+	ctlEp *evloop.Endpoint
+	done  func(error)
+	// ended is CAS-guarded rather than a sync.Once: closing the peer leg
+	// can deliver its OnClose inline (fallback endpoints tear down on the
+	// caller), re-entering finish on the same goroutine.
+	ended atomic.Bool
+}
+
+// evSide adapts one relay direction to the evloop Handler interface.
+type evSide struct {
+	es         *evSession
+	fromSwitch bool
+}
+
+// OnFrame routes a complete frame through the same in-place rewrite path
+// the blocking relay uses, so both modes produce byte-identical output.
+//
+//dfi:hotpath
+func (h *evSide) OnFrame(f *openflow.Frame) error {
+	if h.fromSwitch {
+		return h.es.sess.handleFrameFromSwitch(f)
+	}
+	return h.es.sess.handleFrameFromController(f)
+}
+
+// OnIdle mirrors the blocking relay's InputBuffered()==0 flush: the read
+// burst is over, push the coalesced output to the peer in one write.
+//
+//dfi:hotpath
+func (h *evSide) OnIdle() error {
+	if h.fromSwitch {
+		return h.es.sess.ctl.Flush()
+	}
+	return h.es.sess.sw.Flush()
+}
+
+// OnClose tears the session down when either leg ends: the first close
+// wins, classifies its error, and closes the other leg.
+func (h *evSide) OnClose(err error) {
+	h.es.finish(h.fromSwitch, err)
+}
+
+func (es *evSession) finish(fromSwitch bool, err error) {
+	if !es.ended.CompareAndSwap(false, true) {
+		return
+	}
+	p := es.p
+	if !orderlyClose(err) {
+		if fromSwitch {
+			p.relayErrSwitch.Inc()
+		} else {
+			p.relayErrController.Inc()
+		}
+	}
+	if fromSwitch {
+		es.ctlEp.Close()
+	} else {
+		es.swEp.Close()
+	}
+	if dpid, ok := es.sess.dpid.Load().(uint64); ok {
+		p.cfg.PCP.DetachSwitch(dpid)
+	}
+	// In-flight admission decisions may still write to the switch; wait
+	// for them off the worker (sess.wg.Wait blocks) before reporting
+	// the session done.
+	go func() {
+		es.sess.wg.Wait()
+		p.conns.Dec()
+		if orderlyClose(err) {
+			err = nil
+		}
+		es.done(err)
+	}()
+}

@@ -228,6 +228,12 @@ func parseDir(fset *token.FileSet, root, dir string) (*parsedPkg, error) {
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
 			continue
 		}
+		// Honor build constraints (//go:build lines and _GOOS.go name
+		// suffixes) for the host platform, so platform-split packages like
+		// netpoll type-check with exactly one implementation.
+		if match, err := build.Default.MatchFile(dir, name); err != nil || !match {
+			continue
+		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err

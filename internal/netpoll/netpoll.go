@@ -1,0 +1,61 @@
+// Package netpoll is a minimal readiness poller for the DFI proxy's
+// event-loop relay (ROADMAP item 3). On linux it wraps epoll through the
+// stdlib syscall package — no cgo, no golang.org/x/sys — so a small fixed
+// pool of workers can multiplex tens of thousands of switch connections
+// without a goroutine (and its stack) per connection. On every other
+// platform New reports ErrUnsupported and callers fall back to the
+// channel-based pump mode the evloop package provides.
+//
+// The poller is deliberately tiny: level-triggered readiness, one uint32
+// token per fd, and a Wake channel an outside goroutine can use to break a
+// blocked Wait (registration, teardown, write-interest changes). Everything
+// higher-level — partial-frame accumulation, peer backpressure, connection
+// state — lives in internal/core/proxy/evloop.
+package netpoll
+
+import (
+	"errors"
+	"io"
+	"syscall"
+)
+
+// ErrUnsupported is returned by New on platforms without an epoll-style
+// readiness facility; callers should use their portable fallback.
+var ErrUnsupported = errors.New("netpoll: not supported on this platform")
+
+// Event is one readiness notification.
+type Event struct {
+	// Token is the caller's identifier for the fd, chosen at Add.
+	Token uint32
+	// Readable reports read readiness (data or EOF pending).
+	Readable bool
+	// Writable reports write readiness (a previously full socket drained).
+	Writable bool
+	// Hangup reports peer hangup or an fd error; the connection should be
+	// torn down after draining any readable bytes.
+	Hangup bool
+}
+
+// wakeToken marks the poller's internal wake pipe; it is never surfaced.
+const wakeToken = ^uint32(0)
+
+// FD extracts the underlying file descriptor of a stream, reporting whether
+// it is fd-backed (a *net.TCPConn, *net.UnixConn, *os.File...). The fd is
+// only valid while the owner keeps the stream open; callers own that
+// lifecycle. Streams wrapped beyond recognition (TLS records, in-memory
+// pipes) report false and take the fallback path.
+func FD(stream io.ReadWriter) (int, bool) {
+	sc, ok := stream.(syscall.Conn)
+	if !ok {
+		return -1, false
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return -1, false
+	}
+	fd := -1
+	if err := rc.Control(func(f uintptr) { fd = int(f) }); err != nil {
+		return -1, false
+	}
+	return fd, fd >= 0
+}

@@ -1,0 +1,24 @@
+//go:build !linux
+
+package netpoll
+
+// Poller is unavailable on this platform; New reports ErrUnsupported and
+// every method panics if reached (the evloop engine never registers fds
+// without a poller).
+type Poller struct{}
+
+// New reports ErrUnsupported: callers use the channel-based fallback.
+func New() (*Poller, error) { return nil, ErrUnsupported }
+
+func (p *Poller) Add(fd int, token uint32, readable, writable bool) error {
+	panic("netpoll: no poller")
+}
+
+func (p *Poller) Mod(fd int, token uint32, readable, writable bool) error {
+	panic("netpoll: no poller")
+}
+
+func (p *Poller) Del(fd int) error                 { panic("netpoll: no poller") }
+func (p *Poller) Wake() error                      { panic("netpoll: no poller") }
+func (p *Poller) Wait(events []Event) (int, error) { panic("netpoll: no poller") }
+func (p *Poller) Close() error                     { return nil }

@@ -1,0 +1,157 @@
+//go:build linux
+
+package netpoll
+
+import (
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// tcpPair returns two connected TCP conns on loopback.
+func tcpPair(t *testing.T) (*net.TCPConn, *net.TCPConn) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := lis.Accept()
+		ch <- res{c, err}
+	}()
+	a, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { a.Close(); r.c.Close() })
+	return a.(*net.TCPConn), r.c.(*net.TCPConn)
+}
+
+func waitFor(t *testing.T, p *Poller, want func(Event) bool) Event {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	events := make([]Event, 8)
+	for time.Now().Before(deadline) {
+		n, err := p.Wait(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range events[:n] {
+			if want(ev) {
+				return ev
+			}
+		}
+	}
+	t.Fatal("timeout waiting for event")
+	return Event{}
+}
+
+func TestPollerReadReadiness(t *testing.T) {
+	a, b := tcpPair(t)
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	fd, ok := FD(b)
+	if !ok {
+		t.Fatal("TCP conn not fd-backed")
+	}
+	if err := p.Add(fd, 7, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	ev := waitFor(t, p, func(ev Event) bool { return ev.Token == 7 && ev.Readable })
+	if ev.Hangup {
+		t.Fatalf("unexpected hangup: %+v", ev)
+	}
+	// Level-triggered: until the bytes are read the event re-fires.
+	waitFor(t, p, func(ev Event) bool { return ev.Token == 7 && ev.Readable })
+
+	buf := make([]byte, 16)
+	if _, err := syscall.Read(fd, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Peer close surfaces as hangup.
+	a.Close()
+	waitFor(t, p, func(ev Event) bool { return ev.Token == 7 && ev.Hangup })
+}
+
+func TestPollerWakeInterruptsWait(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		events := make([]Event, 4)
+		n, err := p.Wait(events)
+		if err != nil {
+			t.Errorf("wait: %v", err)
+		}
+		if n != 0 {
+			t.Errorf("woken wait returned %d events, want 0", n)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := p.Wake(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Wake did not interrupt Wait")
+	}
+}
+
+func TestPollerWriteReadiness(t *testing.T) {
+	a, b := tcpPair(t)
+	_ = b
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	fd, _ := FD(a)
+	if err := p.Add(fd, 3, false, true); err != nil {
+		t.Fatal(err)
+	}
+	// An idle socket is immediately writable.
+	waitFor(t, p, func(ev Event) bool { return ev.Token == 3 && ev.Writable })
+	// Dropping write interest stops the events; a Wake proves the loop is
+	// otherwise idle.
+	if err := p.Mod(fd, 3, false, false); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		p.Wake()
+	}()
+	events := make([]Event, 4)
+	n, err := p.Wait(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events[:n] {
+		if ev.Token == 3 && ev.Writable {
+			t.Fatal("write event after interest removed")
+		}
+	}
+}

@@ -53,6 +53,35 @@ func NewConn(rw io.ReadWriter) *Conn {
 	return c
 }
 
+// NewWriterConn wraps a write side only: Send*/Queue*/Flush work as usual
+// but no read buffer is allocated and Recv/RecvFrame return io.EOF. The
+// event-loop relay uses this mode — reads happen in the poller's frame
+// accumulator, not through the Conn, and skipping the bufio.Reader saves
+// 4 KiB per connection at 10k-connection scale.
+func NewWriterConn(w io.Writer) *Conn {
+	c := &Conn{
+		rw:      writerOnly{w},
+		flushAt: DefaultFlushThreshold,
+	}
+	c.nextXID.Store(1)
+	return c
+}
+
+// writerOnly adapts an io.Writer as the Conn's stream; reads report EOF.
+type writerOnly struct{ w io.Writer }
+
+func (w writerOnly) Write(p []byte) (int, error) { return w.w.Write(p) }
+func (w writerOnly) Read([]byte) (int, error)    { return 0, io.EOF }
+
+// Close forwards to the wrapped writer so Conn.Close still tears the
+// stream down in writer-only mode.
+func (w writerOnly) Close() error {
+	if c, ok := w.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
 // SetFlushThreshold overrides the queued-bytes level that forces a flush
 // (default DefaultFlushThreshold). Values < 1 flush on every queued
 // message, degenerating to write-through.
@@ -199,10 +228,18 @@ func (c *Conn) Buffered() int {
 // InputBuffered returns the bytes already read from the stream but not yet
 // consumed: 0 means the next Recv/RecvFrame will block, which is the relay
 // loops' idle signal for flushing coalesced output.
-func (c *Conn) InputBuffered() int { return c.br.Buffered() }
+func (c *Conn) InputBuffered() int {
+	if c.br == nil {
+		return 0
+	}
+	return c.br.Buffered()
+}
 
 // Recv reads the next message, decoded.
 func (c *Conn) Recv() (uint32, Message, error) {
+	if c.br == nil {
+		return 0, nil, io.EOF
+	}
 	return ReadMessage(c.br)
 }
 
@@ -211,6 +248,9 @@ func (c *Conn) Recv() (uint32, Message, error) {
 //
 //dfi:hotpath
 func (c *Conn) RecvFrame(f *Frame) error {
+	if c.br == nil {
+		return io.EOF
+	}
 	return ReadFrame(c.br, f)
 }
 

@@ -45,6 +45,15 @@ func (f *Frame) SetBytes(b []byte) {
 	f.buf = appendBytes(f.buf[:0], b)
 }
 
+// Alias binds the frame to b without copying: the frame views b directly,
+// so in-place rewrites (Shift*) mutate b and the frame is valid only while
+// b is. The event-loop relay uses this to walk frames straight out of a
+// read chunk; everyone else should prefer SetBytes. b must be a complete,
+// header-valid wire message.
+//
+//dfi:hotpath
+func (f *Frame) Alias(b []byte) { f.buf = b }
+
 // AppendMessageTo encodes m into the frame's reusable buffer. It exists for
 // tests and harnesses that build frames from typed messages.
 func (f *Frame) AppendMessageTo(xid uint32, m Message) error {

@@ -1,0 +1,341 @@
+// Package relaybench measures the DFI proxy relay at connection scale:
+// N simulated switches hold live proxied sessions and run closed-loop
+// echo round trips through both relay directions while the harness
+// samples latency quantiles, resident set size and goroutine count. The
+// same harness drives both relay modes (goroutine-per-connection and the
+// event-loop worker pool), so a pair of points is a direct cost
+// comparison at identical load.
+//
+// The harness itself runs its clients and the far-end echo controller on
+// event-loop engines, so harness goroutines stay O(workers) and the
+// process goroutine count isolates the proxy's own per-connection cost —
+// the quantity the event-loop refactor changes.
+package relaybench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dfi-sdn/dfi/internal/core/entity"
+	"github.com/dfi-sdn/dfi/internal/core/pcp"
+	"github.com/dfi-sdn/dfi/internal/core/policy"
+	"github.com/dfi-sdn/dfi/internal/core/proxy"
+	"github.com/dfi-sdn/dfi/internal/core/proxy/evloop"
+	"github.com/dfi-sdn/dfi/internal/openflow"
+)
+
+// Modes the bench can drive.
+const (
+	ModeGoroutine = "goroutine"
+	ModeEvloop    = "evloop"
+)
+
+// Config selects one measurement point.
+type Config struct {
+	Mode     string        // ModeGoroutine or ModeEvloop
+	Conns    int           // concurrent proxied switch connections
+	Workers  int           // proxy event-loop workers (ModeEvloop; 0 = default)
+	Duration time.Duration // measurement window (0 = 2s)
+	Churn    bool          // flap extra connections during the window
+}
+
+// Point is one measurement result, the unit BENCH_relay.json aggregates.
+type Point struct {
+	Mode        string  `json:"mode"`
+	Conns       int     `json:"conns"`
+	Workers     int     `json:"workers,omitempty"`
+	Fallback    bool    `json:"fallback_pumps,omitempty"`
+	Echoes      int64   `json:"echoes"`
+	P50Micros   float64 `json:"p50_us"`
+	P99Micros   float64 `json:"p99_us"`
+	RSSBytes    int64   `json:"rss_bytes"`
+	Goroutines  int     `json:"goroutines"`
+	ChurnCycles int64   `json:"churn_cycles,omitempty"`
+	DurationSec float64 `json:"duration_sec"`
+}
+
+// sampleRing keeps the most recent RTT observations per connection; at
+// 10k connections a bounded ring keeps the merge tractable while every
+// connection still contributes to the tail.
+const sampleRing = 128
+
+// client is the harness-side switch: a closed echo loop over one proxied
+// connection, driven entirely from event-loop callbacks.
+type client struct {
+	ep      *evloop.Endpoint
+	stop    *atomic.Bool
+	echoes  *atomic.Int64
+	buf     []byte // prebuilt ECHO_REQUEST, payload = 8-byte send nanos
+	samples [sampleRing]float64
+	n       int
+	closed  sync.WaitGroup
+}
+
+func (c *client) send() error {
+	binary.BigEndian.PutUint64(c.buf[8:], uint64(time.Now().UnixNano()))
+	_, err := c.ep.Write(c.buf)
+	return err
+}
+
+func (c *client) OnFrame(f *openflow.Frame) error {
+	if body := f.Body(); len(body) >= 8 {
+		rtt := time.Now().UnixNano() - int64(binary.BigEndian.Uint64(body[:8]))
+		c.samples[c.n%sampleRing] = float64(rtt) / 1e3
+		c.n++
+		c.echoes.Add(1)
+	}
+	if c.stop.Load() {
+		return nil
+	}
+	return c.send()
+}
+
+func (c *client) OnIdle() error { return nil }
+func (c *client) OnClose(error) { c.closed.Done() }
+
+// echoSide is the far-end "controller": every relayed frame is queued
+// straight back, so one client round trip crosses the relay twice.
+type echoSide struct {
+	out *openflow.Conn
+}
+
+func (e *echoSide) OnFrame(f *openflow.Frame) error { return e.out.QueueFrame(f) }
+func (e *echoSide) OnIdle() error                   { return e.out.Flush() }
+func (e *echoSide) OnClose(error)                   {}
+
+// Run executes one measurement point in this process. Callers that want
+// isolated RSS numbers should run each point in a fresh process (the
+// dfi-bench -relay driver re-execs itself per point).
+func Run(cfg Config) (*Point, error) {
+	if cfg.Conns <= 0 {
+		return nil, fmt.Errorf("relaybench: conns must be positive")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = proxy.DefaultEventLoopWorkers
+	}
+	// Each proxied connection consumes 4 socket fds in this process
+	// (client pair + controller-leg pair); leave generous headroom.
+	raiseFDLimit(uint64(cfg.Conns)*5 + 512)
+
+	// Far-end echo controller.
+	harness := evloop.New(evloop.Config{Workers: 4})
+	defer harness.Close()
+	echoLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer echoLn.Close()
+	go func() {
+		for {
+			conn, err := echoLn.Accept()
+			if err != nil {
+				return
+			}
+			h := &echoSide{}
+			ep, err := harness.Serve(conn, h)
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			h.out = openflow.NewWriterConn(ep)
+			ep.Start()
+		}
+	}()
+
+	// The proxy under test.
+	evWorkers := 0
+	if cfg.Mode == ModeEvloop {
+		evWorkers = workers
+	} else if cfg.Mode != ModeGoroutine {
+		return nil, fmt.Errorf("relaybench: unknown mode %q", cfg.Mode)
+	}
+	p := pcp.New(pcp.Config{Entity: entity.NewManager(), Policy: policy.NewManager()})
+	prx, err := proxy.New(proxy.Config{
+		PCP:              p,
+		EventLoopWorkers: evWorkers,
+		DialController: func() (io.ReadWriteCloser, error) {
+			return net.Dial("tcp", echoLn.Addr().String())
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer prx.Close()
+	prxLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer prxLn.Close()
+	var sessions sync.WaitGroup
+	go func() {
+		for {
+			conn, err := prxLn.Accept()
+			if err != nil {
+				return
+			}
+			sessions.Add(1)
+			if err := prx.HandleSwitch(conn, func(error) { sessions.Done() }); err != nil {
+				sessions.Done()
+			}
+		}
+	}()
+
+	// Prebuild the echo template once; each client patches its payload.
+	wire, err := openflow.Encode(1, &openflow.EchoRequest{Data: make([]byte, 8)})
+	if err != nil {
+		return nil, err
+	}
+
+	var stop atomic.Bool
+	var echoes atomic.Int64
+	connect := func() (*client, error) {
+		conn, err := net.Dial("tcp", prxLn.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+		c := &client{stop: &stop, echoes: &echoes, buf: append([]byte(nil), wire...)}
+		c.closed.Add(1)
+		ep, err := harness.Serve(conn, c)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		c.ep = ep
+		ep.Start()
+		return c, nil
+	}
+
+	clients := make([]*client, 0, cfg.Conns)
+	for i := 0; i < cfg.Conns; i++ {
+		c, err := connect()
+		if err != nil {
+			return nil, fmt.Errorf("relaybench: conn %d/%d: %w", i, cfg.Conns, err)
+		}
+		clients = append(clients, c)
+	}
+	for _, c := range clients {
+		if err := c.send(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Optional churn: extra connections flap for the whole window without
+	// disturbing the steady flock.
+	var churnCycles atomic.Int64
+	churnDone := make(chan struct{})
+	if cfg.Churn {
+		go func() {
+			defer close(churnDone)
+			for !stop.Load() {
+				c, err := connect()
+				if err != nil {
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				time.Sleep(2 * time.Millisecond)
+				c.ep.Close()
+				c.closed.Wait()
+				churnCycles.Add(1)
+			}
+		}()
+	} else {
+		close(churnDone)
+	}
+
+	// Steady state: sample the structural metrics mid-window, when every
+	// connection is live and echoing.
+	half := cfg.Duration / 2
+	time.Sleep(half)
+	runtime.GC()
+	goroutines := runtime.NumGoroutine()
+	rss := readRSS()
+	time.Sleep(cfg.Duration - half)
+	stop.Store(true)
+	<-churnDone
+
+	// Teardown: close every client; each proxied session's done callback
+	// must fire (the "holds connections" part of the acceptance bar).
+	for _, c := range clients {
+		c.ep.Close()
+	}
+	settled := make(chan struct{})
+	go func() {
+		for _, c := range clients {
+			c.closed.Wait()
+		}
+		sessions.Wait()
+		close(settled)
+	}()
+	select {
+	case <-settled:
+	case <-time.After(30 * time.Second):
+		return nil, fmt.Errorf("relaybench: %s mode leaked sessions at teardown", cfg.Mode)
+	}
+
+	var all []float64
+	for _, c := range clients {
+		kept := c.n
+		if kept > sampleRing {
+			kept = sampleRing
+		}
+		all = append(all, c.samples[:kept]...)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("relaybench: no echoes completed in %v", cfg.Duration)
+	}
+	sort.Float64s(all)
+
+	pt := &Point{
+		Mode:        cfg.Mode,
+		Conns:       cfg.Conns,
+		Fallback:    clients[0].ep.FallbackMode(),
+		Echoes:      echoes.Load(),
+		P50Micros:   quantile(all, 0.50),
+		P99Micros:   quantile(all, 0.99),
+		RSSBytes:    rss,
+		Goroutines:  goroutines,
+		ChurnCycles: churnCycles.Load(),
+		DurationSec: cfg.Duration.Seconds(),
+	}
+	if cfg.Mode == ModeEvloop {
+		pt.Workers = workers
+	}
+	return pt, nil
+}
+
+// MaxConns reports the largest connection count one measurement process
+// can hold under the file-descriptor limit (after trying to raise it).
+// Containers that drop CAP_SYS_RESOURCE cap the sweep here; the driver
+// clamps oversized scales instead of failing mid-connect.
+func MaxConns() int {
+	raiseFDLimit(1 << 19)
+	limit := fdLimit()
+	if limit == 0 {
+		return 1 << 20 // unknown platform: let connect errors decide
+	}
+	n := (int(limit) - 512) / 5
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// quantile reads q from an ascending slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

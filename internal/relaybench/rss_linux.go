@@ -1,0 +1,71 @@
+//go:build linux
+
+package relaybench
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"strconv"
+	"syscall"
+)
+
+// readRSS reports the process resident set in bytes from /proc (VmRSS).
+func readRSS() int64 {
+	blob, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	sc := bufio.NewScanner(bytes.NewReader(blob))
+	for sc.Scan() {
+		line := sc.Bytes()
+		if !bytes.HasPrefix(line, []byte("VmRSS:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("VmRSS:"):])
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(string(fields[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// raiseFDLimit lifts RLIMIT_NOFILE toward want; 10k-connection points
+// need ~60k descriptors in one process. With CAP_SYS_RESOURCE (CI
+// containers usually run as root) the hard limit is raised too;
+// otherwise the soft limit stops at the hard cap.
+func raiseFDLimit(want uint64) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return
+	}
+	if lim.Cur >= want {
+		return
+	}
+	if lim.Max < want {
+		raised := lim
+		raised.Cur, raised.Max = want, want
+		if syscall.Setrlimit(syscall.RLIMIT_NOFILE, &raised) == nil {
+			return
+		}
+	}
+	lim.Cur = want
+	if lim.Max < want {
+		lim.Cur = lim.Max
+	}
+	_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+}
+
+// fdLimit reports the current soft RLIMIT_NOFILE.
+func fdLimit() uint64 {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return 0
+	}
+	return lim.Cur
+}

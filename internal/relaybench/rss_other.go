@@ -1,0 +1,13 @@
+//go:build !linux
+
+package relaybench
+
+// readRSS has no portable source outside /proc; non-linux points report 0.
+func readRSS() int64 { return 0 }
+
+// raiseFDLimit is a no-op where syscall.Setrlimit portability is not
+// guaranteed; the default soft limit bounds the reachable scale instead.
+func raiseFDLimit(uint64) {}
+
+// fdLimit is unknown off-linux; 0 means "let connect errors decide".
+func fdLimit() uint64 { return 0 }
